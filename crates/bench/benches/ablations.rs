@@ -1,0 +1,65 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! qubit reuse on/off, gate cuts on/off, and the δ fidelity-balancing weight.
+//! Each variant plans the same workload so the timing and the resulting cut
+//! counts (printed once per run) can be compared directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrcc_circuit::generators;
+use qrcc_core::planner::CutPlanner;
+use qrcc_core::QrccConfig;
+use std::time::Duration;
+
+fn base_config(d: usize) -> QrccConfig {
+    QrccConfig::new(d).with_ilp_time_limit(Duration::ZERO)
+}
+
+fn bench_reuse_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_qubit_reuse");
+    group.sample_size(10);
+    let circuit = generators::vqe_two_local(12, 2, 3);
+    for (label, reuse) in [("with_reuse", true), ("without_reuse", false)] {
+        let config = base_config(7).with_qubit_reuse(reuse);
+        group.bench_function(label, |b| {
+            b.iter(|| CutPlanner::new(config.clone()).plan(&circuit).map(|p| p.wire_cut_count()));
+        });
+        if let Ok(plan) = CutPlanner::new(config).plan(&circuit) {
+            eprintln!("ablation_qubit_reuse/{label}: {} wire cuts", plan.wire_cut_count());
+        }
+    }
+    group.finish();
+}
+
+fn bench_gate_cut_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gate_cuts");
+    group.sample_size(10);
+    let (circuit, _) = generators::qaoa_regular(12, 3, 1, 1);
+    for (label, gate_cuts) in [("wire_only", false), ("wire_and_gate", true)] {
+        let config = base_config(8).with_gate_cuts(gate_cuts);
+        group.bench_function(label, |b| {
+            b.iter(|| CutPlanner::new(config.clone()).plan(&circuit).map(|p| p.metrics().effective_cuts()));
+        });
+        if let Ok(plan) = CutPlanner::new(config).plan(&circuit) {
+            eprintln!(
+                "ablation_gate_cuts/{label}: {:.2} effective cuts",
+                plan.metrics().effective_cuts()
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_delta_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_delta");
+    group.sample_size(10);
+    let (circuit, _) = generators::qaoa_regular(12, 3, 1, 1);
+    for delta in [0.2, 0.7, 1.0] {
+        let config = base_config(8).with_delta(delta).with_gate_cuts(true);
+        group.bench_function(format!("delta_{delta}"), |b| {
+            b.iter(|| CutPlanner::new(config.clone()).plan(&circuit).map(|p| p.metrics().max_two_qubit_gates));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reuse_ablation, bench_gate_cut_ablation, bench_delta_ablation);
+criterion_main!(benches);

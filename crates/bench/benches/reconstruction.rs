@@ -1,0 +1,60 @@
+//! Criterion benchmarks of classical post-processing: probability-vector
+//! reconstruction (wire cuts) and expectation-value reconstruction
+//! (wire + gate cuts), including subcircuit-variant execution on the exact
+//! backend.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qrcc_circuit::observable::PauliObservable;
+use qrcc_circuit::Circuit;
+use qrcc_core::pipeline::{ExactBackend, QrccPipeline};
+use qrcc_core::QrccConfig;
+use std::time::Duration;
+
+fn chain_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+        c.ry(0.1 * (q as f64 + 1.0), q + 1);
+    }
+    c
+}
+
+fn config(d: usize, gate_cuts: bool) -> QrccConfig {
+    QrccConfig::new(d)
+        .with_subcircuit_range(2, 3)
+        .with_gate_cuts(gate_cuts)
+        .with_ilp_time_limit(Duration::ZERO)
+}
+
+fn bench_probability_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probability_reconstruction");
+    group.sample_size(10);
+    let circuit = chain_circuit(6);
+    let pipeline = QrccPipeline::plan(&circuit, config(4, false)).unwrap();
+    group.bench_function("chain6_d4", |b| {
+        b.iter(|| {
+            let backend = ExactBackend::new();
+            pipeline.reconstruct_probabilities(&backend).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_expectation_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expectation_reconstruction");
+    group.sample_size(10);
+    let (circuit, graph) = qrcc_circuit::generators::qaoa_regular(6, 2, 1, 5);
+    let observable = PauliObservable::maxcut(&graph);
+    let pipeline = QrccPipeline::plan(&circuit, config(4, true)).unwrap();
+    group.bench_function("qaoa6_d4_maxcut", |b| {
+        b.iter(|| {
+            let backend = ExactBackend::new();
+            pipeline.reconstruct_expectation(&backend, &observable).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_probability_reconstruction, bench_expectation_reconstruction);
+criterion_main!(benches);

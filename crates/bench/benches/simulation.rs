@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the simulation substrate: state-vector evolution,
+//! shot sampling and noisy trajectory execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qrcc_circuit::generators;
+use qrcc_sim::device::{Device, DeviceConfig};
+use qrcc_sim::noise::NoiseModel;
+use qrcc_sim::StateVector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_simulation");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let circuit = generators::qft(n);
+        group.bench_with_input(BenchmarkId::new("qft", n), &circuit, |b, circuit| {
+            b.iter(|| StateVector::from_circuit(circuit).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_shot_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shot_sampling");
+    group.sample_size(10);
+    let circuit = generators::supremacy(3, 4, 6, 3);
+    let sv = StateVector::from_circuit(&circuit).unwrap();
+    group.bench_function("supremacy12_16384_shots", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            sv.sample_counts(16_384, &mut rng).unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_noisy_trajectories(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_device_execution");
+    group.sample_size(10);
+    let (circuit, _) = generators::qaoa_regular(7, 2, 1, 21);
+    let mut measured = circuit.clone();
+    measured.measure_all();
+    let device = Device::new(DeviceConfig::noisy(7, NoiseModel::ibm_lagos_like()).with_seed(1));
+    group.bench_function("qaoa7_lagos_noise_1024_shots", |b| {
+        b.iter(|| device.execute(&measured, 1024).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_statevector, bench_shot_sampling, bench_noisy_trajectories);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 6 — post-processing overhead (log₂ #FP operations) versus the
+//! number of cuts for the reconstruction strategies: FRP_32, FRP_48, ARP_2,
+//! ARP_4, FRE, against the FSS (full-state simulation) threshold.
+//!
+//! Usage: `cargo run --release -p qrcc-bench --bin figure6`
+
+use qrcc_bench::print_header;
+use qrcc_core::reconstruct::cost::{
+    arp_log2_flops, fre_log2_flops, frp_log2_flops, fss_threshold_log2, max_tolerable_cuts,
+};
+
+fn main() {
+    print_header(
+        "Figure 6: log2(#FP) of reconstruction vs number of cuts",
+        &["#cuts", "FRP_32", "FRP_48", "ARP_2", "ARP_4", "FRE", "FSS threshold"],
+    );
+    let threshold = fss_threshold_log2();
+    for cuts in (1..=49).step_by(4) {
+        println!(
+            "{:>5} | {:>7.1} | {:>7.1} | {:>6.1} | {:>6.1} | {:>5.1} | {:>12.1}",
+            cuts,
+            frp_log2_flops(32, cuts),
+            frp_log2_flops(48, cuts),
+            arp_log2_flops(48, cuts, 2),
+            arp_log2_flops(48, cuts, 4),
+            fre_log2_flops(cuts as f64),
+            threshold
+        );
+    }
+    println!("\nMaximum #cuts tolerated before exceeding the FSS threshold:");
+    println!("  FRP_48: {}", max_tolerable_cuts(|c| frp_log2_flops(48, c), 128));
+    println!("  FRP_32: {}", max_tolerable_cuts(|c| frp_log2_flops(32, c), 128));
+    println!("  ARP_2 : {}", max_tolerable_cuts(|c| arp_log2_flops(48, c, 2), 128));
+    println!("  ARP_4 : {}", max_tolerable_cuts(|c| arp_log2_flops(48, c, 4), 128));
+    println!("  FRE   : {}", max_tolerable_cuts(|c| fre_log2_flops(c as f64), 128));
+    println!("\nPaper shape: FRE ≫ ARP-4 > ARP-2 > FRP in cut tolerance; FRP_48 ≈ 16 cuts, FRE ≈ 40 cuts.");
+}

@@ -1,0 +1,42 @@
+//! Table 1 — wire-cut-only comparison of CutQC, QRCC-C and QRCC-B on the
+//! probability-distribution benchmarks (QFT, SPM, ADD, AQFT).
+//!
+//! Usage: `cargo run --release -p qrcc-bench --bin table1 [--large]`
+
+use qrcc_bench::{
+    average_reduction, compare_planners, format_metrics, print_header, table1_workloads, Scale,
+};
+
+fn main() {
+    let scale = Scale::from_args();
+    let workloads = table1_workloads(scale);
+    print_header(
+        "Table 1: W-Cut comparison (#SC / #cuts / #MS per scheme)",
+        &["Bench", "N", "D", "CutQC", "QRCC-C", "QRCC-B"],
+    );
+    let mut reductions_c = Vec::new();
+    let mut reductions_b = Vec::new();
+    for (workload, device) in workloads {
+        let row = compare_planners(&workload, device, false);
+        println!(
+            "{:<5} | {:>3} | {:>3} | {} | {} | {}",
+            row.name,
+            row.n,
+            row.d,
+            format_metrics(&row.cutqc),
+            format_metrics(&row.qrcc_c),
+            format_metrics(&row.qrcc_b),
+        );
+        if let (Some(base), Some(c)) = (&row.cutqc, &row.qrcc_c) {
+            reductions_c.push((base.wire_cuts as f64, c.wire_cuts as f64));
+        }
+        if let (Some(base), Some(b)) = (&row.cutqc, &row.qrcc_b) {
+            reductions_b.push((base.wire_cuts as f64, b.wire_cuts as f64));
+        }
+    }
+    println!(
+        "\nAverage cut reduction vs CutQC: QRCC-C {:.0}%  QRCC-B {:.0}%  (paper: 29% / 24%)",
+        100.0 * average_reduction(&reductions_c),
+        100.0 * average_reduction(&reductions_b),
+    );
+}

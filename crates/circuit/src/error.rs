@@ -1,0 +1,102 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or transforming circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircuitError {
+    /// A qubit index was outside the circuit's register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The number of qubits in the circuit.
+        num_qubits: usize,
+    },
+    /// A classical bit index was outside the circuit's classical register.
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: usize,
+        /// The number of classical bits in the circuit.
+        num_clbits: usize,
+    },
+    /// A gate was applied to the wrong number of qubits.
+    ArityMismatch {
+        /// The gate name.
+        gate: &'static str,
+        /// The number of qubits the gate acts on.
+        expected: usize,
+        /// The number of qubits supplied.
+        actual: usize,
+    },
+    /// The same qubit was supplied twice to a multi-qubit gate.
+    DuplicateQubit {
+        /// The duplicated qubit index.
+        qubit: usize,
+    },
+    /// A circuit was expected to contain only unitary gates but contained a
+    /// measurement, reset, or barrier.
+    NonUnitaryOperation {
+        /// Index of the offending operation.
+        index: usize,
+    },
+    /// A parameter value was not finite.
+    NonFiniteParameter {
+        /// The gate name.
+        gate: &'static str,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            CircuitError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "classical bit {clbit} out of range for {num_clbits} classical bits")
+            }
+            CircuitError::ArityMismatch { gate, expected, actual } => {
+                write!(f, "gate {gate} acts on {expected} qubits but {actual} were supplied")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "qubit {qubit} supplied more than once to a multi-qubit gate")
+            }
+            CircuitError::NonUnitaryOperation { index } => {
+                write!(f, "operation {index} is not a unitary gate")
+            }
+            CircuitError::NonFiniteParameter { gate } => {
+                write!(f, "gate {gate} was given a non-finite parameter")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            CircuitError::QubitOutOfRange { qubit: 5, num_qubits: 3 },
+            CircuitError::ClbitOutOfRange { clbit: 2, num_clbits: 1 },
+            CircuitError::ArityMismatch { gate: "cx", expected: 2, actual: 1 },
+            CircuitError::DuplicateQubit { qubit: 0 },
+            CircuitError::NonUnitaryOperation { index: 3 },
+            CircuitError::NonFiniteParameter { gate: "rz" },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CircuitError>();
+    }
+}

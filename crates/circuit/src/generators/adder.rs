@@ -1,0 +1,102 @@
+use crate::Circuit;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The Cuccaro ripple-carry adder on `2*bits + 2` qubits (ADD benchmark).
+///
+/// The circuit adds two `bits`-bit registers `a` and `b` in place
+/// (`b ← a + b`) using a single ancilla (the incoming carry) plus one carry-out
+/// qubit, which is the "one ancilla" property the paper highlights. Input
+/// registers are initialised to random computational-basis values drawn from
+/// `seed` so the circuit is non-trivial; pass the same seed to reproduce it.
+///
+/// Qubit layout: `0` = carry-in, `1 + 2i` = `a_i`, `2 + 2i` = `b_i`,
+/// `2*bits + 1` = carry-out.
+///
+/// ```rust
+/// use qrcc_circuit::generators::ripple_carry_adder;
+///
+/// let c = ripple_carry_adder(4, 1);
+/// assert_eq!(c.num_qubits(), 10);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder(bits: usize, seed: u64) -> Circuit {
+    assert!(bits > 0, "adder needs at least one bit");
+    let n = 2 * bits + 2;
+    let mut c = Circuit::new(n);
+    c.set_name(format!("adder_{bits}bit"));
+    let a = |i: usize| 1 + 2 * i;
+    let b = |i: usize| 2 + 2 * i;
+    let cin = 0;
+    let cout = 2 * bits + 1;
+
+    // Random input preparation.
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..bits {
+        if rng.gen::<bool>() {
+            c.x(a(i));
+        }
+        if rng.gen::<bool>() {
+            c.x(b(i));
+        }
+    }
+
+    let maj = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.cx(z, y).cx(z, x).ccx(x, y, z);
+    };
+    let uma = |c: &mut Circuit, x: usize, y: usize, z: usize| {
+        c.ccx(x, y, z).cx(z, x).cx(x, y);
+    };
+
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..bits {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(bits - 1), cout);
+    for i in (1..bits).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_count_is_2n_plus_2() {
+        for bits in 1..6 {
+            let c = ripple_carry_adder(bits, 0);
+            assert_eq!(c.num_qubits(), 2 * bits + 2);
+        }
+    }
+
+    #[test]
+    fn only_one_and_two_qubit_gates() {
+        let c = ripple_carry_adder(5, 3);
+        assert!(c.operations().iter().all(|op| op.qubits().len() <= 2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(ripple_carry_adder(4, 9), ripple_carry_adder(4, 9));
+    }
+
+    #[test]
+    fn two_qubit_gate_count_grows_linearly() {
+        let small = ripple_carry_adder(2, 1).two_qubit_gate_count();
+        let large = ripple_carry_adder(4, 1).two_qubit_gate_count();
+        // each extra bit adds one MAJ and one UMA block (8 two-qubit gates each)
+        assert_eq!(large - small, 2 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_bits_rejected() {
+        ripple_carry_adder(0, 0);
+    }
+}

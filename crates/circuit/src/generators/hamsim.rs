@@ -1,0 +1,121 @@
+use crate::graph::{self, Graph};
+use crate::Circuit;
+
+/// The 2-local Hamiltonian families simulated by the IS / XY / HS benchmarks
+/// (and their next-nearest-neighbour variants IS-n / XY-n / HS-n).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HamiltonianKind {
+    /// 2-D transverse-field Ising model: ZZ couplings plus an X field.
+    TransverseFieldIsing,
+    /// XY model: XX + YY couplings.
+    Xy,
+    /// Heisenberg model: XX + YY + ZZ couplings.
+    Heisenberg,
+}
+
+impl HamiltonianKind {
+    /// The paper's abbreviation for the nearest-neighbour variant.
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            HamiltonianKind::TransverseFieldIsing => "IS",
+            HamiltonianKind::Xy => "XY",
+            HamiltonianKind::Heisenberg => "HS",
+        }
+    }
+}
+
+/// A first-order Trotterised simulation circuit of a 2-local Hamiltonian on a
+/// `rows × cols` square lattice.
+///
+/// * `kind` selects the interaction terms (see [`HamiltonianKind`]).
+/// * `next_nearest` adds diagonal couplings (the `-n` benchmark variants).
+/// * `steps` is the number of Trotter steps and `dt` the step size.
+///
+/// All two-qubit interactions are emitted as a single RZZ (possibly
+/// conjugated by local basis changes for XX/YY), so every interaction is
+/// gate-cuttable.
+///
+/// ```rust
+/// use qrcc_circuit::generators::{hamiltonian_simulation, HamiltonianKind};
+///
+/// let (c, g) = hamiltonian_simulation(HamiltonianKind::Xy, 2, 3, false, 1, 0.1);
+/// assert_eq!(c.num_qubits(), 6);
+/// assert_eq!(c.two_qubit_gate_count(), 2 * g.num_edges());
+/// ```
+pub fn hamiltonian_simulation(
+    kind: HamiltonianKind,
+    rows: usize,
+    cols: usize,
+    next_nearest: bool,
+    steps: usize,
+    dt: f64,
+) -> (Circuit, Graph) {
+    let g = graph::lattice_2d(rows, cols, next_nearest);
+    let n = g.num_nodes();
+    let mut c = Circuit::new(n);
+    let suffix = if next_nearest { "-n" } else { "" };
+    c.set_name(format!("{}{}_{}x{}", kind.abbreviation(), suffix, rows, cols));
+
+    for _ in 0..steps {
+        match kind {
+            HamiltonianKind::TransverseFieldIsing => {
+                for &(a, b) in g.edges() {
+                    c.rzz(2.0 * dt, a, b);
+                }
+                for q in 0..n {
+                    c.rx(2.0 * dt, q);
+                }
+            }
+            HamiltonianKind::Xy => {
+                for &(a, b) in g.edges() {
+                    c.xx_via_rzz(2.0 * dt, a, b);
+                    c.yy_via_rzz(2.0 * dt, a, b);
+                }
+            }
+            HamiltonianKind::Heisenberg => {
+                for &(a, b) in g.edges() {
+                    c.xx_via_rzz(2.0 * dt, a, b);
+                    c.yy_via_rzz(2.0 * dt, a, b);
+                    c.rzz(2.0 * dt, a, b);
+                }
+            }
+        }
+    }
+    (c, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ising_gate_counts() {
+        let (c, g) = hamiltonian_simulation(HamiltonianKind::TransverseFieldIsing, 3, 3, false, 2, 0.1);
+        assert_eq!(c.two_qubit_gate_count(), 2 * g.num_edges());
+        assert_eq!(c.single_qubit_gate_count(), 2 * 9);
+    }
+
+    #[test]
+    fn heisenberg_has_three_interactions_per_edge() {
+        let (c, g) = hamiltonian_simulation(HamiltonianKind::Heisenberg, 2, 3, false, 1, 0.05);
+        assert_eq!(c.two_qubit_gate_count(), 3 * g.num_edges());
+    }
+
+    #[test]
+    fn next_nearest_variant_adds_couplings() {
+        let (nn, _) = hamiltonian_simulation(HamiltonianKind::Xy, 3, 3, false, 1, 0.1);
+        let (nnn, _) = hamiltonian_simulation(HamiltonianKind::Xy, 3, 3, true, 1, 0.1);
+        assert!(nnn.two_qubit_gate_count() > nn.two_qubit_gate_count());
+        assert!(nnn.name().contains("-n"));
+    }
+
+    #[test]
+    fn every_two_qubit_gate_is_gate_cuttable() {
+        for kind in [HamiltonianKind::TransverseFieldIsing, HamiltonianKind::Xy, HamiltonianKind::Heisenberg] {
+            let (c, _) = hamiltonian_simulation(kind, 2, 2, true, 1, 0.2);
+            for op in c.operations().iter().filter(|o| o.is_two_qubit_gate()) {
+                assert!(op.as_gate().unwrap().is_gate_cuttable());
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Benchmark circuit generators used throughout the paper's evaluation.
+//!
+//! Two families are provided, mirroring §5.1 of the paper:
+//!
+//! * **Probability-distribution benchmarks** (only wire-cuttable):
+//!   [`qft`], [`aqft`], [`supremacy`], [`ripple_carry_adder`].
+//! * **Expectation-value benchmarks** (wire- and gate-cuttable):
+//!   [`qaoa`] on regular / Erdős–Rényi / Barabási–Albert graphs,
+//!   [`hamiltonian_simulation`] on 2-D lattices (Ising / XY / Heisenberg,
+//!   nearest or next-nearest neighbour), and [`vqe_two_local`] (hydrogen-chain
+//!   style linear two-local ansatz).
+//!
+//! All generators are deterministic given their seed.
+
+mod adder;
+mod hamsim;
+mod qaoa;
+mod qft;
+mod supremacy;
+mod vqe;
+
+pub use adder::ripple_carry_adder;
+pub use hamsim::{hamiltonian_simulation, HamiltonianKind};
+pub use qaoa::{qaoa, qaoa_barabasi_albert, qaoa_erdos_renyi, qaoa_regular};
+pub use qft::{aqft, qft, qft_no_swap};
+pub use supremacy::supremacy;
+pub use vqe::vqe_two_local;
+
+/// Identifies one of the paper's benchmark families by its three-letter
+/// abbreviation, for use in the experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Quantum Fourier Transform.
+    Qft,
+    /// Approximate Quantum Fourier Transform.
+    Aqft,
+    /// Google-style random supremacy circuit.
+    Spm,
+    /// Cuccaro ripple-carry adder.
+    Add,
+    /// QAOA on a random m-regular graph.
+    Reg,
+    /// QAOA on an Erdős–Rényi graph.
+    Erd,
+    /// QAOA on a Barabási–Albert graph.
+    Bar,
+    /// 2-D transverse-field Ising simulation (nearest neighbour).
+    Is,
+    /// 2-D XY model simulation (nearest neighbour).
+    Xy,
+    /// 2-D Heisenberg simulation (nearest neighbour).
+    Hs,
+    /// Ising with next-nearest neighbours.
+    IsN,
+    /// XY with next-nearest neighbours.
+    XyN,
+    /// Heisenberg with next-nearest neighbours.
+    HsN,
+    /// Hydrogen-chain VQE two-local ansatz.
+    Vqe,
+}
+
+impl Benchmark {
+    /// The three-letter abbreviation used in the paper's tables.
+    pub fn abbreviation(&self) -> &'static str {
+        match self {
+            Benchmark::Qft => "QFT",
+            Benchmark::Aqft => "AQFT",
+            Benchmark::Spm => "SPM",
+            Benchmark::Add => "ADD",
+            Benchmark::Reg => "REG",
+            Benchmark::Erd => "ERD",
+            Benchmark::Bar => "BAR",
+            Benchmark::Is => "IS",
+            Benchmark::Xy => "XY",
+            Benchmark::Hs => "HS",
+            Benchmark::IsN => "IS-n",
+            Benchmark::XyN => "XY-n",
+            Benchmark::HsN => "HS-n",
+            Benchmark::Vqe => "VQE",
+        }
+    }
+
+    /// Whether the benchmark computes an expectation value (and is therefore
+    /// eligible for gate cutting) rather than a probability distribution.
+    pub fn computes_expectation(&self) -> bool {
+        !matches!(self, Benchmark::Qft | Benchmark::Aqft | Benchmark::Spm | Benchmark::Add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_are_unique() {
+        let all = [
+            Benchmark::Qft,
+            Benchmark::Aqft,
+            Benchmark::Spm,
+            Benchmark::Add,
+            Benchmark::Reg,
+            Benchmark::Erd,
+            Benchmark::Bar,
+            Benchmark::Is,
+            Benchmark::Xy,
+            Benchmark::Hs,
+            Benchmark::IsN,
+            Benchmark::XyN,
+            Benchmark::HsN,
+            Benchmark::Vqe,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|b| b.abbreviation()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn expectation_classification_matches_paper() {
+        assert!(!Benchmark::Qft.computes_expectation());
+        assert!(!Benchmark::Add.computes_expectation());
+        assert!(Benchmark::Reg.computes_expectation());
+        assert!(Benchmark::Vqe.computes_expectation());
+        assert!(Benchmark::HsN.computes_expectation());
+    }
+}

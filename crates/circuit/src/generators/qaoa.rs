@@ -1,0 +1,112 @@
+use crate::graph::{self, Graph};
+use crate::Circuit;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A `p`-layer QAOA ansatz for the MaxCut problem on `graph` (REG / ERD /
+/// BAR benchmarks).
+///
+/// Layer `l` applies `RZZ(γ_l)` on every edge followed by `RX(β_l)` on every
+/// node, after an initial Hadamard layer. The angles are drawn uniformly from
+/// `(0, π)` using `seed` (the paper evaluates cutting quality, not QAOA
+/// optimality, so any fixed angles are representative).
+///
+/// ```rust
+/// use qrcc_circuit::{generators::qaoa, graph};
+///
+/// let g = graph::random_regular(8, 3, 1);
+/// let c = qaoa(&g, 1, 42);
+/// assert_eq!(c.num_qubits(), 8);
+/// assert_eq!(c.two_qubit_gate_count(), g.num_edges());
+/// ```
+pub fn qaoa(graph: &Graph, layers: usize, seed: u64) -> Circuit {
+    let n = graph.num_nodes();
+    let mut c = Circuit::new(n);
+    c.set_name(format!("qaoa_p{layers}_{n}q"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    for q in 0..n {
+        c.h(q);
+    }
+    for _ in 0..layers {
+        let gamma: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+        let beta: f64 = rng.gen_range(0.0..std::f64::consts::PI);
+        for &(a, b) in graph.edges() {
+            c.rzz(gamma, a, b);
+        }
+        for q in 0..n {
+            c.rx(beta, q);
+        }
+    }
+    c
+}
+
+/// QAOA on a random `m`-regular graph with `n` nodes (REG benchmark,
+/// `m = 5` by default in the paper).
+pub fn qaoa_regular(n: usize, m: usize, layers: usize, seed: u64) -> (Circuit, Graph) {
+    let g = graph::random_regular(n, m, seed);
+    let mut c = qaoa(&g, layers, seed.wrapping_add(1));
+    c.set_name(format!("REG_m{m}_{n}q"));
+    (c, g)
+}
+
+/// QAOA on an Erdős–Rényi G(n, p) graph (ERD benchmark, `p = 0.1` by default
+/// in the paper).
+pub fn qaoa_erdos_renyi(n: usize, p: f64, layers: usize, seed: u64) -> (Circuit, Graph) {
+    let g = graph::erdos_renyi(n, p, seed);
+    let mut c = qaoa(&g, layers, seed.wrapping_add(1));
+    c.set_name(format!("ERD_p{p}_{n}q"));
+    (c, g)
+}
+
+/// QAOA on a Barabási–Albert graph with attachment `m` (BAR benchmark,
+/// `m = 3` by default in the paper).
+pub fn qaoa_barabasi_albert(n: usize, m: usize, layers: usize, seed: u64) -> (Circuit, Graph) {
+    let g = graph::barabasi_albert(n, m, seed);
+    let mut c = qaoa(&g, layers, seed.wrapping_add(1));
+    c.set_name(format!("BAR_m{m}_{n}q"));
+    (c, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qaoa_structure() {
+        let g = graph::random_regular(10, 3, 2);
+        let c = qaoa(&g, 2, 3);
+        assert_eq!(c.two_qubit_gate_count(), 2 * g.num_edges());
+        // initial H layer + p layers of rx on every node
+        assert_eq!(c.single_qubit_gate_count(), 10 + 2 * 10);
+        assert!(c.operations().iter().filter_map(|o| o.as_gate()).all(|g| g.params_finite()));
+    }
+
+    #[test]
+    fn all_two_qubit_gates_are_gate_cuttable() {
+        let g = graph::erdos_renyi(12, 0.3, 5);
+        let c = qaoa(&g, 1, 6);
+        for op in c.operations().iter().filter(|o| o.is_two_qubit_gate()) {
+            assert!(op.as_gate().unwrap().is_gate_cuttable());
+        }
+    }
+
+    #[test]
+    fn named_variants_set_names_and_return_graphs() {
+        let (c, g) = qaoa_regular(8, 3, 1, 10);
+        assert!(c.name().starts_with("REG"));
+        assert_eq!(g.num_nodes(), 8);
+        let (c, g) = qaoa_erdos_renyi(8, 0.2, 1, 10);
+        assert!(c.name().starts_with("ERD"));
+        assert_eq!(g.num_nodes(), 8);
+        let (c, g) = qaoa_barabasi_albert(8, 2, 1, 10);
+        assert!(c.name().starts_with("BAR"));
+        assert_eq!(g.num_nodes(), 8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = graph::random_regular(6, 3, 7);
+        assert_eq!(qaoa(&g, 1, 5), qaoa(&g, 1, 5));
+        assert_ne!(qaoa(&g, 1, 5), qaoa(&g, 1, 6));
+    }
+}

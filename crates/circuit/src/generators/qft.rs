@@ -1,0 +1,110 @@
+use crate::Circuit;
+use std::f64::consts::PI;
+
+/// The `n`-qubit Quantum Fourier Transform, including the final qubit-order
+/// reversing SWAP network (QFT benchmark).
+///
+/// The controlled-phase ladder gives the circuit its characteristic
+/// all-to-all connectivity, which is what makes it the hardest benchmark to
+/// cut in the paper's evaluation.
+///
+/// ```rust
+/// use qrcc_circuit::generators::qft;
+///
+/// let c = qft(4);
+/// assert_eq!(c.num_qubits(), 4);
+/// // 6 controlled-phase gates + 2 swaps
+/// assert_eq!(c.two_qubit_gate_count(), 8);
+/// ```
+pub fn qft(n: usize) -> Circuit {
+    let mut c = qft_no_swap(n);
+    for i in 0..n / 2 {
+        c.swap(i, n - 1 - i);
+    }
+    c.set_name(format!("qft_{n}"));
+    c
+}
+
+/// The `n`-qubit QFT without the final SWAP network.
+pub fn qft_no_swap(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.set_name(format!("qft_noswap_{n}"));
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let angle = PI / f64::powi(2.0, (j - i) as i32);
+            c.cp(angle, j, i);
+        }
+    }
+    c
+}
+
+/// The approximate QFT: controlled-phase rotations with angle smaller than
+/// `π / 2^(degree-1)` are dropped (AQFT benchmark).
+///
+/// `degree = n` reproduces the exact QFT ladder; smaller degrees remove the
+/// long-range (small-angle) interactions, which is why AQFT is much easier to
+/// cut than QFT.
+///
+/// # Panics
+///
+/// Panics if `degree == 0`.
+pub fn aqft(n: usize, degree: usize) -> Circuit {
+    assert!(degree > 0, "approximation degree must be at least 1");
+    let mut c = Circuit::new(n);
+    c.set_name(format!("aqft_{n}_{degree}"));
+    for i in 0..n {
+        c.h(i);
+        for j in (i + 1)..n {
+            let distance = j - i;
+            if distance < degree {
+                let angle = PI / f64::powi(2.0, distance as i32);
+                c.cp(angle, j, i);
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qft_gate_counts() {
+        let n = 5;
+        let c = qft_no_swap(n);
+        assert_eq!(c.single_qubit_gate_count(), n);
+        assert_eq!(c.two_qubit_gate_count(), n * (n - 1) / 2);
+        let with_swaps = qft(n);
+        assert_eq!(with_swaps.two_qubit_gate_count(), n * (n - 1) / 2 + n / 2);
+    }
+
+    #[test]
+    fn aqft_with_full_degree_equals_qft_ladder() {
+        let a = aqft(6, 6);
+        let q = qft_no_swap(6);
+        assert_eq!(a.two_qubit_gate_count(), q.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn aqft_drops_long_range_interactions() {
+        let a = aqft(8, 3);
+        // each qubit i interacts only with i+1 and i+2
+        assert_eq!(a.two_qubit_gate_count(), 7 + 6);
+        assert!(a.two_qubit_gate_count() < qft_no_swap(8).two_qubit_gate_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn aqft_rejects_zero_degree() {
+        aqft(4, 0);
+    }
+
+    #[test]
+    fn qft_of_one_qubit_is_a_hadamard() {
+        let c = qft(1);
+        assert_eq!(c.gate_count(), 1);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+}

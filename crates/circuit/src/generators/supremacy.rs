@@ -1,0 +1,143 @@
+use crate::Circuit;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::f64::consts::FRAC_PI_2;
+
+/// A Google-style random "quantum supremacy" circuit on a `rows × cols`
+/// qubit grid (SPM benchmark).
+///
+/// Each cycle applies a random single-qubit gate from {√X, √Y, T} to every
+/// qubit followed by a layer of CZ gates drawn from one of four
+/// edge-colouring patterns of the 2-D grid, cycling through the patterns.
+/// The construction follows the structure of the circuits used in the
+/// quantum-supremacy characterisation experiments; exact gate choices are
+/// randomised from `seed`.
+///
+/// ```rust
+/// use qrcc_circuit::generators::supremacy;
+///
+/// let c = supremacy(3, 5, 8, 7);
+/// assert_eq!(c.num_qubits(), 15);
+/// assert!(c.two_qubit_gate_count() > 0);
+/// ```
+pub fn supremacy(rows: usize, cols: usize, cycles: usize, seed: u64) -> Circuit {
+    let n = rows * cols;
+    let mut c = Circuit::new(n);
+    c.set_name(format!("supremacy_{rows}x{cols}_d{cycles}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let idx = |r: usize, col: usize| r * cols + col;
+
+    // Four CZ patterns: horizontal pairs starting at even/odd columns, and
+    // vertical pairs starting at even/odd rows.
+    let patterns: [Box<dyn Fn() -> Vec<(usize, usize)>>; 4] = [
+        Box::new(move || {
+            let mut edges = Vec::new();
+            for r in 0..rows {
+                let mut col = 0;
+                while col + 1 < cols {
+                    edges.push((idx(r, col), idx(r, col + 1)));
+                    col += 2;
+                }
+            }
+            edges
+        }),
+        Box::new(move || {
+            let mut edges = Vec::new();
+            for r in 0..rows {
+                let mut col = 1;
+                while col + 1 < cols {
+                    edges.push((idx(r, col), idx(r, col + 1)));
+                    col += 2;
+                }
+            }
+            edges
+        }),
+        Box::new(move || {
+            let mut edges = Vec::new();
+            for col in 0..cols {
+                let mut r = 0;
+                while r + 1 < rows {
+                    edges.push((idx(r, col), idx(r + 1, col)));
+                    r += 2;
+                }
+            }
+            edges
+        }),
+        Box::new(move || {
+            let mut edges = Vec::new();
+            for col in 0..cols {
+                let mut r = 1;
+                while r + 1 < rows {
+                    edges.push((idx(r, col), idx(r + 1, col)));
+                    r += 2;
+                }
+            }
+            edges
+        }),
+    ];
+
+    // Initial Hadamard layer.
+    for q in 0..n {
+        c.h(q);
+    }
+    for cycle in 0..cycles {
+        for q in 0..n {
+            match rng.gen_range(0..3) {
+                0 => {
+                    c.sx(q);
+                }
+                1 => {
+                    c.ry(FRAC_PI_2, q);
+                }
+                _ => {
+                    c.t(q);
+                }
+            }
+        }
+        for &(a, b) in &patterns[cycle % 4]() {
+            c.cz(a, b);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(supremacy(3, 3, 6, 1), supremacy(3, 3, 6, 1));
+        assert_ne!(supremacy(3, 3, 6, 1), supremacy(3, 3, 6, 2));
+    }
+
+    #[test]
+    fn every_qubit_gets_single_qubit_gates_each_cycle() {
+        let cycles = 5;
+        let c = supremacy(2, 3, cycles, 3);
+        // 6 initial H + 6 random single-qubit gates per cycle
+        assert_eq!(c.single_qubit_gate_count(), 6 + 6 * cycles);
+    }
+
+    #[test]
+    fn cz_layers_only_touch_grid_neighbours() {
+        let rows = 3;
+        let cols = 4;
+        let c = supremacy(rows, cols, 8, 11);
+        for op in c.operations().iter().filter(|o| o.is_two_qubit_gate()) {
+            let qs = op.qubits();
+            let (a, b) = (qs[0].index(), qs[1].index());
+            let (ra, ca) = (a / cols, a % cols);
+            let (rb, cb) = (b / cols, b % cols);
+            let manhattan = ra.abs_diff(rb) + ca.abs_diff(cb);
+            assert_eq!(manhattan, 1, "cz between non-neighbours {a},{b}");
+        }
+    }
+
+    #[test]
+    fn low_depth_circuit_has_no_two_qubit_gates_when_single_row_vertical_pattern() {
+        // a 1 x n grid exercises only horizontal patterns
+        let c = supremacy(1, 4, 4, 5);
+        assert!(c.two_qubit_gate_count() > 0);
+    }
+}

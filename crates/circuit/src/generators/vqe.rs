@@ -1,0 +1,69 @@
+use crate::Circuit;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A linear two-local VQE ansatz of the kind used for hydrogen-chain
+/// simulations (VQE benchmark): alternating layers of per-qubit RY rotations
+/// and a linear CX entangling chain, with a final rotation layer.
+///
+/// Rotation angles are drawn from `seed` (the cutting evaluation does not
+/// depend on the variational optimum).
+///
+/// ```rust
+/// use qrcc_circuit::generators::vqe_two_local;
+///
+/// let c = vqe_two_local(6, 2, 3);
+/// assert_eq!(c.num_qubits(), 6);
+/// assert_eq!(c.two_qubit_gate_count(), 2 * 5);
+/// ```
+pub fn vqe_two_local(n: usize, reps: usize, seed: u64) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.set_name(format!("vqe_twolocal_{n}q_r{reps}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rotation_layer = |c: &mut Circuit, rng: &mut StdRng| {
+        for q in 0..n {
+            c.ry(rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI), q);
+        }
+    };
+    for _ in 0..reps {
+        rotation_layer(&mut c, &mut rng);
+        for q in 0..n.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+    }
+    rotation_layer(&mut c, &mut rng);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_counts() {
+        let c = vqe_two_local(5, 3, 1);
+        assert_eq!(c.two_qubit_gate_count(), 3 * 4);
+        assert_eq!(c.single_qubit_gate_count(), (3 + 1) * 5);
+    }
+
+    #[test]
+    fn single_qubit_circuit_has_no_entanglers() {
+        let c = vqe_two_local(1, 2, 1);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(vqe_two_local(4, 2, 9), vqe_two_local(4, 2, 9));
+        assert_ne!(vqe_two_local(4, 2, 9), vqe_two_local(4, 2, 10));
+    }
+
+    #[test]
+    fn entangling_chain_is_linear() {
+        let c = vqe_two_local(6, 1, 2);
+        for op in c.operations().iter().filter(|o| o.is_two_qubit_gate()) {
+            let qs = op.qubits();
+            assert_eq!(qs[1].index(), qs[0].index() + 1);
+        }
+    }
+}

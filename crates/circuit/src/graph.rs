@@ -1,0 +1,292 @@
+//! Simple undirected graphs and the seeded random-graph generators backing
+//! the paper's QAOA and Hamiltonian-simulation benchmarks: random `m`-regular
+//! graphs (REG), Erdős–Rényi graphs (ERD), Barabási–Albert graphs (BAR) and
+//! 2-D square lattices with nearest / next-nearest neighbour couplings.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// An undirected graph on `n` nodes with a sorted, deduplicated edge list.
+///
+/// ```rust
+/// use qrcc_circuit::graph::Graph;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// assert_eq!(g.num_nodes(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    num_nodes: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl Graph {
+    /// Creates an empty graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Graph { num_nodes, edges: Vec::new() }
+    }
+
+    /// Creates a graph from an edge iterator; self-loops are dropped,
+    /// duplicates (in either orientation) are removed, and endpoints are
+    /// normalised so that `a < b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is `>= num_nodes`.
+    pub fn from_edges(num_nodes: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut set = BTreeSet::new();
+        for (a, b) in edges {
+            assert!(a < num_nodes && b < num_nodes, "edge ({a},{b}) out of range");
+            if a == b {
+                continue;
+            }
+            set.insert((a.min(b), a.max(b)));
+        }
+        Graph { num_nodes, edges: set.into_iter().collect() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The normalised (a < b), sorted edge list.
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Degree of node `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.edges.iter().filter(|(a, b)| *a == v || *b == v).count()
+    }
+
+    /// Whether the graph contains edge `(a, b)` in either orientation.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let e = (a.min(b), a.max(b));
+        self.edges.binary_search(&e).is_ok()
+    }
+
+    /// Average node degree.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.num_nodes as f64
+        }
+    }
+}
+
+/// Generates a random `degree`-regular graph on `n` nodes (REG benchmark)
+/// using the configuration-model pairing with rejection, seeded by `seed`.
+///
+/// If `n * degree` is odd the degree of one node will be `degree - 1` (the
+/// paper's generator silently does the same for odd products).
+///
+/// # Panics
+///
+/// Panics if `degree >= n`.
+pub fn random_regular(n: usize, degree: usize, seed: u64) -> Graph {
+    assert!(degree < n, "degree {degree} must be smaller than node count {n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Retry pairing until a simple graph is produced (or fall back to a
+    // greedy repair after too many attempts).
+    for _attempt in 0..200 {
+        let mut stubs: Vec<usize> = Vec::with_capacity(n * degree);
+        for v in 0..n {
+            for _ in 0..degree {
+                stubs.push(v);
+            }
+        }
+        if stubs.len() % 2 == 1 {
+            stubs.pop();
+        }
+        stubs.shuffle(&mut rng);
+        let mut edges = BTreeSet::new();
+        let mut ok = true;
+        for pair in stubs.chunks(2) {
+            let (a, b) = (pair[0], pair[1]);
+            if a == b || edges.contains(&(a.min(b), a.max(b))) {
+                ok = false;
+                break;
+            }
+            edges.insert((a.min(b), a.max(b)));
+        }
+        if ok {
+            return Graph { num_nodes: n, edges: edges.into_iter().collect() };
+        }
+    }
+    // Fallback: deterministic circulant graph (still degree-regular).
+    let mut edges = BTreeSet::new();
+    for v in 0..n {
+        for k in 1..=(degree / 2) {
+            let w = (v + k) % n;
+            edges.insert((v.min(w), v.max(w)));
+        }
+    }
+    if degree % 2 == 1 && n % 2 == 0 {
+        for v in 0..n / 2 {
+            edges.insert((v, v + n / 2));
+        }
+    }
+    Graph { num_nodes: n, edges: edges.into_iter().collect() }
+}
+
+/// Generates an Erdős–Rényi G(n, p) random graph (ERD benchmark).
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen::<f64>() < p {
+                edges.push((a, b));
+            }
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// Generates a Barabási–Albert preferential-attachment graph where each new
+/// node attaches to `m` existing nodes (BAR benchmark).
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `m >= n`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1 && m < n, "attachment count m={m} must satisfy 1 <= m < n={n}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Repeated-endpoint list implements preferential attachment.
+    let mut endpoints: Vec<usize> = Vec::new();
+    // Start from a star over the first m+1 nodes.
+    for v in 0..m {
+        edges.push((v, m));
+        endpoints.push(v);
+        endpoints.push(m);
+    }
+    for v in (m + 1)..n {
+        let mut targets = BTreeSet::new();
+        while targets.len() < m {
+            let pick = endpoints[rng.gen_range(0..endpoints.len())];
+            if pick != v {
+                targets.insert(pick);
+            }
+        }
+        for t in targets {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+/// A 2-D square lattice of `rows × cols` nodes with nearest-neighbour edges,
+/// optionally including next-nearest (diagonal) neighbours — the interaction
+/// graphs of the paper's Hamiltonian-simulation benchmarks (IS/XY/HS and
+/// IS-n/XY-n/HS-n).
+pub fn lattice_2d(rows: usize, cols: usize, next_nearest: bool) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+            if next_nearest {
+                if r + 1 < rows && c + 1 < cols {
+                    edges.push((idx(r, c), idx(r + 1, c + 1)));
+                }
+                if r + 1 < rows && c >= 1 {
+                    edges.push((idx(r, c), idx(r + 1, c - 1)));
+                }
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_normalises_and_dedups() {
+        let g = Graph::from_edges(3, [(1, 0), (0, 1), (2, 2), (1, 2)]);
+        assert_eq!(g.edges(), &[(0, 1), (1, 2)]);
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        Graph::from_edges(2, [(0, 5)]);
+    }
+
+    #[test]
+    fn random_regular_has_requested_degree() {
+        let g = random_regular(20, 4, 7);
+        assert_eq!(g.num_nodes(), 20);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4, "node {v} degree");
+        }
+        assert_eq!(g.num_edges(), 20 * 4 / 2);
+    }
+
+    #[test]
+    fn random_regular_is_deterministic_per_seed() {
+        assert_eq!(random_regular(16, 3, 42), random_regular(16, 3, 42));
+        // Different seeds almost surely give different graphs.
+        assert_ne!(random_regular(16, 3, 42), random_regular(16, 3, 43));
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_tracks_probability() {
+        let g0 = erdos_renyi(30, 0.0, 1);
+        assert_eq!(g0.num_edges(), 0);
+        let g1 = erdos_renyi(30, 1.0, 1);
+        assert_eq!(g1.num_edges(), 30 * 29 / 2);
+        let g = erdos_renyi(50, 0.1, 3);
+        let expected = 0.1 * (50.0 * 49.0 / 2.0);
+        assert!((g.num_edges() as f64) > expected * 0.4);
+        assert!((g.num_edges() as f64) < expected * 1.8);
+    }
+
+    #[test]
+    fn barabasi_albert_every_late_node_has_at_least_m_edges() {
+        let m = 3;
+        let g = barabasi_albert(25, m, 5);
+        for v in (m + 1)..25 {
+            assert!(g.degree(v) >= m, "node {v} has degree {}", g.degree(v));
+        }
+        assert!(g.num_edges() >= (25 - m - 1) * m);
+    }
+
+    #[test]
+    fn lattice_nearest_neighbour_edge_count() {
+        let g = lattice_2d(3, 4, false);
+        // horizontal: 3*(4-1)=9, vertical: (3-1)*4=8
+        assert_eq!(g.num_edges(), 17);
+        let gn = lattice_2d(3, 4, true);
+        // diagonals: 2*(3-1)*(4-1)=12
+        assert_eq!(gn.num_edges(), 17 + 12);
+    }
+
+    #[test]
+    fn average_degree_is_consistent() {
+        let g = lattice_2d(2, 2, false);
+        assert!((g.average_degree() - 2.0).abs() < 1e-12);
+    }
+}

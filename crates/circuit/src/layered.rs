@@ -1,0 +1,190 @@
+//! Identity-padded layered view of a circuit (the basis of the QR-aware DAG
+//! of paper §4.1).
+//!
+//! The layered view places every operation of a circuit on a
+//! `(layer, qubit)` grid using ASAP scheduling. Grid cells not covered by a
+//! real operation are *implicit identity* slots; the QRCC model only needs a
+//! few of them explicitly (beginning / middle / end of long idle stretches),
+//! which [`LayeredCircuit::identity_slots`] reports.
+
+use crate::dag::{CircuitDag, NodeId};
+use crate::{Circuit, QubitId};
+
+/// What occupies a `(layer, qubit)` cell of the layered grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// No operation: the qubit is idle at this layer (implicit identity).
+    Idle,
+    /// The cell is covered by DAG node `NodeId` (for a two-qubit gate both of
+    /// its cells carry the same node id).
+    Op(NodeId),
+}
+
+/// A circuit arranged on a `(layer, qubit)` grid.
+#[derive(Debug, Clone)]
+pub struct LayeredCircuit {
+    grid: Vec<Vec<Cell>>, // grid[layer][qubit]
+    num_qubits: usize,
+    num_layers: usize,
+}
+
+impl LayeredCircuit {
+    /// Builds the layered view of `circuit`.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let dag = CircuitDag::from_circuit(circuit);
+        Self::from_dag(&dag)
+    }
+
+    /// Builds the layered view from an existing DAG.
+    pub fn from_dag(dag: &CircuitDag) -> Self {
+        let num_qubits = dag.num_qubits();
+        let num_layers = dag.num_layers();
+        let mut grid = vec![vec![Cell::Idle; num_qubits]; num_layers];
+        for (id, node) in dag.nodes().iter().enumerate() {
+            for q in node.op.qubits() {
+                grid[node.layer][q.index()] = Cell::Op(id);
+            }
+        }
+        LayeredCircuit { grid, num_qubits, num_layers }
+    }
+
+    /// Number of layers in the grid.
+    pub fn num_layers(&self) -> usize {
+        self.num_layers
+    }
+
+    /// Number of qubits in the grid.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The cell at `(layer, qubit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `qubit` is out of range.
+    pub fn cell(&self, layer: usize, qubit: QubitId) -> Cell {
+        self.grid[layer][qubit.index()]
+    }
+
+    /// Iterator over the cells of one layer.
+    pub fn layer(&self, layer: usize) -> &[Cell] {
+        &self.grid[layer]
+    }
+
+    /// Number of qubits that have at least one operation at or before
+    /// `layer` and at least one at or after `layer` — i.e. the number of
+    /// *live* wires crossing the layer. This is the quantity the device-size
+    /// constraint of the cutting model bounds per subcircuit.
+    pub fn live_wires_at(&self, layer: usize, first: &[Option<usize>], last: &[Option<usize>]) -> usize {
+        (0..self.num_qubits)
+            .filter(|&q| match (first[q], last[q]) {
+                (Some(f), Some(l)) => f <= layer && layer <= l,
+                _ => false,
+            })
+            .count()
+    }
+
+    /// For every qubit, the idle stretches `(start_layer, end_layer)`
+    /// (inclusive) between two real operations, at the start of the circuit
+    /// before the first operation, or at the end after the last.
+    ///
+    /// The QRCC model selectively materialises identity gates at the start,
+    /// middle and end of long stretches; this method provides the raw
+    /// stretches so the model can decide.
+    pub fn idle_stretches(&self) -> Vec<(QubitId, usize, usize)> {
+        let mut stretches = Vec::new();
+        for q in 0..self.num_qubits {
+            let mut run_start: Option<usize> = None;
+            for layer in 0..self.num_layers {
+                match self.grid[layer][q] {
+                    Cell::Idle => {
+                        if run_start.is_none() {
+                            run_start = Some(layer);
+                        }
+                    }
+                    Cell::Op(_) => {
+                        if let Some(start) = run_start.take() {
+                            stretches.push((QubitId::new(q), start, layer - 1));
+                        }
+                    }
+                }
+            }
+            if let Some(start) = run_start {
+                stretches.push((QubitId::new(q), start, self.num_layers - 1));
+            }
+        }
+        stretches
+    }
+
+    /// Representative identity slots for each idle stretch: begin, middle and
+    /// end layer of every stretch (deduplicated). These are the "dummy
+    /// identity gates" the paper inserts so that cuts can be placed inside
+    /// long idle wires without exploding the model.
+    pub fn identity_slots(&self) -> Vec<(QubitId, usize)> {
+        let mut slots = Vec::new();
+        for (q, start, end) in self.idle_stretches() {
+            let mid = (start + end) / 2;
+            slots.push((q, start));
+            if mid != start && mid != end {
+                slots.push((q, mid));
+            }
+            if end != start {
+                slots.push((q, end));
+            }
+        }
+        slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_shape_matches_circuit() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let layered = LayeredCircuit::from_circuit(&c);
+        assert_eq!(layered.num_layers(), 3);
+        assert_eq!(layered.num_qubits(), 3);
+        assert_eq!(layered.cell(0, QubitId::new(0)), Cell::Op(0));
+        assert_eq!(layered.cell(0, QubitId::new(2)), Cell::Idle);
+        // the cx(0,1) covers both its qubits at layer 1
+        assert_eq!(layered.cell(1, QubitId::new(0)), Cell::Op(1));
+        assert_eq!(layered.cell(1, QubitId::new(1)), Cell::Op(1));
+    }
+
+    #[test]
+    fn idle_stretches_cover_leading_and_trailing_idleness() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let layered = LayeredCircuit::from_circuit(&c);
+        let stretches = layered.idle_stretches();
+        // qubit 2 idles at layers 0..=1, qubit 0 idles at layer 2
+        assert!(stretches.contains(&(QubitId::new(2), 0, 1)));
+        assert!(stretches.contains(&(QubitId::new(0), 2, 2)));
+    }
+
+    #[test]
+    fn identity_slots_are_within_stretches() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        for _ in 0..6 {
+            c.h(0);
+        }
+        c.cx(0, 1);
+        let layered = LayeredCircuit::from_circuit(&c);
+        for (q, layer) in layered.identity_slots() {
+            assert_eq!(layered.cell(layer, q), Cell::Idle);
+        }
+    }
+
+    #[test]
+    fn empty_circuit_has_no_layers() {
+        let c = Circuit::new(4);
+        let layered = LayeredCircuit::from_circuit(&c);
+        assert_eq!(layered.num_layers(), 0);
+        assert!(layered.idle_stretches().is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! Pauli-string observables for expectation-value workloads.
+//!
+//! Gate cutting can only reconstruct expectation values, so the QAOA,
+//! Hamiltonian-simulation and VQE benchmarks evaluate `⟨ψ|H|ψ⟩` for a
+//! Hamiltonian `H` expressed as a weighted sum of Pauli strings.
+
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pauli {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl fmt::Display for Pauli {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Pauli::I => 'I',
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A Pauli string over `n` qubits, e.g. `ZIZI`.
+///
+/// Index `i` of the inner vector is the Pauli acting on qubit `i`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PauliString {
+    paulis: Vec<Pauli>,
+}
+
+impl PauliString {
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString { paulis: vec![Pauli::I; n] }
+    }
+
+    /// Builds a string from explicit per-qubit Paulis.
+    pub fn from_paulis(paulis: Vec<Pauli>) -> Self {
+        PauliString { paulis }
+    }
+
+    /// A string with a single `Z` on `qubit` (identity elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit >= n`.
+    pub fn z(n: usize, qubit: usize) -> Self {
+        Self::single(n, qubit, Pauli::Z)
+    }
+
+    /// A string with a single `X` on `qubit`.
+    pub fn x(n: usize, qubit: usize) -> Self {
+        Self::single(n, qubit, Pauli::X)
+    }
+
+    /// A string with a single `Y` on `qubit`.
+    pub fn y(n: usize, qubit: usize) -> Self {
+        Self::single(n, qubit, Pauli::Y)
+    }
+
+    /// A string with `ZZ` on the pair `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range or `a == b`.
+    pub fn zz(n: usize, a: usize, b: usize) -> Self {
+        assert!(a < n && b < n && a != b, "invalid ZZ pair ({a},{b}) for {n} qubits");
+        let mut s = Self::identity(n);
+        s.paulis[a] = Pauli::Z;
+        s.paulis[b] = Pauli::Z;
+        s
+    }
+
+    fn single(n: usize, qubit: usize, p: Pauli) -> Self {
+        assert!(qubit < n, "qubit {qubit} out of range for {n} qubits");
+        let mut s = Self::identity(n);
+        s.paulis[qubit] = p;
+        s
+    }
+
+    /// Number of qubits the string is defined on.
+    pub fn num_qubits(&self) -> usize {
+        self.paulis.len()
+    }
+
+    /// The Pauli on `qubit`.
+    pub fn pauli(&self, qubit: usize) -> Pauli {
+        self.paulis[qubit]
+    }
+
+    /// The per-qubit Paulis.
+    pub fn paulis(&self) -> &[Pauli] {
+        &self.paulis
+    }
+
+    /// The qubits with a non-identity Pauli (the string's *support*).
+    pub fn support(&self) -> Vec<usize> {
+        self.paulis
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| if *p != Pauli::I { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Whether the string is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.paulis.iter().all(|p| *p == Pauli::I)
+    }
+
+    /// Restricts the string to a subset of qubits (in the given order),
+    /// producing a string over `qubits.len()` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn restrict(&self, qubits: &[usize]) -> PauliString {
+        PauliString { paulis: qubits.iter().map(|&q| self.paulis[q]).collect() }
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for p in &self.paulis {
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A Hermitian observable expressed as a weighted sum of Pauli strings.
+///
+/// ```rust
+/// use qrcc_circuit::observable::{PauliObservable, PauliString};
+///
+/// let mut h = PauliObservable::new(3);
+/// h.add_term(0.5, PauliString::zz(3, 0, 1));
+/// h.add_term(-1.0, PauliString::z(3, 2));
+/// assert_eq!(h.terms().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PauliObservable {
+    num_qubits: usize,
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl PauliObservable {
+    /// An observable with no terms over `n` qubits (the zero operator).
+    pub fn new(num_qubits: usize) -> Self {
+        PauliObservable { num_qubits, terms: Vec::new() }
+    }
+
+    /// The all-`Z` observable `Z⊗Z⊗…⊗Z`, the default measurement-basis
+    /// observable used in the paper's verification experiment.
+    pub fn all_z(num_qubits: usize) -> Self {
+        let mut obs = Self::new(num_qubits);
+        obs.add_term(1.0, PauliString::from_paulis(vec![Pauli::Z; num_qubits]));
+        obs
+    }
+
+    /// Adds a weighted Pauli string term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the string's qubit count differs from the observable's.
+    pub fn add_term(&mut self, coefficient: f64, string: PauliString) -> &mut Self {
+        assert_eq!(
+            string.num_qubits(),
+            self.num_qubits,
+            "pauli string width does not match observable width"
+        );
+        self.terms.push((coefficient, string));
+        self
+    }
+
+    /// Number of qubits the observable acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The weighted terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// The MaxCut cost observable of a graph:
+    /// `C = Σ_{(i,j)∈E} ½ (I − Z_i Z_j)`, i.e. constant `|E|/2` plus
+    /// `−½ Z_i Z_j` per edge. The constant offset is tracked separately via
+    /// [`PauliObservable::constant_offset`]-style identity terms.
+    pub fn maxcut(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let mut obs = Self::new(n);
+        // constant part |E|/2 as an identity term
+        obs.add_term(graph.num_edges() as f64 * 0.5, PauliString::identity(n));
+        for &(a, b) in graph.edges() {
+            obs.add_term(-0.5, PauliString::zz(n, a, b));
+        }
+        obs
+    }
+
+    /// The transverse-field Ising Hamiltonian on a graph:
+    /// `H = J Σ_{(i,j)∈E} Z_i Z_j + h Σ_i X_i`.
+    pub fn ising(graph: &Graph, j: f64, h: f64) -> Self {
+        let n = graph.num_nodes();
+        let mut obs = Self::new(n);
+        for &(a, b) in graph.edges() {
+            obs.add_term(j, PauliString::zz(n, a, b));
+        }
+        if h != 0.0 {
+            for q in 0..n {
+                obs.add_term(h, PauliString::x(n, q));
+            }
+        }
+        obs
+    }
+
+    /// The Heisenberg Hamiltonian on a graph:
+    /// `H = Σ_{(i,j)∈E} (Jx X_iX_j + Jy Y_iY_j + Jz Z_iZ_j)`.
+    pub fn heisenberg(graph: &Graph, jx: f64, jy: f64, jz: f64) -> Self {
+        let n = graph.num_nodes();
+        let mut obs = Self::new(n);
+        for &(a, b) in graph.edges() {
+            if jx != 0.0 {
+                let mut s = PauliString::identity(n);
+                s.paulis[a] = Pauli::X;
+                s.paulis[b] = Pauli::X;
+                obs.add_term(jx, s);
+            }
+            if jy != 0.0 {
+                let mut s = PauliString::identity(n);
+                s.paulis[a] = Pauli::Y;
+                s.paulis[b] = Pauli::Y;
+                obs.add_term(jy, s);
+            }
+            if jz != 0.0 {
+                obs.add_term(jz, PauliString::zz(n, a, b));
+            }
+        }
+        obs
+    }
+
+    /// Sum of the coefficients of identity terms (the constant offset).
+    pub fn constant_offset(&self) -> f64 {
+        self.terms.iter().filter(|(_, s)| s.is_identity()).map(|(c, _)| *c).sum()
+    }
+
+    /// An upper bound on `|⟨H⟩|`: the sum of absolute coefficients.
+    pub fn norm_bound(&self) -> f64 {
+        self.terms.iter().map(|(c, _)| c.abs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph;
+
+    #[test]
+    fn pauli_string_constructors() {
+        let z = PauliString::z(3, 1);
+        assert_eq!(z.to_string(), "IZI");
+        let zz = PauliString::zz(4, 0, 3);
+        assert_eq!(zz.to_string(), "ZIIZ");
+        assert_eq!(zz.support(), vec![0, 3]);
+        assert!(PauliString::identity(2).is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pauli_string_rejects_bad_qubit() {
+        PauliString::x(2, 5);
+    }
+
+    #[test]
+    fn restrict_projects_onto_subset() {
+        let s = PauliString::from_paulis(vec![Pauli::Z, Pauli::I, Pauli::X, Pauli::Y]);
+        let r = s.restrict(&[2, 0]);
+        assert_eq!(r.paulis(), &[Pauli::X, Pauli::Z]);
+    }
+
+    #[test]
+    fn maxcut_observable_shape() {
+        let g = graph::Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let h = PauliObservable::maxcut(&g);
+        assert_eq!(h.terms().len(), 3); // 1 identity + 2 edges
+        assert!((h.constant_offset() - 1.0).abs() < 1e-12);
+        assert!((h.norm_bound() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ising_and_heisenberg_term_counts() {
+        let g = graph::lattice_2d(2, 2, false);
+        let ising = PauliObservable::ising(&g, 1.0, 0.5);
+        assert_eq!(ising.terms().len(), g.num_edges() + 4);
+        let heis = PauliObservable::heisenberg(&g, 1.0, 1.0, 1.0);
+        assert_eq!(heis.terms().len(), 3 * g.num_edges());
+        let xy = PauliObservable::heisenberg(&g, 1.0, 1.0, 0.0);
+        assert_eq!(xy.terms().len(), 2 * g.num_edges());
+    }
+
+    #[test]
+    fn all_z_observable() {
+        let obs = PauliObservable::all_z(3);
+        assert_eq!(obs.terms().len(), 1);
+        assert_eq!(obs.terms()[0].1.to_string(), "ZZZ");
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn add_term_rejects_width_mismatch() {
+        let mut obs = PauliObservable::new(2);
+        obs.add_term(1.0, PauliString::identity(3));
+    }
+}

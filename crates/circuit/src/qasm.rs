@@ -1,0 +1,104 @@
+//! Minimal OpenQASM 2-style serialisation of circuits.
+//!
+//! The exporter is intentionally small: it exists so that circuits produced
+//! by the generators and by the cutting pipeline can be inspected with
+//! external tooling, and so harness output can embed circuits textually. It
+//! emits the `qelib1`-style gate names used by [`Gate::name`](crate::Gate::name);
+//! gates outside OpenQASM 2's standard library (e.g. `rzz`) are emitted with
+//! the same call syntax and documented here.
+
+use crate::{Circuit, Operation};
+use std::fmt::Write as _;
+
+/// Renders a circuit as OpenQASM 2-style text.
+///
+/// ```rust
+/// use qrcc_circuit::{Circuit, qasm};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1).measure_all();
+/// let text = qasm::to_qasm(&c);
+/// assert!(text.contains("h q[0];"));
+/// assert!(text.contains("cx q[0],q[1];"));
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "qreg q[{}];", circuit.num_qubits());
+    if circuit.num_clbits() > 0 {
+        let _ = writeln!(out, "creg c[{}];", circuit.num_clbits());
+    }
+    for op in circuit.operations() {
+        match op {
+            Operation::Single { gate, qubit } => {
+                let params = gate.params();
+                if params.is_empty() {
+                    let _ = writeln!(out, "{} q[{}];", gate.name(), qubit.index());
+                } else {
+                    let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+                    let _ = writeln!(out, "{}({}) q[{}];", gate.name(), rendered.join(","), qubit.index());
+                }
+            }
+            Operation::Two { gate, qubits } => {
+                let params = gate.params();
+                if params.is_empty() {
+                    let _ = writeln!(
+                        out,
+                        "{} q[{}],q[{}];",
+                        gate.name(),
+                        qubits[0].index(),
+                        qubits[1].index()
+                    );
+                } else {
+                    let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
+                    let _ = writeln!(
+                        out,
+                        "{}({}) q[{}],q[{}];",
+                        gate.name(),
+                        rendered.join(","),
+                        qubits[0].index(),
+                        qubits[1].index()
+                    );
+                }
+            }
+            Operation::Measure { qubit, clbit } => {
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", qubit.index(), clbit);
+            }
+            Operation::Reset { qubit } => {
+                let _ = writeln!(out, "reset q[{}];", qubit.index());
+            }
+            Operation::Barrier { qubits } => {
+                let args: Vec<String> = qubits.iter().map(|q| format!("q[{}]", q.index())).collect();
+                let _ = writeln!(out, "barrier {};", args.join(","));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qasm_header_and_registers() {
+        let mut c = Circuit::new(3);
+        c.h(0).measure(0, 0);
+        let text = to_qasm(&c);
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("creg c[1];"));
+        assert!(text.contains("measure q[0] -> c[0];"));
+    }
+
+    #[test]
+    fn parameterised_gates_serialise_with_arguments() {
+        let mut c = Circuit::new(2);
+        c.rz(0.25, 0).rzz(0.5, 0, 1).reset(1).barrier();
+        let text = to_qasm(&c);
+        assert!(text.contains("rz(0.25) q[0];"));
+        assert!(text.contains("rzz(0.5) q[0],q[1];"));
+        assert!(text.contains("reset q[1];"));
+        assert!(text.contains("barrier q[0],q[1];"));
+    }
+}

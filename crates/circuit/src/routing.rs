@@ -1,0 +1,344 @@
+//! Coupling maps and SWAP-insertion routing.
+//!
+//! Real devices only support two-qubit gates between *coupled* physical
+//! qubits; running a circuit on them requires inserting SWAP gates. The
+//! paper's Table 3 highlights this cost: 9 of the 16 CNOTs of the 7-qubit
+//! whole-circuit run on IBM Lagos came from SWAP insertion, which is a large
+//! part of why the uncut execution loses fidelity while QRCC's small
+//! subcircuits (routed trivially) do not.
+//!
+//! The router here is a deliberately simple greedy pass: it keeps a
+//! logical→physical mapping and, for every two-qubit gate acting on
+//! non-adjacent qubits, swaps along a shortest path until the pair is
+//! adjacent. That is enough to reproduce the SWAP-overhead effect in the
+//! noisy-device experiments.
+
+use crate::{Circuit, CircuitError, Operation, QubitId};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An undirected coupling map over `n` physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// Builds a coupling map from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge endpoint is out of range or a self-loop.
+    pub fn new(num_qubits: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        for (a, b) in edges {
+            assert!(a < num_qubits && b < num_qubits && a != b, "invalid coupling edge ({a},{b})");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+            }
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        CouplingMap { num_qubits, adjacency }
+    }
+
+    /// A linear (1-D chain) topology.
+    pub fn linear(num_qubits: usize) -> Self {
+        Self::new(num_qubits, (0..num_qubits.saturating_sub(1)).map(|i| (i, i + 1)))
+    }
+
+    /// A `rows × cols` grid topology.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        Self::new(rows * cols, edges)
+    }
+
+    /// An all-to-all topology (no routing needed).
+    pub fn full(num_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..num_qubits {
+            for b in (a + 1)..num_qubits {
+                edges.push((a, b));
+            }
+        }
+        Self::new(num_qubits, edges)
+    }
+
+    /// The 7-qubit IBM-Lagos/Falcon "H" topology used in the paper's real
+    /// machine evaluation (≈1.7 connections per qubit):
+    ///
+    /// ```text
+    /// 0 - 1 - 2
+    ///     |
+    ///     3
+    ///     |
+    /// 4 - 5 - 6
+    /// ```
+    pub fn ibm_lagos() -> Self {
+        Self::new(7, [(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)])
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Whether physical qubits `a` and `b` are directly coupled.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        self.adjacency[a].contains(&b)
+    }
+
+    /// The neighbours of physical qubit `q`.
+    pub fn neighbours(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Average number of connections per qubit.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_qubits == 0 {
+            return 0.0;
+        }
+        self.adjacency.iter().map(Vec::len).sum::<usize>() as f64 / self.num_qubits as f64
+    }
+
+    /// Shortest path (inclusive of both endpoints) between two physical
+    /// qubits, or `None` if they are disconnected.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut previous = vec![usize::MAX; self.num_qubits];
+        let mut queue = VecDeque::from([from]);
+        previous[from] = from;
+        while let Some(current) = queue.pop_front() {
+            for &next in &self.adjacency[current] {
+                if previous[next] == usize::MAX {
+                    previous[next] = current;
+                    if next == to {
+                        let mut path = vec![to];
+                        let mut node = to;
+                        while node != from {
+                            node = previous[node];
+                            path.push(node);
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the map is connected.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        (1..self.num_qubits).all(|q| self.shortest_path(0, q).is_some())
+    }
+}
+
+/// The result of routing a circuit onto a coupling map.
+#[derive(Debug, Clone)]
+pub struct RoutedCircuit {
+    /// The routed circuit (over physical qubits).
+    pub circuit: Circuit,
+    /// Number of SWAP gates inserted.
+    pub swaps_inserted: usize,
+    /// Final logical→physical mapping (`mapping[logical] = physical`).
+    pub final_mapping: Vec<usize>,
+}
+
+/// Greedy SWAP-insertion router.
+#[derive(Debug, Clone, Default)]
+pub struct Router {}
+
+impl Router {
+    /// Creates the router.
+    pub fn new() -> Self {
+        Router {}
+    }
+
+    /// Routes `circuit` onto `coupling`, starting from the identity
+    /// logical→physical mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::QubitOutOfRange`] if the circuit needs more
+    /// qubits than the coupling map provides, or if the map is disconnected
+    /// so that some pair can never be brought together.
+    pub fn route(&self, circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit, CircuitError> {
+        if circuit.num_qubits() > coupling.num_qubits() {
+            return Err(CircuitError::QubitOutOfRange {
+                qubit: circuit.num_qubits() - 1,
+                num_qubits: coupling.num_qubits(),
+            });
+        }
+        // mapping[logical] = physical and its inverse
+        let mut mapping: Vec<usize> = (0..coupling.num_qubits()).collect();
+        let mut inverse: Vec<usize> = (0..coupling.num_qubits()).collect();
+        let mut routed = Circuit::with_clbits(coupling.num_qubits(), circuit.num_clbits());
+        routed.set_name(format!("{}_routed", circuit.name()));
+        let mut swaps = 0usize;
+
+        let mut apply_swap =
+            |routed: &mut Circuit, mapping: &mut Vec<usize>, inverse: &mut Vec<usize>, a: usize, b: usize| {
+                routed.swap(a, b);
+                let la = inverse[a];
+                let lb = inverse[b];
+                mapping.swap(la, lb);
+                inverse.swap(a, b);
+            };
+
+        for op in circuit.operations() {
+            match op {
+                Operation::Two { gate, qubits } => {
+                    let mut pa = mapping[qubits[0].index()];
+                    let pb = mapping[qubits[1].index()];
+                    if !coupling.are_coupled(pa, pb) {
+                        let path = coupling.shortest_path(pa, pb).ok_or(
+                            CircuitError::QubitOutOfRange {
+                                qubit: qubits[1].index(),
+                                num_qubits: coupling.num_qubits(),
+                            },
+                        )?;
+                        // swap the first operand down the path until adjacent
+                        for window in path.windows(2).take(path.len().saturating_sub(2)) {
+                            apply_swap(&mut routed, &mut mapping, &mut inverse, window[0], window[1]);
+                            swaps += 1;
+                            pa = window[1];
+                        }
+                    }
+                    let pb = mapping[qubits[1].index()];
+                    let pa = mapping[qubits[0].index()];
+                    debug_assert!(coupling.are_coupled(pa, pb));
+                    routed.push(Operation::Two {
+                        gate: *gate,
+                        qubits: [QubitId::new(pa), QubitId::new(pb)],
+                    });
+                }
+                other => {
+                    let mapped = other.map_qubits(|q| QubitId::new(mapping[q.index()]));
+                    routed.push(mapped);
+                }
+            }
+        }
+        Ok(RoutedCircuit { circuit: routed, swaps_inserted: swaps, final_mapping: mapping })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn coupling_map_constructors() {
+        let linear = CouplingMap::linear(4);
+        assert!(linear.are_coupled(1, 2));
+        assert!(!linear.are_coupled(0, 3));
+        assert!(linear.is_connected());
+        let grid = CouplingMap::grid(2, 3);
+        assert_eq!(grid.num_qubits(), 6);
+        assert!(grid.are_coupled(0, 3));
+        let lagos = CouplingMap::ibm_lagos();
+        assert_eq!(lagos.num_qubits(), 7);
+        assert!((lagos.average_degree() - 12.0 / 7.0).abs() < 1e-12);
+        assert!(lagos.is_connected());
+        let full = CouplingMap::full(4);
+        assert!(full.are_coupled(0, 3));
+    }
+
+    #[test]
+    fn shortest_paths_on_the_lagos_topology() {
+        let lagos = CouplingMap::ibm_lagos();
+        let path = lagos.shortest_path(0, 6).unwrap();
+        assert_eq!(path, vec![0, 1, 3, 5, 6]);
+        assert_eq!(lagos.shortest_path(2, 2).unwrap(), vec![2]);
+        let disconnected = CouplingMap::new(3, [(0, 1)]);
+        assert!(disconnected.shortest_path(0, 2).is_none());
+        assert!(!disconnected.is_connected());
+    }
+
+    #[test]
+    fn routing_adjacent_gates_inserts_no_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let routed = Router::new().route(&c, &CouplingMap::linear(3)).unwrap();
+        assert_eq!(routed.swaps_inserted, 0);
+        assert_eq!(routed.circuit.two_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn routing_distant_gates_inserts_swaps_and_respects_coupling() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3).cx(1, 2).cx(0, 3);
+        let coupling = CouplingMap::linear(4);
+        let routed = Router::new().route(&c, &coupling).unwrap();
+        assert!(routed.swaps_inserted >= 2);
+        for op in routed.circuit.operations().iter().filter(|o| o.is_two_qubit_gate()) {
+            let qs = op.qubits();
+            assert!(
+                coupling.are_coupled(qs[0].index(), qs[1].index()),
+                "gate on uncoupled pair {:?}",
+                qs
+            );
+        }
+    }
+
+    #[test]
+    fn routing_preserves_the_logical_gate_list() {
+        // Routing only adds SWAPs and relabels qubits; the number of logical
+        // gates of each kind must be unchanged (the unitary-equivalence check
+        // against a state-vector simulator lives in the cross-crate
+        // integration tests to avoid a dependency cycle here).
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 4).cx(1, 3).cz(0, 2).rz(0.4, 3);
+        let routed = Router::new().route(&c, &CouplingMap::linear(5)).unwrap();
+        assert_eq!(
+            routed.circuit.two_qubit_gate_count() - routed.swaps_inserted,
+            c.two_qubit_gate_count()
+        );
+        assert_eq!(routed.circuit.single_qubit_gate_count(), c.single_qubit_gate_count());
+        assert_eq!(routed.final_mapping.len(), 5);
+    }
+
+    #[test]
+    fn qft_on_lagos_needs_many_swaps() {
+        // The paper observes that most CNOTs of the uncut 7-qubit run come
+        // from SWAP insertion on the sparse Lagos topology.
+        let qft = generators::qft_no_swap(7);
+        let routed = Router::new().route(&qft, &CouplingMap::ibm_lagos()).unwrap();
+        assert!(
+            routed.swaps_inserted >= qft.two_qubit_gate_count() / 3,
+            "expected a large SWAP overhead, got {} swaps for {} gates",
+            routed.swaps_inserted,
+            qft.two_qubit_gate_count()
+        );
+        // routing onto an all-to-all map is free
+        let free = Router::new().route(&qft, &CouplingMap::full(7)).unwrap();
+        assert_eq!(free.swaps_inserted, 0);
+    }
+
+    #[test]
+    fn routing_rejects_too_small_maps() {
+        let c = Circuit::new(5);
+        assert!(Router::new().route(&c, &CouplingMap::linear(3)).is_err());
+    }
+}

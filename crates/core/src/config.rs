@@ -1,0 +1,210 @@
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Post-processing cost weights from the paper's linearised objective
+/// (§4.2.5): a wire cut costs `ALPHA` and a gate cut costs `BETA`, chosen so
+/// that the linear cost preserves the ordering of the true `4^k · 6^m`
+/// exponential cost for up to 240 cuts.
+pub const ALPHA_WIRE_CUT: f64 = 3.25;
+/// See [`ALPHA_WIRE_CUT`].
+pub const BETA_GATE_CUT: f64 = 4.2;
+
+/// Configuration of the QRCC cut planner (the meta parameters of §4.2.1).
+///
+/// ```rust
+/// use qrcc_core::QrccConfig;
+///
+/// let config = QrccConfig::new(5)
+///     .with_subcircuit_range(2, 4)
+///     .with_delta(0.7)
+///     .with_gate_cuts(true);
+/// assert_eq!(config.device_size, 5);
+/// assert_eq!(config.c_max, 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QrccConfig {
+    /// `D`: number of physical qubits available on the target device.
+    pub device_size: usize,
+    /// `C_min`: minimum number of subcircuits of the solution.
+    pub c_min: usize,
+    /// `C_max`: maximum number of subcircuits of the solution.
+    pub c_max: usize,
+    /// `W_max`: maximum number of wire cuts allowed.
+    pub max_wire_cuts: usize,
+    /// `G_max`: maximum number of gate cuts allowed.
+    pub max_gate_cuts: usize,
+    /// `δ`: weight between post-processing cost (δ) and fidelity balancing
+    /// (1−δ) in the objective; 1.0 = post-processing cost only (QRCC-C),
+    /// 0.7 is the paper's QRCC-B setting.
+    pub delta: f64,
+    /// Whether gate cutting is enabled (only valid for expectation-value
+    /// workloads).
+    pub gate_cuts_enabled: bool,
+    /// Whether qubit reuse is exploited when computing subcircuit widths
+    /// (disabling this reproduces the CutQC width model and is used for
+    /// ablations).
+    pub qubit_reuse_enabled: bool,
+    /// Time budget for the exact ILP refinement; the heuristic solution is
+    /// returned unchanged when this is zero.
+    #[serde(skip, default = "default_ilp_time_limit")]
+    pub ilp_time_limit: Duration,
+    /// Upper bound on `gates × subcircuits` above which the ILP refinement is
+    /// skipped and only the heuristic search is used.
+    pub ilp_size_limit: usize,
+    /// Random seed for the heuristic's tie-breaking.
+    pub seed: u64,
+}
+
+fn default_ilp_time_limit() -> Duration {
+    Duration::from_secs(10)
+}
+
+impl QrccConfig {
+    /// A configuration targeting a `device_size`-qubit device with the
+    /// paper's defaults: 2–8 subcircuits, up to 100 cuts of each kind,
+    /// δ = 1.0 (QRCC-C), gate cuts off, reuse on.
+    pub fn new(device_size: usize) -> Self {
+        QrccConfig {
+            device_size,
+            c_min: 2,
+            c_max: 8,
+            max_wire_cuts: 100,
+            max_gate_cuts: 100,
+            delta: 1.0,
+            gate_cuts_enabled: false,
+            qubit_reuse_enabled: true,
+            ilp_time_limit: default_ilp_time_limit(),
+            ilp_size_limit: 600,
+            seed: 0,
+        }
+    }
+
+    /// The paper's QRCC-C setting (δ = 1, post-processing cost only).
+    pub fn qrcc_c(device_size: usize) -> Self {
+        Self::new(device_size)
+    }
+
+    /// The paper's QRCC-B setting (δ = 0.7, balances two-qubit gates across
+    /// subcircuits for fidelity).
+    pub fn qrcc_b(device_size: usize) -> Self {
+        Self::new(device_size).with_delta(0.7)
+    }
+
+    /// Sets the `[C_min, C_max]` subcircuit-count range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c_min` is zero or greater than `c_max`.
+    pub fn with_subcircuit_range(mut self, c_min: usize, c_max: usize) -> Self {
+        assert!(c_min >= 1 && c_min <= c_max, "need 1 <= c_min <= c_max");
+        self.c_min = c_min;
+        self.c_max = c_max;
+        self
+    }
+
+    /// Sets the maximum number of wire cuts.
+    pub fn with_max_wire_cuts(mut self, max: usize) -> Self {
+        self.max_wire_cuts = max;
+        self
+    }
+
+    /// Sets the maximum number of gate cuts.
+    pub fn with_max_gate_cuts(mut self, max: usize) -> Self {
+        self.max_gate_cuts = max;
+        self
+    }
+
+    /// Sets δ, the post-processing-cost vs fidelity weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < delta <= 1.0`.
+    pub fn with_delta(mut self, delta: f64) -> Self {
+        assert!(delta > 0.0 && delta <= 1.0, "delta must be in (0, 1]");
+        self.delta = delta;
+        self
+    }
+
+    /// Enables or disables gate cutting.
+    pub fn with_gate_cuts(mut self, enabled: bool) -> Self {
+        self.gate_cuts_enabled = enabled;
+        self
+    }
+
+    /// Enables or disables qubit-reuse-aware width accounting.
+    pub fn with_qubit_reuse(mut self, enabled: bool) -> Self {
+        self.qubit_reuse_enabled = enabled;
+        self
+    }
+
+    /// Sets the ILP refinement time limit (zero disables the ILP pass).
+    pub fn with_ilp_time_limit(mut self, limit: Duration) -> Self {
+        self.ilp_time_limit = limit;
+        self
+    }
+
+    /// Sets the random seed used for heuristic tie-breaking.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The linearised post-processing cost `α·#wire_cuts + β·#gate_cuts`
+    /// (Eq. (15)).
+    pub fn linear_post_processing_cost(&self, wire_cuts: usize, gate_cuts: usize) -> f64 {
+        ALPHA_WIRE_CUT * wire_cuts as f64 + BETA_GATE_CUT * gate_cuts as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let c = QrccConfig::new(7);
+        assert_eq!(c.device_size, 7);
+        assert_eq!(c.max_wire_cuts, 100);
+        assert_eq!(c.delta, 1.0);
+        assert!(c.qubit_reuse_enabled);
+        assert!(!c.gate_cuts_enabled);
+        assert_eq!(QrccConfig::qrcc_b(7).delta, 0.7);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = QrccConfig::new(5)
+            .with_subcircuit_range(2, 3)
+            .with_max_wire_cuts(10)
+            .with_max_gate_cuts(2)
+            .with_gate_cuts(true)
+            .with_qubit_reuse(false)
+            .with_seed(99);
+        assert_eq!((c.c_min, c.c_max), (2, 3));
+        assert_eq!(c.max_wire_cuts, 10);
+        assert_eq!(c.max_gate_cuts, 2);
+        assert!(c.gate_cuts_enabled);
+        assert!(!c.qubit_reuse_enabled);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn linear_cost_preserves_exponential_ordering_for_small_counts() {
+        let c = QrccConfig::new(4);
+        // examples from the paper: S(1,1) is better than S(2,1) wire/gate mix,
+        // and S(0,4) gate cuts are better than S(5,0) wire cuts.
+        let cost = |w: usize, g: usize| c.linear_post_processing_cost(w, g);
+        let exp = |w: u32, g: u32| 4f64.powi(w as i32) * 6f64.powi(g as i32);
+        for (a, b) in [((1, 1), (2, 1)), ((4, 0), (0, 5)), ((3, 2), (6, 0))] {
+            let linear_order = cost(a.0, a.1) < cost(b.0, b.1);
+            let exp_order = exp(a.0 as u32, a.1 as u32) < exp(b.0 as u32, b.1 as u32);
+            assert_eq!(linear_order, exp_order, "ordering mismatch for {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn delta_must_be_positive() {
+        QrccConfig::new(3).with_delta(0.0);
+    }
+}

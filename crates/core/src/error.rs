@@ -1,0 +1,132 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the QRCC cutting, execution and reconstruction pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// No cutting solution satisfying the device-size constraint was found
+    /// within the configured search limits.
+    NoCutFound {
+        /// The device size that could not be met.
+        device_size: usize,
+        /// The smallest subcircuit width achieved by the search.
+        best_width: usize,
+    },
+    /// The requested device size is not smaller than the circuit (no cutting
+    /// needed) or is zero.
+    InvalidDeviceSize {
+        /// The circuit width.
+        circuit_qubits: usize,
+        /// The requested device size.
+        device_size: usize,
+    },
+    /// A cut solution failed validation (inconsistent assignment, missing cut
+    /// on a crossing wire, oversized subcircuit, ...).
+    InvalidCutSolution {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Gate cutting was requested on a gate that has no local-ZZ form.
+    GateNotCuttable {
+        /// The gate name.
+        gate: String,
+    },
+    /// Gate cutting was requested for a probability-distribution workload,
+    /// which gate cuts cannot reconstruct.
+    GateCutNeedsExpectation,
+    /// The number of wire cuts is too large for dense reconstruction.
+    TooManyCuts {
+        /// Number of cuts in the plan.
+        cuts: usize,
+        /// The maximum the reconstructor supports.
+        limit: usize,
+    },
+    /// An error bubbled up from the simulator / device layer.
+    Simulation(qrcc_sim::SimError),
+    /// An error bubbled up from the ILP solver.
+    Ilp(qrcc_ilp::IlpError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoCutFound { device_size, best_width } => write!(
+                f,
+                "no cutting solution fits a {device_size}-qubit device (best subcircuit width {best_width})"
+            ),
+            CoreError::InvalidDeviceSize { circuit_qubits, device_size } => write!(
+                f,
+                "device size {device_size} is invalid for a {circuit_qubits}-qubit circuit (need 0 < D < N)"
+            ),
+            CoreError::InvalidCutSolution { reason } => {
+                write!(f, "invalid cut solution: {reason}")
+            }
+            CoreError::GateNotCuttable { gate } => {
+                write!(f, "gate {gate} cannot be gate-cut (no local ZZ form)")
+            }
+            CoreError::GateCutNeedsExpectation => write!(
+                f,
+                "gate cutting reconstructs expectation values only; disable it for probability workloads"
+            ),
+            CoreError::TooManyCuts { cuts, limit } => {
+                write!(f, "plan has {cuts} cuts but dense reconstruction supports at most {limit}")
+            }
+            CoreError::Simulation(e) => write!(f, "simulation error: {e}"),
+            CoreError::Ilp(e) => write!(f, "ilp error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Simulation(e) => Some(e),
+            CoreError::Ilp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qrcc_sim::SimError> for CoreError {
+    fn from(e: qrcc_sim::SimError) -> Self {
+        CoreError::Simulation(e)
+    }
+}
+
+impl From<qrcc_ilp::IlpError> for CoreError {
+    fn from(e: qrcc_ilp::IlpError) -> Self {
+        CoreError::Ilp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let errors = [
+            CoreError::NoCutFound { device_size: 3, best_width: 5 },
+            CoreError::InvalidDeviceSize { circuit_qubits: 4, device_size: 9 },
+            CoreError::InvalidCutSolution { reason: "dangling wire".into() },
+            CoreError::GateNotCuttable { gate: "swap".into() },
+            CoreError::GateCutNeedsExpectation,
+            CoreError::TooManyCuts { cuts: 40, limit: 16 },
+            CoreError::Simulation(qrcc_sim::SimError::ZeroShots),
+            CoreError::Ilp(qrcc_ilp::IlpError::Infeasible),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: CoreError = qrcc_sim::SimError::ZeroShots.into();
+        assert!(matches!(e, CoreError::Simulation(_)));
+        let e: CoreError = qrcc_ilp::IlpError::Infeasible.into();
+        assert!(matches!(e, CoreError::Ilp(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,179 @@
+//! Execution backends for fragment variants.
+//!
+//! Reconstruction only ever needs the *distribution over classical bits* of
+//! each executed variant, so a backend is a single method. Two backends are
+//! provided: an exact one (state-vector / measurement-branch enumeration,
+//! used to verify reconstruction identities) and a shots-based one running on
+//! a simulated [`Device`] (possibly noisy — the Table 3 configuration).
+
+use crate::CoreError;
+use parking_lot::Mutex;
+use qrcc_circuit::Circuit;
+use qrcc_sim::branching::classical_distribution;
+use qrcc_sim::device::Device;
+use std::collections::HashMap;
+
+/// Executes fragment-variant circuits and reports the probability
+/// distribution over their classical bits (length `2^num_clbits`).
+pub trait ExecutionBackend {
+    /// The distribution over the circuit's classical bits.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`CoreError::Simulation`] when the circuit
+    /// cannot be executed (too wide, no measurements, ...).
+    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError>;
+
+    /// Number of circuits executed so far (for instance accounting).
+    fn executions(&self) -> u64;
+}
+
+/// Exact backend: enumerates measurement branches with a state-vector
+/// simulator. Intended for verification and small fragments.
+#[derive(Debug, Default)]
+pub struct ExactBackend {
+    count: Mutex<u64>,
+}
+
+impl ExactBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ExecutionBackend for ExactBackend {
+    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+        *self.count.lock() += 1;
+        Ok(classical_distribution(circuit)?)
+    }
+
+    fn executions(&self) -> u64 {
+        *self.count.lock()
+    }
+}
+
+/// Shots backend: runs each variant on a simulated [`Device`] (optionally
+/// noisy) with a fixed shot budget and reports the empirical distribution.
+#[derive(Debug)]
+pub struct ShotsBackend {
+    device: Device,
+    shots: u64,
+}
+
+impl ShotsBackend {
+    /// Creates a backend running `shots` shots per variant on `device`.
+    pub fn new(device: Device, shots: u64) -> Self {
+        ShotsBackend { device, shots }
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Shots per variant.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+}
+
+impl ExecutionBackend for ShotsBackend {
+    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+        let counts = self.device.execute(circuit, self.shots)?;
+        Ok(counts.probability_vector())
+    }
+
+    fn executions(&self) -> u64 {
+        self.device.executions()
+    }
+}
+
+/// A memoising wrapper: identical variant circuits are executed once.
+///
+/// The expectation reconstructor evaluates one Pauli term at a time; terms
+/// that share a measurement-basis signature reuse the cached distributions
+/// instead of re-running the fragment.
+pub struct CachingBackend<B> {
+    inner: B,
+    cache: Mutex<HashMap<String, Vec<f64>>>,
+}
+
+impl<B: ExecutionBackend> CachingBackend<B> {
+    /// Wraps a backend with a cache.
+    pub fn new(inner: B) -> Self {
+        CachingBackend { inner, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The wrapped backend.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+}
+
+impl<B: ExecutionBackend> ExecutionBackend for CachingBackend<B> {
+    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+        let key = qrcc_circuit::qasm::to_qasm(circuit);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return Ok(hit.clone());
+        }
+        let dist = self.inner.distribution(circuit)?;
+        self.cache.lock().insert(key, dist.clone());
+        Ok(dist)
+    }
+
+    fn executions(&self) -> u64 {
+        self.inner.executions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrcc_sim::device::DeviceConfig;
+
+    fn bell_with_measures() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    #[test]
+    fn exact_backend_returns_exact_distribution() {
+        let backend = ExactBackend::new();
+        let dist = backend.distribution(&bell_with_measures()).unwrap();
+        assert!((dist[0b00] - 0.5).abs() < 1e-12);
+        assert!((dist[0b11] - 0.5).abs() < 1e-12);
+        assert_eq!(backend.executions(), 1);
+    }
+
+    #[test]
+    fn shots_backend_approximates_the_distribution() {
+        let backend = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(7)), 20_000);
+        let dist = backend.distribution(&bell_with_measures()).unwrap();
+        assert!((dist[0b00] - 0.5).abs() < 0.02);
+        assert!((dist[0b01]).abs() < 1e-12);
+        assert_eq!(backend.shots(), 20_000);
+    }
+
+    #[test]
+    fn caching_backend_deduplicates_executions() {
+        let backend = CachingBackend::new(ExactBackend::new());
+        let c = bell_with_measures();
+        backend.distribution(&c).unwrap();
+        backend.distribution(&c).unwrap();
+        assert_eq!(backend.executions(), 1);
+        // a different circuit is executed separately
+        let mut other = Circuit::new(1);
+        other.h(0).measure(0, 0);
+        backend.distribution(&other).unwrap();
+        assert_eq!(backend.executions(), 2);
+    }
+
+    #[test]
+    fn width_violations_surface_as_errors() {
+        let backend = ShotsBackend::new(Device::ideal(1), 10);
+        let err = backend.distribution(&bell_with_measures());
+        assert!(matches!(err, Err(CoreError::Simulation(_))));
+    }
+}

@@ -1,0 +1,287 @@
+//! Gate-cut decomposition (Mitarai–Fujii virtual two-qubit gates).
+//!
+//! Every gate-cuttable two-qubit gate of the IR is locally equivalent to a ZZ
+//! interaction: `gate = (post_a ⊗ post_b) · RZZ(φ) · (pre_a ⊗ pre_b)` up to a
+//! global phase. Cutting the gate replaces the RZZ core, which equals
+//! `exp(iθ Z⊗Z)` with `θ = −φ/2`, by six separable instances (paper Eq. (4)):
+//!
+//! | instance | qubit a            | qubit b            | coefficient      |
+//! |---------:|--------------------|--------------------|------------------|
+//! | 1        | –                  | –                  | cos²θ            |
+//! | 2        | Z                  | Z                  | sin²θ            |
+//! | 3        | measure Z (sign β) | Rz(−π/2)           | cosθ·sinθ        |
+//! | 4        | measure Z (sign β) | Rz(+π/2)           | −cosθ·sinθ       |
+//! | 5        | Rz(−π/2)           | measure Z (sign β) | cosθ·sinθ        |
+//! | 6        | Rz(+π/2)           | measure Z (sign β) | −cosθ·sinθ       |
+//!
+//! The measurement outcome β ∈ {+1, −1} multiplies the instance's
+//! contribution, and the local `pre`/`post` gates stay in their own
+//! subcircuits. Expectation values of the original circuit are recovered as
+//! `E = Σᵢ cᵢ·E[βᵢ·O]ᵢ`.
+
+use qrcc_circuit::Gate;
+use serde::{Deserialize, Serialize};
+use std::f64::consts::FRAC_PI_2;
+
+/// Which half (wire) of a gate-cut two-qubit gate a fragment hosts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GateHalf {
+    /// The gate's first qubit.
+    Top,
+    /// The gate's second qubit.
+    Bottom,
+}
+
+/// The local-ZZ normal form of a gate-cuttable two-qubit gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZzForm {
+    /// Local gates applied to the first qubit *before* the ZZ core.
+    pub pre_a: Vec<Gate>,
+    /// Local gates applied to the second qubit *before* the ZZ core.
+    pub pre_b: Vec<Gate>,
+    /// Angle φ of the `RZZ(φ)` core.
+    pub rzz_angle: f64,
+    /// Local gates applied to the first qubit *after* the ZZ core.
+    pub post_a: Vec<Gate>,
+    /// Local gates applied to the second qubit *after* the ZZ core.
+    pub post_b: Vec<Gate>,
+}
+
+impl ZzForm {
+    /// The `θ` of the `exp(iθ Z⊗Z)` core (`θ = −φ/2`).
+    pub fn theta(&self) -> f64 {
+        -self.rzz_angle / 2.0
+    }
+
+    /// The reconstruction coefficients of the six instances for this gate.
+    pub fn coefficients(&self) -> [f64; 6] {
+        let theta = self.theta();
+        let (s, c) = theta.sin_cos();
+        [c * c, s * s, c * s, -c * s, c * s, -c * s]
+    }
+
+    /// The local gates of one half, split into the part before and after the
+    /// instance-specific operation.
+    pub fn locals(&self, half: GateHalf) -> (&[Gate], &[Gate]) {
+        match half {
+            GateHalf::Top => (&self.pre_a, &self.post_a),
+            GateHalf::Bottom => (&self.pre_b, &self.post_b),
+        }
+    }
+}
+
+/// The operation a gate-cut instance performs on one half of the cut gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InstanceOp {
+    /// Apply nothing.
+    Nothing,
+    /// Apply a Pauli-Z.
+    PauliZ,
+    /// Apply an Rz rotation by the given angle.
+    Rz(f64),
+    /// Measure in the computational basis; the ±1 outcome multiplies the
+    /// instance's contribution.
+    MeasureSign,
+}
+
+/// Number of instances in the gate-cut decomposition.
+pub const NUM_GATE_CUT_INSTANCES: usize = 6;
+
+/// The operation instance `instance` (1-based, 1..=6) performs on `half`.
+///
+/// # Panics
+///
+/// Panics if `instance` is outside `1..=6`.
+pub fn instance_op(instance: usize, half: GateHalf) -> InstanceOp {
+    match (instance, half) {
+        (1, _) => InstanceOp::Nothing,
+        (2, _) => InstanceOp::PauliZ,
+        (3, GateHalf::Top) | (4, GateHalf::Top) => InstanceOp::MeasureSign,
+        (3, GateHalf::Bottom) => InstanceOp::Rz(-FRAC_PI_2),
+        (4, GateHalf::Bottom) => InstanceOp::Rz(FRAC_PI_2),
+        (5, GateHalf::Top) => InstanceOp::Rz(-FRAC_PI_2),
+        (6, GateHalf::Top) => InstanceOp::Rz(FRAC_PI_2),
+        (5, GateHalf::Bottom) | (6, GateHalf::Bottom) => InstanceOp::MeasureSign,
+        _ => panic!("gate-cut instance index {instance} out of range 1..=6"),
+    }
+}
+
+/// Whether instance `instance` measures on the given half (and therefore
+/// contributes a ±1 sign from that fragment).
+pub fn instance_measures(instance: usize, half: GateHalf) -> bool {
+    matches!(instance_op(instance, half), InstanceOp::MeasureSign)
+}
+
+/// The local-ZZ normal form of a gate, or `None` if the gate is not
+/// gate-cuttable.
+///
+/// ```rust
+/// use qrcc_circuit::Gate;
+/// use qrcc_core::gatecut::zz_form;
+///
+/// assert!(zz_form(&Gate::Cz).is_some());
+/// assert!(zz_form(&Gate::Swap).is_none());
+/// ```
+pub fn zz_form(gate: &Gate) -> Option<ZzForm> {
+    use Gate::*;
+    let form = match *gate {
+        Rzz(theta) => ZzForm {
+            pre_a: vec![],
+            pre_b: vec![],
+            rzz_angle: theta,
+            post_a: vec![],
+            post_b: vec![],
+        },
+        Cz => cphase_form(std::f64::consts::PI),
+        CPhase(lambda) => cphase_form(lambda),
+        Cx => {
+            let mut form = cphase_form(std::f64::consts::PI);
+            form.pre_b.insert(0, H);
+            form.post_b.push(H);
+            form
+        }
+        Cy => {
+            let mut form = cphase_form(std::f64::consts::PI);
+            form.pre_b.splice(0..0, [Sdg, H]);
+            form.post_b.extend([H, S]);
+            form
+        }
+        Rxx(theta) => ZzForm {
+            pre_a: vec![H],
+            pre_b: vec![H],
+            rzz_angle: theta,
+            post_a: vec![H],
+            post_b: vec![H],
+        },
+        Ryy(theta) => ZzForm {
+            pre_a: vec![Rx(FRAC_PI_2)],
+            pre_b: vec![Rx(FRAC_PI_2)],
+            rzz_angle: theta,
+            post_a: vec![Rx(-FRAC_PI_2)],
+            post_b: vec![Rx(-FRAC_PI_2)],
+        },
+        _ => return None,
+    };
+    Some(form)
+}
+
+/// Controlled-phase normal form: `CP(λ) ≅ (Rz(λ/2)⊗Rz(λ/2)) · RZZ(−λ/2)` up
+/// to a global phase.
+fn cphase_form(lambda: f64) -> ZzForm {
+    ZzForm {
+        pre_a: vec![],
+        pre_b: vec![],
+        rzz_angle: -lambda / 2.0,
+        post_a: vec![Gate::Rz(lambda / 2.0)],
+        post_b: vec![Gate::Rz(lambda / 2.0)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrcc_circuit::{Circuit, Operation, QubitId};
+    use qrcc_sim::StateVector;
+
+    /// The ZZ normal form must reproduce the original gate's action on every
+    /// basis state, up to a global phase.
+    fn assert_form_matches(gate: Gate) {
+        let form = zz_form(&gate).expect("cuttable");
+        // original circuit: the gate itself on qubits (0, 1)
+        let mut original = Circuit::new(2);
+        original.push(Operation::gate(gate, &[QubitId::new(0), QubitId::new(1)]).unwrap());
+        // decomposed circuit
+        let mut decomposed = Circuit::new(2);
+        for g in &form.pre_a {
+            decomposed.push(Operation::gate(*g, &[QubitId::new(0)]).unwrap());
+        }
+        for g in &form.pre_b {
+            decomposed.push(Operation::gate(*g, &[QubitId::new(1)]).unwrap());
+        }
+        decomposed.rzz(form.rzz_angle, 0, 1);
+        for g in &form.post_a {
+            decomposed.push(Operation::gate(*g, &[QubitId::new(0)]).unwrap());
+        }
+        for g in &form.post_b {
+            decomposed.push(Operation::gate(*g, &[QubitId::new(1)]).unwrap());
+        }
+        // compare action on a random-ish input state prepared by fixed gates
+        let mut prep = Circuit::new(2);
+        prep.ry(0.3, 0).ry(1.1, 1).cx(0, 1).rz(0.4, 0).h(1);
+        let mut a = StateVector::from_circuit(&prep).unwrap();
+        let mut b = a.clone();
+        for op in original.operations() {
+            match op {
+                Operation::Two { gate, qubits } => a.apply_gate(gate, qubits),
+                Operation::Single { gate, qubit } => a.apply_gate(gate, &[*qubit]),
+                _ => unreachable!(),
+            }
+        }
+        for op in decomposed.operations() {
+            match op {
+                Operation::Two { gate, qubits } => b.apply_gate(gate, qubits),
+                Operation::Single { gate, qubit } => b.apply_gate(gate, &[*qubit]),
+                _ => unreachable!(),
+            }
+        }
+        // states must agree up to a global phase: |<a|b>| = 1
+        let overlap = a.inner(&b).abs();
+        assert!((overlap - 1.0).abs() < 1e-9, "{} zz form mismatch, overlap {overlap}", gate.name());
+    }
+
+    #[test]
+    fn zz_forms_reproduce_their_gates() {
+        for gate in [
+            Gate::Cz,
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Rzz(0.7),
+            Gate::Rxx(1.3),
+            Gate::Ryy(-0.4),
+            Gate::CPhase(0.9),
+            Gate::CPhase(-2.1),
+        ] {
+            assert_form_matches(gate);
+        }
+    }
+
+    #[test]
+    fn non_cuttable_gates_have_no_form() {
+        assert!(zz_form(&Gate::Swap).is_none());
+        assert!(zz_form(&Gate::H).is_none());
+    }
+
+    #[test]
+    fn coefficients_sum_to_identity_weight() {
+        // c1 + c2 = 1 and the cross terms cancel pairwise.
+        let form = zz_form(&Gate::Cz).unwrap();
+        let c = form.coefficients();
+        assert!((c[0] + c[1] - 1.0).abs() < 1e-12);
+        assert!((c[2] + c[3]).abs() < 1e-12);
+        assert!((c[4] + c[5]).abs() < 1e-12);
+        // CZ has θ = π/4, so the cross coefficients are ±1/2.
+        assert!((c[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instance_table_is_consistent() {
+        for instance in 1..=6 {
+            // exactly one side measures in instances 3-6, none in 1-2
+            let measures = [GateHalf::Top, GateHalf::Bottom]
+                .iter()
+                .filter(|&&h| instance_measures(instance, h))
+                .count();
+            if instance <= 2 {
+                assert_eq!(measures, 0);
+            } else {
+                assert_eq!(measures, 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn instance_index_is_validated() {
+        instance_op(0, GateHalf::Top);
+    }
+}

@@ -1,0 +1,387 @@
+//! Domain-specific heuristic cut search.
+//!
+//! The exact ILP model (see [`crate::model`]) is only tractable for small
+//! circuits without a commercial solver, so the planner's workhorse is this
+//! heuristic: several structured initial assignments (qubit blocks, a
+//! layer/qubit staircase, and a temporal split), followed by first-improvement
+//! local search over single-node moves, and a final pass that converts
+//! beneficial pairs of wire cuts into gate cuts. The result is always a
+//! *valid* [`CutSolution`]; feasibility (widths ≤ D) is driven by a large
+//! penalty term in the search objective.
+
+use crate::spec::CutSolution;
+use crate::QrccConfig;
+use qrcc_circuit::dag::CircuitDag;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Penalty applied per qubit of device-size violation and per cut above the
+/// configured cut budgets; large enough to dominate any realistic objective.
+const INFEASIBILITY_PENALTY: f64 = 10_000.0;
+
+/// The search objective: post-processing cost and fidelity balancing as in
+/// Eq. (18), plus infeasibility penalties for oversized subcircuits or
+/// exceeded cut budgets. Lower is better.
+pub fn solution_cost(solution: &CutSolution, dag: &CircuitDag, config: &QrccConfig) -> f64 {
+    let metrics = solution.metrics(dag, config.qubit_reuse_enabled);
+    let mut penalty = 0.0;
+    for &w in &metrics.subcircuit_widths {
+        penalty += w.saturating_sub(config.device_size) as f64 * INFEASIBILITY_PENALTY;
+    }
+    penalty += metrics.wire_cuts.saturating_sub(config.max_wire_cuts) as f64 * INFEASIBILITY_PENALTY;
+    penalty += metrics.gate_cuts.saturating_sub(config.max_gate_cuts) as f64 * INFEASIBILITY_PENALTY;
+    let pp_cost = config.linear_post_processing_cost(metrics.wire_cuts, metrics.gate_cuts);
+    // The paper's example fidelity term f(TE) = 0.75·TE + 23 maps the
+    // max-two-qubit-gate count into the same value range as PPCost.
+    let c_error = 0.75 * metrics.max_two_qubit_gates as f64 + 23.0;
+    penalty + config.delta * pp_cost + (1.0 - config.delta) * c_error
+}
+
+/// Whether every subcircuit of the solution fits the device and the cut
+/// budgets are respected.
+pub fn is_feasible(solution: &CutSolution, dag: &CircuitDag, config: &QrccConfig) -> bool {
+    let metrics = solution.metrics(dag, config.qubit_reuse_enabled);
+    metrics.subcircuit_widths.iter().all(|&w| w <= config.device_size)
+        && metrics.wire_cuts <= config.max_wire_cuts
+        && metrics.gate_cuts <= config.max_gate_cuts
+}
+
+/// Remaps subcircuit indices so that they are dense (no empty subcircuits)
+/// and ordered by first appearance in program order.
+pub fn normalize(solution: &mut CutSolution, dag: &CircuitDag) {
+    let mut order: Vec<Option<usize>> = vec![None; solution.num_subcircuits];
+    let mut next = 0usize;
+    let mut visit = |sub: usize, order: &mut Vec<Option<usize>>| {
+        if order[sub].is_none() {
+            order[sub] = Some(next);
+            next += 1;
+        }
+    };
+    for node in 0..dag.nodes().len() {
+        if let Some(pos) = solution.gate_cuts.iter().position(|&g| g == node) {
+            let (t, b) = solution.gate_cut_assignment[pos];
+            visit(t, &mut order);
+            visit(b, &mut order);
+        } else {
+            visit(solution.assignment[node], &mut order);
+        }
+    }
+    let map = |sub: usize| order[sub].expect("every used subcircuit was visited");
+    for (node, a) in solution.assignment.iter_mut().enumerate() {
+        if !solution.gate_cuts.contains(&node) {
+            *a = map(*a);
+        }
+    }
+    for pair in &mut solution.gate_cut_assignment {
+        *pair = (map(pair.0), map(pair.1));
+    }
+    // Gate-cut nodes keep an assignment entry for bookkeeping; point it at the
+    // top half's subcircuit.
+    for (i, &node) in solution.gate_cuts.iter().enumerate() {
+        solution.assignment[node] = solution.gate_cut_assignment[i].0;
+    }
+    solution.num_subcircuits = next;
+}
+
+/// Produces an initial assignment of nodes to `num_subs` subcircuits by
+/// partitioning the original qubits into contiguous index blocks; each gate
+/// goes to the block of its first qubit.
+fn init_qubit_blocks(dag: &CircuitDag, num_subs: usize) -> CutSolution {
+    let n = dag.num_qubits().max(1);
+    let block = |q: usize| (q * num_subs / n).min(num_subs - 1);
+    let assignment = dag
+        .nodes()
+        .iter()
+        .map(|node| block(node.op.qubits()[0].index()))
+        .collect();
+    CutSolution {
+        num_subcircuits: num_subs,
+        assignment,
+        gate_cuts: Vec::new(),
+        gate_cut_assignment: Vec::new(),
+    }
+}
+
+/// Initial assignment using a "staircase" score mixing qubit index and layer,
+/// which suits triangular circuits such as the QFT where early layers touch
+/// low qubits and late layers touch high qubits.
+fn init_staircase(dag: &CircuitDag, num_subs: usize) -> CutSolution {
+    let n = dag.num_qubits().max(1) as f64;
+    let layers = dag.num_layers().max(1) as f64;
+    let assignment = dag
+        .nodes()
+        .iter()
+        .map(|node| {
+            let q = node.op.qubits()[0].index() as f64 / n;
+            let l = node.layer as f64 / layers;
+            let score = 0.5 * q + 0.5 * l;
+            ((score * num_subs as f64) as usize).min(num_subs - 1)
+        })
+        .collect();
+    CutSolution {
+        num_subcircuits: num_subs,
+        assignment,
+        gate_cuts: Vec::new(),
+        gate_cut_assignment: Vec::new(),
+    }
+}
+
+/// Initial assignment splitting the circuit temporally into equal layer bands.
+fn init_temporal(dag: &CircuitDag, num_subs: usize) -> CutSolution {
+    let layers = dag.num_layers().max(1);
+    let assignment = dag
+        .nodes()
+        .iter()
+        .map(|node| (node.layer * num_subs / layers).min(num_subs - 1))
+        .collect();
+    CutSolution {
+        num_subcircuits: num_subs,
+        assignment,
+        gate_cuts: Vec::new(),
+        gate_cut_assignment: Vec::new(),
+    }
+}
+
+/// First-improvement local search over single-node reassignment moves.
+fn local_search(
+    solution: &mut CutSolution,
+    dag: &CircuitDag,
+    config: &QrccConfig,
+    rng: &mut StdRng,
+    max_sweeps: usize,
+) {
+    let num_nodes = dag.nodes().len();
+    let mut current_cost = solution_cost(solution, dag, config);
+    for _ in 0..max_sweeps {
+        let mut improved = false;
+        let mut node_order: Vec<usize> = (0..num_nodes).collect();
+        node_order.shuffle(rng);
+        for node in node_order {
+            if solution.gate_cuts.contains(&node) {
+                continue;
+            }
+            let original = solution.assignment[node];
+            let mut best = (original, current_cost);
+            for target in 0..solution.num_subcircuits {
+                if target == original {
+                    continue;
+                }
+                solution.assignment[node] = target;
+                let cost = solution_cost(solution, dag, config);
+                if cost < best.1 - 1e-9 {
+                    best = (target, cost);
+                }
+            }
+            solution.assignment[node] = best.0;
+            if best.0 != original {
+                current_cost = best.1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Converts wire cuts into gate cuts where this lowers the objective: a
+/// cuttable two-qubit gate sitting on a subcircuit boundary often needs two
+/// wire cuts (cost 2α) that a single gate cut (cost β) can replace. Every
+/// (top, bottom) subcircuit pair is tried for each cuttable gate.
+fn gate_cut_pass(solution: &mut CutSolution, dag: &CircuitDag, config: &QrccConfig) {
+    if !config.gate_cuts_enabled {
+        return;
+    }
+    let mut current_cost = solution_cost(solution, dag, config);
+    for node in 0..dag.nodes().len() {
+        if solution.gate_cuts.contains(&node) {
+            continue;
+        }
+        let op = &dag.node(node).op;
+        let cuttable = op
+            .as_gate()
+            .map(|g| g.is_gate_cuttable() && op.is_two_qubit_gate())
+            .unwrap_or(false);
+        if !cuttable {
+            continue;
+        }
+        let mut best: Option<((usize, usize), f64)> = None;
+        for t in 0..solution.num_subcircuits {
+            for b in 0..solution.num_subcircuits {
+                if t == b {
+                    continue;
+                }
+                solution.gate_cuts.push(node);
+                solution.gate_cut_assignment.push((t, b));
+                let cost = solution_cost(solution, dag, config);
+                solution.gate_cuts.pop();
+                solution.gate_cut_assignment.pop();
+                if cost < current_cost - 1e-9 && best.map(|(_, c)| cost < c).unwrap_or(true) {
+                    best = Some(((t, b), cost));
+                }
+            }
+        }
+        if let Some(((t, b), cost)) = best {
+            solution.gate_cuts.push(node);
+            solution.gate_cut_assignment.push((t, b));
+            current_cost = cost;
+        }
+    }
+}
+
+/// Like [`init_qubit_blocks`], but immediately gate-cuts every cuttable
+/// two-qubit gate whose qubits land in different blocks (the Figure 2(d)
+/// shape). Only used when gate cuts are enabled.
+fn init_qubit_blocks_with_gate_cuts(dag: &CircuitDag, num_subs: usize) -> CutSolution {
+    let n = dag.num_qubits().max(1);
+    let block = |q: usize| (q * num_subs / n).min(num_subs - 1);
+    let mut solution = init_qubit_blocks(dag, num_subs);
+    for (id, node) in dag.nodes().iter().enumerate() {
+        let cuttable = node
+            .op
+            .as_gate()
+            .map(|g| g.is_gate_cuttable() && node.op.is_two_qubit_gate())
+            .unwrap_or(false);
+        if !cuttable {
+            continue;
+        }
+        let qubits = node.op.qubits();
+        let (top, bottom) = (block(qubits[0].index()), block(qubits[1].index()));
+        if top != bottom {
+            solution.gate_cuts.push(id);
+            solution.gate_cut_assignment.push((top, bottom));
+        }
+    }
+    solution
+}
+
+/// Runs the full heuristic for a fixed number of subcircuits and returns the
+/// best solution found (which may be infeasible — the caller checks with
+/// [`is_feasible`]).
+pub fn search_with_subcircuits(
+    dag: &CircuitDag,
+    config: &QrccConfig,
+    num_subs: usize,
+    max_sweeps: usize,
+) -> CutSolution {
+    let mut initialisations = vec![
+        init_qubit_blocks(dag, num_subs),
+        init_staircase(dag, num_subs),
+        init_temporal(dag, num_subs),
+    ];
+    if config.gate_cuts_enabled {
+        initialisations.push(init_qubit_blocks_with_gate_cuts(dag, num_subs));
+    }
+    let mut best: Option<(CutSolution, f64)> = None;
+    for (candidate_index, mut candidate) in initialisations.into_iter().enumerate() {
+        // Each candidate gets its own deterministic RNG stream so that adding
+        // or removing initialisations never perturbs the others.
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ ((num_subs as u64) << 32) ^ ((candidate_index as u64) << 48),
+        );
+        local_search(&mut candidate, dag, config, &mut rng, max_sweeps);
+        gate_cut_pass(&mut candidate, dag, config);
+        // Gate cuts change the boundary structure, so give the node moves one
+        // more chance to clean up around them.
+        local_search(&mut candidate, dag, config, &mut rng, max_sweeps / 2 + 1);
+        normalize(&mut candidate, dag);
+        let cost = solution_cost(&candidate, dag, config);
+        if best.as_ref().map(|(_, c)| cost < *c).unwrap_or(true) {
+            best = Some((candidate, cost));
+        }
+    }
+    best.expect("at least one initialisation ran").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrcc_circuit::{generators, Circuit};
+
+    #[test]
+    fn ghz_chain_splits_cleanly() {
+        let mut c = Circuit::new(6);
+        c.h(0);
+        for q in 0..5 {
+            c.cx(q, q + 1);
+        }
+        let dag = CircuitDag::from_circuit(&c);
+        let config = QrccConfig::new(4).with_subcircuit_range(2, 3);
+        let solution = search_with_subcircuits(&dag, &config, 2, 20);
+        assert!(solution.validate(&dag).is_ok());
+        assert!(is_feasible(&solution, &dag, &config));
+        let metrics = solution.metrics(&dag, true);
+        // a linear chain needs at most one wire cut (zero if the search
+        // discovers that qubit reuse alone already fits the device)
+        assert!(metrics.wire_cuts <= 1);
+        assert_eq!(metrics.gate_cuts, 0);
+    }
+
+    #[test]
+    fn qubit_reuse_makes_tighter_devices_feasible() {
+        let mut c = Circuit::new(6);
+        c.h(0);
+        for q in 0..5 {
+            c.cx(q, q + 1);
+        }
+        let dag = CircuitDag::from_circuit(&c);
+        // with reuse, a GHZ chain split in two halves fits a 4-qubit device
+        // comfortably; without reuse the initialization qubit pushes one
+        // subcircuit to 4 qubits as well, but a 3-qubit device separates them:
+        let config_reuse = QrccConfig::new(3).with_subcircuit_range(2, 3);
+        let with_reuse = search_with_subcircuits(&dag, &config_reuse, 2, 30);
+        assert!(is_feasible(&with_reuse, &dag, &config_reuse));
+        let config_plain = config_reuse.clone().with_qubit_reuse(false);
+        let without_reuse = search_with_subcircuits(&dag, &config_plain, 2, 30);
+        let m_plain = without_reuse.metrics(&dag, false);
+        let m_reuse = with_reuse.metrics(&dag, true);
+        // reuse never needs more cuts than the no-reuse plan at equal #SC
+        assert!(m_reuse.wire_cuts <= m_plain.wire_cuts + 1);
+    }
+
+    #[test]
+    fn gate_cut_pass_replaces_expensive_wire_cuts() {
+        // QAOA-style circuit where every entangler is cuttable.
+        let (c, _) = generators::qaoa_regular(6, 2, 1, 7);
+        let dag = CircuitDag::from_circuit(&c);
+        let without = QrccConfig::new(4).with_subcircuit_range(2, 2).with_gate_cuts(false);
+        let with = without.clone().with_gate_cuts(true);
+        let sol_without = search_with_subcircuits(&dag, &without, 2, 25);
+        let sol_with = search_with_subcircuits(&dag, &with, 2, 25);
+        assert!(sol_with.validate(&dag).is_ok());
+        let cost_without = solution_cost(&sol_without, &dag, &without);
+        let cost_with = solution_cost(&sol_with, &dag, &with);
+        assert!(
+            cost_with <= cost_without + 1e-9,
+            "gate cuts should never make the objective worse ({cost_with} vs {cost_without})"
+        );
+    }
+
+    #[test]
+    fn normalize_removes_empty_subcircuits() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let dag = CircuitDag::from_circuit(&c);
+        let mut solution = CutSolution {
+            num_subcircuits: 4,
+            assignment: vec![3, 3],
+            gate_cuts: Vec::new(),
+            gate_cut_assignment: Vec::new(),
+        };
+        normalize(&mut solution, &dag);
+        assert_eq!(solution.num_subcircuits, 1);
+        assert_eq!(solution.assignment, vec![0, 0]);
+    }
+
+    #[test]
+    fn cost_penalises_oversized_subcircuits() {
+        // The QFT has all-to-all interactions, so qubit reuse cannot shrink
+        // it below its full width and the uncut circuit violates D = 2.
+        let c = generators::qft(4);
+        let dag = CircuitDag::from_circuit(&c);
+        let config = QrccConfig::new(2);
+        let trivial = CutSolution::trivial(&dag);
+        assert!(solution_cost(&trivial, &dag, &config) >= INFEASIBILITY_PENALTY);
+        assert!(!is_feasible(&trivial, &dag, &config));
+    }
+}

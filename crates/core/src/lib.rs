@@ -1,0 +1,61 @@
+//! QRCC — integrated qubit reuse and circuit cutting.
+//!
+//! This crate implements the paper's primary contribution: a compiler pass
+//! that evaluates large quantum circuits on small quantum devices by jointly
+//! exploiting **wire cutting**, **gate cutting** and **qubit reuse**, plus the
+//! classical post-processing that reconstructs the original circuit's output.
+//!
+//! The main entry points are:
+//!
+//! * [`planner::CutPlanner`] — finds a reuse-aware cutting solution for a
+//!   device size (heuristic search plus an exact ILP refinement on small
+//!   instances, built on [`qrcc_ilp`]).
+//! * [`cutqc::CutQcPlanner`] — the CutQC-style baseline (wire cuts only, no
+//!   reuse) used throughout the paper's comparisons.
+//! * [`reuse::ReusePass`] — a standalone CaQR-style qubit-reuse pass.
+//! * [`fragment::FragmentSet`] — turns a plan into executable subcircuit
+//!   variants (measurement/initialisation variants for wire cuts, the six
+//!   Mitarai–Fujii instances for gate cuts).
+//! * [`reconstruct`] — probability-vector and expectation-value
+//!   reconstruction, and the post-processing cost models of Figure 6.
+//! * [`pipeline::QrccPipeline`] — the end-to-end flow.
+//!
+//! # Example
+//!
+//! ```rust
+//! use qrcc_circuit::Circuit;
+//! use qrcc_core::pipeline::{ExactBackend, QrccPipeline};
+//! use qrcc_core::QrccConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Evaluate a 4-qubit GHZ circuit using only a 3-qubit device.
+//! let mut ghz = Circuit::new(4);
+//! ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+//! let pipeline = QrccPipeline::plan(&ghz, QrccConfig::new(3))?;
+//! let p = pipeline.reconstruct_probabilities(&ExactBackend::new())?;
+//! assert!((p[0b0000] - 0.5).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod error;
+
+pub mod cutqc;
+pub mod execute;
+pub mod fragment;
+pub mod gatecut;
+pub mod heuristic;
+pub mod model;
+pub mod pipeline;
+pub mod planner;
+pub mod reconstruct;
+pub mod reuse;
+pub mod spec;
+
+pub use config::{QrccConfig, ALPHA_WIRE_CUT, BETA_GATE_CUT};
+pub use error::CoreError;
+pub use spec::{CutMetrics, CutSolution, Segment, SubcircuitId, WireCutPoint};

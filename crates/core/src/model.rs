@@ -1,0 +1,456 @@
+//! The QRCC ILP model (paper §4.2).
+//!
+//! The model assigns every DAG node to a subcircuit (variables (5)), lets
+//! cuttable two-qubit gates be gate-cut with their two halves in different
+//! subcircuits (variables (7)–(8), constraints (10)), derives wire cuts from
+//! membership changes along each wire (the linearised form of constraints
+//! (13)–(14)), and bounds the number of *live* wires of each subcircuit at
+//! every layer by the device size — the qubit-reuse-aware capacity constraint
+//! (11). The objective is the paper's Eq. (18): a δ-weighted combination of
+//! the linearised post-processing cost (15) and the fidelity-balancing term
+//! (16)–(17).
+//!
+//! The model is solved with the self-contained branch-and-bound solver of
+//! [`qrcc_ilp`], warm-started by the heuristic solution, so it is exact on
+//! small instances and falls back gracefully on larger ones.
+
+use crate::spec::CutSolution;
+use crate::QrccConfig;
+use qrcc_circuit::dag::{CircuitDag, NodeId};
+use qrcc_ilp::{solver, LinExpr, Model, SolverConfig, VarId};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Variable handles of a built QRCC model, needed to warm-start the solver
+/// and to read a [`CutSolution`] back out of an ILP solution.
+#[derive(Debug, Clone)]
+pub struct QrccModel {
+    /// The underlying ILP.
+    pub ilp: Model,
+    /// Number of subcircuits the model was built for.
+    pub num_subcircuits: usize,
+    /// `assign[node][c]` — node is in subcircuit `c`.
+    assign: Vec<Vec<VarId>>,
+    /// `gate_cut[node]` for cuttable two-qubit gates.
+    gate_cut: HashMap<NodeId, VarId>,
+    /// `gate_top[node][c]`, `gate_bottom[node][c]` for cuttable gates.
+    gate_top: HashMap<NodeId, Vec<VarId>>,
+    gate_bottom: HashMap<NodeId, Vec<VarId>>,
+    /// Wire-cut indicator per consecutive node pair `(wire, from, to)`.
+    wire_cut: HashMap<(usize, NodeId, NodeId), VarId>,
+}
+
+impl QrccModel {
+    /// Builds the ILP for cutting `dag` into exactly `num_subcircuits`
+    /// subcircuits under `config`.
+    pub fn build(dag: &CircuitDag, config: &QrccConfig, num_subcircuits: usize) -> Self {
+        let mut ilp = Model::new();
+        let num_nodes = dag.nodes().len();
+        let c_range = 0..num_subcircuits;
+
+        // ---- assignment variables -------------------------------------
+        let assign: Vec<Vec<VarId>> = (0..num_nodes)
+            .map(|x| {
+                c_range
+                    .clone()
+                    .map(|c| ilp.add_binary(format!("a_{x}_{c}")))
+                    .collect()
+            })
+            .collect();
+
+        let mut gate_cut = HashMap::new();
+        let mut gate_top: HashMap<NodeId, Vec<VarId>> = HashMap::new();
+        let mut gate_bottom: HashMap<NodeId, Vec<VarId>> = HashMap::new();
+        if config.gate_cuts_enabled {
+            for (x, node) in dag.nodes().iter().enumerate() {
+                let cuttable = node
+                    .op
+                    .as_gate()
+                    .map(|g| g.is_gate_cuttable() && node.op.is_two_qubit_gate())
+                    .unwrap_or(false);
+                if cuttable {
+                    gate_cut.insert(x, ilp.add_binary(format!("g_{x}")));
+                    gate_top.insert(
+                        x,
+                        c_range.clone().map(|c| ilp.add_binary(format!("gt_{x}_{c}"))).collect(),
+                    );
+                    gate_bottom.insert(
+                        x,
+                        c_range.clone().map(|c| ilp.add_binary(format!("gb_{x}_{c}"))).collect(),
+                    );
+                }
+            }
+        }
+
+        // ---- membership constraints (paper Eq. (10)) --------------------
+        for x in 0..num_nodes {
+            let mut expr = LinExpr::new();
+            for &a in &assign[x] {
+                expr.add_term(1.0, a);
+            }
+            if let Some(&g) = gate_cut.get(&x) {
+                expr.add_term(1.0, g);
+            }
+            ilp.add_eq(expr, 1.0);
+            if let Some(&g) = gate_cut.get(&x) {
+                let mut top_sum = LinExpr::new();
+                for &t in &gate_top[&x] {
+                    top_sum.add_term(1.0, t);
+                }
+                top_sum.add_term(-1.0, g);
+                ilp.add_eq(top_sum, 0.0);
+                let mut bottom_sum = LinExpr::new();
+                for &b in &gate_bottom[&x] {
+                    bottom_sum.add_term(1.0, b);
+                }
+                bottom_sum.add_term(-1.0, g);
+                ilp.add_eq(bottom_sum, 0.0);
+                for c in c_range.clone() {
+                    ilp.add_le(
+                        LinExpr::new().term(1.0, gate_top[&x][c]).term(1.0, gate_bottom[&x][c]),
+                        1.0,
+                    );
+                }
+            }
+        }
+
+        // Membership of node x on wire q in subcircuit c, as a linear
+        // expression over the variables above.
+        let membership = |x: NodeId, qubit_slot: usize, c: usize| -> LinExpr {
+            let mut expr = LinExpr::new().term(1.0, assign[x][c]);
+            if gate_cut.contains_key(&x) {
+                let halves = if qubit_slot == 0 { &gate_top } else { &gate_bottom };
+                expr.add_term(1.0, halves[&x][c]);
+            }
+            expr
+        };
+        let slot_of = |x: NodeId, wire: usize| -> usize {
+            let qs = dag.node(x).op.qubits();
+            qs.iter().position(|q| q.index() == wire).expect("node touches wire")
+        };
+
+        // ---- wire-cut indicators (paper Eqs. (13)-(14), linearised) ------
+        let mut wire_cut = HashMap::new();
+        for wire in 0..dag.num_qubits() {
+            let nodes = dag.wire(qrcc_circuit::QubitId::new(wire));
+            for pair in nodes.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let w = ilp.add_binary(format!("w_{wire}_{a}_{b}"));
+                wire_cut.insert((wire, a, b), w);
+                for c in c_range.clone() {
+                    let ma = membership(a, slot_of(a, wire), c);
+                    let mb = membership(b, slot_of(b, wire), c);
+                    // w >= ma - mb  and  w >= mb - ma
+                    let mut diff = LinExpr::new().term(-1.0, w);
+                    diff.add_scaled(1.0, &ma);
+                    diff.add_scaled(-1.0, &mb);
+                    ilp.add_le(diff, 0.0);
+                    let mut diff2 = LinExpr::new().term(-1.0, w);
+                    diff2.add_scaled(1.0, &mb);
+                    diff2.add_scaled(-1.0, &ma);
+                    ilp.add_le(diff2, 0.0);
+                }
+            }
+        }
+
+        // ---- reuse-aware capacity constraints (paper Eq. (11)) -----------
+        // For every layer l and subcircuit c, the number of live wires of c
+        // at l must not exceed D. A wire contributes its node's membership
+        // when it has a node at layer l, and an auxiliary "bridge" variable
+        // when l falls strictly between two of its nodes (the bridge is
+        // forced to 1 only when both neighbouring nodes are in c).
+        let num_layers = dag.num_layers();
+        for c in c_range.clone() {
+            for layer in 0..num_layers {
+                let mut usage = LinExpr::new();
+                for wire in 0..dag.num_qubits() {
+                    let qubit = qrcc_circuit::QubitId::new(wire);
+                    let nodes = dag.wire(qubit);
+                    if nodes.is_empty() {
+                        continue;
+                    }
+                    if let Some(&at) = nodes.iter().find(|&&x| dag.node(x).layer == layer) {
+                        usage.add_scaled(1.0, &membership(at, slot_of(at, wire), c));
+                        continue;
+                    }
+                    // find the neighbouring nodes around this layer
+                    let before = nodes.iter().rev().find(|&&x| dag.node(x).layer < layer);
+                    let after = nodes.iter().find(|&&x| dag.node(x).layer > layer);
+                    if let (Some(&a), Some(&b)) = (before, after) {
+                        let z = ilp.add_binary(format!("live_{wire}_{layer}_{c}"));
+                        // z >= ma + mb - 1
+                        let mut expr = LinExpr::new().term(-1.0, z);
+                        expr.add_scaled(1.0, &membership(a, slot_of(a, wire), c));
+                        expr.add_scaled(1.0, &membership(b, slot_of(b, wire), c));
+                        ilp.add_le(expr, 1.0);
+                        usage.add_term(1.0, z);
+                    }
+                }
+                if !usage.is_empty() {
+                    ilp.add_le(usage, config.device_size as f64);
+                }
+            }
+        }
+
+        // ---- cut budgets (paper Eq. (12)) ---------------------------------
+        let mut total_wire = LinExpr::new();
+        for &w in wire_cut.values() {
+            total_wire.add_term(1.0, w);
+        }
+        if !total_wire.is_empty() {
+            ilp.add_le(total_wire.clone(), config.max_wire_cuts as f64);
+        }
+        let mut total_gate = LinExpr::new();
+        for &g in gate_cut.values() {
+            total_gate.add_term(1.0, g);
+        }
+        if !total_gate.is_empty() {
+            ilp.add_le(total_gate.clone(), config.max_gate_cuts as f64);
+        }
+
+        // ---- fidelity balancing (paper Eqs. (16)-(17)) --------------------
+        let two_qubit_bound = dag.nodes().iter().filter(|n| n.op.is_two_qubit_gate()).count() as f64;
+        let te = ilp.add_continuous("te", 0.0, two_qubit_bound.max(1.0));
+        for c in c_range {
+            let mut expr = LinExpr::new().term(-1.0, te);
+            for (x, node) in dag.nodes().iter().enumerate() {
+                if node.op.is_two_qubit_gate() {
+                    expr.add_term(1.0, assign[x][c]);
+                }
+            }
+            ilp.add_le(expr, 0.0);
+        }
+
+        // ---- objective (paper Eqs. (15), (18)) -----------------------------
+        let mut objective = LinExpr::new();
+        objective.add_scaled(config.delta * crate::config::ALPHA_WIRE_CUT, &total_wire);
+        objective.add_scaled(config.delta * crate::config::BETA_GATE_CUT, &total_gate);
+        if config.delta < 1.0 {
+            objective.add_term((1.0 - config.delta) * 0.75, te);
+            objective.add_constant((1.0 - config.delta) * 23.0);
+        }
+        ilp.minimize(objective);
+
+        QrccModel {
+            ilp,
+            num_subcircuits,
+            assign,
+            gate_cut,
+            gate_top,
+            gate_bottom,
+            wire_cut,
+        }
+    }
+
+    /// Encodes a [`CutSolution`] as a variable assignment usable as a warm
+    /// start for the solver.
+    pub fn warm_start(&self, solution: &CutSolution, dag: &CircuitDag) -> Vec<f64> {
+        let mut values = vec![0.0; self.ilp.num_vars()];
+        for (x, &sub) in solution.assignment.iter().enumerate() {
+            if solution.is_gate_cut(x) {
+                continue;
+            }
+            values[self.assign[x][sub].index()] = 1.0;
+        }
+        for (i, &x) in solution.gate_cuts.iter().enumerate() {
+            let (top, bottom) = solution.gate_cut_assignment[i];
+            if let Some(&g) = self.gate_cut.get(&x) {
+                values[g.index()] = 1.0;
+                values[self.gate_top[&x][top].index()] = 1.0;
+                values[self.gate_bottom[&x][bottom].index()] = 1.0;
+            }
+        }
+        // derived wire cuts
+        for cut in solution.wire_cuts(dag) {
+            if let Some(&w) = self.wire_cut.get(&(cut.qubit.index(), cut.from, cut.to)) {
+                values[w.index()] = 1.0;
+            }
+        }
+        // live-wire bridges and TE: set every remaining auxiliary variable to
+        // its implied value by walking the constraints is overkill; instead
+        // set bridges to 1 whenever both neighbours are in the subcircuit and
+        // TE to the true maximum, both computed from the solution.
+        for wire in 0..dag.num_qubits() {
+            let qubit = qrcc_circuit::QubitId::new(wire);
+            let nodes = dag.wire(qubit).to_vec();
+            for pair in nodes.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let sa = solution.membership(dag, a, qubit);
+                let sb = solution.membership(dag, b, qubit);
+                if sa == sb {
+                    for layer in dag.node(a).layer + 1..dag.node(b).layer {
+                        if let Some(var) = self.find_bridge(wire, layer, sa) {
+                            values[var.index()] = 1.0;
+                        }
+                    }
+                }
+            }
+        }
+        let te_value =
+            solution.two_qubit_gate_counts(dag).into_iter().max().unwrap_or(0) as f64;
+        // TE is the last continuous variable added named "te".
+        for var in self.ilp.vars() {
+            if self.ilp.var_name(var) == "te" {
+                values[var.index()] = te_value;
+            }
+        }
+        values
+    }
+
+    fn find_bridge(&self, wire: usize, layer: usize, sub: usize) -> Option<VarId> {
+        let name = format!("live_{wire}_{layer}_{sub}");
+        self.ilp.vars().find(|&v| self.ilp.var_name(v) == name)
+    }
+
+    /// Decodes an ILP solution back into a [`CutSolution`].
+    pub fn extract(&self, solution: &qrcc_ilp::Solution) -> CutSolution {
+        let num_nodes = self.assign.len();
+        let mut assignment = vec![0usize; num_nodes];
+        let mut gate_cuts = Vec::new();
+        let mut gate_cut_assignment = Vec::new();
+        for x in 0..num_nodes {
+            if let Some(&g) = self.gate_cut.get(&x) {
+                if solution.is_one(g) {
+                    let top = (0..self.num_subcircuits)
+                        .find(|&c| solution.is_one(self.gate_top[&x][c]))
+                        .unwrap_or(0);
+                    let bottom = (0..self.num_subcircuits)
+                        .find(|&c| solution.is_one(self.gate_bottom[&x][c]))
+                        .unwrap_or(if top == 0 { 1 } else { 0 });
+                    gate_cuts.push(x);
+                    gate_cut_assignment.push((top, bottom));
+                    assignment[x] = top;
+                    continue;
+                }
+            }
+            assignment[x] = (0..self.num_subcircuits)
+                .find(|&c| solution.is_one(self.assign[x][c]))
+                .unwrap_or(0);
+        }
+        CutSolution {
+            num_subcircuits: self.num_subcircuits,
+            assignment,
+            gate_cuts,
+            gate_cut_assignment,
+        }
+    }
+}
+
+/// Builds and solves the QRCC ILP for the same subcircuit count as the warm
+/// solution, returning a refined solution if the solver produced one.
+///
+/// Returns `None` when the solver fails (time limit with no feasible point,
+/// infeasible due to the exact layer-wise capacity being stricter than the
+/// heuristic's interval accounting, ...); callers keep the heuristic solution
+/// in that case.
+pub fn refine_with_ilp(
+    dag: &CircuitDag,
+    warm: &CutSolution,
+    config: &QrccConfig,
+) -> Option<CutSolution> {
+    let model = QrccModel::build(dag, config, warm.num_subcircuits.max(2));
+    let warm_values = model.warm_start(warm, dag);
+    let solver_config = SolverConfig {
+        time_limit: config.ilp_time_limit,
+        ..SolverConfig::default()
+    };
+    let solution =
+        solver::solve_with_warm_start(&model.ilp, &solver_config, Some(&warm_values)).ok()?;
+    let extracted = model.extract(&solution);
+    extracted.validate(dag).ok()?;
+    Some(extracted)
+}
+
+/// Builds and solves the QRCC model from scratch (no warm start), returning
+/// the cut solution, the solver status and the wall-clock time. Used by the
+/// search-time comparison experiment (Table 4).
+pub fn solve_qrcc_model(
+    dag: &CircuitDag,
+    config: &QrccConfig,
+    num_subcircuits: usize,
+    time_limit: Duration,
+) -> Option<(CutSolution, qrcc_ilp::SolveStatus, Duration)> {
+    let start = std::time::Instant::now();
+    let model = QrccModel::build(dag, config, num_subcircuits);
+    let solver_config = SolverConfig { time_limit, ..SolverConfig::default() };
+    let solution = solver::solve(&model.ilp, &solver_config).ok()?;
+    let status = solution.status();
+    let extracted = model.extract(&solution);
+    Some((extracted, status, start.elapsed()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic;
+    use qrcc_circuit::Circuit;
+
+    fn ghz_chain(n: usize) -> CircuitDag {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        CircuitDag::from_circuit(&c)
+    }
+
+    #[test]
+    fn model_size_scales_with_nodes_and_subcircuits() {
+        let dag = ghz_chain(4);
+        let config = QrccConfig::new(3);
+        let model = QrccModel::build(&dag, &config, 2);
+        // 4 nodes x 2 subcircuits assignment vars at minimum
+        assert!(model.ilp.num_vars() >= 8);
+        assert!(model.ilp.num_constraints() > 4);
+    }
+
+    #[test]
+    fn ilp_finds_reuse_only_solution_for_ghz_chain() {
+        let dag = ghz_chain(5);
+        let config = QrccConfig::new(3);
+        let (solution, status, _) =
+            solve_qrcc_model(&dag, &config, 2, Duration::from_secs(20)).expect("solvable");
+        assert_eq!(status, qrcc_ilp::SolveStatus::Optimal);
+        solution.validate(&dag).unwrap();
+        let metrics = solution.metrics(&dag, true);
+        // With qubit reuse a linear GHZ chain fits a 3-qubit device without
+        // any cut at all (the exact optimum), which the ILP should discover.
+        assert_eq!(metrics.wire_cuts, 0, "reuse makes the chain fit without cuts");
+        assert!(metrics.subcircuit_widths.iter().all(|&w| w <= 3));
+    }
+
+    #[test]
+    fn warm_start_round_trips_through_the_model() {
+        let dag = ghz_chain(5);
+        let config = QrccConfig::new(3);
+        let heuristic_solution = heuristic::search_with_subcircuits(&dag, &config, 2, 20);
+        let model = QrccModel::build(&dag, &config, 2);
+        let warm = model.warm_start(&heuristic_solution, &dag);
+        assert!(
+            model.ilp.is_feasible(&warm, 1e-6),
+            "heuristic warm start must satisfy the ILP constraints"
+        );
+    }
+
+    #[test]
+    fn refine_never_returns_invalid_solutions() {
+        let dag = ghz_chain(6);
+        let config = QrccConfig::new(4).with_ilp_time_limit(Duration::from_secs(5));
+        let warm = heuristic::search_with_subcircuits(&dag, &config, 2, 20);
+        if let Some(refined) = refine_with_ilp(&dag, &warm, &config) {
+            refined.validate(&dag).unwrap();
+        }
+    }
+
+    #[test]
+    fn gate_cut_variables_are_created_only_when_enabled() {
+        let mut c = Circuit::new(2);
+        c.h(0).cz(0, 1);
+        let dag = CircuitDag::from_circuit(&c);
+        let without = QrccModel::build(&dag, &QrccConfig::new(1), 2);
+        let with = QrccModel::build(&dag, &QrccConfig::new(1).with_gate_cuts(true), 2);
+        assert!(with.ilp.num_vars() > without.ilp.num_vars());
+        assert!(without.gate_cut.is_empty());
+        assert_eq!(with.gate_cut.len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! The end-to-end QRCC pipeline: plan → fragments → execute → reconstruct.
+//!
+//! [`QrccPipeline`] bundles the steps the paper's Figure 4 / Table 3 flow
+//! performs: plan a cut for a device size, generate the subcircuit variants,
+//! run them on a backend (exact simulator or a noisy shots-based device), and
+//! reconstruct either the probability distribution (wire cuts only) or an
+//! observable's expectation value (wire + gate cuts).
+
+use crate::execute::ExecutionBackend;
+use crate::fragment::FragmentSet;
+use crate::planner::{CutPlan, CutPlanner};
+use crate::reconstruct::{ExpectationReconstructor, ProbabilityReconstructor};
+use crate::{CoreError, QrccConfig};
+use qrcc_circuit::observable::PauliObservable;
+use qrcc_circuit::Circuit;
+
+pub use crate::execute::{CachingBackend, ExactBackend, ExecutionBackend as Backend, ShotsBackend};
+
+/// End-to-end QRCC pipeline for one circuit.
+///
+/// ```rust
+/// use qrcc_circuit::Circuit;
+/// use qrcc_core::pipeline::{ExactBackend, QrccPipeline};
+/// use qrcc_core::QrccConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut ghz = Circuit::new(4);
+/// ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+/// let config = QrccConfig::new(3).with_ilp_time_limit(std::time::Duration::ZERO);
+/// let pipeline = QrccPipeline::plan(&ghz, config)?;
+/// let probabilities = pipeline.reconstruct_probabilities(&ExactBackend::new())?;
+/// assert!((probabilities[0] - 0.5).abs() < 1e-6);
+/// assert!((probabilities[0b1111] - 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrccPipeline {
+    plan: CutPlan,
+    fragments: FragmentSet,
+}
+
+impl QrccPipeline {
+    /// Plans a cut for `circuit` and builds its fragments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planner errors ([`CoreError::NoCutFound`],
+    /// [`CoreError::InvalidDeviceSize`]) and fragment-construction errors.
+    pub fn plan(circuit: &Circuit, config: QrccConfig) -> Result<Self, CoreError> {
+        let plan = CutPlanner::new(config).plan(circuit)?;
+        Self::from_plan(plan)
+    }
+
+    /// Builds the pipeline from an existing plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fragment-construction errors.
+    pub fn from_plan(plan: CutPlan) -> Result<Self, CoreError> {
+        let fragments = FragmentSet::from_plan(&plan)?;
+        Ok(QrccPipeline { plan, fragments })
+    }
+
+    /// The cut plan.
+    pub fn plan_ref(&self) -> &CutPlan {
+        &self.plan
+    }
+
+    /// The subcircuit fragments.
+    pub fn fragments(&self) -> &FragmentSet {
+        &self.fragments
+    }
+
+    /// Total number of subcircuit instances the plan requires.
+    pub fn total_instances(&self) -> u64 {
+        self.fragments.total_variants()
+    }
+
+    /// Reconstructs the original circuit's probability distribution by
+    /// executing every wire-cut variant on `backend`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProbabilityReconstructor::reconstruct`].
+    pub fn reconstruct_probabilities(
+        &self,
+        backend: &dyn ExecutionBackend,
+    ) -> Result<Vec<f64>, CoreError> {
+        ProbabilityReconstructor::new().reconstruct(&self.fragments, backend)
+    }
+
+    /// Reconstructs the expectation value of `observable`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExpectationReconstructor::reconstruct`].
+    pub fn reconstruct_expectation(
+        &self,
+        backend: &dyn ExecutionBackend,
+        observable: &PauliObservable,
+    ) -> Result<f64, CoreError> {
+        ExpectationReconstructor::new().reconstruct(&self.fragments, backend, observable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrcc_circuit::observable::PauliString;
+    use qrcc_sim::device::{Device, DeviceConfig};
+    use qrcc_sim::noise::NoiseModel;
+    use qrcc_sim::StateVector;
+    use std::time::Duration;
+
+    fn small_config(d: usize) -> QrccConfig {
+        QrccConfig::new(d).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO)
+    }
+
+    #[test]
+    fn pipeline_probability_path_end_to_end() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).ry(0.4, 2).cx(2, 3);
+        let pipeline = QrccPipeline::plan(&c, small_config(3)).unwrap();
+        assert!(pipeline.total_instances() > 0);
+        let backend = ExactBackend::new();
+        let reconstructed = pipeline.reconstruct_probabilities(&backend).unwrap();
+        let exact = StateVector::from_circuit(&c).unwrap().probabilities();
+        for (a, b) in exact.iter().zip(&reconstructed) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pipeline_expectation_path_with_shots_backend() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(0.8, 1).cx(1, 2).cx(2, 3).rz(0.3, 3);
+        let mut obs = PauliObservable::new(4);
+        obs.add_term(1.0, PauliString::zz(4, 0, 3));
+        let config = small_config(3).with_gate_cuts(true);
+        let pipeline = QrccPipeline::plan(&c, config).unwrap();
+        // shots on an ideal device large enough for every fragment
+        let device = Device::new(DeviceConfig::ideal(3).with_seed(11));
+        let backend = ShotsBackend::new(device, 60_000);
+        let estimate = pipeline.reconstruct_expectation(&backend, &obs).unwrap();
+        let exact = StateVector::from_circuit(&c).unwrap().expectation(&obs);
+        assert!(
+            (estimate - exact).abs() < 0.08,
+            "shots estimate {estimate} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn noisy_subcircuits_beat_noisy_whole_circuit() {
+        // Miniature version of Table 3: a whole-circuit run on a noisy device
+        // loses more accuracy than QRCC's smaller subcircuits with the same
+        // noise model.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).ry(0.9, 3).cx(2, 3).cx(1, 2).cx(0, 1);
+        let mut obs = PauliObservable::new(4);
+        obs.add_term(1.0, PauliString::zz(4, 0, 1));
+        let exact = StateVector::from_circuit(&c).unwrap().expectation(&obs);
+
+        let noise = NoiseModel { single_qubit_error: 5e-3, two_qubit_error: 5e-2, readout_error: 2e-2 };
+        // whole-circuit execution on a noisy 4-qubit device
+        let whole_device = Device::new(DeviceConfig::noisy(4, noise).with_seed(5));
+        let whole = whole_device.estimate_expectation(&c, &obs, 8192).unwrap();
+
+        // QRCC: subcircuits on a noisy 3-qubit device
+        let pipeline = QrccPipeline::plan(&c, small_config(3)).unwrap();
+        let sub_device = Device::new(DeviceConfig::noisy(3, noise).with_seed(5));
+        let backend = ShotsBackend::new(sub_device, 8192);
+        let qrcc = pipeline.reconstruct_expectation(&backend, &obs).unwrap();
+
+        let whole_error = (whole - exact).abs();
+        let qrcc_error = (qrcc - exact).abs();
+        assert!(
+            qrcc_error <= whole_error + 0.05,
+            "qrcc error {qrcc_error} should not be much worse than whole-circuit error {whole_error}"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Analytic post-processing cost models (floating-point operation counts)
+//! for the reconstruction strategies compared in Figure 6 of the paper:
+//!
+//! * **FRP** — hybrid full-state reconstruction of the probability vector:
+//!   `O(2^(N + 2·cuts))` FP operations.
+//! * **FRE** — reconstruction of a single expectation value:
+//!   `O(2^(2·cuts)) = O(4^cuts)` scalar multiplications, independent of `N`.
+//! * **ARP-k** — approximate reconstruction over a truncated 2³⁰ state space,
+//!   split across `k` subcircuits whose pairwise combinations are independent
+//!   (divide-and-conquer), so only the largest per-pair cut count matters.
+//! * **FSS** — the full-state simulation threshold (≈1e24 FP for a dense
+//!   34-qubit, 1000-gate circuit) above which reconstruction is considered
+//!   more expensive than simulating the original circuit outright.
+//!
+//! All results are returned as `log₂(#FP)` so that the astronomically large
+//! counts of the paper's figure stay representable.
+
+/// `log₂` of the FP-operation count of full-state probability reconstruction
+/// (FRP) for an `n`-qubit circuit with `cuts` wire cuts.
+pub fn frp_log2_flops(n: usize, cuts: usize) -> f64 {
+    n as f64 + 2.0 * cuts as f64
+}
+
+/// `log₂` of the FP-operation count of expectation-value reconstruction
+/// (FRE) with `cuts` effective cuts; independent of the circuit size.
+pub fn fre_log2_flops(cuts: f64) -> f64 {
+    2.0 * cuts
+}
+
+/// `log₂` of the FP-operation count of approximate probability
+/// reconstruction (ARP) over a state space truncated to `min(n, 30)` qubits,
+/// divided across `num_subcircuits` subcircuits combined pairwise.
+///
+/// # Panics
+///
+/// Panics if `num_subcircuits < 2`.
+pub fn arp_log2_flops(n: usize, cuts: usize, num_subcircuits: usize) -> f64 {
+    assert!(num_subcircuits >= 2, "approximate reconstruction needs at least two subcircuits");
+    let truncated = n.min(30) as f64;
+    let pairs = (num_subcircuits - 1) as f64;
+    let cuts_per_pair = (cuts as f64 / pairs).ceil();
+    truncated + 2.0 * cuts_per_pair + pairs.log2()
+}
+
+/// `log₂` of the full-state-simulation threshold (≈1e24 FP operations).
+pub fn fss_threshold_log2() -> f64 {
+    1e24f64.log2()
+}
+
+/// The largest number of cuts a strategy tolerates before exceeding the FSS
+/// threshold, searched over `0..=max_cuts`.
+pub fn max_tolerable_cuts(log2_cost: impl Fn(usize) -> f64, max_cuts: usize) -> usize {
+    let threshold = fss_threshold_log2();
+    (0..=max_cuts).take_while(|&c| log2_cost(c) <= threshold).last().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fre_is_qubit_independent_and_cheapest() {
+        assert_eq!(fre_log2_flops(10.0), 20.0);
+        assert!(fre_log2_flops(10.0) < frp_log2_flops(32, 10));
+        assert!(fre_log2_flops(10.0) < frp_log2_flops(48, 10));
+    }
+
+    #[test]
+    fn frp48_tolerates_about_16_cuts() {
+        // the paper reports FRP_48 hitting the threshold around 16 cuts
+        let tolerated = max_tolerable_cuts(|c| frp_log2_flops(48, c), 64);
+        assert!((15..=17).contains(&tolerated), "tolerated {tolerated}");
+    }
+
+    #[test]
+    fn fre_tolerates_about_40_cuts() {
+        let tolerated = max_tolerable_cuts(|c| fre_log2_flops(c as f64), 64);
+        assert!((38..=41).contains(&tolerated), "tolerated {tolerated}");
+    }
+
+    #[test]
+    fn approximate_reconstruction_tolerates_more_cuts_with_more_subcircuits() {
+        let arp2 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 2), 128);
+        let arp4 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 4), 128);
+        assert!(arp2 >= 20 && arp2 <= 30, "arp2 tolerated {arp2}");
+        assert!(arp4 > arp2, "arp4 {arp4} should tolerate more cuts than arp2 {arp2}");
+    }
+
+    #[test]
+    fn arp_is_qubit_independent_above_thirty_qubits() {
+        assert_eq!(arp_log2_flops(50, 10, 2), arp_log2_flops(80, 10, 2));
+        assert!(arp_log2_flops(20, 10, 2) < arp_log2_flops(50, 10, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn arp_requires_two_subcircuits() {
+        arp_log2_flops(40, 5, 1);
+    }
+}

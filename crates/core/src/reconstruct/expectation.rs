@@ -1,0 +1,368 @@
+//! Expectation-value reconstruction for plans with wire cuts and gate cuts
+//! (paper §4.3 "Reconstruction after W-Cut and G-Cut").
+
+use super::{cut_bit_weight, init_weight, mixed_radix, required_basis, MAX_DENSE_CUTS};
+use crate::execute::ExecutionBackend;
+use crate::fragment::{CutBasis, Fragment, FragmentSet, FragmentVariant, InitState};
+use crate::gatecut::instance_measures;
+use crate::CoreError;
+use qrcc_circuit::observable::{Pauli, PauliObservable, PauliString};
+
+/// Reconstructs expectation values of Pauli observables from a cut plan's
+/// fragments.
+#[derive(Debug, Clone, Default)]
+pub struct ExpectationReconstructor {}
+
+impl ExpectationReconstructor {
+    /// Creates a reconstructor.
+    pub fn new() -> Self {
+        ExpectationReconstructor {}
+    }
+
+    /// Reconstructs `⟨H⟩` for a weighted Pauli observable.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::TooManyCuts`] when the number of wire cuts exceeds the
+    ///   dense-reconstruction limit.
+    /// * [`CoreError::InvalidCutSolution`] when the observable width does not
+    ///   match the original circuit.
+    /// * Any backend error.
+    pub fn reconstruct(
+        &self,
+        fragments: &FragmentSet,
+        backend: &dyn ExecutionBackend,
+        observable: &PauliObservable,
+    ) -> Result<f64, CoreError> {
+        if observable.num_qubits() != fragments.original_qubits {
+            return Err(CoreError::InvalidCutSolution {
+                reason: format!(
+                    "observable acts on {} qubits but the circuit has {}",
+                    observable.num_qubits(),
+                    fragments.original_qubits
+                ),
+            });
+        }
+        let mut total = 0.0;
+        for (coefficient, string) in observable.terms() {
+            total += coefficient * self.reconstruct_pauli(fragments, backend, string)?;
+        }
+        Ok(total)
+    }
+
+    /// Reconstructs the expectation value of a single Pauli string.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExpectationReconstructor::reconstruct`].
+    pub fn reconstruct_pauli(
+        &self,
+        fragments: &FragmentSet,
+        backend: &dyn ExecutionBackend,
+        string: &PauliString,
+    ) -> Result<f64, CoreError> {
+        let num_wire_cuts = fragments.num_wire_cuts();
+        let num_gate_cuts = fragments.num_gate_cuts();
+        if num_wire_cuts > MAX_DENSE_CUTS {
+            return Err(CoreError::TooManyCuts { cuts: num_wire_cuts, limit: MAX_DENSE_CUTS });
+        }
+
+        // Idle original qubits stay in |0⟩: X/Y terms vanish, I/Z contribute +1.
+        for q in 0..fragments.original_qubits {
+            if fragments.output_owner[q].is_none() {
+                match string.pauli(q) {
+                    Pauli::I | Pauli::Z => {}
+                    Pauli::X | Pauli::Y => return Ok(0.0),
+                }
+            }
+        }
+
+        // Per-fragment scalar tables indexed by (incoming components,
+        // outgoing components, executed gate-cut instances).
+        let tables: Vec<FragmentTable> = fragments
+            .fragments
+            .iter()
+            .map(|f| build_table(f, backend, string))
+            .collect::<Result<_, _>>()?;
+
+        let gate_coefficients: Vec<[f64; 6]> =
+            fragments.gate_cut_forms.iter().map(|form| form.coefficients()).collect();
+
+        let scale = 0.5f64.powi(num_wire_cuts as i32);
+        let mut value = 0.0;
+        for wire_components in mixed_radix(num_wire_cuts, 4) {
+            for gate_instances in mixed_radix(num_gate_cuts, 6) {
+                let mut term = scale;
+                for (g, &instance) in gate_instances.iter().enumerate() {
+                    term *= gate_coefficients[g][instance];
+                }
+                if term == 0.0 {
+                    continue;
+                }
+                for (fragment, table) in fragments.fragments.iter().zip(&tables) {
+                    let in_components: Vec<usize> =
+                        fragment.incoming_cuts.iter().map(|&c| wire_components[c]).collect();
+                    let out_components: Vec<usize> =
+                        fragment.outgoing_cuts.iter().map(|&c| wire_components[c]).collect();
+                    // `gate_instances` digits are 0-based; the table (and the
+                    // paper) number instances 1..=6.
+                    let instances: Vec<usize> = fragment
+                        .gate_cut_roles
+                        .iter()
+                        .map(|&(cut, _)| gate_instances[cut] + 1)
+                        .collect();
+                    term *= table.value(&in_components, &out_components, &instances);
+                    if term == 0.0 {
+                        break;
+                    }
+                }
+                value += term;
+            }
+        }
+        Ok(value)
+    }
+}
+
+/// Scalar attribution table of one fragment for one Pauli string.
+struct FragmentTable {
+    num_in: usize,
+    num_out: usize,
+    num_roles: usize,
+    data: Vec<f64>,
+}
+
+impl FragmentTable {
+    fn index(&self, in_c: &[usize], out_c: &[usize], instances: &[usize]) -> usize {
+        debug_assert_eq!(in_c.len(), self.num_in);
+        debug_assert_eq!(out_c.len(), self.num_out);
+        debug_assert_eq!(instances.len(), self.num_roles);
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for &c in in_c {
+            idx += c * stride;
+            stride *= 4;
+        }
+        for &c in out_c {
+            idx += c * stride;
+            stride *= 4;
+        }
+        for &i in instances {
+            idx += (i - 1) * stride;
+            stride *= 6;
+        }
+        idx
+    }
+
+    fn value(&self, in_c: &[usize], out_c: &[usize], instances: &[usize]) -> f64 {
+        self.data[self.index(in_c, out_c, instances)]
+    }
+}
+
+fn build_table(
+    fragment: &Fragment,
+    backend: &dyn ExecutionBackend,
+    string: &PauliString,
+) -> Result<FragmentTable, CoreError> {
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let num_roles = fragment.gate_cut_roles.len();
+    let size = 4usize.pow((num_in + num_out) as u32) * 6usize.pow(num_roles as u32);
+    let mut table = FragmentTable { num_in, num_out, num_roles, data: vec![0.0; size] };
+
+    // Output measurement bases and which output bits enter the Pauli parity.
+    let output_bases: Vec<Pauli> =
+        fragment.output_clbits.iter().map(|&(orig, _)| string.pauli(orig)).collect();
+    let parity_bits: Vec<usize> = fragment
+        .output_clbits
+        .iter()
+        .filter(|&&(orig, _)| string.pauli(orig) != Pauli::I)
+        .map(|&(_, clbit)| clbit)
+        .collect();
+    let cut_bit_positions: Vec<usize> = fragment.cut_clbits.iter().map(|&(_, c)| c).collect();
+    let gate_bit_positions: Vec<usize> = fragment.gatecut_clbits.iter().map(|&(_, c)| c).collect();
+    let role_halves: Vec<crate::gatecut::GateHalf> =
+        fragment.gate_cut_roles.iter().map(|&(_, h)| h).collect();
+
+    for instance_digits in mixed_radix(num_roles, 6) {
+        let instances: Vec<usize> = instance_digits.iter().map(|&d| d + 1).collect();
+        for init_digits in mixed_radix(num_in, 4) {
+            let init_states: Vec<InitState> =
+                init_digits.iter().map(|&d| InitState::ALL[d]).collect();
+            for basis_digits in mixed_radix(num_out, 3) {
+                let cut_bases: Vec<CutBasis> =
+                    basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect();
+                let variant = FragmentVariant {
+                    init_states: init_states.clone(),
+                    cut_bases: cut_bases.clone(),
+                    gate_instances: instances.clone(),
+                    output_bases: output_bases.clone(),
+                };
+                let circuit = fragment.instantiate(&variant);
+                let dist = backend.distribution(&circuit)?;
+
+                // Weighted scalar for this executed variant.
+                let mut weighted = vec![0.0f64; 4usize.pow(num_out as u32)];
+                for (outcome, &p) in dist.iter().enumerate() {
+                    if p == 0.0 {
+                        continue;
+                    }
+                    // parity of the Pauli support bits
+                    let mut sign = 1.0;
+                    for &bit in &parity_bits {
+                        if outcome & (1 << bit) != 0 {
+                            sign = -sign;
+                        }
+                    }
+                    // gate-cut measurement signs
+                    for (role, &instance) in instances.iter().enumerate() {
+                        if instance_measures(instance, role_halves[role])
+                            && outcome & (1 << gate_bit_positions[role]) != 0
+                        {
+                            sign = -sign;
+                        }
+                    }
+                    let cut_bits: Vec<bool> =
+                        cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
+                    for (combo, slot) in weighted.iter_mut().enumerate() {
+                        let mut w = p * sign;
+                        let mut rest = combo;
+                        for (cut_slot, &basis) in cut_bases.iter().enumerate() {
+                            let component = rest % 4;
+                            rest /= 4;
+                            if required_basis(component) != basis {
+                                w = 0.0;
+                                break;
+                            }
+                            w *= cut_bit_weight(component, cut_bits[cut_slot]);
+                            if w == 0.0 {
+                                break;
+                            }
+                        }
+                        *slot += w;
+                    }
+                }
+
+                // Scatter into the table across compatible incoming components.
+                for in_components in mixed_radix(num_in, 4) {
+                    let mut in_weight = 1.0;
+                    for (slot, &component) in in_components.iter().enumerate() {
+                        in_weight *= init_weight(component, init_states[slot]);
+                        if in_weight == 0.0 {
+                            break;
+                        }
+                    }
+                    if in_weight == 0.0 {
+                        continue;
+                    }
+                    for (combo, &value) in weighted.iter().enumerate() {
+                        if value == 0.0 {
+                            continue;
+                        }
+                        let out_components: Vec<usize> = {
+                            let mut digits = Vec::with_capacity(num_out);
+                            let mut rest = combo;
+                            for _ in 0..num_out {
+                                digits.push(rest % 4);
+                                rest /= 4;
+                            }
+                            digits
+                        };
+                        let idx = table.index(&in_components, &out_components, &instances);
+                        table.data[idx] += in_weight * value;
+                    }
+                }
+            }
+        }
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::ExactBackend;
+    use crate::fragment::FragmentSet;
+    use crate::planner::CutPlanner;
+    use crate::QrccConfig;
+    use qrcc_circuit::observable::PauliObservable;
+    use qrcc_circuit::{generators, Circuit};
+    use qrcc_sim::StateVector;
+    use std::time::Duration;
+
+    fn check_expectation(circuit: &Circuit, observable: &PauliObservable, config: QrccConfig) {
+        let plan = CutPlanner::new(config).plan(circuit).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        let backend = ExactBackend::new();
+        let reconstructed = ExpectationReconstructor::new()
+            .reconstruct(&fragments, &backend, observable)
+            .unwrap();
+        let exact = StateVector::from_circuit(circuit).unwrap().expectation(observable);
+        assert!(
+            (reconstructed - exact).abs() < 1e-6,
+            "reconstructed {reconstructed} vs exact {exact} ({} wire cuts, {} gate cuts)",
+            fragments.num_wire_cuts(),
+            fragments.num_gate_cuts()
+        );
+    }
+
+    #[test]
+    fn wire_cut_expectation_matches_statevector() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(0.8, 1).cx(1, 2).rz(0.5, 2).cx(2, 3);
+        let mut obs = PauliObservable::new(4);
+        obs.add_term(1.0, qrcc_circuit::observable::PauliString::zz(4, 0, 3));
+        obs.add_term(-0.5, qrcc_circuit::observable::PauliString::z(4, 2));
+        obs.add_term(0.25, qrcc_circuit::observable::PauliString::x(4, 1));
+        let config = QrccConfig::new(3)
+            .with_subcircuit_range(2, 3)
+            .with_ilp_time_limit(Duration::ZERO);
+        check_expectation(&c, &obs, config);
+    }
+
+    #[test]
+    fn gate_cut_expectation_matches_statevector() {
+        // Two halves coupled by a single cuttable RZZ: the planner should
+        // gate-cut it when gate cuts are enabled and wire cuts are scarce.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(0.4, 1).h(2).cx(2, 3).rz(0.7, 3).rzz(0.9, 1, 2).rx(0.3, 1).ry(0.2, 2);
+        let mut obs = PauliObservable::new(4);
+        obs.add_term(1.0, qrcc_circuit::observable::PauliString::zz(4, 1, 2));
+        obs.add_term(0.5, qrcc_circuit::observable::PauliString::z(4, 0));
+        let config = QrccConfig::new(2)
+            .with_subcircuit_range(2, 2)
+            .with_gate_cuts(true)
+            .with_max_wire_cuts(0)
+            .with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config.clone()).plan(&c).unwrap();
+        assert!(plan.gate_cut_count() >= 1, "expected at least one gate cut");
+        check_expectation(&c, &obs, config);
+    }
+
+    #[test]
+    fn mixed_wire_and_gate_cut_expectation_matches_statevector() {
+        let (c, graph) = generators::qaoa_regular(4, 2, 1, 9);
+        let obs = PauliObservable::maxcut(&graph);
+        let config = QrccConfig::new(3)
+            .with_subcircuit_range(2, 3)
+            .with_gate_cuts(true)
+            .with_ilp_time_limit(Duration::ZERO);
+        check_expectation(&c, &obs, config);
+    }
+
+    #[test]
+    fn observable_width_mismatch_is_rejected() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let config = QrccConfig::new(2)
+            .with_subcircuit_range(2, 2)
+            .with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(&c).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        let backend = ExactBackend::new();
+        let obs = PauliObservable::all_z(5);
+        assert!(matches!(
+            ExpectationReconstructor::new().reconstruct(&fragments, &backend, &obs),
+            Err(CoreError::InvalidCutSolution { .. })
+        ));
+    }
+}

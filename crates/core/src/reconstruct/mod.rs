@@ -1,0 +1,136 @@
+//! Classical post-processing: reconstructing the original circuit's output
+//! from subcircuit-variant distributions.
+//!
+//! * [`ProbabilityReconstructor`] — rebuilds the full probability vector from
+//!   wire-cut fragments (the CutQC-style path; gate cuts are not allowed).
+//! * [`ExpectationReconstructor`] — rebuilds the expectation value of a Pauli
+//!   observable from wire- *and* gate-cut fragments (paper §4.3).
+//! * [`cost`] — analytic floating-point-operation cost models of the
+//!   reconstruction strategies compared in Figure 6.
+
+mod expectation;
+mod probability;
+
+pub mod cost;
+
+pub use expectation::ExpectationReconstructor;
+pub use probability::ProbabilityReconstructor;
+
+use crate::fragment::{CutBasis, InitState};
+
+/// Maximum number of wire cuts the dense reconstructors accept (4^k terms).
+pub const MAX_DENSE_CUTS: usize = 14;
+
+/// Weight of an executed initialisation state in the downstream combination
+/// of attribution component `component` (paper Eq. (3): the four terms
+/// A₁..A₄ expressed over the four initialisation runs).
+pub(crate) fn init_weight(component: usize, state: InitState) -> f64 {
+    match (component, state) {
+        (0, InitState::Zero) => 1.0,
+        (1, InitState::One) => 1.0,
+        (2, InitState::Plus) => 2.0,
+        (2, InitState::Zero) | (2, InitState::One) => -1.0,
+        (3, InitState::PlusI) => 2.0,
+        (3, InitState::Zero) | (3, InitState::One) => -1.0,
+        _ => 0.0,
+    }
+}
+
+/// The measurement basis attribution component `component` requires on the
+/// upstream side.
+pub(crate) fn required_basis(component: usize) -> CutBasis {
+    match component {
+        0 | 1 => CutBasis::Z,
+        2 => CutBasis::X,
+        3 => CutBasis::Y,
+        _ => unreachable!("component index out of range"),
+    }
+}
+
+/// Weight of a measured cut bit for attribution component `component` (the
+/// upstream factors of Eq. (3): `2·p(0)`, `2·p(1)`, `Tr(ρX)`, `Tr(ρY)`).
+pub(crate) fn cut_bit_weight(component: usize, bit: bool) -> f64 {
+    match component {
+        0 => {
+            if bit {
+                0.0
+            } else {
+                2.0
+            }
+        }
+        1 => {
+            if bit {
+                2.0
+            } else {
+                0.0
+            }
+        }
+        2 | 3 => {
+            if bit {
+                -1.0
+            } else {
+                1.0
+            }
+        }
+        _ => unreachable!("component index out of range"),
+    }
+}
+
+/// Iterates mixed-radix counters: all vectors of length `len` with entries in
+/// `0..radix`.
+pub(crate) fn mixed_radix(len: usize, radix: usize) -> impl Iterator<Item = Vec<usize>> {
+    let total = radix.pow(len as u32);
+    (0..total).map(move |mut index| {
+        let mut digits = vec![0usize; len];
+        for d in digits.iter_mut() {
+            *d = index % radix;
+            index /= radix;
+        }
+        digits
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_weights_reproduce_the_four_terms() {
+        // component 2 is 2|+⟩⟨+| − |0⟩⟨0| − |1⟩⟨1|
+        assert_eq!(init_weight(2, InitState::Plus), 2.0);
+        assert_eq!(init_weight(2, InitState::Zero), -1.0);
+        assert_eq!(init_weight(2, InitState::One), -1.0);
+        assert_eq!(init_weight(2, InitState::PlusI), 0.0);
+        // components 0/1 are pure projectors
+        assert_eq!(init_weight(0, InitState::Zero), 1.0);
+        assert_eq!(init_weight(0, InitState::One), 0.0);
+        assert_eq!(init_weight(1, InitState::One), 1.0);
+    }
+
+    #[test]
+    fn each_component_requires_one_basis() {
+        assert_eq!(required_basis(0), CutBasis::Z);
+        assert_eq!(required_basis(1), CutBasis::Z);
+        assert_eq!(required_basis(2), CutBasis::X);
+        assert_eq!(required_basis(3), CutBasis::Y);
+    }
+
+    #[test]
+    fn cut_bit_weights_match_trace_identities() {
+        // component 0: 2·p(outcome 0)
+        assert_eq!(cut_bit_weight(0, false), 2.0);
+        assert_eq!(cut_bit_weight(0, true), 0.0);
+        // component 2/3: expectation of the Pauli, i.e. ±1 per outcome
+        assert_eq!(cut_bit_weight(2, false), 1.0);
+        assert_eq!(cut_bit_weight(2, true), -1.0);
+    }
+
+    #[test]
+    fn mixed_radix_enumerates_all_combinations() {
+        let all: Vec<Vec<usize>> = mixed_radix(2, 3).collect();
+        assert_eq!(all.len(), 9);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[8], vec![2, 2]);
+        assert_eq!(mixed_radix(0, 4).count(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Full probability-vector reconstruction for wire-cut-only plans (the
+//! CutQC-style path, paper §4.3 "Reconstruction after W-Cut").
+
+use super::{cut_bit_weight, init_weight, mixed_radix, required_basis, MAX_DENSE_CUTS};
+use crate::execute::ExecutionBackend;
+use crate::fragment::{Fragment, FragmentSet, FragmentVariant, InitState};
+use crate::CoreError;
+
+/// Reconstructs the original circuit's probability distribution from a
+/// wire-cut [`FragmentSet`].
+#[derive(Debug, Clone, Default)]
+pub struct ProbabilityReconstructor {}
+
+/// Per-fragment attribution tensor: for every combination of incoming and
+/// outgoing attribution components, the (sub-normalised) distribution over
+/// the fragment's output bits.
+struct FragmentTensor {
+    data: Vec<Vec<f64>>,
+}
+
+impl FragmentTensor {
+    fn index(&self, in_components: &[usize], out_components: &[usize]) -> usize {
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for &c in in_components {
+            idx += c * stride;
+            stride *= 4;
+        }
+        for &c in out_components {
+            idx += c * stride;
+            stride *= 4;
+        }
+        idx
+    }
+}
+
+impl ProbabilityReconstructor {
+    /// Creates a reconstructor.
+    pub fn new() -> Self {
+        ProbabilityReconstructor {}
+    }
+
+    /// Reconstructs the `2^N` probability vector of the original circuit.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::GateCutNeedsExpectation`] if the plan contains gate
+    ///   cuts (their post-processing cannot rebuild a distribution).
+    /// * [`CoreError::TooManyCuts`] if the plan has more wire cuts than the
+    ///   dense reconstruction supports.
+    /// * Any backend error.
+    pub fn reconstruct(
+        &self,
+        fragments: &FragmentSet,
+        backend: &dyn ExecutionBackend,
+    ) -> Result<Vec<f64>, CoreError> {
+        if fragments.num_gate_cuts() > 0 {
+            return Err(CoreError::GateCutNeedsExpectation);
+        }
+        let num_cuts = fragments.num_wire_cuts();
+        if num_cuts > MAX_DENSE_CUTS {
+            return Err(CoreError::TooManyCuts { cuts: num_cuts, limit: MAX_DENSE_CUTS });
+        }
+
+        let tensors: Vec<FragmentTensor> = fragments
+            .fragments
+            .iter()
+            .map(|f| build_tensor(f, backend))
+            .collect::<Result<_, _>>()?;
+
+        let n = fragments.original_qubits;
+        let mut probabilities = vec![0.0; 1usize << n];
+        let scale = 0.5f64.powi(num_cuts as i32);
+
+        // Pre-compute, per fragment, the original-qubit position of every
+        // output bit so full bitstrings can be assembled quickly.
+        let output_positions: Vec<Vec<usize>> = fragments
+            .fragments
+            .iter()
+            .map(|f| f.output_clbits.iter().map(|&(orig, _)| orig).collect())
+            .collect();
+        let idle_mask: usize = (0..n)
+            .filter(|&q| fragments.output_owner[q].is_none())
+            .fold(0, |m, q| m | (1 << q));
+
+        for components in mixed_radix(num_cuts, 4) {
+            // factor vectors per fragment for this component assignment
+            let mut factors: Vec<&Vec<f64>> = Vec::with_capacity(fragments.fragments.len());
+            for (f, tensor) in fragments.fragments.iter().zip(&tensors) {
+                let in_components: Vec<usize> =
+                    f.incoming_cuts.iter().map(|&cut| components[cut]).collect();
+                let out_components: Vec<usize> =
+                    f.outgoing_cuts.iter().map(|&cut| components[cut]).collect();
+                factors.push(&tensor.data[tensor.index(&in_components, &out_components)]);
+            }
+            // accumulate the outer product into the full distribution
+            for (x, slot) in probabilities.iter_mut().enumerate() {
+                if x & idle_mask != 0 {
+                    continue; // idle qubits always read 0
+                }
+                let mut term = scale;
+                for (f_idx, fragment) in fragments.fragments.iter().enumerate() {
+                    let mut y = 0usize;
+                    for (bit, &orig) in output_positions[f_idx].iter().enumerate() {
+                        if x & (1 << orig) != 0 {
+                            y |= 1 << bit;
+                        }
+                    }
+                    term *= factors[f_idx][y];
+                    if term == 0.0 {
+                        break;
+                    }
+                    let _ = fragment;
+                }
+                *slot += term;
+            }
+        }
+        Ok(probabilities)
+    }
+}
+
+fn build_tensor(
+    fragment: &Fragment,
+    backend: &dyn ExecutionBackend,
+) -> Result<FragmentTensor, CoreError> {
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let output_bits = fragment.output_clbits.len();
+    let table_size = 4usize.pow((num_in + num_out) as u32);
+    let mut tensor = FragmentTensor { data: vec![vec![0.0; 1 << output_bits]; table_size] };
+
+    let output_bit_positions: Vec<usize> =
+        fragment.output_clbits.iter().map(|&(_, clbit)| clbit).collect();
+    let cut_bit_positions: Vec<usize> = fragment.cut_clbits.iter().map(|&(_, clbit)| clbit).collect();
+
+    for init_digits in mixed_radix(num_in, 4) {
+        let init_states: Vec<InitState> =
+            init_digits.iter().map(|&d| InitState::ALL[d]).collect();
+        for basis_digits in mixed_radix(num_out, 3) {
+            let cut_bases: Vec<crate::fragment::CutBasis> =
+                basis_digits.iter().map(|&d| crate::fragment::CutBasis::ALL[d]).collect();
+            let variant = FragmentVariant {
+                init_states: init_states.clone(),
+                cut_bases: cut_bases.clone(),
+                gate_instances: Vec::new(),
+                output_bases: vec![qrcc_circuit::observable::Pauli::Z; output_bits],
+            };
+            let circuit = fragment.instantiate(&variant);
+            let dist = backend.distribution(&circuit)?;
+
+            for (outcome, &p) in dist.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                let mut y = 0usize;
+                for (bit, &pos) in output_bit_positions.iter().enumerate() {
+                    if outcome & (1 << pos) != 0 {
+                        y |= 1 << bit;
+                    }
+                }
+                let cut_bits: Vec<bool> =
+                    cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
+
+                // distribute this outcome over every compatible component combo
+                for in_components in mixed_radix(num_in, 4) {
+                    let mut weight = p;
+                    for (slot, &component) in in_components.iter().enumerate() {
+                        weight *= init_weight(component, init_states[slot]);
+                        if weight == 0.0 {
+                            break;
+                        }
+                    }
+                    if weight == 0.0 {
+                        continue;
+                    }
+                    for out_components in mixed_radix(num_out, 4) {
+                        let mut w = weight;
+                        for (slot, &component) in out_components.iter().enumerate() {
+                            if required_basis(component) != cut_bases[slot] {
+                                w = 0.0;
+                                break;
+                            }
+                            w *= cut_bit_weight(component, cut_bits[slot]);
+                            if w == 0.0 {
+                                break;
+                            }
+                        }
+                        if w == 0.0 {
+                            continue;
+                        }
+                        let idx = tensor.index(&in_components, &out_components);
+                        tensor.data[idx][y] += w;
+                    }
+                }
+            }
+        }
+    }
+    Ok(tensor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::ExactBackend;
+    use crate::planner::CutPlanner;
+    use crate::QrccConfig;
+    use qrcc_circuit::Circuit;
+    use qrcc_sim::StateVector;
+    use std::time::Duration;
+
+    fn reconstruct_and_compare(circuit: &Circuit, device_size: usize) {
+        let config = QrccConfig::new(device_size)
+            .with_subcircuit_range(2, 3)
+            .with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(circuit).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        let backend = ExactBackend::new();
+        let reconstructed =
+            ProbabilityReconstructor::new().reconstruct(&fragments, &backend).unwrap();
+        let exact = StateVector::from_circuit(circuit).unwrap().probabilities();
+        assert_eq!(reconstructed.len(), exact.len());
+        let total: f64 = reconstructed.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "reconstructed total {total}");
+        for (i, (a, b)) in exact.iter().zip(&reconstructed).enumerate() {
+            assert!((a - b).abs() < 1e-6, "probability mismatch at {i}: exact {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ghz_chain_reconstruction_matches_statevector() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        reconstruct_and_compare(&c, 3);
+    }
+
+    #[test]
+    fn rotated_chain_reconstruction_matches_statevector() {
+        let mut c = Circuit::new(4);
+        c.h(0).ry(0.7, 1).cx(0, 1).rz(0.3, 1).cx(1, 2).t(2).cx(2, 3).rx(1.1, 3);
+        reconstruct_and_compare(&c, 3);
+    }
+
+    #[test]
+    fn gate_cut_plans_are_rejected() {
+        let mut c = Circuit::new(4);
+        c.h(0).rzz(0.4, 0, 1).rzz(0.9, 1, 2).rzz(0.2, 2, 3);
+        let config = QrccConfig::new(3)
+            .with_subcircuit_range(2, 2)
+            .with_gate_cuts(true)
+            .with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(&c).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        if fragments.num_gate_cuts() == 0 {
+            return; // the planner chose wire cuts only; nothing to test here
+        }
+        let backend = ExactBackend::new();
+        assert!(matches!(
+            ProbabilityReconstructor::new().reconstruct(&fragments, &backend),
+            Err(CoreError::GateCutNeedsExpectation)
+        ));
+    }
+}

@@ -1,0 +1,283 @@
+//! Qubit reuse: interval-based physical-qubit assignment and a standalone
+//! CaQR-style reuse pass.
+//!
+//! Mid-circuit Measure-and-Reset lets a physical qubit that has finished all
+//! of its operations be measured, reset and handed to a logical qubit whose
+//! operations have not started yet. Inside QRCC this is what shrinks
+//! subcircuit widths; standalone (the [`ReusePass`]) it reproduces the
+//! CaQR-style compiler pass the paper compares against in Table 6.
+
+use crate::CoreError;
+use qrcc_circuit::dag::CircuitDag;
+use qrcc_circuit::{Circuit, QubitId};
+
+/// Assignment of interval-shaped lifetimes to physical qubits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntervalAssignment {
+    /// Physical qubit for each input interval (same order as the input).
+    pub physical: Vec<usize>,
+    /// Number of physical qubits used (the maximum interval overlap).
+    pub num_physical: usize,
+}
+
+/// Greedily assigns `[start, end]` lifetimes (both inclusive) to physical
+/// qubits so that two lifetimes sharing a physical qubit never overlap; a
+/// physical qubit is handed over only when the previous lifetime ended
+/// *strictly before* the next one starts (measurement and reset are assumed
+/// to take no extra depth, as in the paper).
+///
+/// The greedy sweep over start-sorted intervals is optimal for interval
+/// graphs, so `num_physical` equals the maximum overlap.
+pub fn assign_intervals(intervals: &[(usize, usize)]) -> IntervalAssignment {
+    let mut order: Vec<usize> = (0..intervals.len()).collect();
+    order.sort_by_key(|&i| (intervals[i].0, intervals[i].1));
+    let mut physical = vec![usize::MAX; intervals.len()];
+    // free_at[p] = first layer at which physical qubit p is available again
+    let mut free_at: Vec<usize> = Vec::new();
+    for &i in &order {
+        let (start, end) = intervals[i];
+        // pick the physical qubit that has been free the longest (stable,
+        // deterministic choice)
+        let mut chosen = None;
+        for (p, &free) in free_at.iter().enumerate() {
+            if free <= start && chosen.map(|(_, f)| free < f).unwrap_or(true) {
+                chosen = Some((p, free));
+            }
+        }
+        let p = match chosen {
+            Some((p, _)) => p,
+            None => {
+                free_at.push(0);
+                free_at.len() - 1
+            }
+        };
+        physical[i] = p;
+        free_at[p] = end + 1;
+    }
+    IntervalAssignment { physical, num_physical: free_at.len() }
+}
+
+/// Result of applying the standalone reuse pass to a circuit.
+#[derive(Debug, Clone)]
+pub struct ReusedCircuit {
+    /// The transformed circuit over `num_physical` qubits; every original
+    /// qubit is measured into classical bit `original qubit index`.
+    pub circuit: Circuit,
+    /// Number of physical qubits used.
+    pub num_physical: usize,
+    /// Physical qubit hosting each original qubit (indexed by original qubit).
+    /// Idle original qubits map to `None`.
+    pub mapping: Vec<Option<usize>>,
+}
+
+/// A CaQR-style standalone qubit-reuse pass.
+///
+/// The pass measures each original qubit in the computational basis as soon
+/// as its last gate has executed (valid by the deferred-measurement
+/// principle, since nothing acts on the wire afterwards), resets the physical
+/// qubit and hands it to a logical qubit that has not started yet. The
+/// transformed circuit therefore produces the same joint measurement
+/// distribution as measuring the original circuit at the end, using
+/// `max-overlap` many physical qubits instead of `N`.
+///
+/// ```rust
+/// use qrcc_circuit::Circuit;
+/// use qrcc_core::reuse::ReusePass;
+///
+/// // A GHZ chain only ever has two wires active at once.
+/// let mut chain = Circuit::new(4);
+/// chain.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+/// let reused = ReusePass::new().apply(&chain).unwrap();
+/// assert_eq!(reused.num_physical, 2);
+/// assert_eq!(reused.circuit.num_clbits(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReusePass {}
+
+impl ReusePass {
+    /// Creates the pass.
+    pub fn new() -> Self {
+        ReusePass {}
+    }
+
+    /// The minimum number of physical qubits the pass would need for
+    /// `circuit` (without building the transformed circuit).
+    pub fn required_qubits(&self, circuit: &Circuit) -> usize {
+        let dag = CircuitDag::from_circuit(circuit);
+        let intervals = wire_intervals(&dag);
+        assign_intervals(&intervals.1).num_physical
+    }
+
+    /// Applies the pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCutSolution`] if the circuit already
+    /// contains measurements or resets (the pass expects a unitary circuit
+    /// and inserts its own terminal measurements).
+    pub fn apply(&self, circuit: &Circuit) -> Result<ReusedCircuit, CoreError> {
+        if !circuit.is_unitary_only() {
+            return Err(CoreError::InvalidCutSolution {
+                reason: "reuse pass expects a unitary circuit without measurements".into(),
+            });
+        }
+        let dag = CircuitDag::from_circuit(circuit);
+        let (wires, intervals) = wire_intervals(&dag);
+        let assignment = assign_intervals(&intervals);
+
+        let mut mapping: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (slot, &wire) in wires.iter().enumerate() {
+            mapping[wire] = Some(assignment.physical[slot]);
+        }
+
+        // Emit nodes in (layer, id) order — a topological order in which a
+        // wire's last gate always precedes the first gate of any wire reusing
+        // the same physical qubit.
+        let mut node_order: Vec<usize> = (0..dag.nodes().len()).collect();
+        node_order.sort_by_key(|&id| (dag.node(id).layer, id));
+
+        let mut out = Circuit::with_clbits(assignment.num_physical.max(1), circuit.num_qubits());
+        out.set_name(format!("{}_reused", circuit.name()));
+        let mut started = vec![false; circuit.num_qubits()];
+        let mut physical_dirty = vec![false; assignment.num_physical.max(1)];
+        let remaining: Vec<usize> = (0..circuit.num_qubits())
+            .map(|q| dag.wire(QubitId::new(q)).len())
+            .collect();
+        let mut remaining = remaining;
+
+        for id in node_order {
+            let node = dag.node(id);
+            // prepare any wires this node starts
+            for q in node.op.qubits() {
+                let wire = q.index();
+                if !started[wire] {
+                    started[wire] = true;
+                    let phys = mapping[wire].expect("active wire has a physical qubit");
+                    if physical_dirty[phys] {
+                        out.reset(phys);
+                    }
+                    physical_dirty[phys] = true;
+                }
+            }
+            let mapped = node.op.map_qubits(|q| {
+                QubitId::new(mapping[q.index()].expect("active wire has a physical qubit"))
+            });
+            out.push(mapped);
+            // terminate any wires this node finishes
+            for q in node.op.qubits() {
+                let wire = q.index();
+                remaining[wire] -= 1;
+                if remaining[wire] == 0 {
+                    let phys = mapping[wire].expect("active wire has a physical qubit");
+                    out.measure(phys, wire);
+                }
+            }
+        }
+        // Idle original qubits measure trivially to 0; nothing to emit.
+        Ok(ReusedCircuit { circuit: out, num_physical: assignment.num_physical.max(1), mapping })
+    }
+}
+
+/// The wires that carry at least one operation, and their `[first layer,
+/// last layer]` lifetimes, in wire order.
+fn wire_intervals(dag: &CircuitDag) -> (Vec<usize>, Vec<(usize, usize)>) {
+    let mut wires = Vec::new();
+    let mut intervals = Vec::new();
+    for q in 0..dag.num_qubits() {
+        let qubit = QubitId::new(q);
+        if let (Some(first), Some(last)) = (dag.first_layer_of(qubit), dag.last_layer_of(qubit)) {
+            wires.push(q);
+            intervals.push((first, last));
+        }
+    }
+    (wires, intervals)
+}
+
+/// Number of measurement/reset pairs the reuse pass introduces for a circuit
+/// (how many times a physical qubit is handed over).
+pub fn reuse_count(circuit: &Circuit) -> usize {
+    let dag = CircuitDag::from_circuit(circuit);
+    let (_, intervals) = wire_intervals(&dag);
+    let assignment = assign_intervals(&intervals);
+    intervals.len().saturating_sub(assignment.num_physical)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrcc_circuit::generators;
+    use qrcc_sim::branching::classical_distribution;
+    use qrcc_sim::StateVector;
+
+    #[test]
+    fn interval_assignment_is_optimal_for_simple_cases() {
+        // disjoint intervals share one qubit
+        let a = assign_intervals(&[(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(a.num_physical, 1);
+        // nested intervals need as many qubits as the overlap
+        let b = assign_intervals(&[(0, 9), (1, 2), (3, 4)]);
+        assert_eq!(b.num_physical, 2);
+        let c = assign_intervals(&[(0, 5), (1, 5), (2, 5)]);
+        assert_eq!(c.num_physical, 3);
+        // touching endpoints cannot share (measurement has no room)
+        let d = assign_intervals(&[(0, 2), (2, 4)]);
+        assert_eq!(d.num_physical, 2);
+        assert_eq!(assign_intervals(&[]).num_physical, 0);
+    }
+
+    #[test]
+    fn ghz_chain_runs_on_two_physical_qubits() {
+        let mut chain = Circuit::new(5);
+        chain.h(0);
+        for q in 0..4 {
+            chain.cx(q, q + 1);
+        }
+        let pass = ReusePass::new();
+        assert_eq!(pass.required_qubits(&chain), 2);
+        let reused = pass.apply(&chain).unwrap();
+        assert_eq!(reused.num_physical, 2);
+        assert_eq!(reused.circuit.num_qubits(), 2);
+        // reuse introduces measure + reset pairs
+        assert!(reused.circuit.count_ops().get("reset").copied().unwrap_or(0) >= 3);
+    }
+
+    #[test]
+    fn reused_circuit_preserves_the_measurement_distribution() {
+        let mut chain = Circuit::new(4);
+        chain.h(0).cx(0, 1).ry(0.7, 1).cx(1, 2).cx(2, 3).rz(0.3, 3);
+        let reused = ReusePass::new().apply(&chain).unwrap();
+        assert!(reused.num_physical < 4);
+
+        let exact = StateVector::from_circuit(&chain).unwrap().probabilities();
+        let reused_dist = classical_distribution(&reused.circuit).unwrap();
+        assert_eq!(reused_dist.len(), exact.len());
+        for (i, (a, b)) in exact.iter().zip(&reused_dist).enumerate() {
+            assert!((a - b).abs() < 1e-9, "distribution mismatch at {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn qft_cannot_be_compressed_by_reuse_alone() {
+        // all-to-all interactions keep every wire alive to the end
+        let qft = generators::qft_no_swap(5);
+        assert_eq!(ReusePass::new().required_qubits(&qft), 5);
+        assert_eq!(reuse_count(&qft), 0);
+    }
+
+    #[test]
+    fn pass_rejects_measured_circuits() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0);
+        assert!(ReusePass::new().apply(&c).is_err());
+    }
+
+    #[test]
+    fn idle_qubits_do_not_consume_physical_qubits() {
+        let mut c = Circuit::new(4);
+        c.h(1).cx(1, 2);
+        let reused = ReusePass::new().apply(&c).unwrap();
+        assert_eq!(reused.num_physical, 2);
+        assert_eq!(reused.mapping[0], None);
+        assert_eq!(reused.mapping[3], None);
+    }
+}

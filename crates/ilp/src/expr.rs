@@ -1,0 +1,210 @@
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a variable within a [`Model`](crate::Model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The raw index of the variable inside its model.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Built with a consuming builder style so expressions can be assembled
+/// inline:
+///
+/// ```rust
+/// use qrcc_ilp::{LinExpr, Model};
+///
+/// let mut model = Model::new();
+/// let x = model.add_binary("x");
+/// let y = model.add_binary("y");
+/// let expr = LinExpr::new().term(2.0, x).term(-1.0, y).constant(0.5);
+/// assert_eq!(expr.coefficient(x), 2.0);
+/// assert_eq!(expr.constant_value(), 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (0).
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// Adds `coefficient · var` to the expression (accumulating if the
+    /// variable already appears).
+    pub fn term(mut self, coefficient: f64, var: VarId) -> Self {
+        self.add_term(coefficient, var);
+        self
+    }
+
+    /// Adds a constant offset.
+    pub fn constant(mut self, value: f64) -> Self {
+        self.constant += value;
+        self
+    }
+
+    /// In-place version of [`LinExpr::term`].
+    pub fn add_term(&mut self, coefficient: f64, var: VarId) {
+        if coefficient != 0.0 {
+            let entry = self.terms.entry(var).or_insert(0.0);
+            *entry += coefficient;
+            if *entry == 0.0 {
+                self.terms.remove(&var);
+            }
+        }
+    }
+
+    /// In-place constant addition.
+    pub fn add_constant(&mut self, value: f64) {
+        self.constant += value;
+    }
+
+    /// Adds `scale ·` every term of `other` to this expression.
+    pub fn add_scaled(&mut self, scale: f64, other: &LinExpr) {
+        for (var, coeff) in &other.terms {
+            self.add_term(scale * coeff, *var);
+        }
+        self.constant += scale * other.constant;
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coefficient(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant offset.
+    pub fn constant_value(&self) -> f64 {
+        self.constant
+    }
+
+    /// Iterator over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Number of variables with a non-zero coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Evaluates the expression against an assignment indexed by variable id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index is outside `values`.
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|(v, c)| c * values[v.0]).sum::<f64>()
+    }
+
+    /// The largest variable index referenced, if any.
+    pub fn max_var_index(&self) -> Option<usize> {
+        self.terms.keys().next_back().map(|v| v.0)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if first {
+                write!(f, "{c}·{v}")?;
+                first = false;
+            } else if *c >= 0.0 {
+                write!(f, " + {c}·{v}")?;
+            } else {
+                write!(f, " - {}·{v}", -c)?;
+            }
+        }
+        if self.constant != 0.0 || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else if self.constant >= 0.0 {
+                write!(f, " + {}", self.constant)?;
+            } else {
+                write!(f, " - {}", -self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId(i)
+    }
+
+    #[test]
+    fn builder_accumulates_terms() {
+        let e = LinExpr::new().term(1.0, v(0)).term(2.0, v(1)).term(3.0, v(0)).constant(1.5);
+        assert_eq!(e.coefficient(v(0)), 4.0);
+        assert_eq!(e.coefficient(v(1)), 2.0);
+        assert_eq!(e.coefficient(v(9)), 0.0);
+        assert_eq!(e.constant_value(), 1.5);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let e = LinExpr::new().term(2.0, v(0)).term(-2.0, v(0));
+        assert!(e.is_empty());
+        let e2 = LinExpr::new().term(0.0, v(3));
+        assert!(e2.is_empty());
+    }
+
+    #[test]
+    fn evaluate_substitutes_values() {
+        let e = LinExpr::new().term(2.0, v(0)).term(-1.0, v(2)).constant(0.5);
+        assert_eq!(e.evaluate(&[1.0, 9.0, 3.0]), 2.0 - 3.0 + 0.5);
+    }
+
+    #[test]
+    fn add_scaled_combines_expressions() {
+        let a = LinExpr::new().term(1.0, v(0)).constant(1.0);
+        let mut b = LinExpr::new().term(2.0, v(1));
+        b.add_scaled(3.0, &a);
+        assert_eq!(b.coefficient(v(0)), 3.0);
+        assert_eq!(b.coefficient(v(1)), 2.0);
+        assert_eq!(b.constant_value(), 3.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::new().term(1.0, v(0)).term(-2.0, v(1)).constant(-1.0);
+        let s = e.to_string();
+        assert!(s.contains("x0"));
+        assert!(s.contains("x1"));
+        assert!(s.contains('-'));
+        assert_eq!(LinExpr::new().to_string(), "0");
+    }
+
+    #[test]
+    fn max_var_index_tracks_largest() {
+        let e = LinExpr::new().term(1.0, v(4)).term(1.0, v(2));
+        assert_eq!(e.max_var_index(), Some(4));
+        assert_eq!(LinExpr::new().max_var_index(), None);
+    }
+}

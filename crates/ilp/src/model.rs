@@ -1,0 +1,346 @@
+use crate::{IlpError, LinExpr, VarId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The domain of a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VarKind {
+    /// A 0/1 variable.
+    Binary,
+    /// A continuous variable with the given inclusive bounds.
+    Continuous {
+        /// Lower bound.
+        lb: f64,
+        /// Upper bound.
+        ub: f64,
+    },
+}
+
+/// The sense of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConstraintSense {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A single linear constraint `expr (≤|≥|=) rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Left-hand-side expression (its constant is folded into the rhs when
+    /// the model is solved).
+    pub expr: LinExpr,
+    /// The constraint sense.
+    pub sense: ConstraintSense,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Optional human-readable label (shown in debug dumps).
+    pub label: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub kind: VarKind,
+}
+
+/// A (mixed) 0-1 integer linear program: binary and bounded continuous
+/// variables, linear constraints, and a linear objective to minimise.
+///
+/// ```rust
+/// use qrcc_ilp::{LinExpr, Model};
+///
+/// let mut m = Model::new();
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// m.add_ge(LinExpr::new().term(1.0, x).term(1.0, y), 1.0);
+/// m.minimize(LinExpr::new().term(3.0, x).term(1.0, y));
+/// assert_eq!(m.num_vars(), 2);
+/// assert_eq!(m.num_constraints(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Model {
+    vars: Vec<VarDef>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a binary (0/1) variable and returns its id.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(VarDef { name: name.into(), kind: VarKind::Binary });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds a continuous variable with bounds `[lb, ub]` and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lb > ub` or either bound is not finite.
+    pub fn add_continuous(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        assert!(lb.is_finite() && ub.is_finite() && lb <= ub, "invalid bounds [{lb}, {ub}]");
+        self.vars.push(VarDef { name: name.into(), kind: VarKind::Continuous { lb, ub } });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// A fresh empty expression (convenience so call sites do not need to
+    /// import [`LinExpr`]).
+    pub fn expr(&self) -> LinExpr {
+        LinExpr::new()
+    }
+
+    /// Adds the constraint `expr ≤ rhs`.
+    pub fn add_le(&mut self, expr: LinExpr, rhs: f64) {
+        self.add_constraint(expr, ConstraintSense::Le, rhs, "");
+    }
+
+    /// Adds the constraint `expr ≥ rhs`.
+    pub fn add_ge(&mut self, expr: LinExpr, rhs: f64) {
+        self.add_constraint(expr, ConstraintSense::Ge, rhs, "");
+    }
+
+    /// Adds the constraint `expr = rhs`.
+    pub fn add_eq(&mut self, expr: LinExpr, rhs: f64) {
+        self.add_constraint(expr, ConstraintSense::Eq, rhs, "");
+    }
+
+    /// Adds a constraint with an explicit sense and label.
+    pub fn add_constraint(
+        &mut self,
+        expr: LinExpr,
+        sense: ConstraintSense,
+        rhs: f64,
+        label: impl Into<String>,
+    ) {
+        self.constraints.push(Constraint { expr, sense, rhs, label: label.into() });
+    }
+
+    /// Sets the objective to minimise.
+    pub fn minimize(&mut self, objective: LinExpr) {
+        self.objective = objective;
+    }
+
+    /// Sets the objective to maximise (stored internally as minimisation of
+    /// the negated expression).
+    pub fn maximize(&mut self, objective: LinExpr) {
+        let mut negated = LinExpr::new();
+        negated.add_scaled(-1.0, &objective);
+        self.objective = negated;
+    }
+
+    /// The minimisation objective.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The kind of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn var_kind(&self, var: VarId) -> VarKind {
+        self.vars[var.0].kind
+    }
+
+    /// The name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// All variable ids of the model.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(VarId)
+    }
+
+    /// The ids of all binary variables.
+    pub fn binary_vars(&self) -> Vec<VarId> {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| if matches!(d.kind, VarKind::Binary) { Some(VarId(i)) } else { None })
+            .collect()
+    }
+
+    /// The lower and upper bound of a variable's domain.
+    pub fn bounds(&self, var: VarId) -> (f64, f64) {
+        match self.vars[var.0].kind {
+            VarKind::Binary => (0.0, 1.0),
+            VarKind::Continuous { lb, ub } => (lb, ub),
+        }
+    }
+
+    /// Validates that every constraint and the objective reference only
+    /// variables belonging to this model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] for the first out-of-range
+    /// variable found.
+    pub fn validate(&self) -> Result<(), IlpError> {
+        let check = |expr: &LinExpr| -> Result<(), IlpError> {
+            if let Some(max) = expr.max_var_index() {
+                if max >= self.vars.len() {
+                    return Err(IlpError::UnknownVariable { index: max });
+                }
+            }
+            Ok(())
+        };
+        check(&self.objective)?;
+        for c in &self.constraints {
+            check(&c.expr)?;
+        }
+        Ok(())
+    }
+
+    /// Checks whether an assignment satisfies every constraint and every
+    /// variable domain within tolerance `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, def) in self.vars.iter().enumerate() {
+            let v = values[i];
+            let (lb, ub) = match def.kind {
+                VarKind::Binary => (0.0, 1.0),
+                VarKind::Continuous { lb, ub } => (lb, ub),
+            };
+            if v < lb - tol || v > ub + tol {
+                return false;
+            }
+            if matches!(def.kind, VarKind::Binary) && (v - v.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.evaluate(values);
+            let ok = match c.sense {
+                ConstraintSense::Le => lhs <= c.rhs + tol,
+                ConstraintSense::Ge => lhs >= c.rhs - tol,
+                ConstraintSense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates the objective for an assignment.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective.evaluate(values)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "minimize {}", self.objective)?;
+        writeln!(f, "subject to")?;
+        for c in &self.constraints {
+            let sense = match c.sense {
+                ConstraintSense::Le => "<=",
+                ConstraintSense::Ge => ">=",
+                ConstraintSense::Eq => "=",
+            };
+            writeln!(f, "  {} {} {}   {}", c.expr, sense, c.rhs, c.label)?;
+        }
+        writeln!(f, "{} variables ({} binary)", self.num_vars(), self.binary_vars().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_a_model() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_continuous("y", 0.0, 5.0);
+        m.add_le(LinExpr::new().term(1.0, x).term(1.0, y), 3.0);
+        m.minimize(LinExpr::new().term(-1.0, y));
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.bounds(x), (0.0, 1.0));
+        assert_eq!(m.bounds(y), (0.0, 5.0));
+        assert_eq!(m.var_name(x), "x");
+        assert_eq!(m.binary_vars(), vec![x]);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    fn maximize_negates_objective() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.maximize(LinExpr::new().term(2.0, x));
+        assert_eq!(m.objective().coefficient(x), -2.0);
+    }
+
+    #[test]
+    fn feasibility_checks_domains_and_constraints() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_ge(LinExpr::new().term(1.0, x).term(1.0, y), 1.0);
+        assert!(m.is_feasible(&[1.0, 0.0], 1e-9));
+        assert!(!m.is_feasible(&[0.0, 0.0], 1e-9)); // violates constraint
+        assert!(!m.is_feasible(&[0.5, 1.0], 1e-9)); // fractional binary
+        assert!(!m.is_feasible(&[2.0, 0.0], 1e-9)); // out of domain
+        assert!(!m.is_feasible(&[1.0], 1e-9)); // wrong length
+    }
+
+    #[test]
+    fn validate_detects_foreign_variables() {
+        let mut m = Model::new();
+        let _x = m.add_binary("x");
+        let mut other = Model::new();
+        let _a = other.add_binary("a");
+        let b = other.add_binary("b");
+        m.add_le(LinExpr::new().term(1.0, b), 1.0);
+        assert_eq!(m.validate(), Err(IlpError::UnknownVariable { index: 1 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bounds")]
+    fn continuous_bounds_must_be_ordered() {
+        let mut m = Model::new();
+        m.add_continuous("bad", 2.0, 1.0);
+    }
+
+    #[test]
+    fn display_contains_objective_and_constraints() {
+        let mut m = Model::new();
+        let x = m.add_binary("x");
+        m.add_eq(LinExpr::new().term(1.0, x), 1.0);
+        m.minimize(LinExpr::new().term(1.0, x));
+        let text = m.to_string();
+        assert!(text.contains("minimize"));
+        assert!(text.contains("="));
+    }
+}

@@ -1,0 +1,379 @@
+//! A simulated quantum device with a qubit budget, optional noise, and
+//! shots-based execution — the stand-in for the small quantum computers
+//! (e.g. the 7-qubit IBM Lagos and hypothetical 3/4-qubit devices) the paper
+//! runs subcircuits on.
+
+use crate::expectation::{expectation_from_counts, measurement_circuit};
+use crate::noise::NoiseModel;
+use crate::{Counts, SimError, StateVector};
+use qrcc_circuit::observable::PauliObservable;
+use qrcc_circuit::{Circuit, Operation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Configuration of a [`Device`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceConfig {
+    /// Number of physical qubits the device offers.
+    pub num_qubits: usize,
+    /// Gate/readout noise applied during execution.
+    pub noise: NoiseModel,
+    /// Whether the device supports mid-circuit measurement and reset (the
+    /// Measure-and-Reset functionality qubit reuse relies on).
+    pub supports_mid_circuit: bool,
+    /// Base seed for shot sampling; every execution derives a fresh stream
+    /// from it so results are reproducible run-to-run.
+    pub seed: u64,
+}
+
+impl DeviceConfig {
+    /// An ideal (noiseless) device with `num_qubits` qubits and mid-circuit
+    /// measurement support.
+    pub fn ideal(num_qubits: usize) -> Self {
+        DeviceConfig {
+            num_qubits,
+            noise: NoiseModel::noiseless(),
+            supports_mid_circuit: true,
+            seed: 0,
+        }
+    }
+
+    /// A noisy device using the given noise model.
+    pub fn noisy(num_qubits: usize, noise: NoiseModel) -> Self {
+        DeviceConfig { num_qubits, noise, supports_mid_circuit: true, seed: 0 }
+    }
+
+    /// Sets the sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables mid-circuit measurement/reset support.
+    pub fn without_mid_circuit(mut self) -> Self {
+        self.supports_mid_circuit = false;
+        self
+    }
+}
+
+/// A simulated quantum device.
+///
+/// ```rust
+/// use qrcc_circuit::Circuit;
+/// use qrcc_sim::device::{Device, DeviceConfig};
+///
+/// let device = Device::new(DeviceConfig::ideal(3));
+/// let mut ghz = Circuit::new(3);
+/// ghz.h(0).cx(0, 1).cx(1, 2).measure_all();
+/// let counts = device.execute(&ghz, 1000).unwrap();
+/// assert_eq!(counts.shots(), 1000);
+/// ```
+#[derive(Debug)]
+pub struct Device {
+    config: DeviceConfig,
+    executions: AtomicU64,
+}
+
+impl Device {
+    /// Creates a device from its configuration.
+    pub fn new(config: DeviceConfig) -> Self {
+        Device { config, executions: AtomicU64::new(0) }
+    }
+
+    /// An ideal (noiseless) device with `num_qubits` qubits.
+    pub fn ideal(num_qubits: usize) -> Self {
+        Self::new(DeviceConfig::ideal(num_qubits))
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &DeviceConfig {
+        &self.config
+    }
+
+    /// Number of `execute` calls made so far (useful for accounting how many
+    /// subcircuit instances a cutting plan required).
+    pub fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+
+    fn next_rng(&self) -> StdRng {
+        let n = self.executions.fetch_add(1, Ordering::Relaxed);
+        StdRng::seed_from_u64(self.config.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn check_circuit(&self, circuit: &Circuit) -> Result<(), SimError> {
+        if circuit.num_qubits() > self.config.num_qubits {
+            return Err(SimError::TooManyQubits {
+                required: circuit.num_qubits(),
+                available: self.config.num_qubits,
+            });
+        }
+        if !self.config.supports_mid_circuit && needs_mid_circuit(circuit) {
+            return Err(SimError::MidCircuitUnsupported);
+        }
+        Ok(())
+    }
+
+    /// Executes `circuit` for `shots` shots and returns the histogram over
+    /// its classical bits. Circuits without any measurement are measured on
+    /// every qubit at the end (classical bit `i` = qubit `i`).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::TooManyQubits`] if the circuit is wider than the device.
+    /// * [`SimError::MidCircuitUnsupported`] if the circuit needs mid-circuit
+    ///   measurement or reset and the device does not support it.
+    /// * [`SimError::ZeroShots`] if `shots == 0`.
+    pub fn execute(&self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        if shots == 0 {
+            return Err(SimError::ZeroShots);
+        }
+        self.check_circuit(circuit)?;
+
+        let circuit = if circuit.operations().iter().any(Operation::is_measure) {
+            circuit.clone()
+        } else {
+            let mut c = circuit.clone();
+            c.measure_all();
+            c
+        };
+        let mut rng = self.next_rng();
+
+        let noiseless = self.config.noise.is_noiseless();
+        if noiseless && !needs_mid_circuit(&circuit) && final_measurement_map(&circuit).is_some() {
+            // Fast path: exact state vector of the unitary prefix, then
+            // multinomial sampling of the measured qubits.
+            let map = final_measurement_map(&circuit).expect("checked above");
+            let unitary = circuit.without_non_unitary();
+            let sv = StateVector::from_circuit(&unitary)?;
+            let all = sv.sample_counts(shots, &mut rng)?;
+            let mut counts = Counts::new(circuit.num_clbits());
+            for (outcome, count) in all.iter() {
+                let mut key = 0u64;
+                for &(qubit, clbit) in &map {
+                    if outcome & (1 << qubit) != 0 {
+                        key |= 1 << clbit;
+                    }
+                }
+                counts.record(key, count);
+            }
+            return Ok(counts);
+        }
+
+        // Trajectory path: one state-vector run per shot with stochastic noise.
+        let mut counts = Counts::new(circuit.num_clbits());
+        for _ in 0..shots {
+            let bits = self.run_single_trajectory(&circuit, &mut rng)?;
+            counts.record_bits(&bits);
+        }
+        Ok(counts)
+    }
+
+    fn run_single_trajectory(
+        &self,
+        circuit: &Circuit,
+        rng: &mut StdRng,
+    ) -> Result<Vec<bool>, SimError> {
+        let mut state = StateVector::new(circuit.num_qubits());
+        let mut clbits = vec![false; circuit.num_clbits()];
+        for op in circuit.operations() {
+            match op {
+                Operation::Single { gate, qubit } => {
+                    state.apply_gate(gate, &[*qubit]);
+                    self.config.noise.apply_gate_noise(&mut state, &[*qubit], rng);
+                }
+                Operation::Two { gate, qubits } => {
+                    state.apply_gate(gate, qubits);
+                    self.config.noise.apply_gate_noise(&mut state, qubits, rng);
+                }
+                Operation::Measure { qubit, clbit } => {
+                    let outcome = state.measure(*qubit, rng);
+                    clbits[*clbit] = self.config.noise.apply_readout(outcome, rng);
+                }
+                Operation::Reset { qubit } => {
+                    state.reset(*qubit, rng);
+                }
+                Operation::Barrier { .. } => {}
+            }
+        }
+        Ok(clbits)
+    }
+
+    /// Estimates the expectation value of `observable` on the state prepared
+    /// by the (unitary) `circuit`, using `shots` shots per Pauli term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ObservableWidthMismatch`] when the observable and
+    /// circuit widths differ, plus any error from [`Device::execute`].
+    pub fn estimate_expectation(
+        &self,
+        circuit: &Circuit,
+        observable: &PauliObservable,
+        shots: u64,
+    ) -> Result<f64, SimError> {
+        if observable.num_qubits() != circuit.num_qubits() {
+            return Err(SimError::ObservableWidthMismatch {
+                observable: observable.num_qubits(),
+                circuit: circuit.num_qubits(),
+            });
+        }
+        let mut total = 0.0;
+        for (coeff, string) in observable.terms() {
+            if string.is_identity() {
+                total += coeff;
+                continue;
+            }
+            let mc = measurement_circuit(circuit, string);
+            let counts = self.execute(&mc, shots)?;
+            total += coeff * expectation_from_counts(&counts, string.support().len());
+        }
+        Ok(total)
+    }
+}
+
+/// Whether the circuit requires mid-circuit measurement or reset support:
+/// it contains a reset, or a measurement that is followed by another
+/// operation on the same qubit.
+pub fn needs_mid_circuit(circuit: &Circuit) -> bool {
+    let ops = circuit.operations();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            Operation::Reset { .. } => return true,
+            Operation::Measure { qubit, .. } => {
+                let later_use = ops[i + 1..].iter().any(|later| {
+                    !later.is_barrier() && later.qubits().contains(qubit)
+                });
+                if later_use {
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The `(qubit, clbit)` pairs of a circuit whose measurements are all
+/// terminal (no operation follows them on the measured wire); `None` if any
+/// measurement is mid-circuit.
+fn final_measurement_map(circuit: &Circuit) -> Option<Vec<(usize, usize)>> {
+    if needs_mid_circuit(circuit) {
+        return None;
+    }
+    let mut map = Vec::new();
+    for op in circuit.operations() {
+        if let Operation::Measure { qubit, clbit } = op {
+            map.push((qubit.index(), *clbit));
+        }
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qrcc_circuit::observable::PauliString;
+
+    #[test]
+    fn execute_counts_total_shots() {
+        let device = Device::ideal(2);
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        let counts = device.execute(&c, 500).unwrap();
+        assert_eq!(counts.shots(), 500);
+        // only 00 and 11 should appear for a Bell state on an ideal device
+        assert_eq!(counts.count(0b01), 0);
+        assert_eq!(counts.count(0b10), 0);
+    }
+
+    #[test]
+    fn implicit_measure_all_when_no_measurements() {
+        let device = Device::ideal(2);
+        let mut c = Circuit::new(2);
+        c.x(1);
+        let counts = device.execute(&c, 100).unwrap();
+        assert_eq!(counts.count(0b10), 100);
+    }
+
+    #[test]
+    fn width_limit_is_enforced() {
+        let device = Device::ideal(2);
+        let c = Circuit::new(3);
+        assert!(matches!(device.execute(&c, 10), Err(SimError::TooManyQubits { .. })));
+    }
+
+    #[test]
+    fn mid_circuit_support_flag_is_respected() {
+        let config = DeviceConfig::ideal(2).without_mid_circuit();
+        let device = Device::new(config);
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0).reset(0).h(0).measure(0, 1);
+        assert!(matches!(device.execute(&c, 10), Err(SimError::MidCircuitUnsupported)));
+        let permissive = Device::ideal(2);
+        assert!(permissive.execute(&c, 10).is_ok());
+    }
+
+    #[test]
+    fn needs_mid_circuit_detection() {
+        let mut terminal = Circuit::new(2);
+        terminal.h(0).cx(0, 1).measure_all();
+        assert!(!needs_mid_circuit(&terminal));
+        let mut reuse = Circuit::new(1);
+        reuse.h(0).measure(0, 0).h(0);
+        assert!(needs_mid_circuit(&reuse));
+        let mut with_reset = Circuit::new(1);
+        with_reset.reset(0);
+        assert!(needs_mid_circuit(&with_reset));
+    }
+
+    #[test]
+    fn noisy_execution_degrades_ghz_fidelity() {
+        let mut ghz = Circuit::new(4);
+        ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3).measure_all();
+        let ideal = Device::ideal(4);
+        let noisy = Device::new(DeviceConfig::noisy(4, NoiseModel::uniform(0.05)).with_seed(3));
+        let ideal_counts = ideal.execute(&ghz, 2000).unwrap();
+        let noisy_counts = noisy.execute(&ghz, 2000).unwrap();
+        let good = |c: &Counts| (c.count(0b0000) + c.count(0b1111)) as f64 / c.shots() as f64;
+        assert!(good(&ideal_counts) > 0.999);
+        assert!(good(&noisy_counts) < 0.95);
+    }
+
+    #[test]
+    fn expectation_estimation_matches_statevector() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(0.6, 2).cz(1, 2);
+        let mut obs = PauliObservable::new(3);
+        obs.add_term(0.7, PauliString::zz(3, 0, 1));
+        obs.add_term(-0.4, PauliString::z(3, 2));
+        obs.add_term(0.25, PauliString::identity(3));
+        let exact = StateVector::from_circuit(&c).unwrap().expectation(&obs);
+        let device = Device::new(DeviceConfig::ideal(3).with_seed(9));
+        let estimate = device.estimate_expectation(&c, &obs, 40_000).unwrap();
+        assert!((estimate - exact).abs() < 0.02, "estimate {estimate} vs exact {exact}");
+    }
+
+    #[test]
+    fn expectation_estimation_rejects_width_mismatch() {
+        let device = Device::ideal(3);
+        let c = Circuit::new(2);
+        let obs = PauliObservable::all_z(3);
+        assert!(matches!(
+            device.estimate_expectation(&c, &obs, 10),
+            Err(SimError::ObservableWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn execution_counter_increments() {
+        let device = Device::ideal(1);
+        let mut c = Circuit::new(1);
+        c.h(0).measure(0, 0);
+        assert_eq!(device.executions(), 0);
+        device.execute(&c, 10).unwrap();
+        device.execute(&c, 10).unwrap();
+        assert_eq!(device.executions(), 2);
+    }
+}

@@ -1,0 +1,50 @@
+//! State-vector simulation substrate for the QRCC reproduction.
+//!
+//! The paper executes subcircuits on IBM quantum devices and verifies results
+//! against Qiskit's state-vector and shot-based simulators. This crate is the
+//! stand-in for all of that:
+//!
+//! * [`Complex`] — minimal complex arithmetic (no external numeric crates).
+//! * [`StateVector`] — an exact state-vector simulator supporting every gate
+//!   of the IR plus mid-circuit measurement and reset (required for qubit
+//!   reuse), shot sampling and Pauli-observable expectation values.
+//! * [`branching`] — exact enumeration of measurement branches, used by the
+//!   gate-cut reconstruction where the measurement outcome β weights the
+//!   expectation value.
+//! * [`noise`] — stochastic-Pauli (depolarizing) and readout noise models.
+//! * [`device`] — a small simulated quantum device with a qubit budget,
+//!   optional noise and shots-based execution, standing in for IBM Lagos.
+//! * [`Counts`] — measurement histograms.
+//!
+//! # Example
+//!
+//! ```rust
+//! use qrcc_circuit::Circuit;
+//! use qrcc_sim::StateVector;
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1);
+//! let sv = StateVector::from_circuit(&bell).unwrap();
+//! let probs = sv.probabilities();
+//! assert!((probs[0] - 0.5).abs() < 1e-12);
+//! assert!((probs[3] - 0.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod complex;
+mod counts;
+mod error;
+mod statevector;
+
+pub mod branching;
+pub mod device;
+pub mod expectation;
+pub mod matrix;
+pub mod noise;
+
+pub use complex::Complex;
+pub use counts::Counts;
+pub use error::SimError;
+pub use statevector::StateVector;

@@ -1,0 +1,330 @@
+//! Unitary matrices of the gate set.
+//!
+//! Conventions:
+//!
+//! * Single-qubit matrices are `[[row0], [row1]]` over the basis {|0⟩, |1⟩}.
+//! * Two-qubit matrices act on an [`Operation::Two`](qrcc_circuit::Operation)
+//!   with qubit order `[a, b]`; the 4-dimensional basis index is
+//!   `(bit_a << 1) | bit_b`, i.e. the *first* listed qubit is the high bit.
+//!   For controlled gates the first qubit is the control.
+
+use crate::Complex;
+use qrcc_circuit::Gate;
+
+/// A 2×2 complex matrix.
+pub type Matrix2 = [[Complex; 2]; 2];
+/// A 4×4 complex matrix.
+pub type Matrix4 = [[Complex; 4]; 4];
+
+const fn c(re: f64, im: f64) -> Complex {
+    Complex::new(re, im)
+}
+
+/// The matrix of a single-qubit gate.
+///
+/// # Panics
+///
+/// Panics if `gate` is a two-qubit gate; use [`two_qubit_matrix`] instead.
+pub fn single_qubit_matrix(gate: &Gate) -> Matrix2 {
+    use Gate::*;
+    let z = Complex::ZERO;
+    let one = Complex::ONE;
+    let i = Complex::i();
+    let s2 = std::f64::consts::FRAC_1_SQRT_2;
+    match *gate {
+        I => [[one, z], [z, one]],
+        H => [[c(s2, 0.0), c(s2, 0.0)], [c(s2, 0.0), c(-s2, 0.0)]],
+        X => [[z, one], [one, z]],
+        Y => [[z, c(0.0, -1.0)], [i, z]],
+        Z => [[one, z], [z, c(-1.0, 0.0)]],
+        S => [[one, z], [z, i]],
+        Sdg => [[one, z], [z, c(0.0, -1.0)]],
+        T => [[one, z], [z, Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4)]],
+        Tdg => [[one, z], [z, Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]],
+        SqrtX => [
+            [c(0.5, 0.5), c(0.5, -0.5)],
+            [c(0.5, -0.5), c(0.5, 0.5)],
+        ],
+        Rx(t) => {
+            let (ct, st) = ((t / 2.0).cos(), (t / 2.0).sin());
+            [[c(ct, 0.0), c(0.0, -st)], [c(0.0, -st), c(ct, 0.0)]]
+        }
+        Ry(t) => {
+            let (ct, st) = ((t / 2.0).cos(), (t / 2.0).sin());
+            [[c(ct, 0.0), c(-st, 0.0)], [c(st, 0.0), c(ct, 0.0)]]
+        }
+        Rz(t) => [
+            [Complex::from_polar(1.0, -t / 2.0), z],
+            [z, Complex::from_polar(1.0, t / 2.0)],
+        ],
+        Phase(l) => [[one, z], [z, Complex::from_polar(1.0, l)]],
+        U3(theta, phi, lambda) => {
+            let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
+            [
+                [c(ct, 0.0), -Complex::from_polar(st, lambda)],
+                [Complex::from_polar(st, phi), Complex::from_polar(ct, phi + lambda)],
+            ]
+        }
+        _ => panic!("{} is not a single-qubit gate", gate.name()),
+    }
+}
+
+/// The matrix of a two-qubit gate over basis index `(bit_first << 1) | bit_second`.
+///
+/// # Panics
+///
+/// Panics if `gate` is a single-qubit gate; use [`single_qubit_matrix`] instead.
+pub fn two_qubit_matrix(gate: &Gate) -> Matrix4 {
+    use Gate::*;
+    let z = Complex::ZERO;
+    let one = Complex::ONE;
+    let mut m = [[z; 4]; 4];
+    match *gate {
+        Cx => {
+            // control = first (high bit), target = second (low bit)
+            m[0][0] = one;
+            m[1][1] = one;
+            m[2][3] = one;
+            m[3][2] = one;
+        }
+        Cy => {
+            m[0][0] = one;
+            m[1][1] = one;
+            m[2][3] = c(0.0, -1.0);
+            m[3][2] = Complex::i();
+        }
+        Cz => {
+            m[0][0] = one;
+            m[1][1] = one;
+            m[2][2] = one;
+            m[3][3] = c(-1.0, 0.0);
+        }
+        Swap => {
+            m[0][0] = one;
+            m[1][2] = one;
+            m[2][1] = one;
+            m[3][3] = one;
+        }
+        Rzz(t) => {
+            let plus = Complex::from_polar(1.0, t / 2.0);
+            let minus = Complex::from_polar(1.0, -t / 2.0);
+            m[0][0] = minus;
+            m[1][1] = plus;
+            m[2][2] = plus;
+            m[3][3] = minus;
+        }
+        Rxx(t) => {
+            let (ct, st) = ((t / 2.0).cos(), (t / 2.0).sin());
+            let cc = c(ct, 0.0);
+            let ms = c(0.0, -st);
+            m[0][0] = cc;
+            m[0][3] = ms;
+            m[1][1] = cc;
+            m[1][2] = ms;
+            m[2][1] = ms;
+            m[2][2] = cc;
+            m[3][0] = ms;
+            m[3][3] = cc;
+        }
+        Ryy(t) => {
+            let (ct, st) = ((t / 2.0).cos(), (t / 2.0).sin());
+            let cc = c(ct, 0.0);
+            m[0][0] = cc;
+            m[0][3] = c(0.0, st);
+            m[1][1] = cc;
+            m[1][2] = c(0.0, -st);
+            m[2][1] = c(0.0, -st);
+            m[2][2] = cc;
+            m[3][0] = c(0.0, st);
+            m[3][3] = cc;
+        }
+        CPhase(l) => {
+            m[0][0] = one;
+            m[1][1] = one;
+            m[2][2] = one;
+            m[3][3] = Complex::from_polar(1.0, l);
+        }
+        _ => panic!("{} is not a two-qubit gate", gate.name()),
+    }
+    m
+}
+
+/// Multiplies two 2×2 matrices.
+pub fn matmul2(a: &Matrix2, b: &Matrix2) -> Matrix2 {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            for k in 0..2 {
+                *cell += a[i][k] * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// The conjugate transpose of a 2×2 matrix.
+pub fn dagger2(a: &Matrix2) -> Matrix2 {
+    let mut out = [[Complex::ZERO; 2]; 2];
+    for i in 0..2 {
+        for j in 0..2 {
+            out[i][j] = a[j][i].conj();
+        }
+    }
+    out
+}
+
+/// Whether a 2×2 matrix is unitary within tolerance `tol`.
+pub fn is_unitary2(a: &Matrix2, tol: f64) -> bool {
+    let product = matmul2(a, &dagger2(a));
+    let id = [[Complex::ONE, Complex::ZERO], [Complex::ZERO, Complex::ONE]];
+    (0..2).all(|i| (0..2).all(|j| product[i][j].approx_eq(id[i][j], tol)))
+}
+
+/// Multiplies two 4×4 matrices.
+pub fn matmul4(a: &Matrix4, b: &Matrix4) -> Matrix4 {
+    let mut out = [[Complex::ZERO; 4]; 4];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, cell) in row.iter_mut().enumerate() {
+            for k in 0..4 {
+                *cell += a[i][k] * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+/// The conjugate transpose of a 4×4 matrix.
+pub fn dagger4(a: &Matrix4) -> Matrix4 {
+    let mut out = [[Complex::ZERO; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] = a[j][i].conj();
+        }
+    }
+    out
+}
+
+/// Whether a 4×4 matrix is unitary within tolerance `tol`.
+pub fn is_unitary4(a: &Matrix4, tol: f64) -> bool {
+    let product = matmul4(a, &dagger4(a));
+    (0..4).all(|i| {
+        (0..4).all(|j| {
+            let expected = if i == j { Complex::ONE } else { Complex::ZERO };
+            product[i][j].approx_eq(expected, tol)
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn every_single_qubit_gate_is_unitary() {
+        let gates = [
+            Gate::I,
+            Gate::H,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::S,
+            Gate::Sdg,
+            Gate::T,
+            Gate::Tdg,
+            Gate::SqrtX,
+            Gate::Rx(0.37),
+            Gate::Ry(-1.1),
+            Gate::Rz(2.2),
+            Gate::Phase(0.6),
+            Gate::U3(0.3, 1.1, -0.4),
+        ];
+        for g in gates {
+            assert!(is_unitary2(&single_qubit_matrix(&g), TOL), "{} not unitary", g.name());
+        }
+    }
+
+    #[test]
+    fn every_two_qubit_gate_is_unitary() {
+        let gates = [
+            Gate::Cx,
+            Gate::Cy,
+            Gate::Cz,
+            Gate::Swap,
+            Gate::Rzz(0.7),
+            Gate::Rxx(-0.3),
+            Gate::Ryy(1.9),
+            Gate::CPhase(0.8),
+        ];
+        for g in gates {
+            assert!(is_unitary4(&two_qubit_matrix(&g), TOL), "{} not unitary", g.name());
+        }
+    }
+
+    #[test]
+    fn dagger_matrices_invert_their_gates() {
+        for g in [Gate::S, Gate::T, Gate::Rx(0.4), Gate::Rz(1.3), Gate::U3(0.5, 0.2, -0.7)] {
+            let m = single_qubit_matrix(&g);
+            let md = single_qubit_matrix(&g.dagger());
+            let product = matmul2(&m, &md);
+            // product must be the identity up to a global phase
+            let phase = product[0][0];
+            assert!(phase.abs() > 1.0 - 1e-9, "{}", g.name());
+            assert!(product[0][1].approx_eq(Complex::ZERO, 1e-9));
+            assert!(product[1][0].approx_eq(Complex::ZERO, 1e-9));
+            assert!(product[1][1].approx_eq(phase, 1e-9));
+        }
+    }
+
+    #[test]
+    fn sqrt_x_squares_to_x() {
+        let sx = single_qubit_matrix(&Gate::SqrtX);
+        let x = single_qubit_matrix(&Gate::X);
+        let sq = matmul2(&sx, &sx);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(sq[i][j].approx_eq(x[i][j], TOL));
+            }
+        }
+    }
+
+    #[test]
+    fn cx_flips_target_when_control_set() {
+        let m = two_qubit_matrix(&Gate::Cx);
+        // |10> (control=1, target=0) -> |11>
+        assert!(m[3][2].approx_eq(Complex::ONE, TOL));
+        // |00> unchanged
+        assert!(m[0][0].approx_eq(Complex::ONE, TOL));
+    }
+
+    #[test]
+    fn cz_only_phases_the_11_state() {
+        let m = two_qubit_matrix(&Gate::Cz);
+        assert!(m[3][3].approx_eq(Complex::new(-1.0, 0.0), TOL));
+        for i in 0..3 {
+            assert!(m[i][i].approx_eq(Complex::ONE, TOL));
+        }
+    }
+
+    #[test]
+    fn rzz_diagonal_phases() {
+        let t = 0.9;
+        let m = two_qubit_matrix(&Gate::Rzz(t));
+        assert!(m[0][0].approx_eq(Complex::from_polar(1.0, -t / 2.0), TOL));
+        assert!(m[1][1].approx_eq(Complex::from_polar(1.0, t / 2.0), TOL));
+        assert!(m[3][3].approx_eq(Complex::from_polar(1.0, -t / 2.0), TOL));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a single-qubit gate")]
+    fn single_matrix_rejects_two_qubit_gate() {
+        single_qubit_matrix(&Gate::Cx);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a two-qubit gate")]
+    fn two_qubit_matrix_rejects_single_qubit_gate() {
+        two_qubit_matrix(&Gate::H);
+    }
+}

@@ -1,0 +1,59 @@
+//! # QRCC — integrated qubit reuse and circuit cutting
+//!
+//! This facade crate re-exports the public API of the QRCC reproduction, a
+//! framework for evaluating large quantum circuits on small quantum devices
+//! by combining **wire cutting**, **gate cutting**, and **qubit reuse**
+//! (Pawar et al., ASPLOS 2024).
+//!
+//! The workspace is organised as four library crates:
+//!
+//! * [`circuit`] — quantum circuit IR, benchmark generators, observables.
+//! * [`sim`] — state-vector simulation, shot sampling, noise, devices.
+//! * [`ilp`] — self-contained 0-1 ILP modelling and solving substrate.
+//! * [`core`] — the QRCC compiler pass: QR-aware DAG, cutting models,
+//!   subcircuit generation, and classical reconstruction.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use qrcc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 6-qubit circuit that we want to evaluate using only a 3-qubit device.
+//! let mut circuit = Circuit::new(6);
+//! circuit.h(0);
+//! for q in 0..5 {
+//!     circuit.cx(q, q + 1);
+//! }
+//! let plan = CutPlanner::new(QrccConfig::new(3)).plan(&circuit)?;
+//! assert!(plan.subcircuit_widths().iter().all(|&w| w <= 3));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use qrcc_circuit as circuit;
+pub use qrcc_core as core;
+pub use qrcc_ilp as ilp;
+pub use qrcc_sim as sim;
+
+/// Commonly used items, intended for glob import in examples and tests.
+pub mod prelude {
+    pub use qrcc_circuit::{
+        generators, graph::Graph, observable::PauliObservable, Circuit, Gate, Operation, QubitId,
+    };
+    pub use qrcc_core::{
+        cutqc::CutQcPlanner,
+        execute::{CachingBackend, ExactBackend, ExecutionBackend, ShotsBackend},
+        fragment::FragmentSet,
+        pipeline::QrccPipeline,
+        planner::{CutPlan, CutPlanner},
+        reconstruct::{ExpectationReconstructor, ProbabilityReconstructor},
+        reuse::ReusePass,
+        QrccConfig,
+    };
+    pub use qrcc_sim::{
+        device::{Device, DeviceConfig},
+        noise::NoiseModel,
+        Counts, StateVector,
+    };
+}
