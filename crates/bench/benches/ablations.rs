@@ -36,7 +36,9 @@ fn bench_gate_cut_ablation(c: &mut Criterion) {
     for (label, gate_cuts) in [("wire_only", false), ("wire_and_gate", true)] {
         let config = base_config(8).with_gate_cuts(gate_cuts);
         group.bench_function(label, |b| {
-            b.iter(|| CutPlanner::new(config.clone()).plan(&circuit).map(|p| p.metrics().effective_cuts()));
+            b.iter(|| {
+                CutPlanner::new(config.clone()).plan(&circuit).map(|p| p.metrics().effective_cuts())
+            });
         });
         if let Ok(plan) = CutPlanner::new(config).plan(&circuit) {
             eprintln!(
@@ -55,7 +57,11 @@ fn bench_delta_ablation(c: &mut Criterion) {
     for delta in [0.2, 0.7, 1.0] {
         let config = base_config(8).with_delta(delta).with_gate_cuts(true);
         group.bench_function(format!("delta_{delta}"), |b| {
-            b.iter(|| CutPlanner::new(config.clone()).plan(&circuit).map(|p| p.metrics().max_two_qubit_gates));
+            b.iter(|| {
+                CutPlanner::new(config.clone())
+                    .plan(&circuit)
+                    .map(|p| p.metrics().max_two_qubit_gates)
+            });
         });
     }
     group.finish();

@@ -25,7 +25,9 @@ fn bench_qrcc_planning(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &circuit, |b, circuit| {
             // `ok()` keeps the benchmark meaningful even if a tight budget
             // makes a particular instance unsolvable for the heuristic.
-            b.iter(|| CutPlanner::new(heuristic_config(d)).plan(circuit).ok().map(|p| p.wire_cut_count()));
+            b.iter(|| {
+                CutPlanner::new(heuristic_config(d)).plan(circuit).ok().map(|p| p.wire_cut_count())
+            });
         });
     }
     group.finish();
@@ -51,9 +53,7 @@ fn bench_exact_ilp(c: &mut Criterion) {
     }
     let dag = CircuitDag::from_circuit(&chain);
     group.bench_function("ghz6_d3_two_subcircuits", |b| {
-        b.iter(|| {
-            solve_qrcc_model(&dag, &QrccConfig::new(3), 2, Duration::from_secs(30)).unwrap()
-        });
+        b.iter(|| solve_qrcc_model(&dag, &QrccConfig::new(3), 2, Duration::from_secs(30)).unwrap());
     });
     group.finish();
 }

@@ -22,7 +22,13 @@ fn main() {
     let deltas: Vec<f64> = (1..=10).map(|i| i as f64 / 10.0).collect();
     print_header(
         "Figure 5: δ sweep (values averaged over benchmarks)",
-        &["delta", "avg #EffCuts", "normalized cuts (vs δ=1)", "avg #MS", "normalized #MS (vs circuit)"],
+        &[
+            "delta",
+            "avg #EffCuts",
+            "normalized cuts (vs δ=1)",
+            "avg #MS",
+            "normalized #MS (vs circuit)",
+        ],
     );
 
     // Reference values at δ = 1 for the normalisation.
@@ -57,5 +63,7 @@ fn main() {
             ms_fraction
         );
     }
-    println!("\nPaper shape: cuts decrease and #MS increases as δ grows; cuts stabilise for δ > 0.5.");
+    println!(
+        "\nPaper shape: cuts decrease and #MS increases as δ grows; cuts stabilise for δ > 0.5."
+    );
 }

@@ -11,7 +11,15 @@ fn main() {
     let scale = Scale::from_args();
     print_header(
         "Table 2: W-Cut vs W-Cut+G-Cut (expectation-value benchmarks)",
-        &["Bench", "N", "D", "CutQC #cuts", "QRCC-C W-only #cuts", "QRCC-C W+G (#W/#G/#EffCuts)", "#MS"],
+        &[
+            "Bench",
+            "N",
+            "D",
+            "CutQC #cuts",
+            "QRCC-C W-only #cuts",
+            "QRCC-C W+G (#W/#G/#EffCuts)",
+            "#MS",
+        ],
     );
     let mut reductions_wire = Vec::new();
     let mut reductions_both = Vec::new();
@@ -19,8 +27,7 @@ fn main() {
         let cutqc = CutQcPlanner::new(device).plan(&workload.circuit).ok();
         let wire_only =
             CutPlanner::new(harness_config(device, 1.0, false)).plan(&workload.circuit).ok();
-        let both =
-            CutPlanner::new(harness_config(device, 1.0, true)).plan(&workload.circuit).ok();
+        let both = CutPlanner::new(harness_config(device, 1.0, true)).plan(&workload.circuit).ok();
         let cutqc_cuts = cutqc
             .as_ref()
             .map(|p| p.wire_cut_count().to_string())
@@ -40,10 +47,8 @@ fn main() {
                 )
             })
             .unwrap_or_else(|| "No Solution".into());
-        let ms = both
-            .as_ref()
-            .map(|p| p.metrics().max_two_qubit_gates.to_string())
-            .unwrap_or_default();
+        let ms =
+            both.as_ref().map(|p| p.metrics().max_two_qubit_gates.to_string()).unwrap_or_default();
         println!(
             "{:<5} | {:>3} | {:>3} | {:>12} | {:>12} | {:>16} | {:>5}",
             workload.name, workload.n, device, cutqc_cuts, wire_cuts, both_desc, ms
@@ -52,8 +57,7 @@ fn main() {
             reductions_wire.push((base.wire_cut_count() as f64, w.wire_cut_count() as f64));
         }
         if let (Some(base), Some(b)) = (&cutqc, &both) {
-            reductions_both
-                .push((base.wire_cut_count() as f64, b.metrics().effective_cuts()));
+            reductions_both.push((base.wire_cut_count() as f64, b.metrics().effective_cuts()));
         }
     }
     println!(

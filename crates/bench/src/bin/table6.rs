@@ -35,7 +35,10 @@ fn main() {
         let plan = match CutQcPlanner::new(x).plan(&circuit) {
             Ok(plan) => plan,
             Err(_) => {
-                println!("{:>16} | {:>4} | {:>5} | {:>18} | {:>17} | {:>7}", x, "-", "-", "No Solution", "-", "-");
+                println!(
+                    "{:>16} | {:>4} | {:>5} | {:>18} | {:>17} | {:>7}",
+                    x, "-", "-", "No Solution", "-", "-"
+                );
                 continue;
             }
         };
@@ -58,6 +61,8 @@ fn main() {
             if width_after <= d { "yes" } else { "no" }
         );
     }
-    println!("\nPaper shape: sequential CutQC+reuse needs either far more cuts or still does not fit D;");
+    println!(
+        "\nPaper shape: sequential CutQC+reuse needs either far more cuts or still does not fit D;"
+    );
     println!("the integrated QRCC search reaches D directly with fewer cuts.");
 }

@@ -185,7 +185,8 @@ pub fn table2_workloads(scale: Scale) -> Vec<(Workload, usize)> {
                 (HamiltonianKind::Heisenberg, "HS-n", 6, 7),
             ] {
                 let next_nearest = name.ends_with("-n");
-                let (c, g) = generators::hamiltonian_simulation(kind, rows, cols, next_nearest, 1, 0.1);
+                let (c, g) =
+                    generators::hamiltonian_simulation(kind, rows, cols, next_nearest, 1, 0.1);
                 result.push((
                     Workload::new(name, c)
                         .with_observable(PauliObservable::ising(&g, 1.0, 0.5))
@@ -195,10 +196,8 @@ pub fn table2_workloads(scale: Scale) -> Vec<(Workload, usize)> {
             }
             for n in [42, 50] {
                 let c = generators::vqe_two_local(n, 2, 4);
-                result.push((
-                    Workload::new("VQE", c).with_observable(PauliObservable::all_z(n)),
-                    27,
-                ));
+                result
+                    .push((Workload::new("VQE", c).with_observable(PauliObservable::all_z(n)), 27));
             }
         }
     }

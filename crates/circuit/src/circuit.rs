@@ -102,10 +102,7 @@ impl Circuit {
         }
         if let Operation::Measure { clbit, .. } = op {
             if clbit >= self.num_clbits {
-                return Err(CircuitError::ClbitOutOfRange {
-                    clbit,
-                    num_clbits: self.num_clbits,
-                });
+                return Err(CircuitError::ClbitOutOfRange { clbit, num_clbits: self.num_clbits });
             }
         }
         self.ops.push(op);
@@ -453,6 +450,82 @@ impl Circuit {
             self.two_qubit_gate_count() as f64 / self.num_qubits as f64
         }
     }
+
+    /// A 64-bit structural fingerprint of the circuit: qubit/clbit counts plus
+    /// every operation (gate name, exact parameter bits, qubit and classical
+    /// bit indices), in program order. The circuit's *name* is deliberately
+    /// excluded — two circuits that execute identically hash identically.
+    ///
+    /// Execution-layer caches key on this hash (verifying equality on the rare
+    /// bucket collision) instead of serialising circuits to QASM strings.
+    pub fn structural_hash(&self) -> u64 {
+        // FNV-1a over a canonical byte encoding of the circuit structure.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.num_qubits as u64);
+        mix(self.num_clbits as u64);
+        for op in &self.ops {
+            match op {
+                Operation::Single { gate, qubit } => {
+                    mix(1);
+                    hash_gate(gate, &mut mix);
+                    mix(qubit.index() as u64);
+                }
+                Operation::Two { gate, qubits } => {
+                    mix(2);
+                    hash_gate(gate, &mut mix);
+                    mix(qubits[0].index() as u64);
+                    mix(qubits[1].index() as u64);
+                }
+                Operation::Measure { qubit, clbit } => {
+                    mix(3);
+                    mix(qubit.index() as u64);
+                    mix(*clbit as u64);
+                }
+                Operation::Reset { qubit } => {
+                    mix(4);
+                    mix(qubit.index() as u64);
+                }
+                Operation::Barrier { qubits } => {
+                    mix(5);
+                    mix(qubits.len() as u64);
+                    for q in qubits {
+                        mix(q.index() as u64);
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Whether two circuits execute identically: equal qubit/clbit counts and
+    /// equal operation sequences, ignoring the circuit *name* — the equality
+    /// counterpart of [`Circuit::structural_hash`]. Dedup layers must use this
+    /// (not `PartialEq`, which compares names) so that e.g. two fragments'
+    /// structurally identical variants collapse to one execution.
+    pub fn structurally_equal(&self, other: &Circuit) -> bool {
+        self.num_qubits == other.num_qubits
+            && self.num_clbits == other.num_clbits
+            && self.ops == other.ops
+    }
+}
+
+/// Feeds a gate's identity (name pointer-independent) and exact parameter
+/// bit patterns into a hash accumulator.
+fn hash_gate(gate: &crate::Gate, mix: &mut impl FnMut(u64)) {
+    for byte in gate.name().bytes() {
+        mix(byte as u64);
+    }
+    for param in gate.params() {
+        mix(param.to_bits());
+    }
 }
 
 impl fmt::Display for Circuit {
@@ -559,10 +632,7 @@ mod tests {
         let mut c = Circuit::new(5);
         c.h(1).cx(1, 3);
         assert_eq!(c.active_qubit_count(), 2);
-        assert_eq!(
-            c.active_qubits(),
-            vec![QubitId::new(1), QubitId::new(3)]
-        );
+        assert_eq!(c.active_qubits(), vec![QubitId::new(1), QubitId::new(3)]);
     }
 
     #[test]
@@ -581,5 +651,29 @@ mod tests {
         let text = c.to_string();
         assert!(text.contains("h q0"));
         assert!(text.contains("cx q0,q1"));
+    }
+
+    #[test]
+    fn structural_hash_distinguishes_structure_not_names() {
+        let mut a = Circuit::new(2);
+        a.h(0).cx(0, 1).measure_all();
+        let mut b = Circuit::new(2);
+        b.h(0).cx(0, 1).measure_all();
+        b.set_name("renamed");
+        assert_eq!(a.structural_hash(), b.structural_hash(), "names must not matter");
+
+        let mut c = Circuit::new(2);
+        c.h(0).cx(1, 0).measure_all(); // swapped operands
+        assert_ne!(a.structural_hash(), c.structural_hash());
+
+        let mut d = Circuit::new(2);
+        d.h(0).cx(0, 1); // missing measurements
+        assert_ne!(a.structural_hash(), d.structural_hash());
+
+        let mut e = Circuit::new(2);
+        e.rz(0.5, 0).cx(0, 1).measure_all();
+        let mut f = Circuit::new(2);
+        f.rz(0.5 + 1e-12, 0).cx(0, 1).measure_all(); // parameter bits differ
+        assert_ne!(e.structural_hash(), f.structural_hash());
     }
 }

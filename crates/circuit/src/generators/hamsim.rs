@@ -90,7 +90,8 @@ mod tests {
 
     #[test]
     fn ising_gate_counts() {
-        let (c, g) = hamiltonian_simulation(HamiltonianKind::TransverseFieldIsing, 3, 3, false, 2, 0.1);
+        let (c, g) =
+            hamiltonian_simulation(HamiltonianKind::TransverseFieldIsing, 3, 3, false, 2, 0.1);
         assert_eq!(c.two_qubit_gate_count(), 2 * g.num_edges());
         assert_eq!(c.single_qubit_gate_count(), 2 * 9);
     }
@@ -111,7 +112,11 @@ mod tests {
 
     #[test]
     fn every_two_qubit_gate_is_gate_cuttable() {
-        for kind in [HamiltonianKind::TransverseFieldIsing, HamiltonianKind::Xy, HamiltonianKind::Heisenberg] {
+        for kind in [
+            HamiltonianKind::TransverseFieldIsing,
+            HamiltonianKind::Xy,
+            HamiltonianKind::Heisenberg,
+        ] {
             let (c, _) = hamiltonian_simulation(kind, 2, 2, true, 1, 0.2);
             for op in c.operations().iter().filter(|o| o.is_two_qubit_gate()) {
                 assert!(op.as_gate().unwrap().is_gate_cuttable());

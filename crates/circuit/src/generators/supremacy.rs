@@ -25,11 +25,12 @@ pub fn supremacy(rows: usize, cols: usize, cycles: usize, seed: u64) -> Circuit 
     let mut c = Circuit::new(n);
     c.set_name(format!("supremacy_{rows}x{cols}_d{cycles}"));
     let mut rng = StdRng::seed_from_u64(seed);
-    let idx = |r: usize, col: usize| r * cols + col;
+    let idx = move |r: usize, col: usize| r * cols + col;
 
     // Four CZ patterns: horizontal pairs starting at even/odd columns, and
     // vertical pairs starting at even/odd rows.
-    let patterns: [Box<dyn Fn() -> Vec<(usize, usize)>>; 4] = [
+    type EdgePattern = Box<dyn Fn() -> Vec<(usize, usize)>>;
+    let patterns: [EdgePattern; 4] = [
         Box::new(move || {
             let mut edges = Vec::new();
             for r in 0..rows {

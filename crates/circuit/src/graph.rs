@@ -132,7 +132,7 @@ pub fn random_regular(n: usize, degree: usize, seed: u64) -> Graph {
             edges.insert((v.min(w), v.max(w)));
         }
     }
-    if degree % 2 == 1 && n % 2 == 0 {
+    if degree % 2 == 1 && n.is_multiple_of(2) {
         for v in 0..n / 2 {
             edges.insert((v, v + n / 2));
         }

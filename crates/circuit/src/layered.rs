@@ -76,7 +76,12 @@ impl LayeredCircuit {
     /// `layer` and at least one at or after `layer` — i.e. the number of
     /// *live* wires crossing the layer. This is the quantity the device-size
     /// constraint of the cutting model bounds per subcircuit.
-    pub fn live_wires_at(&self, layer: usize, first: &[Option<usize>], last: &[Option<usize>]) -> usize {
+    pub fn live_wires_at(
+        &self,
+        layer: usize,
+        first: &[Option<usize>],
+        last: &[Option<usize>],
+    ) -> usize {
         (0..self.num_qubits)
             .filter(|&q| match (first[q], last[q]) {
                 (Some(f), Some(l)) => f <= layer && layer <= l,

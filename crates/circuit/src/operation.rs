@@ -174,7 +174,9 @@ impl Operation {
     /// `f`, e.g. when embedding a subcircuit into a larger register.
     pub fn map_qubits(&self, mut f: impl FnMut(QubitId) -> QubitId) -> Operation {
         match self {
-            Operation::Single { gate, qubit } => Operation::Single { gate: *gate, qubit: f(*qubit) },
+            Operation::Single { gate, qubit } => {
+                Operation::Single { gate: *gate, qubit: f(*qubit) }
+            }
             Operation::Two { gate, qubits } => {
                 Operation::Two { gate: *gate, qubits: [f(qubits[0]), f(qubits[1])] }
             }

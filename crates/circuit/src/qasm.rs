@@ -36,7 +36,13 @@ pub fn to_qasm(circuit: &Circuit) -> String {
                     let _ = writeln!(out, "{} q[{}];", gate.name(), qubit.index());
                 } else {
                     let rendered: Vec<String> = params.iter().map(|p| format!("{p}")).collect();
-                    let _ = writeln!(out, "{}({}) q[{}];", gate.name(), rendered.join(","), qubit.index());
+                    let _ = writeln!(
+                        out,
+                        "{}({}) q[{}];",
+                        gate.name(),
+                        rendered.join(","),
+                        qubit.index()
+                    );
                 }
             }
             Operation::Two { gate, qubits } => {
@@ -68,7 +74,8 @@ pub fn to_qasm(circuit: &Circuit) -> String {
                 let _ = writeln!(out, "reset q[{}];", qubit.index());
             }
             Operation::Barrier { qubits } => {
-                let args: Vec<String> = qubits.iter().map(|q| format!("q[{}]", q.index())).collect();
+                let args: Vec<String> =
+                    qubits.iter().map(|q| format!("q[{}]", q.index())).collect();
                 let _ = writeln!(out, "barrier {};", args.join(","));
             }
         }

@@ -183,7 +183,11 @@ impl Router {
     /// Returns [`CircuitError::QubitOutOfRange`] if the circuit needs more
     /// qubits than the coupling map provides, or if the map is disconnected
     /// so that some pair can never be brought together.
-    pub fn route(&self, circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit, CircuitError> {
+    pub fn route(
+        &self,
+        circuit: &Circuit,
+        coupling: &CouplingMap,
+    ) -> Result<RoutedCircuit, CircuitError> {
         if circuit.num_qubits() > coupling.num_qubits() {
             return Err(CircuitError::QubitOutOfRange {
                 qubit: circuit.num_qubits() - 1,
@@ -197,19 +201,22 @@ impl Router {
         routed.set_name(format!("{}_routed", circuit.name()));
         let mut swaps = 0usize;
 
-        let mut apply_swap =
-            |routed: &mut Circuit, mapping: &mut Vec<usize>, inverse: &mut Vec<usize>, a: usize, b: usize| {
-                routed.swap(a, b);
-                let la = inverse[a];
-                let lb = inverse[b];
-                mapping.swap(la, lb);
-                inverse.swap(a, b);
-            };
+        let apply_swap = |routed: &mut Circuit,
+                          mapping: &mut Vec<usize>,
+                          inverse: &mut Vec<usize>,
+                          a: usize,
+                          b: usize| {
+            routed.swap(a, b);
+            let la = inverse[a];
+            let lb = inverse[b];
+            mapping.swap(la, lb);
+            inverse.swap(a, b);
+        };
 
         for op in circuit.operations() {
             match op {
                 Operation::Two { gate, qubits } => {
-                    let mut pa = mapping[qubits[0].index()];
+                    let pa = mapping[qubits[0].index()];
                     let pb = mapping[qubits[1].index()];
                     if !coupling.are_coupled(pa, pb) {
                         let path = coupling.shortest_path(pa, pb).ok_or(
@@ -220,9 +227,14 @@ impl Router {
                         )?;
                         // swap the first operand down the path until adjacent
                         for window in path.windows(2).take(path.len().saturating_sub(2)) {
-                            apply_swap(&mut routed, &mut mapping, &mut inverse, window[0], window[1]);
+                            apply_swap(
+                                &mut routed,
+                                &mut mapping,
+                                &mut inverse,
+                                window[0],
+                                window[1],
+                            );
                             swaps += 1;
-                            pa = window[1];
                         }
                     }
                     let pb = mapping[qubits[1].index()];

@@ -7,6 +7,11 @@
 //! mid-circuit measurement/reset is not exploited. Comparing
 //! [`CutQcPlanner`] against [`CutPlanner`](crate::planner::CutPlanner) is what
 //! Tables 1, 2 and 6 of the paper do.
+//!
+//! Baseline plans produce ordinary [`FragmentSet`](crate::fragment::FragmentSet)s,
+//! so they execute through the same batch-first layer
+//! ([`crate::execute`]) as QRCC plans — mirroring CutQC's own evaluator,
+//! which batches all subcircuit instances up front.
 
 use crate::planner::{CutPlan, CutPlanner};
 use crate::spec::CutSolution;
@@ -38,9 +43,7 @@ pub struct CutQcPlanner {
 impl CutQcPlanner {
     /// A baseline planner targeting a `device_size`-qubit device.
     pub fn new(device_size: usize) -> Self {
-        let config = QrccConfig::new(device_size)
-            .with_gate_cuts(false)
-            .with_qubit_reuse(false);
+        let config = QrccConfig::new(device_size).with_gate_cuts(false).with_qubit_reuse(false);
         CutQcPlanner { config }
     }
 
@@ -90,9 +93,9 @@ pub fn solve_cutqc_model(
     let assign: Vec<Vec<qrcc_ilp::VarId>> = (0..num_nodes)
         .map(|x| (0..num_subcircuits).map(|c| ilp.add_binary(format!("a_{x}_{c}"))).collect())
         .collect();
-    for x in 0..num_nodes {
+    for row in &assign {
         let mut expr = LinExpr::new();
-        for &a in &assign[x] {
+        for &a in row {
             expr.add_term(1.0, a);
         }
         ilp.add_eq(expr, 1.0);
@@ -106,21 +109,9 @@ pub fn solve_cutqc_model(
         for pair in nodes.windows(2) {
             let (a, b) = (pair[0], pair[1]);
             let w = ilp.add_binary(format!("w_{q}_{a}_{b}"));
-            for c in 0..num_subcircuits {
-                ilp.add_le(
-                    LinExpr::new()
-                        .term(-1.0, w)
-                        .term(1.0, assign[a][c])
-                        .term(-1.0, assign[b][c]),
-                    0.0,
-                );
-                ilp.add_le(
-                    LinExpr::new()
-                        .term(-1.0, w)
-                        .term(1.0, assign[b][c])
-                        .term(-1.0, assign[a][c]),
-                    0.0,
-                );
+            for (&in_a, &in_b) in assign[a].iter().zip(&assign[b]) {
+                ilp.add_le(LinExpr::new().term(-1.0, w).term(1.0, in_a).term(-1.0, in_b), 0.0);
+                ilp.add_le(LinExpr::new().term(-1.0, w).term(1.0, in_b).term(-1.0, in_a), 0.0);
             }
             total_cuts.add_term(1.0, w);
         }
@@ -132,6 +123,9 @@ pub fn solve_cutqc_model(
     // cut boundary (a, b) has its downstream node b in c while a is elsewhere
     // (CutQC's "initialization qubit"). The latter product is linearised with
     // one auxiliary binary per (boundary, subcircuit).
+    // `c` is simultaneously an index into per-node variable rows and part of
+    // the generated variable names, so a plain range loop reads best here.
+    #[allow(clippy::needless_range_loop)]
     for c in 0..num_subcircuits {
         let mut width = LinExpr::new();
         for q in 0..dag.num_qubits() {
@@ -165,8 +159,7 @@ pub fn solve_cutqc_model(
     let status = solution.status();
     let mut assignment = vec![0usize; num_nodes];
     for (x, row) in assign.iter().enumerate() {
-        assignment[x] =
-            (0..num_subcircuits).find(|&c| solution.is_one(row[c])).unwrap_or(0);
+        assignment[x] = (0..num_subcircuits).find(|&c| solution.is_one(row[c])).unwrap_or(0);
     }
     let cut_solution = CutSolution {
         num_subcircuits,
@@ -198,11 +191,9 @@ mod tests {
     fn qrcc_needs_no_more_cuts_than_the_baseline() {
         let circuit = generators::vqe_two_local(8, 2, 3);
         let baseline = CutQcPlanner::new(5).plan(&circuit);
-        let qrcc = CutPlanner::new(
-            QrccConfig::new(5).with_ilp_time_limit(Duration::ZERO),
-        )
-        .plan(&circuit)
-        .unwrap();
+        let qrcc = CutPlanner::new(QrccConfig::new(5).with_ilp_time_limit(Duration::ZERO))
+            .plan(&circuit)
+            .unwrap();
         if let Ok(baseline) = baseline {
             assert!(
                 qrcc.wire_cut_count() <= baseline.wire_cut_count(),
@@ -223,10 +214,7 @@ mod tests {
         solution.validate(&dag).unwrap();
         // without reuse, splitting a 4-qubit chain for a 3-qubit device needs
         // at least one cut
-        assert!(solution.wire_cuts(&dag).len() >= 1);
-        assert!(solution
-            .subcircuit_widths(&dag, false)
-            .iter()
-            .all(|&w| w <= 3));
+        assert!(!solution.wire_cuts(&dag).is_empty());
+        assert!(solution.subcircuit_widths(&dag, false).iter().all(|&w| w <= 3));
     }
 }

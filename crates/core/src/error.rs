@@ -42,6 +42,13 @@ pub enum CoreError {
         /// The maximum the reconstructor supports.
         limit: usize,
     },
+    /// A reconstructor asked [`ExecutionResults`](crate::execute::ExecutionResults)
+    /// for a variant that was not part of the executed batch — the enumerate
+    /// phase and the consume phase disagree.
+    MissingVariant {
+        /// The fragment whose variant is missing.
+        fragment: usize,
+    },
     /// An error bubbled up from the simulator / device layer.
     Simulation(qrcc_sim::SimError),
     /// An error bubbled up from the ILP solver.
@@ -72,6 +79,10 @@ impl fmt::Display for CoreError {
             CoreError::TooManyCuts { cuts, limit } => {
                 write!(f, "plan has {cuts} cuts but dense reconstruction supports at most {limit}")
             }
+            CoreError::MissingVariant { fragment } => write!(
+                f,
+                "execution results hold no distribution for a requested variant of fragment {fragment} (was it enumerated before execute?)"
+            ),
             CoreError::Simulation(e) => write!(f, "simulation error: {e}"),
             CoreError::Ilp(e) => write!(f, "ilp error: {e}"),
         }
@@ -113,6 +124,7 @@ mod tests {
             CoreError::GateNotCuttable { gate: "swap".into() },
             CoreError::GateCutNeedsExpectation,
             CoreError::TooManyCuts { cuts: 40, limit: 16 },
+            CoreError::MissingVariant { fragment: 2 },
             CoreError::Simulation(qrcc_sim::SimError::ZeroShots),
             CoreError::Ilp(qrcc_ilp::IlpError::Infeasible),
         ];

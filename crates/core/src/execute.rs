@@ -1,35 +1,211 @@
-//! Execution backends for fragment variants.
+//! Batch-first execution layer for fragment variants.
 //!
-//! Reconstruction only ever needs the *distribution over classical bits* of
-//! each executed variant, so a backend is a single method. Two backends are
-//! provided: an exact one (state-vector / measurement-branch enumeration,
-//! used to verify reconstruction identities) and a shots-based one running on
-//! a simulated [`Device`] (possibly noisy — the Table 3 configuration).
+//! Execution follows a three-phase protocol:
+//!
+//! 1. **Enumerate** — reconstructors list every
+//!    [`VariantRequest`](crate::fragment::VariantRequest) they need as pure
+//!    data (a structural [`VariantKey`]: fragment id, init states, cut bases,
+//!    gate-cut instances, output bases). No circuits are built yet.
+//! 2. **Deduplicate + execute** — [`execute_requests`] collapses duplicate
+//!    keys, collapses structurally identical circuits (a 64-bit
+//!    [`structural hash`](qrcc_circuit::Circuit::structural_hash) catches e.g.
+//!    gate-cut instances 3/4, which instantiate identically on the measuring
+//!    half), and submits the surviving circuits as **one batch** through
+//!    [`ExecutionBackend::run_batch`]. The provided [`ExactBackend`] and
+//!    [`ShotsBackend`] run batches with rayon data-parallelism.
+//! 3. **Consume** — reconstructors read distributions back out of the
+//!    returned [`ExecutionResults`] by key, never talking to a backend
+//!    directly. One batch of device runs can therefore serve the probability
+//!    reconstruction *and* any number of expectation observables.
+//!
+//! Simple backends only implement the per-circuit [`ExecutionBackend::run_one`];
+//! the default `run_batch` loops over it serially. [`CachingBackend`] remains
+//! as a memoising wrapper for callers that bypass the batch path, now keyed by
+//! the structural circuit hash instead of a QASM string.
 
+use crate::fragment::{FragmentSet, VariantKey, VariantRequest};
 use crate::CoreError;
 use parking_lot::Mutex;
 use qrcc_circuit::Circuit;
 use qrcc_sim::branching::classical_distribution;
 use qrcc_sim::device::Device;
-use std::collections::HashMap;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
 
 /// Executes fragment-variant circuits and reports the probability
 /// distribution over their classical bits (length `2^num_clbits`).
-pub trait ExecutionBackend {
-    /// The distribution over the circuit's classical bits.
+///
+/// Backends must be [`Sync`]: batches are executed with data parallelism, and
+/// future dispatchers (async, remote, multi-backend) share the same bound.
+pub trait ExecutionBackend: Sync {
+    /// Executes one circuit and returns the distribution over its classical
+    /// bits.
     ///
     /// # Errors
     ///
     /// Implementations return [`CoreError::Simulation`] when the circuit
     /// cannot be executed (too wide, no measurements, ...).
-    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError>;
+    fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError>;
+
+    /// Executes a batch of circuits, returning one result per input circuit
+    /// in order.
+    ///
+    /// The default implementation loops over [`ExecutionBackend::run_one`]
+    /// serially, so simple backends stay one method; parallel and remote
+    /// backends override it.
+    fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
+        circuits.iter().map(|c| self.run_one(c)).collect()
+    }
 
     /// Number of circuits executed so far (for instance accounting).
     fn executions(&self) -> u64;
 }
 
+/// Distributions of an executed batch, keyed by structural [`VariantKey`].
+///
+/// Produced by [`execute_requests`] (phase 2) and consumed by the
+/// reconstructors (phase 3). Also records the dedup accounting: how many
+/// variants were requested, how many unique keys survived, and how many
+/// circuits were actually executed after structural dedup.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionResults {
+    distributions: HashMap<VariantKey, Vec<f64>>,
+    requested: u64,
+    executed: u64,
+}
+
+impl ExecutionResults {
+    /// The distribution for `key`, or an error naming the missing fragment —
+    /// the consume-phase signal that the enumerate phase forgot a variant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MissingVariant`] when `key` was not part of the
+    /// executed batch.
+    pub fn distribution(&self, key: &VariantKey) -> Result<&[f64], CoreError> {
+        self.distributions
+            .get(key)
+            .map(Vec::as_slice)
+            .ok_or(CoreError::MissingVariant { fragment: key.fragment })
+    }
+
+    /// The distribution for `key`, if present.
+    pub fn get(&self, key: &VariantKey) -> Option<&[f64]> {
+        self.distributions.get(key).map(Vec::as_slice)
+    }
+
+    /// Whether the batch contains `key`.
+    pub fn contains(&self, key: &VariantKey) -> bool {
+        self.distributions.contains_key(key)
+    }
+
+    /// Number of distinct variant keys held.
+    pub fn unique_variants(&self) -> usize {
+        self.distributions.len()
+    }
+
+    /// Total number of variant requests that went into this batch, including
+    /// duplicates collapsed by dedup.
+    pub fn requested(&self) -> u64 {
+        self.requested
+    }
+
+    /// Number of circuits actually executed (after key dedup *and*
+    /// structural-circuit dedup).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Whether no variants are held.
+    pub fn is_empty(&self) -> bool {
+        self.distributions.is_empty()
+    }
+
+    /// Merges another batch into this one (later batches win on key
+    /// collisions). Accounting is summed.
+    pub fn extend(&mut self, other: ExecutionResults) {
+        self.distributions.extend(other.distributions);
+        self.requested += other.requested;
+        self.executed += other.executed;
+    }
+}
+
+/// Phase 2 of the protocol: deduplicates `requests` by [`VariantKey`],
+/// instantiates each unique key once, collapses structurally identical
+/// circuits, and executes the survivors as one [`ExecutionBackend::run_batch`]
+/// call.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidCutSolution`] for keys that do not match `fragments`.
+/// * The first backend error of the batch, if any.
+pub fn execute_requests(
+    fragments: &FragmentSet,
+    requests: &[VariantRequest],
+    backend: &dyn ExecutionBackend,
+) -> Result<ExecutionResults, CoreError> {
+    // Dedup by key, preserving first-seen order for reproducible batches.
+    let mut seen: HashSet<&VariantKey> = HashSet::with_capacity(requests.len());
+    let mut unique_keys: Vec<&VariantKey> = Vec::new();
+    for request in requests {
+        if seen.insert(&request.key) {
+            unique_keys.push(&request.key);
+        }
+    }
+
+    // Instantiate each unique key once, then collapse structurally identical
+    // circuits (verifying equality on hash-bucket collisions) so e.g. the two
+    // measuring gate-cut instances of a half run once.
+    let mut circuits: Vec<Circuit> = Vec::new();
+    let mut circuit_of_key: Vec<usize> = Vec::with_capacity(unique_keys.len());
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    for key in &unique_keys {
+        let circuit = fragments.instantiate_key(key)?;
+        let hash = circuit.structural_hash();
+        let bucket = buckets.entry(hash).or_default();
+        let existing = bucket.iter().copied().find(|&i| circuits[i].structurally_equal(&circuit));
+        let index = match existing {
+            Some(i) => i,
+            None => {
+                circuits.push(circuit);
+                bucket.push(circuits.len() - 1);
+                circuits.len() - 1
+            }
+        };
+        circuit_of_key.push(index);
+    }
+
+    // One batch submission; backends parallelise internally.
+    let outcomes = backend.run_batch(&circuits);
+    if outcomes.len() != circuits.len() {
+        return Err(CoreError::InvalidCutSolution {
+            reason: format!(
+                "backend returned {} results for a batch of {} circuits",
+                outcomes.len(),
+                circuits.len()
+            ),
+        });
+    }
+    let mut distributions: Vec<Vec<f64>> = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        distributions.push(outcome?);
+    }
+
+    let executed = circuits.len() as u64;
+    let mut results = ExecutionResults {
+        distributions: HashMap::with_capacity(unique_keys.len()),
+        requested: requests.len() as u64,
+        executed,
+    };
+    for (key, &circuit_index) in unique_keys.iter().zip(&circuit_of_key) {
+        results.distributions.insert((*key).clone(), distributions[circuit_index].clone());
+    }
+    Ok(results)
+}
+
 /// Exact backend: enumerates measurement branches with a state-vector
-/// simulator. Intended for verification and small fragments.
+/// simulator. Intended for verification and small fragments. Batches run
+/// rayon-parallel across all cores.
 #[derive(Debug, Default)]
 pub struct ExactBackend {
     count: Mutex<u64>,
@@ -43,9 +219,17 @@ impl ExactBackend {
 }
 
 impl ExecutionBackend for ExactBackend {
-    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+    fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
         *self.count.lock() += 1;
         Ok(classical_distribution(circuit)?)
+    }
+
+    fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
+        *self.count.lock() += circuits.len() as u64;
+        circuits
+            .par_iter()
+            .map(|circuit| classical_distribution(circuit).map_err(CoreError::from))
+            .collect()
     }
 
     fn executions(&self) -> u64 {
@@ -55,6 +239,11 @@ impl ExecutionBackend for ExactBackend {
 
 /// Shots backend: runs each variant on a simulated [`Device`] (optionally
 /// noisy) with a fixed shot budget and reports the empirical distribution.
+///
+/// Batches run rayon-parallel; every circuit in a batch gets its own
+/// deterministic sampling stream (derived from the batch base position), so a
+/// batched run reproduces the serial execution of the same circuits in order,
+/// independent of thread scheduling.
 #[derive(Debug)]
 pub struct ShotsBackend {
     device: Device,
@@ -79,9 +268,41 @@ impl ShotsBackend {
 }
 
 impl ExecutionBackend for ShotsBackend {
-    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+    fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
         let counts = self.device.execute(circuit, self.shots)?;
         Ok(counts.probability_vector())
+    }
+
+    fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
+        // Assign sampling streams only to circuits that will actually run.
+        // Serial `run_one` calls consume no stream for a circuit that fails
+        // validation, so skipping them here keeps batched sampling identical
+        // to serial execution and keeps `executions()` an honest run count.
+        let runnable: Vec<bool> =
+            circuits.iter().map(|c| self.shots > 0 && self.device.validate(c).is_ok()).collect();
+        let base = self.device.reserve_streams(runnable.iter().filter(|&&r| r).count() as u64);
+        let mut next = base;
+        let streams: Vec<u64> = runnable
+            .iter()
+            .map(|&r| {
+                if r {
+                    next += 1;
+                    next - 1
+                } else {
+                    0 // never sampled: execute_stream fails validation first
+                }
+            })
+            .collect();
+        circuits
+            .par_iter()
+            .enumerate()
+            .map(|(i, circuit)| {
+                self.device
+                    .execute_stream(circuit, self.shots, streams[i])
+                    .map(|counts| counts.probability_vector())
+                    .map_err(CoreError::from)
+            })
+            .collect()
     }
 
     fn executions(&self) -> u64 {
@@ -89,14 +310,20 @@ impl ExecutionBackend for ShotsBackend {
     }
 }
 
+/// One hash bucket of the [`CachingBackend`]: circuits sharing a structural
+/// hash, each with its cached distribution.
+type CacheBucket = Vec<(Circuit, Vec<f64>)>;
+
 /// A memoising wrapper: identical variant circuits are executed once.
 ///
-/// The expectation reconstructor evaluates one Pauli term at a time; terms
-/// that share a measurement-basis signature reuse the cached distributions
-/// instead of re-running the fragment.
+/// The batch path already deduplicates inside [`execute_requests`], but
+/// callers that drive a backend circuit-by-circuit (or across independent
+/// batches) still benefit from a cache. Keys are the 64-bit
+/// [`Circuit::structural_hash`] with an equality check on bucket collisions —
+/// no QASM serialisation.
 pub struct CachingBackend<B> {
     inner: B,
-    cache: Mutex<HashMap<String, Vec<f64>>>,
+    cache: Mutex<HashMap<u64, CacheBucket>>,
 }
 
 impl<B: ExecutionBackend> CachingBackend<B> {
@@ -109,17 +336,77 @@ impl<B: ExecutionBackend> CachingBackend<B> {
     pub fn inner(&self) -> &B {
         &self.inner
     }
+
+    /// Number of distinct circuits held in the cache.
+    pub fn cached_circuits(&self) -> usize {
+        self.cache.lock().values().map(Vec::len).sum()
+    }
+
+    fn lookup(&self, circuit: &Circuit, hash: u64) -> Option<Vec<f64>> {
+        let cache = self.cache.lock();
+        cache
+            .get(&hash)?
+            .iter()
+            .find(|(cached, _)| cached.structurally_equal(circuit))
+            .map(|(_, dist)| dist.clone())
+    }
+
+    fn store(&self, circuit: &Circuit, hash: u64, dist: &[f64]) {
+        let mut cache = self.cache.lock();
+        let bucket = cache.entry(hash).or_default();
+        if !bucket.iter().any(|(cached, _)| cached.structurally_equal(circuit)) {
+            bucket.push((circuit.clone(), dist.to_vec()));
+        }
+    }
 }
 
 impl<B: ExecutionBackend> ExecutionBackend for CachingBackend<B> {
-    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
-        let key = qrcc_circuit::qasm::to_qasm(circuit);
-        if let Some(hit) = self.cache.lock().get(&key) {
-            return Ok(hit.clone());
+    fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+        let hash = circuit.structural_hash();
+        if let Some(hit) = self.lookup(circuit, hash) {
+            return Ok(hit);
         }
-        let dist = self.inner.distribution(circuit)?;
-        self.cache.lock().insert(key, dist.clone());
+        let dist = self.inner.run_one(circuit)?;
+        self.store(circuit, hash, &dist);
         Ok(dist)
+    }
+
+    fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
+        // Serve hits from the cache, batch the misses through the inner
+        // backend, then fill the cache.
+        let hashes: Vec<u64> = circuits.iter().map(Circuit::structural_hash).collect();
+        let mut outcomes: Vec<Option<Result<Vec<f64>, CoreError>>> =
+            circuits.iter().zip(&hashes).map(|(c, &h)| self.lookup(c, h).map(Ok)).collect();
+        let miss_indices: Vec<usize> =
+            (0..circuits.len()).filter(|&i| outcomes[i].is_none()).collect();
+        // Collapse structurally identical misses so the inner batch runs each
+        // distinct circuit once — the wrapper's once-per-circuit promise holds
+        // within a batch, not just across calls.
+        let mut reps: Vec<usize> = Vec::new();
+        let mut rep_of_miss: Vec<usize> = Vec::with_capacity(miss_indices.len());
+        for &i in &miss_indices {
+            let found = reps.iter().position(|&r| {
+                hashes[r] == hashes[i] && circuits[r].structurally_equal(&circuits[i])
+            });
+            match found {
+                Some(p) => rep_of_miss.push(p),
+                None => {
+                    reps.push(i);
+                    rep_of_miss.push(reps.len() - 1);
+                }
+            }
+        }
+        let rep_circuits: Vec<Circuit> = reps.iter().map(|&i| circuits[i].clone()).collect();
+        let rep_results = self.inner.run_batch(&rep_circuits);
+        for (&r, result) in reps.iter().zip(&rep_results) {
+            if let Ok(dist) = result {
+                self.store(&circuits[r], hashes[r], dist);
+            }
+        }
+        for (&i, &p) in miss_indices.iter().zip(&rep_of_miss) {
+            outcomes[i] = Some(rep_results[p].clone());
+        }
+        outcomes.into_iter().map(|o| o.expect("every slot filled")).collect()
     }
 
     fn executions(&self) -> u64 {
@@ -130,7 +417,11 @@ impl<B: ExecutionBackend> ExecutionBackend for CachingBackend<B> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fragment::FragmentVariant;
+    use crate::planner::CutPlanner;
+    use crate::QrccConfig;
     use qrcc_sim::device::DeviceConfig;
+    use std::time::Duration;
 
     fn bell_with_measures() -> Circuit {
         let mut c = Circuit::new(2);
@@ -141,7 +432,7 @@ mod tests {
     #[test]
     fn exact_backend_returns_exact_distribution() {
         let backend = ExactBackend::new();
-        let dist = backend.distribution(&bell_with_measures()).unwrap();
+        let dist = backend.run_one(&bell_with_measures()).unwrap();
         assert!((dist[0b00] - 0.5).abs() < 1e-12);
         assert!((dist[0b11] - 0.5).abs() < 1e-12);
         assert_eq!(backend.executions(), 1);
@@ -150,30 +441,215 @@ mod tests {
     #[test]
     fn shots_backend_approximates_the_distribution() {
         let backend = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(7)), 20_000);
-        let dist = backend.distribution(&bell_with_measures()).unwrap();
+        let dist = backend.run_one(&bell_with_measures()).unwrap();
         assert!((dist[0b00] - 0.5).abs() < 0.02);
         assert!((dist[0b01]).abs() < 1e-12);
         assert_eq!(backend.shots(), 20_000);
     }
 
     #[test]
+    fn batch_matches_serial_execution_exactly() {
+        let mut circuits = Vec::new();
+        for n in 0..6 {
+            let mut c = Circuit::new(3);
+            c.h(0).ry(0.2 * (n as f64 + 1.0), 1).cx(0, 1).cx(1, 2).measure_all();
+            circuits.push(c);
+        }
+        let serial = ExactBackend::new();
+        let serial_dists: Vec<Vec<f64>> =
+            circuits.iter().map(|c| serial.run_one(c).unwrap()).collect();
+        let batched = ExactBackend::new();
+        let batch_dists = batched.run_batch(&circuits);
+        assert_eq!(batched.executions(), circuits.len() as u64);
+        for (a, b) in serial_dists.iter().zip(batch_dists) {
+            let b = b.unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shots_batch_is_deterministic_and_matches_serial_order() {
+        let mut circuits = Vec::new();
+        for n in 0..4 {
+            let mut c = Circuit::new(2);
+            c.h(0).ry(0.3 * (n as f64 + 1.0), 1).cx(0, 1).measure_all();
+            circuits.push(c);
+        }
+        let serial = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(5)), 2_000);
+        let serial_dists: Vec<Vec<f64>> =
+            circuits.iter().map(|c| serial.run_one(c).unwrap()).collect();
+        let batched = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(5)), 2_000);
+        let batch_dists = batched.run_batch(&circuits);
+        for (a, b) in serial_dists.iter().zip(batch_dists) {
+            assert_eq!(a, &b.unwrap(), "batch must reproduce the serial sampling streams");
+        }
+    }
+
+    #[test]
+    fn default_run_batch_loops_run_one() {
+        // A minimal backend implementing only run_one still gets batching.
+        struct OneShot;
+        impl ExecutionBackend for OneShot {
+            fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+                Ok(classical_distribution(circuit)?)
+            }
+            fn executions(&self) -> u64 {
+                0
+            }
+        }
+        let circuits = vec![bell_with_measures(), bell_with_measures()];
+        let results = OneShot.run_batch(&circuits);
+        assert_eq!(results.len(), 2);
+        assert!(results.iter().all(Result::is_ok));
+    }
+
+    #[test]
     fn caching_backend_deduplicates_executions() {
         let backend = CachingBackend::new(ExactBackend::new());
         let c = bell_with_measures();
-        backend.distribution(&c).unwrap();
-        backend.distribution(&c).unwrap();
+        backend.run_one(&c).unwrap();
+        backend.run_one(&c).unwrap();
         assert_eq!(backend.executions(), 1);
         // a different circuit is executed separately
         let mut other = Circuit::new(1);
         other.h(0).measure(0, 0);
-        backend.distribution(&other).unwrap();
+        backend.run_one(&other).unwrap();
+        assert_eq!(backend.executions(), 2);
+        assert_eq!(backend.cached_circuits(), 2);
+    }
+
+    #[test]
+    fn caching_backend_batches_only_misses() {
+        let backend = CachingBackend::new(ExactBackend::new());
+        let a = bell_with_measures();
+        backend.run_one(&a).unwrap();
+        let mut b = Circuit::new(1);
+        b.h(0).measure(0, 0);
+        let results = backend.run_batch(&[a.clone(), b.clone(), a.clone(), b.clone()]);
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(Result::is_ok));
+        // `a` was cached; `b` appears twice in the batch but structurally
+        // identical misses collapse, so the inner backend ran it once.
+        assert_eq!(backend.executions(), 2);
+        // a second identical batch is served fully from cache
+        backend.run_batch(&[a, b]);
         assert_eq!(backend.executions(), 2);
     }
 
     #[test]
     fn width_violations_surface_as_errors() {
         let backend = ShotsBackend::new(Device::ideal(1), 10);
-        let err = backend.distribution(&bell_with_measures());
+        let err = backend.run_one(&bell_with_measures());
         assert!(matches!(err, Err(CoreError::Simulation(_))));
+        let errs = backend.run_batch(&[bell_with_measures()]);
+        assert!(matches!(&errs[0], Err(CoreError::Simulation(_))));
+        // a failed run consumes no sampling stream and is not counted
+        assert_eq!(backend.executions(), 0);
+    }
+
+    #[test]
+    fn invalid_circuits_in_a_batch_do_not_shift_sampling_streams() {
+        let mut wide = Circuit::new(3);
+        wide.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let bell = bell_with_measures();
+
+        // serial reference: the invalid circuit consumes no stream
+        let serial = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(3)), 2_000);
+        assert!(serial.run_one(&wide).is_err());
+        let first = serial.run_one(&bell).unwrap();
+        let second = serial.run_one(&bell).unwrap();
+
+        // batched: [invalid, bell, bell] must sample the same streams
+        let batched = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(3)), 2_000);
+        let results = batched.run_batch(&[wide, bell.clone(), bell]);
+        assert!(results[0].is_err());
+        assert_eq!(results[1].as_ref().unwrap(), &first);
+        assert_eq!(results[2].as_ref().unwrap(), &second);
+        // only the two real runs are counted
+        assert_eq!(batched.executions(), 2);
+    }
+
+    #[test]
+    fn dedup_ignores_circuit_names() {
+        let backend = CachingBackend::new(ExactBackend::new());
+        let a = bell_with_measures();
+        let mut renamed = bell_with_measures();
+        renamed.set_name("same_structure_different_name");
+        backend.run_one(&a).unwrap();
+        backend.run_one(&renamed).unwrap();
+        assert_eq!(backend.executions(), 1, "renamed circuit must hit the cache");
+    }
+
+    #[test]
+    fn execute_requests_dedups_by_key_and_structure() {
+        // Plan a small chain so we have real fragments to instantiate.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let plan = CutPlanner::new(
+            QrccConfig::new(3).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO),
+        )
+        .plan(&c)
+        .unwrap();
+        let fragments = crate::fragment::FragmentSet::from_plan(&plan).unwrap();
+        let fragment = &fragments.fragments[0];
+        let variant = fragment.default_variant();
+        // The same key requested three times executes once.
+        let requests = vec![
+            VariantRequest::new(0, variant.clone()),
+            VariantRequest::new(0, variant.clone()),
+            VariantRequest::new(0, variant),
+        ];
+        let backend = ExactBackend::new();
+        let results = execute_requests(&fragments, &requests, &backend).unwrap();
+        assert_eq!(results.requested(), 3);
+        assert_eq!(results.unique_variants(), 1);
+        assert_eq!(results.executed(), 1);
+        assert_eq!(backend.executions(), 1);
+    }
+
+    #[test]
+    fn execute_requests_rejects_malformed_keys() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let plan = CutPlanner::new(
+            QrccConfig::new(3).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO),
+        )
+        .plan(&c)
+        .unwrap();
+        let fragments = crate::fragment::FragmentSet::from_plan(&plan).unwrap();
+        let bogus = VariantRequest::new(
+            99,
+            FragmentVariant {
+                init_states: vec![],
+                cut_bases: vec![],
+                gate_instances: vec![],
+                output_bases: vec![],
+            },
+        );
+        let backend = ExactBackend::new();
+        assert!(matches!(
+            execute_requests(&fragments, &[bogus], &backend),
+            Err(CoreError::InvalidCutSolution { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_variant_lookup_is_a_typed_error() {
+        let results = ExecutionResults::default();
+        let key = VariantKey::new(
+            7,
+            FragmentVariant {
+                init_states: vec![],
+                cut_bases: vec![],
+                gate_instances: vec![],
+                output_bases: vec![],
+            },
+        );
+        assert!(matches!(
+            results.distribution(&key),
+            Err(CoreError::MissingVariant { fragment: 7 })
+        ));
     }
 }

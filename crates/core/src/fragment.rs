@@ -40,7 +40,8 @@ pub enum InitState {
 
 impl InitState {
     /// All four initialisation states, in reconstruction order.
-    pub const ALL: [InitState; 4] = [InitState::Zero, InitState::One, InitState::Plus, InitState::PlusI];
+    pub const ALL: [InitState; 4] =
+        [InitState::Zero, InitState::One, InitState::Plus, InitState::PlusI];
 }
 
 /// Measurement basis of a wire-cut measurement slot.
@@ -75,6 +76,46 @@ pub struct FragmentVariant {
     /// [`Fragment::output_clbits`]); `Pauli::I`/`Pauli::Z` measure in the
     /// computational basis.
     pub output_bases: Vec<Pauli>,
+}
+
+/// Structural identity of one fragment variant: the fragment index plus the
+/// full slot configuration. Two requests with equal keys instantiate to the
+/// same circuit, so the execution layer deduplicates on this key — no QASM
+/// serialisation involved.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VariantKey {
+    /// Index of the fragment within its [`FragmentSet`].
+    pub fragment: usize,
+    /// The slot configuration.
+    pub variant: FragmentVariant,
+}
+
+impl VariantKey {
+    /// Builds a key for `fragment` with the given slot configuration.
+    pub fn new(fragment: usize, variant: FragmentVariant) -> Self {
+        VariantKey { fragment, variant }
+    }
+}
+
+/// A request for one fragment-variant execution, as pure data.
+///
+/// Reconstructors *enumerate* the requests they need, the pipeline
+/// *deduplicates* them by [`VariantKey`] and executes one batch, and the
+/// reconstructors then *consume* the resulting
+/// [`ExecutionResults`](crate::execute::ExecutionResults). The request is a
+/// thin wrapper over the key today; shot-allocation weights (à la ShotQC) are
+/// the natural extension point.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct VariantRequest {
+    /// The structural identity of the requested variant.
+    pub key: VariantKey,
+}
+
+impl VariantRequest {
+    /// Builds a request for `fragment` with the given slot configuration.
+    pub fn new(fragment: usize, variant: FragmentVariant) -> Self {
+        VariantRequest { key: VariantKey::new(fragment, variant) }
+    }
 }
 
 /// One operation of a fragment's skeleton.
@@ -147,7 +188,11 @@ impl Fragment {
     pub fn instantiate(&self, variant: &FragmentVariant) -> Circuit {
         assert_eq!(variant.init_states.len(), self.incoming_cuts.len(), "init slot mismatch");
         assert_eq!(variant.cut_bases.len(), self.outgoing_cuts.len(), "basis slot mismatch");
-        assert_eq!(variant.gate_instances.len(), self.gate_cut_roles.len(), "instance slot mismatch");
+        assert_eq!(
+            variant.gate_instances.len(),
+            self.gate_cut_roles.len(),
+            "instance slot mismatch"
+        );
         assert_eq!(variant.output_bases.len(), self.output_clbits.len(), "output basis mismatch");
 
         let mut circuit = Circuit::with_clbits(self.num_physical.max(1), self.num_clbits);
@@ -200,7 +245,8 @@ impl Fragment {
                     let (pre, post) = form.locals(half);
                     for g in pre {
                         circuit.push(
-                            Operation::gate(*g, &[QubitId::new(*phys)]).expect("single-qubit local"),
+                            Operation::gate(*g, &[QubitId::new(*phys)])
+                                .expect("single-qubit local"),
                         );
                     }
                     let instance = variant.gate_instances[*role];
@@ -218,7 +264,8 @@ impl Fragment {
                     }
                     for g in post {
                         circuit.push(
-                            Operation::gate(*g, &[QubitId::new(*phys)]).expect("single-qubit local"),
+                            Operation::gate(*g, &[QubitId::new(*phys)])
+                                .expect("single-qubit local"),
                         );
                     }
                 }
@@ -266,6 +313,43 @@ impl FragmentSet {
         self.fragments.iter().map(Fragment::variant_count).sum()
     }
 
+    /// Instantiates the circuit a [`VariantKey`] identifies, validating the
+    /// key against this set first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidCutSolution`] when the fragment index is
+    /// out of range or a slot vector's length does not match the fragment.
+    pub fn instantiate_key(&self, key: &VariantKey) -> Result<Circuit, CoreError> {
+        let fragment =
+            self.fragments.get(key.fragment).ok_or_else(|| CoreError::InvalidCutSolution {
+                reason: format!(
+                    "variant key references fragment {} but the set has {}",
+                    key.fragment,
+                    self.fragments.len()
+                ),
+            })?;
+        let v = &key.variant;
+        let slots_match = v.init_states.len() == fragment.incoming_cuts.len()
+            && v.cut_bases.len() == fragment.outgoing_cuts.len()
+            && v.gate_instances.len() == fragment.gate_cut_roles.len()
+            && v.output_bases.len() == fragment.output_clbits.len();
+        if !slots_match {
+            return Err(CoreError::InvalidCutSolution {
+                reason: format!("variant key slot counts do not match fragment {}", key.fragment),
+            });
+        }
+        if v.gate_instances.iter().any(|&i| !(1..=6).contains(&i)) {
+            return Err(CoreError::InvalidCutSolution {
+                reason: format!(
+                    "gate-cut instance outside 1..=6 in key for fragment {}",
+                    key.fragment
+                ),
+            });
+        }
+        Ok(fragment.instantiate(v))
+    }
+
     /// Builds the fragments of a cut plan.
     ///
     /// # Errors
@@ -285,9 +369,8 @@ impl FragmentSet {
         let mut gate_cut_forms = Vec::with_capacity(gate_cut_nodes.len());
         for &node in &gate_cut_nodes {
             let gate = dag.node(node).op.as_gate().expect("gate-cut node is a gate");
-            let form = zz_form(gate).ok_or_else(|| CoreError::GateNotCuttable {
-                gate: gate.name().to_string(),
-            })?;
+            let form = zz_form(gate)
+                .ok_or_else(|| CoreError::GateNotCuttable { gate: gate.name().to_string() })?;
             gate_cut_forms.push(form);
         }
 
@@ -334,9 +417,8 @@ fn build_fragment(
 
     // Segments of this fragment, ordered by (start layer, qubit) so that the
     // interval assignment below is deterministic.
-    let mut segment_ids: Vec<usize> = (0..all_segments.len())
-        .filter(|&i| all_segments[i].subcircuit == sub)
-        .collect();
+    let mut segment_ids: Vec<usize> =
+        (0..all_segments.len()).filter(|&i| all_segments[i].subcircuit == sub).collect();
     segment_ids.sort_by_key(|&i| (all_segments[i].start_layer, all_segments[i].qubit.index()));
 
     // Physical qubit per segment.
@@ -416,11 +498,8 @@ fn build_fragment(
     }
     let role_of_cut: HashMap<usize, usize> =
         gate_cut_roles.iter().enumerate().map(|(i, &(cut, _))| (cut, i)).collect();
-    let gatecut_clbit_of_role: HashMap<usize, usize> = gate_cut_roles
-        .iter()
-        .enumerate()
-        .map(|(i, _)| (i, gatecut_clbits[i].1))
-        .collect();
+    let gatecut_clbit_of_role: HashMap<usize, usize> =
+        gate_cut_roles.iter().enumerate().map(|(i, _)| (i, gatecut_clbits[i].1)).collect();
 
     // Emit the skeleton in (layer, node id) order.
     let mut nodes: Vec<NodeId> = Vec::new();
@@ -556,9 +635,7 @@ mod tests {
         }
         c.rz(0.3, n - 1);
         CutPlanner::new(
-            QrccConfig::new(d)
-                .with_subcircuit_range(2, 3)
-                .with_ilp_time_limit(Duration::ZERO),
+            QrccConfig::new(d).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO),
         )
         .plan(&c)
         .unwrap()
@@ -648,9 +725,6 @@ mod tests {
         variant.gate_instances[0] = if half == GateHalf::Top { 3 } else { 5 };
         let measuring = fragment.instantiate(&variant);
         let baseline = fragment.instantiate(&fragment.default_variant());
-        assert_eq!(
-            measuring.count_ops()["measure"],
-            baseline.count_ops()["measure"] + 1
-        );
+        assert_eq!(measuring.count_ops()["measure"], baseline.count_ops()["measure"] + 1);
     }
 }

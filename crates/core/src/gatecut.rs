@@ -226,7 +226,11 @@ mod tests {
         }
         // states must agree up to a global phase: |<a|b>| = 1
         let overlap = a.inner(&b).abs();
-        assert!((overlap - 1.0).abs() < 1e-9, "{} zz form mismatch, overlap {overlap}", gate.name());
+        assert!(
+            (overlap - 1.0).abs() < 1e-9,
+            "{} zz form mismatch, overlap {overlap}",
+            gate.name()
+        );
     }
 
     #[test]

@@ -28,8 +28,10 @@ pub fn solution_cost(solution: &CutSolution, dag: &CircuitDag, config: &QrccConf
     for &w in &metrics.subcircuit_widths {
         penalty += w.saturating_sub(config.device_size) as f64 * INFEASIBILITY_PENALTY;
     }
-    penalty += metrics.wire_cuts.saturating_sub(config.max_wire_cuts) as f64 * INFEASIBILITY_PENALTY;
-    penalty += metrics.gate_cuts.saturating_sub(config.max_gate_cuts) as f64 * INFEASIBILITY_PENALTY;
+    penalty +=
+        metrics.wire_cuts.saturating_sub(config.max_wire_cuts) as f64 * INFEASIBILITY_PENALTY;
+    penalty +=
+        metrics.gate_cuts.saturating_sub(config.max_gate_cuts) as f64 * INFEASIBILITY_PENALTY;
     let pp_cost = config.linear_post_processing_cost(metrics.wire_cuts, metrics.gate_cuts);
     // The paper's example fidelity term f(TE) = 0.75·TE + 23 maps the
     // max-two-qubit-gate count into the same value range as PPCost.
@@ -89,11 +91,7 @@ pub fn normalize(solution: &mut CutSolution, dag: &CircuitDag) {
 fn init_qubit_blocks(dag: &CircuitDag, num_subs: usize) -> CutSolution {
     let n = dag.num_qubits().max(1);
     let block = |q: usize| (q * num_subs / n).min(num_subs - 1);
-    let assignment = dag
-        .nodes()
-        .iter()
-        .map(|node| block(node.op.qubits()[0].index()))
-        .collect();
+    let assignment = dag.nodes().iter().map(|node| block(node.op.qubits()[0].index())).collect();
     CutSolution {
         num_subcircuits: num_subs,
         assignment,
@@ -129,11 +127,8 @@ fn init_staircase(dag: &CircuitDag, num_subs: usize) -> CutSolution {
 /// Initial assignment splitting the circuit temporally into equal layer bands.
 fn init_temporal(dag: &CircuitDag, num_subs: usize) -> CutSolution {
     let layers = dag.num_layers().max(1);
-    let assignment = dag
-        .nodes()
-        .iter()
-        .map(|node| (node.layer * num_subs / layers).min(num_subs - 1))
-        .collect();
+    let assignment =
+        dag.nodes().iter().map(|node| (node.layer * num_subs / layers).min(num_subs - 1)).collect();
     CutSolution {
         num_subcircuits: num_subs,
         assignment,
@@ -198,10 +193,8 @@ fn gate_cut_pass(solution: &mut CutSolution, dag: &CircuitDag, config: &QrccConf
             continue;
         }
         let op = &dag.node(node).op;
-        let cuttable = op
-            .as_gate()
-            .map(|g| g.is_gate_cuttable() && op.is_two_qubit_gate())
-            .unwrap_or(false);
+        let cuttable =
+            op.as_gate().map(|g| g.is_gate_cuttable() && op.is_two_qubit_gate()).unwrap_or(false);
         if !cuttable {
             continue;
         }

@@ -16,9 +16,14 @@
 //! * [`fragment::FragmentSet`] — turns a plan into executable subcircuit
 //!   variants (measurement/initialisation variants for wire cuts, the six
 //!   Mitarai–Fujii instances for gate cuts).
+//! * [`execute`] — the batch-first execution layer: enumerate
+//!   [`fragment::VariantRequest`]s, deduplicate by structural
+//!   [`fragment::VariantKey`], run one rayon-parallel batch on an
+//!   [`execute::ExecutionBackend`].
 //! * [`reconstruct`] — probability-vector and expectation-value
 //!   reconstruction, and the post-processing cost models of Figure 6.
-//! * [`pipeline::QrccPipeline`] — the end-to-end flow.
+//! * [`pipeline::QrccPipeline`] — the end-to-end flow
+//!   (plan → fragments → execute → reconstruct).
 //!
 //! # Example
 //!
@@ -32,7 +37,10 @@
 //! let mut ghz = Circuit::new(4);
 //! ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
 //! let pipeline = QrccPipeline::plan(&ghz, QrccConfig::new(3))?;
-//! let p = pipeline.reconstruct_probabilities(&ExactBackend::new())?;
+//! // execute once (deduplicated, parallel batch), then consume
+//! let backend = ExactBackend::new();
+//! let results = pipeline.execute(&backend)?;
+//! let p = pipeline.reconstruct_probabilities_from(&results)?;
 //! assert!((p[0b0000] - 0.5).abs() < 1e-6);
 //! # Ok(())
 //! # }

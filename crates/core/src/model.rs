@@ -50,12 +50,7 @@ impl QrccModel {
 
         // ---- assignment variables -------------------------------------
         let assign: Vec<Vec<VarId>> = (0..num_nodes)
-            .map(|x| {
-                c_range
-                    .clone()
-                    .map(|c| ilp.add_binary(format!("a_{x}_{c}")))
-                    .collect()
-            })
+            .map(|x| c_range.clone().map(|c| ilp.add_binary(format!("a_{x}_{c}"))).collect())
             .collect();
 
         let mut gate_cut = HashMap::new();
@@ -209,7 +204,8 @@ impl QrccModel {
         }
 
         // ---- fidelity balancing (paper Eqs. (16)-(17)) --------------------
-        let two_qubit_bound = dag.nodes().iter().filter(|n| n.op.is_two_qubit_gate()).count() as f64;
+        let two_qubit_bound =
+            dag.nodes().iter().filter(|n| n.op.is_two_qubit_gate()).count() as f64;
         let te = ilp.add_continuous("te", 0.0, two_qubit_bound.max(1.0));
         for c in c_range {
             let mut expr = LinExpr::new().term(-1.0, te);
@@ -231,15 +227,7 @@ impl QrccModel {
         }
         ilp.minimize(objective);
 
-        QrccModel {
-            ilp,
-            num_subcircuits,
-            assign,
-            gate_cut,
-            gate_top,
-            gate_bottom,
-            wire_cut,
-        }
+        QrccModel { ilp, num_subcircuits, assign, gate_cut, gate_top, gate_bottom, wire_cut }
     }
 
     /// Encodes a [`CutSolution`] as a variable assignment usable as a warm
@@ -286,8 +274,7 @@ impl QrccModel {
                 }
             }
         }
-        let te_value =
-            solution.two_qubit_gate_counts(dag).into_iter().max().unwrap_or(0) as f64;
+        let te_value = solution.two_qubit_gate_counts(dag).into_iter().max().unwrap_or(0) as f64;
         // TE is the last continuous variable added named "te".
         for var in self.ilp.vars() {
             if self.ilp.var_name(var) == "te" {
@@ -308,7 +295,7 @@ impl QrccModel {
         let mut assignment = vec![0usize; num_nodes];
         let mut gate_cuts = Vec::new();
         let mut gate_cut_assignment = Vec::new();
-        for x in 0..num_nodes {
+        for (x, slot) in assignment.iter_mut().enumerate() {
             if let Some(&g) = self.gate_cut.get(&x) {
                 if solution.is_one(g) {
                     let top = (0..self.num_subcircuits)
@@ -319,11 +306,11 @@ impl QrccModel {
                         .unwrap_or(if top == 0 { 1 } else { 0 });
                     gate_cuts.push(x);
                     gate_cut_assignment.push((top, bottom));
-                    assignment[x] = top;
+                    *slot = top;
                     continue;
                 }
             }
-            assignment[x] = (0..self.num_subcircuits)
+            *slot = (0..self.num_subcircuits)
                 .find(|&c| solution.is_one(self.assign[x][c]))
                 .unwrap_or(0);
         }
@@ -350,10 +337,8 @@ pub fn refine_with_ilp(
 ) -> Option<CutSolution> {
     let model = QrccModel::build(dag, config, warm.num_subcircuits.max(2));
     let warm_values = model.warm_start(warm, dag);
-    let solver_config = SolverConfig {
-        time_limit: config.ilp_time_limit,
-        ..SolverConfig::default()
-    };
+    let solver_config =
+        SolverConfig { time_limit: config.ilp_time_limit, ..SolverConfig::default() };
     let solution =
         solver::solve_with_warm_start(&model.ilp, &solver_config, Some(&warm_values)).ok()?;
     let extracted = model.extract(&solution);

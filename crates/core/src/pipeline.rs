@@ -5,9 +5,19 @@
 //! run them on a backend (exact simulator or a noisy shots-based device), and
 //! reconstruct either the probability distribution (wire cuts only) or an
 //! observable's expectation value (wire + gate cuts).
+//!
+//! Execution is batch-first: [`QrccPipeline::execute`] (and
+//! [`QrccPipeline::execute_observables`]) enumerate every needed
+//! [`FragmentVariant`](crate::fragment::FragmentVariant) as pure data,
+//! deduplicate by structural [`VariantKey`](crate::fragment::VariantKey), and
+//! submit **one batch** to the backend — which the provided backends run
+//! rayon-parallel. The returned [`ExecutionResults`] can then feed
+//! [`QrccPipeline::reconstruct_probabilities_from`] and any number of
+//! [`QrccPipeline::reconstruct_expectation_from`] calls without touching the
+//! device again.
 
-use crate::execute::ExecutionBackend;
-use crate::fragment::FragmentSet;
+use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
+use crate::fragment::{FragmentSet, VariantRequest};
 use crate::planner::{CutPlan, CutPlanner};
 use crate::reconstruct::{ExpectationReconstructor, ProbabilityReconstructor};
 use crate::{CoreError, QrccConfig};
@@ -28,7 +38,10 @@ pub use crate::execute::{CachingBackend, ExactBackend, ExecutionBackend as Backe
 /// ghz.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
 /// let config = QrccConfig::new(3).with_ilp_time_limit(std::time::Duration::ZERO);
 /// let pipeline = QrccPipeline::plan(&ghz, config)?;
-/// let probabilities = pipeline.reconstruct_probabilities(&ExactBackend::new())?;
+/// // enumerate → dedup → one parallel batch → consume
+/// let backend = ExactBackend::new();
+/// let results = pipeline.execute(&backend)?;
+/// let probabilities = pipeline.reconstruct_probabilities_from(&results)?;
 /// assert!((probabilities[0] - 0.5).abs() < 1e-6);
 /// assert!((probabilities[0b1111] - 0.5).abs() < 1e-6);
 /// # Ok(())
@@ -77,30 +90,146 @@ impl QrccPipeline {
         self.fragments.total_variants()
     }
 
-    /// Reconstructs the original circuit's probability distribution by
-    /// executing every wire-cut variant on `backend`.
+    // ---- phase 1+2: enumerate, deduplicate and execute ----
+
+    /// Executes the probability workload's variants as one deduplicated
+    /// batch on `backend`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::GateCutNeedsExpectation`] if the plan contains gate
+    ///   cuts (use [`QrccPipeline::execute_observables`] instead).
+    /// * [`CoreError::TooManyCuts`] beyond the dense-reconstruction limit.
+    /// * Any backend error.
+    pub fn execute(&self, backend: &dyn ExecutionBackend) -> Result<ExecutionResults, CoreError> {
+        let requests = ProbabilityReconstructor::new().requests(&self.fragments)?;
+        self.execute_requests(backend, &requests)
+    }
+
+    /// Executes, as **one** deduplicated batch, every variant needed to
+    /// evaluate all `observables` — Pauli terms (within and across
+    /// observables) that share measurement-basis signatures run once.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as
+    /// [`ExpectationReconstructor::requests`], plus any backend error.
+    pub fn execute_observables(
+        &self,
+        backend: &dyn ExecutionBackend,
+        observables: &[&PauliObservable],
+    ) -> Result<ExecutionResults, CoreError> {
+        let reconstructor = ExpectationReconstructor::new();
+        let mut requests = Vec::new();
+        for observable in observables {
+            requests.extend(reconstructor.requests(&self.fragments, observable)?);
+        }
+        self.execute_requests(backend, &requests)
+    }
+
+    /// Executes, as one deduplicated batch, the union of the probability
+    /// workload (when the plan is wire-cut-only) and every observable's
+    /// variants — the result serves
+    /// [`QrccPipeline::reconstruct_probabilities_from`] *and*
+    /// [`QrccPipeline::reconstruct_expectation_from`] for each observable
+    /// without re-execution.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`QrccPipeline::execute`] /
+    /// [`QrccPipeline::execute_observables`] (gate-cut plans skip the
+    /// probability part instead of erroring), plus any backend error.
+    pub fn execute_all(
+        &self,
+        backend: &dyn ExecutionBackend,
+        observables: &[&PauliObservable],
+    ) -> Result<ExecutionResults, CoreError> {
+        let mut requests = Vec::new();
+        if self.fragments.num_gate_cuts() == 0 {
+            requests.extend(ProbabilityReconstructor::new().requests(&self.fragments)?);
+        }
+        let reconstructor = ExpectationReconstructor::new();
+        for observable in observables {
+            requests.extend(reconstructor.requests(&self.fragments, observable)?);
+        }
+        self.execute_requests(backend, &requests)
+    }
+
+    /// Executes an explicit request list (phase 2 only): deduplicates by
+    /// [`VariantKey`](crate::fragment::VariantKey), collapses structurally
+    /// identical circuits and submits one batch.
+    ///
+    /// # Errors
+    ///
+    /// See [`execute_requests`].
+    pub fn execute_requests(
+        &self,
+        backend: &dyn ExecutionBackend,
+        requests: &[VariantRequest],
+    ) -> Result<ExecutionResults, CoreError> {
+        execute_requests(&self.fragments, requests, backend)
+    }
+
+    // ---- phase 3: consume ----
+
+    /// Reconstructs the original circuit's probability distribution from an
+    /// executed batch.
     ///
     /// # Errors
     ///
     /// See [`ProbabilityReconstructor::reconstruct`].
-    pub fn reconstruct_probabilities(
+    pub fn reconstruct_probabilities_from(
         &self,
-        backend: &dyn ExecutionBackend,
+        results: &ExecutionResults,
     ) -> Result<Vec<f64>, CoreError> {
-        ProbabilityReconstructor::new().reconstruct(&self.fragments, backend)
+        ProbabilityReconstructor::new().reconstruct(&self.fragments, results)
     }
 
-    /// Reconstructs the expectation value of `observable`.
+    /// Reconstructs the expectation value of `observable` from an executed
+    /// batch.
     ///
     /// # Errors
     ///
     /// See [`ExpectationReconstructor::reconstruct`].
+    pub fn reconstruct_expectation_from(
+        &self,
+        results: &ExecutionResults,
+        observable: &PauliObservable,
+    ) -> Result<f64, CoreError> {
+        ExpectationReconstructor::new().reconstruct(&self.fragments, results, observable)
+    }
+
+    // ---- convenience: all three phases in one call ----
+
+    /// Reconstructs the original circuit's probability distribution,
+    /// executing the (deduplicated, parallel) batch on `backend` internally.
+    ///
+    /// # Errors
+    ///
+    /// See [`QrccPipeline::execute`] and
+    /// [`ProbabilityReconstructor::reconstruct`].
+    pub fn reconstruct_probabilities(
+        &self,
+        backend: &dyn ExecutionBackend,
+    ) -> Result<Vec<f64>, CoreError> {
+        let results = self.execute(backend)?;
+        self.reconstruct_probabilities_from(&results)
+    }
+
+    /// Reconstructs the expectation value of `observable`, executing the
+    /// (deduplicated, parallel) batch on `backend` internally.
+    ///
+    /// # Errors
+    ///
+    /// See [`QrccPipeline::execute_observables`] and
+    /// [`ExpectationReconstructor::reconstruct`].
     pub fn reconstruct_expectation(
         &self,
         backend: &dyn ExecutionBackend,
         observable: &PauliObservable,
     ) -> Result<f64, CoreError> {
-        ExpectationReconstructor::new().reconstruct(&self.fragments, backend, observable)
+        let results = self.execute_observables(backend, &[observable])?;
+        self.reconstruct_expectation_from(&results, observable)
     }
 }
 
@@ -144,10 +273,56 @@ mod tests {
         let backend = ShotsBackend::new(device, 60_000);
         let estimate = pipeline.reconstruct_expectation(&backend, &obs).unwrap();
         let exact = StateVector::from_circuit(&c).unwrap().expectation(&obs);
-        assert!(
-            (estimate - exact).abs() < 0.08,
-            "shots estimate {estimate} vs exact {exact}"
-        );
+        assert!((estimate - exact).abs() < 0.08, "shots estimate {estimate} vs exact {exact}");
+    }
+
+    #[test]
+    fn one_batch_serves_probabilities_and_multiple_observables() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(0.6, 1).cx(1, 2).cx(2, 3);
+        let pipeline = QrccPipeline::plan(&c, small_config(3)).unwrap();
+        let mut obs_a = PauliObservable::new(4);
+        obs_a.add_term(1.0, PauliString::zz(4, 0, 3));
+        let mut obs_b = PauliObservable::new(4);
+        obs_b.add_term(0.5, PauliString::z(4, 1));
+        obs_b.add_term(-0.25, PauliString::x(4, 2));
+
+        let backend = ExactBackend::new();
+        let results = pipeline.execute_all(&backend, &[&obs_a, &obs_b]).unwrap();
+        let executed_after_batch = backend.executions();
+
+        // every consumer below is served from the same batch: no re-execution
+        let probabilities = pipeline.reconstruct_probabilities_from(&results).unwrap();
+        let ea = pipeline.reconstruct_expectation_from(&results, &obs_a).unwrap();
+        let eb = pipeline.reconstruct_expectation_from(&results, &obs_b).unwrap();
+        assert_eq!(backend.executions(), executed_after_batch);
+
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let exact_p = sv.probabilities();
+        for (a, b) in exact_p.iter().zip(&probabilities) {
+            assert!((a - b).abs() < 1e-6);
+        }
+        assert!((ea - sv.expectation(&obs_a)).abs() < 1e-6);
+        assert!((eb - sv.expectation(&obs_b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reuse_absorbed_empty_fragments_execute_trivially() {
+        // With qubit reuse, a GHZ chain can collapse onto very few physical
+        // qubits, and the planner may emit an empty (clbit-free) subcircuit.
+        // The batch layer must skip it instead of executing a circuit with
+        // nothing to measure (the seed's quickstart crashed here).
+        let mut ghz = Circuit::new(6);
+        ghz.h(0);
+        for q in 0..5 {
+            ghz.cx(q, q + 1);
+        }
+        let pipeline = QrccPipeline::plan(&ghz, QrccConfig::new(3)).unwrap();
+        let backend = ExactBackend::new();
+        let results = pipeline.execute(&backend).unwrap();
+        let p = pipeline.reconstruct_probabilities_from(&results).unwrap();
+        assert!((p[0] - 0.5).abs() < 1e-6, "P(|0…0⟩) = {}", p[0]);
+        assert!((p[(1 << 6) - 1] - 0.5).abs() < 1e-6, "P(|1…1⟩) = {}", p[63]);
     }
 
     #[test]
@@ -161,7 +336,8 @@ mod tests {
         obs.add_term(1.0, PauliString::zz(4, 0, 1));
         let exact = StateVector::from_circuit(&c).unwrap().expectation(&obs);
 
-        let noise = NoiseModel { single_qubit_error: 5e-3, two_qubit_error: 5e-2, readout_error: 2e-2 };
+        let noise =
+            NoiseModel { single_qubit_error: 5e-3, two_qubit_error: 5e-2, readout_error: 2e-2 };
         // whole-circuit execution on a noisy 4-qubit device
         let whole_device = Device::new(DeviceConfig::noisy(4, noise).with_seed(5));
         let whole = whole_device.estimate_expectation(&c, &obs, 8192).unwrap();

@@ -148,16 +148,18 @@ impl CutPlanner {
                 chosen = Some(candidate);
                 break;
             }
-            let width = candidate
-                .metrics(&dag, self.config.qubit_reuse_enabled)
-                .max_width();
+            let width = candidate.metrics(&dag, self.config.qubit_reuse_enabled).max_width();
             best_infeasible_width = best_infeasible_width.min(width);
         }
 
         let Some(mut solution) = chosen else {
             return Err(CoreError::NoCutFound {
                 device_size: d,
-                best_width: if best_infeasible_width == usize::MAX { n } else { best_infeasible_width },
+                best_width: if best_infeasible_width == usize::MAX {
+                    n
+                } else {
+                    best_infeasible_width
+                },
             });
         };
 
@@ -228,9 +230,8 @@ mod tests {
     #[test]
     fn gate_cuts_reduce_effective_cost_on_qaoa() {
         let (circuit, _) = generators::qaoa_regular(8, 3, 1, 3);
-        let base = QrccConfig::new(5)
-            .with_subcircuit_range(2, 3)
-            .with_ilp_time_limit(Duration::ZERO);
+        let base =
+            QrccConfig::new(5).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO);
         let plan_wire_only = CutPlanner::new(base.clone()).plan(&circuit).unwrap();
         let plan_both = CutPlanner::new(base.with_gate_cuts(true)).plan(&circuit).unwrap();
         let eff_wire = plan_wire_only.metrics().effective_cuts();
@@ -246,9 +247,8 @@ mod tests {
     #[test]
     fn reuse_enables_smaller_devices_than_no_reuse() {
         let circuit = generators::vqe_two_local(8, 2, 5);
-        let reuse_cfg = QrccConfig::new(4)
-            .with_subcircuit_range(2, 4)
-            .with_ilp_time_limit(Duration::ZERO);
+        let reuse_cfg =
+            QrccConfig::new(4).with_subcircuit_range(2, 4).with_ilp_time_limit(Duration::ZERO);
         let no_reuse_cfg = reuse_cfg.clone().with_qubit_reuse(false);
         let with_reuse = CutPlanner::new(reuse_cfg).plan(&circuit).unwrap();
         let without_reuse = CutPlanner::new(no_reuse_cfg).plan(&circuit);

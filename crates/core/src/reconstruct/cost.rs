@@ -82,7 +82,7 @@ mod tests {
     fn approximate_reconstruction_tolerates_more_cuts_with_more_subcircuits() {
         let arp2 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 2), 128);
         let arp4 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 4), 128);
-        assert!(arp2 >= 20 && arp2 <= 30, "arp2 tolerated {arp2}");
+        assert!((20..=30).contains(&arp2), "arp2 tolerated {arp2}");
         assert!(arp4 > arp2, "arp4 {arp4} should tolerate more cuts than arp2 {arp2}");
     }
 

@@ -1,9 +1,20 @@
 //! Expectation-value reconstruction for plans with wire cuts and gate cuts
 //! (paper §4.3 "Reconstruction after W-Cut and G-Cut").
+//!
+//! Follows the batch-first protocol: [`requests`] enumerates every variant
+//! the observable needs (across *all* Pauli terms — terms sharing a
+//! measurement-basis signature collapse to the same [`VariantKey`], so the
+//! batch executes them once), the caller executes one batch, and
+//! [`reconstruct`] consumes the results without ever touching a backend.
+//!
+//! [`requests`]: ExpectationReconstructor::requests
+//! [`reconstruct`]: ExpectationReconstructor::reconstruct
 
 use super::{cut_bit_weight, init_weight, mixed_radix, required_basis, MAX_DENSE_CUTS};
-use crate::execute::ExecutionBackend;
-use crate::fragment::{CutBasis, Fragment, FragmentSet, FragmentVariant, InitState};
+use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
+use crate::fragment::{
+    CutBasis, Fragment, FragmentSet, FragmentVariant, InitState, VariantKey, VariantRequest,
+};
 use crate::gatecut::instance_measures;
 use crate::CoreError;
 use qrcc_circuit::observable::{Pauli, PauliObservable, PauliString};
@@ -13,27 +24,70 @@ use qrcc_circuit::observable::{Pauli, PauliObservable, PauliString};
 #[derive(Debug, Clone, Default)]
 pub struct ExpectationReconstructor {}
 
+/// The output-measurement bases one fragment needs for one Pauli string,
+/// normalised so that `I` measures like `Z`: both instantiate to a plain
+/// computational-basis measurement, and normalising makes variant keys of
+/// different Pauli terms collide exactly when their circuits are identical
+/// (maximising batch dedup).
+fn normalized_output_bases(fragment: &Fragment, string: &PauliString) -> Vec<Pauli> {
+    fragment
+        .output_clbits
+        .iter()
+        .map(|&(orig, _)| match string.pauli(orig) {
+            Pauli::I => Pauli::Z,
+            p => p,
+        })
+        .collect()
+}
+
+/// Whether a Pauli string's contribution is identically zero because it acts
+/// with X or Y on an idle wire (idle original qubits stay in |0⟩).
+fn vanishes_on_idle_wires(fragments: &FragmentSet, string: &PauliString) -> bool {
+    (0..fragments.original_qubits).any(|q| {
+        fragments.output_owner[q].is_none() && matches!(string.pauli(q), Pauli::X | Pauli::Y)
+    })
+}
+
+/// Every variant one fragment needs for one Pauli string: all
+/// `6^roles · 4^incoming · 3^outgoing` combinations with the string's output
+/// bases.
+fn expectation_variants<'a>(
+    fragment: &'a Fragment,
+    string: &PauliString,
+) -> impl Iterator<Item = FragmentVariant> + 'a {
+    let output_bases = normalized_output_bases(fragment, string);
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let num_roles = fragment.gate_cut_roles.len();
+    mixed_radix(num_roles, 6).flat_map(move |instance_digits| {
+        let instances: Vec<usize> = instance_digits.iter().map(|&d| d + 1).collect();
+        let output_bases = output_bases.clone();
+        mixed_radix(num_in, 4).flat_map(move |init_digits| {
+            let init_states: Vec<InitState> =
+                init_digits.iter().map(|&d| InitState::ALL[d]).collect();
+            let instances = instances.clone();
+            let output_bases = output_bases.clone();
+            mixed_radix(num_out, 3).map(move |basis_digits| FragmentVariant {
+                init_states: init_states.clone(),
+                cut_bases: basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect(),
+                gate_instances: instances.clone(),
+                output_bases: output_bases.clone(),
+            })
+        })
+    })
+}
+
 impl ExpectationReconstructor {
     /// Creates a reconstructor.
     pub fn new() -> Self {
         ExpectationReconstructor {}
     }
 
-    /// Reconstructs `⟨H⟩` for a weighted Pauli observable.
-    ///
-    /// # Errors
-    ///
-    /// * [`CoreError::TooManyCuts`] when the number of wire cuts exceeds the
-    ///   dense-reconstruction limit.
-    /// * [`CoreError::InvalidCutSolution`] when the observable width does not
-    ///   match the original circuit.
-    /// * Any backend error.
-    pub fn reconstruct(
+    fn check(
         &self,
         fragments: &FragmentSet,
-        backend: &dyn ExecutionBackend,
         observable: &PauliObservable,
-    ) -> Result<f64, CoreError> {
+    ) -> Result<(), CoreError> {
         if observable.num_qubits() != fragments.original_qubits {
             return Err(CoreError::InvalidCutSolution {
                 reason: format!(
@@ -43,14 +97,92 @@ impl ExpectationReconstructor {
                 ),
             });
         }
+        self.check_cuts(fragments)
+    }
+
+    fn check_cuts(&self, fragments: &FragmentSet) -> Result<(), CoreError> {
+        let num_wire_cuts = fragments.num_wire_cuts();
+        if num_wire_cuts > MAX_DENSE_CUTS {
+            return Err(CoreError::TooManyCuts { cuts: num_wire_cuts, limit: MAX_DENSE_CUTS });
+        }
+        Ok(())
+    }
+
+    /// Phase 1 (enumerate): every variant request needed to evaluate all of
+    /// `observable`'s Pauli terms. Terms whose fragment-level configurations
+    /// coincide produce duplicate keys, which the execute phase collapses —
+    /// this is where the old per-term re-execution cost disappears.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::TooManyCuts`] when the number of wire cuts exceeds the
+    ///   dense-reconstruction limit.
+    /// * [`CoreError::InvalidCutSolution`] when the observable width does not
+    ///   match the original circuit.
+    pub fn requests(
+        &self,
+        fragments: &FragmentSet,
+        observable: &PauliObservable,
+    ) -> Result<Vec<VariantRequest>, CoreError> {
+        self.check(fragments, observable)?;
+        let mut requests = Vec::new();
+        for (_, string) in observable.terms() {
+            requests.extend(self.requests_for_pauli(fragments, string)?);
+        }
+        Ok(requests)
+    }
+
+    /// Phase 1 for a single Pauli string.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::TooManyCuts`] when the plan exceeds the dense limit.
+    pub fn requests_for_pauli(
+        &self,
+        fragments: &FragmentSet,
+        string: &PauliString,
+    ) -> Result<Vec<VariantRequest>, CoreError> {
+        self.check_cuts(fragments)?;
+        if vanishes_on_idle_wires(fragments, string) {
+            return Ok(Vec::new()); // the term contributes exactly zero
+        }
+        let mut requests = Vec::new();
+        for fragment in &fragments.fragments {
+            // Clbit-free fragments (reuse-absorbed empty subcircuits) measure
+            // nothing; their contribution is the constant 1.
+            if fragment.num_clbits == 0 {
+                continue;
+            }
+            requests.extend(
+                expectation_variants(fragment, string)
+                    .map(|v| VariantRequest::new(fragment.index, v)),
+            );
+        }
+        Ok(requests)
+    }
+
+    /// Phase 3 (consume): reconstructs `⟨H⟩` for a weighted Pauli observable
+    /// from executed batch results.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExpectationReconstructor::requests`], plus
+    /// [`CoreError::MissingVariant`] when `results` lacks a needed variant.
+    pub fn reconstruct(
+        &self,
+        fragments: &FragmentSet,
+        results: &ExecutionResults,
+        observable: &PauliObservable,
+    ) -> Result<f64, CoreError> {
+        self.check(fragments, observable)?;
         let mut total = 0.0;
         for (coefficient, string) in observable.terms() {
-            total += coefficient * self.reconstruct_pauli(fragments, backend, string)?;
+            total += coefficient * self.reconstruct_pauli(fragments, results, string)?;
         }
         Ok(total)
     }
 
-    /// Reconstructs the expectation value of a single Pauli string.
+    /// Phase 3 for a single Pauli string.
     ///
     /// # Errors
     ///
@@ -58,31 +190,22 @@ impl ExpectationReconstructor {
     pub fn reconstruct_pauli(
         &self,
         fragments: &FragmentSet,
-        backend: &dyn ExecutionBackend,
+        results: &ExecutionResults,
         string: &PauliString,
     ) -> Result<f64, CoreError> {
+        self.check_cuts(fragments)?;
+        if vanishes_on_idle_wires(fragments, string) {
+            return Ok(0.0);
+        }
         let num_wire_cuts = fragments.num_wire_cuts();
         let num_gate_cuts = fragments.num_gate_cuts();
-        if num_wire_cuts > MAX_DENSE_CUTS {
-            return Err(CoreError::TooManyCuts { cuts: num_wire_cuts, limit: MAX_DENSE_CUTS });
-        }
-
-        // Idle original qubits stay in |0⟩: X/Y terms vanish, I/Z contribute +1.
-        for q in 0..fragments.original_qubits {
-            if fragments.output_owner[q].is_none() {
-                match string.pauli(q) {
-                    Pauli::I | Pauli::Z => {}
-                    Pauli::X | Pauli::Y => return Ok(0.0),
-                }
-            }
-        }
 
         // Per-fragment scalar tables indexed by (incoming components,
         // outgoing components, executed gate-cut instances).
         let tables: Vec<FragmentTable> = fragments
             .fragments
             .iter()
-            .map(|f| build_table(f, backend, string))
+            .map(|f| build_table(f, results, string))
             .collect::<Result<_, _>>()?;
 
         let gate_coefficients: Vec<[f64; 6]> =
@@ -120,6 +243,23 @@ impl ExpectationReconstructor {
             }
         }
         Ok(value)
+    }
+
+    /// Convenience: runs all three phases against `backend` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`ExpectationReconstructor::requests`],
+    /// [`execute_requests`] or [`ExpectationReconstructor::reconstruct`].
+    pub fn run(
+        &self,
+        fragments: &FragmentSet,
+        backend: &dyn ExecutionBackend,
+        observable: &PauliObservable,
+    ) -> Result<f64, CoreError> {
+        let requests = self.requests(fragments, observable)?;
+        let results = execute_requests(fragments, &requests, backend)?;
+        self.reconstruct(fragments, &results, observable)
     }
 }
 
@@ -160,7 +300,7 @@ impl FragmentTable {
 
 fn build_table(
     fragment: &Fragment,
-    backend: &dyn ExecutionBackend,
+    results: &ExecutionResults,
     string: &PauliString,
 ) -> Result<FragmentTable, CoreError> {
     let num_in = fragment.incoming_cuts.len();
@@ -169,9 +309,7 @@ fn build_table(
     let size = 4usize.pow((num_in + num_out) as u32) * 6usize.pow(num_roles as u32);
     let mut table = FragmentTable { num_in, num_out, num_roles, data: vec![0.0; size] };
 
-    // Output measurement bases and which output bits enter the Pauli parity.
-    let output_bases: Vec<Pauli> =
-        fragment.output_clbits.iter().map(|&(orig, _)| string.pauli(orig)).collect();
+    // Which output bits enter the Pauli parity.
     let parity_bits: Vec<usize> = fragment
         .output_clbits
         .iter()
@@ -183,94 +321,87 @@ fn build_table(
     let role_halves: Vec<crate::gatecut::GateHalf> =
         fragment.gate_cut_roles.iter().map(|&(_, h)| h).collect();
 
-    for instance_digits in mixed_radix(num_roles, 6) {
-        let instances: Vec<usize> = instance_digits.iter().map(|&d| d + 1).collect();
-        for init_digits in mixed_radix(num_in, 4) {
-            let init_states: Vec<InitState> =
-                init_digits.iter().map(|&d| InitState::ALL[d]).collect();
-            for basis_digits in mixed_radix(num_out, 3) {
-                let cut_bases: Vec<CutBasis> =
-                    basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect();
-                let variant = FragmentVariant {
-                    init_states: init_states.clone(),
-                    cut_bases: cut_bases.clone(),
-                    gate_instances: instances.clone(),
-                    output_bases: output_bases.clone(),
+    // An empty (clbit-free) fragment was never executed: the distribution
+    // over its zero classical bits is the constant [1.0].
+    const TRIVIAL: [f64; 1] = [1.0];
+
+    for variant in expectation_variants(fragment, string) {
+        let key = VariantKey::new(fragment.index, variant);
+        let init_states = &key.variant.init_states;
+        let cut_bases = &key.variant.cut_bases;
+        let instances = &key.variant.gate_instances;
+        let dist: &[f64] =
+            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
+
+        // Weighted scalar for this executed variant.
+        let mut weighted = vec![0.0f64; 4usize.pow(num_out as u32)];
+        for (outcome, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            // parity of the Pauli support bits
+            let mut sign = 1.0;
+            for &bit in &parity_bits {
+                if outcome & (1 << bit) != 0 {
+                    sign = -sign;
+                }
+            }
+            // gate-cut measurement signs
+            for (role, &instance) in instances.iter().enumerate() {
+                if instance_measures(instance, role_halves[role])
+                    && outcome & (1 << gate_bit_positions[role]) != 0
+                {
+                    sign = -sign;
+                }
+            }
+            let cut_bits: Vec<bool> =
+                cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
+            for (combo, slot) in weighted.iter_mut().enumerate() {
+                let mut w = p * sign;
+                let mut rest = combo;
+                for (cut_slot, &basis) in cut_bases.iter().enumerate() {
+                    let component = rest % 4;
+                    rest /= 4;
+                    if required_basis(component) != basis {
+                        w = 0.0;
+                        break;
+                    }
+                    w *= cut_bit_weight(component, cut_bits[cut_slot]);
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                *slot += w;
+            }
+        }
+
+        // Scatter into the table across compatible incoming components.
+        for in_components in mixed_radix(num_in, 4) {
+            let mut in_weight = 1.0;
+            for (slot, &component) in in_components.iter().enumerate() {
+                in_weight *= init_weight(component, init_states[slot]);
+                if in_weight == 0.0 {
+                    break;
+                }
+            }
+            if in_weight == 0.0 {
+                continue;
+            }
+            for (combo, &value) in weighted.iter().enumerate() {
+                if value == 0.0 {
+                    continue;
+                }
+                let out_components: Vec<usize> = {
+                    let mut digits = Vec::with_capacity(num_out);
+                    let mut rest = combo;
+                    for _ in 0..num_out {
+                        digits.push(rest % 4);
+                        rest /= 4;
+                    }
+                    digits
                 };
-                let circuit = fragment.instantiate(&variant);
-                let dist = backend.distribution(&circuit)?;
-
-                // Weighted scalar for this executed variant.
-                let mut weighted = vec![0.0f64; 4usize.pow(num_out as u32)];
-                for (outcome, &p) in dist.iter().enumerate() {
-                    if p == 0.0 {
-                        continue;
-                    }
-                    // parity of the Pauli support bits
-                    let mut sign = 1.0;
-                    for &bit in &parity_bits {
-                        if outcome & (1 << bit) != 0 {
-                            sign = -sign;
-                        }
-                    }
-                    // gate-cut measurement signs
-                    for (role, &instance) in instances.iter().enumerate() {
-                        if instance_measures(instance, role_halves[role])
-                            && outcome & (1 << gate_bit_positions[role]) != 0
-                        {
-                            sign = -sign;
-                        }
-                    }
-                    let cut_bits: Vec<bool> =
-                        cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
-                    for (combo, slot) in weighted.iter_mut().enumerate() {
-                        let mut w = p * sign;
-                        let mut rest = combo;
-                        for (cut_slot, &basis) in cut_bases.iter().enumerate() {
-                            let component = rest % 4;
-                            rest /= 4;
-                            if required_basis(component) != basis {
-                                w = 0.0;
-                                break;
-                            }
-                            w *= cut_bit_weight(component, cut_bits[cut_slot]);
-                            if w == 0.0 {
-                                break;
-                            }
-                        }
-                        *slot += w;
-                    }
-                }
-
-                // Scatter into the table across compatible incoming components.
-                for in_components in mixed_radix(num_in, 4) {
-                    let mut in_weight = 1.0;
-                    for (slot, &component) in in_components.iter().enumerate() {
-                        in_weight *= init_weight(component, init_states[slot]);
-                        if in_weight == 0.0 {
-                            break;
-                        }
-                    }
-                    if in_weight == 0.0 {
-                        continue;
-                    }
-                    for (combo, &value) in weighted.iter().enumerate() {
-                        if value == 0.0 {
-                            continue;
-                        }
-                        let out_components: Vec<usize> = {
-                            let mut digits = Vec::with_capacity(num_out);
-                            let mut rest = combo;
-                            for _ in 0..num_out {
-                                digits.push(rest % 4);
-                                rest /= 4;
-                            }
-                            digits
-                        };
-                        let idx = table.index(&in_components, &out_components, &instances);
-                        table.data[idx] += in_weight * value;
-                    }
-                }
+                let idx = table.index(&in_components, &out_components, instances);
+                table.data[idx] += in_weight * value;
             }
         }
     }
@@ -293,9 +424,11 @@ mod tests {
         let plan = CutPlanner::new(config).plan(circuit).unwrap();
         let fragments = FragmentSet::from_plan(&plan).unwrap();
         let backend = ExactBackend::new();
-        let reconstructed = ExpectationReconstructor::new()
-            .reconstruct(&fragments, &backend, observable)
-            .unwrap();
+        // three-phase flow: enumerate all terms, one batch, consume per term
+        let reconstructor = ExpectationReconstructor::new();
+        let requests = reconstructor.requests(&fragments, observable).unwrap();
+        let results = execute_requests(&fragments, &requests, &backend).unwrap();
+        let reconstructed = reconstructor.reconstruct(&fragments, &results, observable).unwrap();
         let exact = StateVector::from_circuit(circuit).unwrap().expectation(observable);
         assert!(
             (reconstructed - exact).abs() < 1e-6,
@@ -313,9 +446,8 @@ mod tests {
         obs.add_term(1.0, qrcc_circuit::observable::PauliString::zz(4, 0, 3));
         obs.add_term(-0.5, qrcc_circuit::observable::PauliString::z(4, 2));
         obs.add_term(0.25, qrcc_circuit::observable::PauliString::x(4, 1));
-        let config = QrccConfig::new(3)
-            .with_subcircuit_range(2, 3)
-            .with_ilp_time_limit(Duration::ZERO);
+        let config =
+            QrccConfig::new(3).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO);
         check_expectation(&c, &obs, config);
     }
 
@@ -350,18 +482,50 @@ mod tests {
     }
 
     #[test]
+    fn shared_basis_signatures_deduplicate_across_terms() {
+        // Two Z-like terms and an identity-ish term share every fragment
+        // signature, so the batch executes each unique variant once even
+        // though the enumerate phase requested it per term.
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(0.8, 1).cx(1, 2).cx(2, 3);
+        let mut obs = PauliObservable::new(4);
+        obs.add_term(1.0, qrcc_circuit::observable::PauliString::zz(4, 0, 3));
+        obs.add_term(-0.5, qrcc_circuit::observable::PauliString::z(4, 2));
+        obs.add_term(0.25, qrcc_circuit::observable::PauliString::zz(4, 1, 2));
+        let config =
+            QrccConfig::new(3).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(&c).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        let reconstructor = ExpectationReconstructor::new();
+        let requests = reconstructor.requests(&fragments, &obs).unwrap();
+        let backend = ExactBackend::new();
+        let results = execute_requests(&fragments, &requests, &backend).unwrap();
+        // three terms × identical signatures → a third of the requests survive
+        // key dedup (structural dedup may collapse the batch further)
+        assert_eq!(results.requested(), 3 * results.unique_variants() as u64);
+        assert!(results.executed() <= results.unique_variants() as u64);
+        assert_eq!(backend.executions(), results.executed());
+    }
+
+    #[test]
     fn observable_width_mismatch_is_rejected() {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2);
-        let config = QrccConfig::new(2)
-            .with_subcircuit_range(2, 2)
-            .with_ilp_time_limit(Duration::ZERO);
+        let config =
+            QrccConfig::new(2).with_subcircuit_range(2, 2).with_ilp_time_limit(Duration::ZERO);
         let plan = CutPlanner::new(config).plan(&c).unwrap();
         let fragments = FragmentSet::from_plan(&plan).unwrap();
-        let backend = ExactBackend::new();
         let obs = PauliObservable::all_z(5);
         assert!(matches!(
-            ExpectationReconstructor::new().reconstruct(&fragments, &backend, &obs),
+            ExpectationReconstructor::new().requests(&fragments, &obs),
+            Err(CoreError::InvalidCutSolution { .. })
+        ));
+        assert!(matches!(
+            ExpectationReconstructor::new().reconstruct(
+                &fragments,
+                &ExecutionResults::default(),
+                &obs
+            ),
             Err(CoreError::InvalidCutSolution { .. })
         ));
     }

@@ -1,6 +1,13 @@
 //! Classical post-processing: reconstructing the original circuit's output
 //! from subcircuit-variant distributions.
 //!
+//! Both reconstructors follow the batch-first protocol of
+//! [`crate::execute`]: they **enumerate** the variant requests they need
+//! (`requests`), leave deduplication and batch execution to the caller, and
+//! **consume** the resulting
+//! [`ExecutionResults`](crate::execute::ExecutionResults) (`reconstruct`) —
+//! they never call a backend per variant.
+//!
 //! * [`ProbabilityReconstructor`] — rebuilds the full probability vector from
 //!   wire-cut fragments (the CutQC-style path; gate cuts are not allowed).
 //! * [`ExpectationReconstructor`] — rebuilds the expectation value of a Pauli

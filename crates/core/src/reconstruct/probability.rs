@@ -1,9 +1,19 @@
 //! Full probability-vector reconstruction for wire-cut-only plans (the
 //! CutQC-style path, paper §4.3 "Reconstruction after W-Cut").
+//!
+//! The reconstructor follows the batch-first protocol: [`requests`] lists the
+//! variants it needs (enumerate), the caller executes them in one batch, and
+//! [`reconstruct`] reads the distributions back out of the
+//! [`ExecutionResults`] (consume) — it never talks to a backend itself.
+//!
+//! [`requests`]: ProbabilityReconstructor::requests
+//! [`reconstruct`]: ProbabilityReconstructor::reconstruct
 
 use super::{cut_bit_weight, init_weight, mixed_radix, required_basis, MAX_DENSE_CUTS};
-use crate::execute::ExecutionBackend;
-use crate::fragment::{Fragment, FragmentSet, FragmentVariant, InitState};
+use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
+use crate::fragment::{
+    CutBasis, Fragment, FragmentSet, FragmentVariant, InitState, VariantKey, VariantRequest,
+};
 use crate::CoreError;
 
 /// Reconstructs the original circuit's probability distribution from a
@@ -34,26 +44,30 @@ impl FragmentTensor {
     }
 }
 
+/// Every variant the probability workload needs from one fragment: all
+/// `4^incoming · 3^outgoing` combinations, outputs measured in Z.
+fn probability_variants(fragment: &Fragment) -> impl Iterator<Item = FragmentVariant> + '_ {
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let output_bits = fragment.output_clbits.len();
+    mixed_radix(num_in, 4).flat_map(move |init_digits| {
+        let init_states: Vec<InitState> = init_digits.iter().map(|&d| InitState::ALL[d]).collect();
+        mixed_radix(num_out, 3).map(move |basis_digits| FragmentVariant {
+            init_states: init_states.clone(),
+            cut_bases: basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect(),
+            gate_instances: Vec::new(),
+            output_bases: vec![qrcc_circuit::observable::Pauli::Z; output_bits],
+        })
+    })
+}
+
 impl ProbabilityReconstructor {
     /// Creates a reconstructor.
     pub fn new() -> Self {
         ProbabilityReconstructor {}
     }
 
-    /// Reconstructs the `2^N` probability vector of the original circuit.
-    ///
-    /// # Errors
-    ///
-    /// * [`CoreError::GateCutNeedsExpectation`] if the plan contains gate
-    ///   cuts (their post-processing cannot rebuild a distribution).
-    /// * [`CoreError::TooManyCuts`] if the plan has more wire cuts than the
-    ///   dense reconstruction supports.
-    /// * Any backend error.
-    pub fn reconstruct(
-        &self,
-        fragments: &FragmentSet,
-        backend: &dyn ExecutionBackend,
-    ) -> Result<Vec<f64>, CoreError> {
+    fn check(&self, fragments: &FragmentSet) -> Result<(), CoreError> {
         if fragments.num_gate_cuts() > 0 {
             return Err(CoreError::GateCutNeedsExpectation);
         }
@@ -61,11 +75,54 @@ impl ProbabilityReconstructor {
         if num_cuts > MAX_DENSE_CUTS {
             return Err(CoreError::TooManyCuts { cuts: num_cuts, limit: MAX_DENSE_CUTS });
         }
+        Ok(())
+    }
+
+    /// Phase 1 (enumerate): every variant request the probability workload
+    /// needs, as pure data.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::GateCutNeedsExpectation`] if the plan contains gate
+    ///   cuts (their post-processing cannot rebuild a distribution).
+    /// * [`CoreError::TooManyCuts`] if the plan has more wire cuts than the
+    ///   dense reconstruction supports.
+    pub fn requests(&self, fragments: &FragmentSet) -> Result<Vec<VariantRequest>, CoreError> {
+        self.check(fragments)?;
+        let mut requests = Vec::new();
+        for fragment in &fragments.fragments {
+            // A fragment with no classical bits (a reuse-absorbed empty
+            // subcircuit) measures nothing: its distribution is trivially
+            // [1.0], so nothing needs to run.
+            if fragment.num_clbits == 0 {
+                continue;
+            }
+            requests.extend(
+                probability_variants(fragment).map(|v| VariantRequest::new(fragment.index, v)),
+            );
+        }
+        Ok(requests)
+    }
+
+    /// Phase 3 (consume): rebuilds the `2^N` probability vector of the
+    /// original circuit from executed batch results.
+    ///
+    /// # Errors
+    ///
+    /// Same plan conditions as [`ProbabilityReconstructor::requests`], plus
+    /// [`CoreError::MissingVariant`] when `results` lacks a needed variant.
+    pub fn reconstruct(
+        &self,
+        fragments: &FragmentSet,
+        results: &ExecutionResults,
+    ) -> Result<Vec<f64>, CoreError> {
+        self.check(fragments)?;
+        let num_cuts = fragments.num_wire_cuts();
 
         let tensors: Vec<FragmentTensor> = fragments
             .fragments
             .iter()
-            .map(|f| build_tensor(f, backend))
+            .map(|f| build_tensor(f, results))
             .collect::<Result<_, _>>()?;
 
         let n = fragments.original_qubits;
@@ -79,9 +136,8 @@ impl ProbabilityReconstructor {
             .iter()
             .map(|f| f.output_clbits.iter().map(|&(orig, _)| orig).collect())
             .collect();
-        let idle_mask: usize = (0..n)
-            .filter(|&q| fragments.output_owner[q].is_none())
-            .fold(0, |m, q| m | (1 << q));
+        let idle_mask: usize =
+            (0..n).filter(|&q| fragments.output_owner[q].is_none()).fold(0, |m, q| m | (1 << q));
 
         for components in mixed_radix(num_cuts, 4) {
             // factor vectors per fragment for this component assignment
@@ -99,9 +155,9 @@ impl ProbabilityReconstructor {
                     continue; // idle qubits always read 0
                 }
                 let mut term = scale;
-                for (f_idx, fragment) in fragments.fragments.iter().enumerate() {
+                for (f_idx, positions) in output_positions.iter().enumerate() {
                     let mut y = 0usize;
-                    for (bit, &orig) in output_positions[f_idx].iter().enumerate() {
+                    for (bit, &orig) in positions.iter().enumerate() {
                         if x & (1 << orig) != 0 {
                             y |= 1 << bit;
                         }
@@ -110,18 +166,34 @@ impl ProbabilityReconstructor {
                     if term == 0.0 {
                         break;
                     }
-                    let _ = fragment;
                 }
                 *slot += term;
             }
         }
         Ok(probabilities)
     }
+
+    /// Convenience: runs all three phases (enumerate → dedup/execute →
+    /// consume) against `backend` in one call.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`ProbabilityReconstructor::requests`],
+    /// [`execute_requests`] or [`ProbabilityReconstructor::reconstruct`].
+    pub fn run(
+        &self,
+        fragments: &FragmentSet,
+        backend: &dyn ExecutionBackend,
+    ) -> Result<Vec<f64>, CoreError> {
+        let requests = self.requests(fragments)?;
+        let results = execute_requests(fragments, &requests, backend)?;
+        self.reconstruct(fragments, &results)
+    }
 }
 
 fn build_tensor(
     fragment: &Fragment,
-    backend: &dyn ExecutionBackend,
+    results: &ExecutionResults,
 ) -> Result<FragmentTensor, CoreError> {
     let num_in = fragment.incoming_cuts.len();
     let num_out = fragment.outgoing_cuts.len();
@@ -131,66 +203,62 @@ fn build_tensor(
 
     let output_bit_positions: Vec<usize> =
         fragment.output_clbits.iter().map(|&(_, clbit)| clbit).collect();
-    let cut_bit_positions: Vec<usize> = fragment.cut_clbits.iter().map(|&(_, clbit)| clbit).collect();
+    let cut_bit_positions: Vec<usize> =
+        fragment.cut_clbits.iter().map(|&(_, clbit)| clbit).collect();
 
-    for init_digits in mixed_radix(num_in, 4) {
-        let init_states: Vec<InitState> =
-            init_digits.iter().map(|&d| InitState::ALL[d]).collect();
-        for basis_digits in mixed_radix(num_out, 3) {
-            let cut_bases: Vec<crate::fragment::CutBasis> =
-                basis_digits.iter().map(|&d| crate::fragment::CutBasis::ALL[d]).collect();
-            let variant = FragmentVariant {
-                init_states: init_states.clone(),
-                cut_bases: cut_bases.clone(),
-                gate_instances: Vec::new(),
-                output_bases: vec![qrcc_circuit::observable::Pauli::Z; output_bits],
-            };
-            let circuit = fragment.instantiate(&variant);
-            let dist = backend.distribution(&circuit)?;
+    // An empty (clbit-free) fragment was never executed: the distribution
+    // over its zero classical bits is the constant [1.0].
+    const TRIVIAL: [f64; 1] = [1.0];
 
-            for (outcome, &p) in dist.iter().enumerate() {
-                if p == 0.0 {
-                    continue;
+    for variant in probability_variants(fragment) {
+        let key = VariantKey::new(fragment.index, variant);
+        let init_states = &key.variant.init_states;
+        let cut_bases = &key.variant.cut_bases;
+        let dist: &[f64] =
+            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
+
+        for (outcome, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let mut y = 0usize;
+            for (bit, &pos) in output_bit_positions.iter().enumerate() {
+                if outcome & (1 << pos) != 0 {
+                    y |= 1 << bit;
                 }
-                let mut y = 0usize;
-                for (bit, &pos) in output_bit_positions.iter().enumerate() {
-                    if outcome & (1 << pos) != 0 {
-                        y |= 1 << bit;
+            }
+            let cut_bits: Vec<bool> =
+                cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
+
+            // distribute this outcome over every compatible component combo
+            for in_components in mixed_radix(num_in, 4) {
+                let mut weight = p;
+                for (slot, &component) in in_components.iter().enumerate() {
+                    weight *= init_weight(component, init_states[slot]);
+                    if weight == 0.0 {
+                        break;
                     }
                 }
-                let cut_bits: Vec<bool> =
-                    cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
-
-                // distribute this outcome over every compatible component combo
-                for in_components in mixed_radix(num_in, 4) {
-                    let mut weight = p;
-                    for (slot, &component) in in_components.iter().enumerate() {
-                        weight *= init_weight(component, init_states[slot]);
-                        if weight == 0.0 {
+                if weight == 0.0 {
+                    continue;
+                }
+                for out_components in mixed_radix(num_out, 4) {
+                    let mut w = weight;
+                    for (slot, &component) in out_components.iter().enumerate() {
+                        if required_basis(component) != cut_bases[slot] {
+                            w = 0.0;
+                            break;
+                        }
+                        w *= cut_bit_weight(component, cut_bits[slot]);
+                        if w == 0.0 {
                             break;
                         }
                     }
-                    if weight == 0.0 {
+                    if w == 0.0 {
                         continue;
                     }
-                    for out_components in mixed_radix(num_out, 4) {
-                        let mut w = weight;
-                        for (slot, &component) in out_components.iter().enumerate() {
-                            if required_basis(component) != cut_bases[slot] {
-                                w = 0.0;
-                                break;
-                            }
-                            w *= cut_bit_weight(component, cut_bits[slot]);
-                            if w == 0.0 {
-                                break;
-                            }
-                        }
-                        if w == 0.0 {
-                            continue;
-                        }
-                        let idx = tensor.index(&in_components, &out_components);
-                        tensor.data[idx][y] += w;
-                    }
+                    let idx = tensor.index(&in_components, &out_components);
+                    tensor.data[idx][y] += w;
                 }
             }
         }
@@ -215,8 +283,12 @@ mod tests {
         let plan = CutPlanner::new(config).plan(circuit).unwrap();
         let fragments = FragmentSet::from_plan(&plan).unwrap();
         let backend = ExactBackend::new();
-        let reconstructed =
-            ProbabilityReconstructor::new().reconstruct(&fragments, &backend).unwrap();
+        // three-phase flow: enumerate, batch-execute, consume
+        let reconstructor = ProbabilityReconstructor::new();
+        let requests = reconstructor.requests(&fragments).unwrap();
+        let results = execute_requests(&fragments, &requests, &backend).unwrap();
+        assert_eq!(results.requested(), requests.len() as u64);
+        let reconstructed = reconstructor.reconstruct(&fragments, &results).unwrap();
         let exact = StateVector::from_circuit(circuit).unwrap().probabilities();
         assert_eq!(reconstructed.len(), exact.len());
         let total: f64 = reconstructed.iter().sum();
@@ -241,6 +313,22 @@ mod tests {
     }
 
     #[test]
+    fn run_convenience_matches_three_phase_flow() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).ry(0.4, 3).cx(2, 3);
+        let config =
+            QrccConfig::new(3).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(&c).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        let backend = ExactBackend::new();
+        let direct = ProbabilityReconstructor::new().run(&fragments, &backend).unwrap();
+        let exact = StateVector::from_circuit(&c).unwrap().probabilities();
+        for (a, b) in exact.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
     fn gate_cut_plans_are_rejected() {
         let mut c = Circuit::new(4);
         c.h(0).rzz(0.4, 0, 1).rzz(0.9, 1, 2).rzz(0.2, 2, 3);
@@ -253,10 +341,27 @@ mod tests {
         if fragments.num_gate_cuts() == 0 {
             return; // the planner chose wire cuts only; nothing to test here
         }
-        let backend = ExactBackend::new();
         assert!(matches!(
-            ProbabilityReconstructor::new().reconstruct(&fragments, &backend),
+            ProbabilityReconstructor::new().requests(&fragments),
             Err(CoreError::GateCutNeedsExpectation)
+        ));
+        assert!(matches!(
+            ProbabilityReconstructor::new().reconstruct(&fragments, &ExecutionResults::default()),
+            Err(CoreError::GateCutNeedsExpectation)
+        ));
+    }
+
+    #[test]
+    fn consuming_an_empty_batch_reports_missing_variants() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let config =
+            QrccConfig::new(3).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(&c).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        assert!(matches!(
+            ProbabilityReconstructor::new().reconstruct(&fragments, &ExecutionResults::default()),
+            Err(CoreError::MissingVariant { .. })
         ));
     }
 }

@@ -140,9 +140,8 @@ impl ReusePass {
         out.set_name(format!("{}_reused", circuit.name()));
         let mut started = vec![false; circuit.num_qubits()];
         let mut physical_dirty = vec![false; assignment.num_physical.max(1)];
-        let remaining: Vec<usize> = (0..circuit.num_qubits())
-            .map(|q| dag.wire(QubitId::new(q)).len())
-            .collect();
+        let remaining: Vec<usize> =
+            (0..circuit.num_qubits()).map(|q| dag.wire(QubitId::new(q)).len()).collect();
         let mut remaining = remaining;
 
         for id in node_order {

@@ -204,13 +204,13 @@ impl CutSolution {
             }
             return widths;
         }
-        for sub in 0..self.num_subcircuits {
+        for (sub, width) in widths.iter_mut().enumerate() {
             let intervals: Vec<(usize, usize)> = segments
                 .iter()
                 .filter(|s| s.subcircuit == sub)
                 .map(|s| (s.start_layer, s.end_layer))
                 .collect();
-            widths[sub] = max_interval_overlap(&intervals);
+            *width = max_interval_overlap(&intervals);
         }
         widths
     }
@@ -254,15 +254,17 @@ impl CutSolution {
             let op = &dag.node(node).op;
             match op.as_gate() {
                 Some(gate) if gate.is_gate_cuttable() && op.is_two_qubit_gate() => {}
-                _ => {
-                    return invalid(format!("gate cut on node {node} which is not gate-cuttable"))
-                }
+                _ => return invalid(format!("gate cut on node {node} which is not gate-cuttable")),
             }
             if top == bottom {
-                return invalid(format!("gate cut on node {node} keeps both halves in subcircuit {top}"));
+                return invalid(format!(
+                    "gate cut on node {node} keeps both halves in subcircuit {top}"
+                ));
             }
             if top >= self.num_subcircuits || bottom >= self.num_subcircuits {
-                return invalid(format!("gate cut on node {node} references an unknown subcircuit"));
+                return invalid(format!(
+                    "gate cut on node {node} references an unknown subcircuit"
+                ));
             }
         }
         for (node, &sub) in self.assignment.iter().enumerate() {

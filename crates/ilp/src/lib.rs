@@ -43,7 +43,7 @@ pub mod solver;
 
 pub use expr::{LinExpr, VarId};
 pub use model::{ConstraintSense, Model, VarKind};
-pub use solution::{SolveStatus, Solution};
+pub use solution::{Solution, SolveStatus};
 pub use solver::SolverConfig;
 
 use std::error::Error;

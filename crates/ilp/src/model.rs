@@ -184,7 +184,9 @@ impl Model {
         self.vars
             .iter()
             .enumerate()
-            .filter_map(|(i, d)| if matches!(d.kind, VarKind::Binary) { Some(VarId(i)) } else { None })
+            .filter_map(
+                |(i, d)| if matches!(d.kind, VarKind::Binary) { Some(VarId(i)) } else { None },
+            )
             .collect()
     }
 

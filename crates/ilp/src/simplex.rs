@@ -276,16 +276,16 @@ impl Tableau {
             let basic_costs: Vec<f64> = self.basis.iter().map(|&b| cost[b]).collect();
             let mut entering: Option<usize> = None;
             let mut best = -EPS;
-            for j in 0..allow_cols {
+            for (j, &cj) in cost.iter().enumerate().take(allow_cols) {
                 // skip basic columns quickly
                 if self.basis.contains(&j) {
                     continue;
                 }
-                let mut reduced = cost[j];
-                for r in 0..self.rows {
+                let mut reduced = cj;
+                for (r, &bc) in basic_costs.iter().enumerate() {
                     let a = self.at(r, j);
                     if a != 0.0 {
-                        reduced -= basic_costs[r] * a;
+                        reduced -= bc * a;
                     }
                 }
                 if reduced < best {
@@ -332,8 +332,9 @@ impl Tableau {
         // Phase 1: minimise sum of artificial variables.
         if self.num_artificial > 0 {
             let mut phase1_cost = vec![0.0; total_cols];
-            for j in self.artificial_start..self.artificial_start + self.num_artificial {
-                phase1_cost[j] = 1.0;
+            let artificial = self.artificial_start..self.artificial_start + self.num_artificial;
+            for slot in &mut phase1_cost[artificial] {
+                *slot = 1.0;
             }
             if self.run_phase(&phase1_cost, total_cols).is_none() {
                 // Phase 1 objective is bounded below by zero, so this cannot
@@ -401,12 +402,7 @@ impl Tableau {
         }
         let _ = &self.free_vars;
         let objective = self.obj_constant
-            + self
-                .objective
-                .iter()
-                .zip(&shifted)
-                .map(|(c, x)| c * x)
-                .sum::<f64>();
+            + self.objective.iter().zip(&shifted).map(|(c, x)| c * x).sum::<f64>();
         LpSolution { status: LpStatus::Optimal, values, objective, pivots: self.pivots }
     }
 }

@@ -223,11 +223,8 @@ mod tests {
         // b+d = 10 -> 17, a+d = 8 -> 14, c+d = 7 -> 11. Optimum = 17.
         assert!((sol.objective() + 17.0).abs() < 1e-6);
         let picked: Vec<bool> = vars.iter().map(|&v| sol.is_one(v)).collect();
-        let weight: f64 = picked
-            .iter()
-            .zip([5.0, 7.0, 4.0, 3.0])
-            .map(|(&p, w)| if p { w } else { 0.0 })
-            .sum();
+        let weight: f64 =
+            picked.iter().zip([5.0, 7.0, 4.0, 3.0]).map(|(&p, w)| if p { w } else { 0.0 }).sum();
         assert!(weight <= 10.0 + 1e-9);
     }
 

@@ -161,7 +161,10 @@ mod tests {
             assert!((b.probability - 0.5).abs() < 1e-12);
             // qubit 1 must agree with the recorded outcome of qubit 0
             let expected = b.clbits[0];
-            assert!((b.state.outcome_probability(qrcc_circuit::QubitId::new(1), expected) - 1.0).abs() < 1e-12);
+            assert!(
+                (b.state.outcome_probability(qrcc_circuit::QubitId::new(1), expected) - 1.0).abs()
+                    < 1e-12
+            );
         }
     }
 

@@ -97,9 +97,34 @@ impl Device {
         self.executions.load(Ordering::Relaxed)
     }
 
+    /// Reserves `n` consecutive sampling-stream ids, returning the first.
+    ///
+    /// Batch executors grab a contiguous stream block up front and assign
+    /// stream `base + i` to the `i`-th circuit, which makes a parallel batch
+    /// reproduce the serial execution of the same circuits in order,
+    /// independent of thread scheduling.
+    pub fn reserve_streams(&self, n: u64) -> u64 {
+        self.executions.fetch_add(n, Ordering::Relaxed)
+    }
+
+    fn rng_for_stream(&self, stream: u64) -> StdRng {
+        StdRng::seed_from_u64(self.config.seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
     fn next_rng(&self) -> StdRng {
         let n = self.executions.fetch_add(1, Ordering::Relaxed);
-        StdRng::seed_from_u64(self.config.seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        self.rng_for_stream(n)
+    }
+
+    /// Checks that `circuit` could run on this device, without executing it
+    /// or consuming a sampling stream. Batch executors use this to assign
+    /// streams only to circuits that will actually run.
+    ///
+    /// # Errors
+    ///
+    /// Same width / mid-circuit conditions as [`Device::execute`].
+    pub fn validate(&self, circuit: &Circuit) -> Result<(), SimError> {
+        self.check_circuit(circuit)
     }
 
     fn check_circuit(&self, circuit: &Circuit) -> Result<(), SimError> {
@@ -126,6 +151,34 @@ impl Device {
     ///   measurement or reset and the device does not support it.
     /// * [`SimError::ZeroShots`] if `shots == 0`.
     pub fn execute(&self, circuit: &Circuit, shots: u64) -> Result<Counts, SimError> {
+        self.execute_with_rng(circuit, shots, || self.next_rng())
+    }
+
+    /// Executes `circuit` on an explicit sampling stream (see
+    /// [`Device::reserve_streams`]) instead of the device's internal counter.
+    ///
+    /// Running stream `base + i` for the `i`-th circuit of a batch reproduces
+    /// exactly what serial [`Device::execute`] calls in the same order would
+    /// sample, which keeps parallel batch execution deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Device::execute`].
+    pub fn execute_stream(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        stream: u64,
+    ) -> Result<Counts, SimError> {
+        self.execute_with_rng(circuit, shots, || self.rng_for_stream(stream))
+    }
+
+    fn execute_with_rng(
+        &self,
+        circuit: &Circuit,
+        shots: u64,
+        make_rng: impl FnOnce() -> StdRng,
+    ) -> Result<Counts, SimError> {
         if shots == 0 {
             return Err(SimError::ZeroShots);
         }
@@ -138,7 +191,7 @@ impl Device {
             c.measure_all();
             c
         };
-        let mut rng = self.next_rng();
+        let mut rng = make_rng();
 
         let noiseless = self.config.noise.is_noiseless();
         if noiseless && !needs_mid_circuit(&circuit) && final_measurement_map(&circuit).is_some() {
@@ -242,9 +295,9 @@ pub fn needs_mid_circuit(circuit: &Circuit) -> bool {
         match op {
             Operation::Reset { .. } => return true,
             Operation::Measure { qubit, .. } => {
-                let later_use = ops[i + 1..].iter().any(|later| {
-                    !later.is_barrier() && later.qubits().contains(qubit)
-                });
+                let later_use = ops[i + 1..]
+                    .iter()
+                    .any(|later| !later.is_barrier() && later.qubits().contains(qubit));
                 if later_use {
                     return true;
                 }
@@ -375,5 +428,23 @@ mod tests {
         device.execute(&c, 10).unwrap();
         device.execute(&c, 10).unwrap();
         assert_eq!(device.executions(), 2);
+    }
+
+    #[test]
+    fn explicit_streams_reproduce_serial_execution() {
+        let mut c = Circuit::new(2);
+        c.h(0).ry(0.7, 1).cx(0, 1).measure_all();
+        // serial: three executes consume streams 0, 1, 2
+        let serial = Device::new(DeviceConfig::noisy(2, NoiseModel::uniform(0.02)).with_seed(9));
+        let serial_counts: Vec<Counts> = (0..3).map(|_| serial.execute(&c, 500).unwrap()).collect();
+        // batched: reserve the same stream block up front, run in any order
+        let batched = Device::new(DeviceConfig::noisy(2, NoiseModel::uniform(0.02)).with_seed(9));
+        let base = batched.reserve_streams(3);
+        assert_eq!(base, 0);
+        for i in [2usize, 0, 1] {
+            let counts = batched.execute_stream(&c, 500, base + i as u64).unwrap();
+            assert_eq!(counts, serial_counts[i], "stream {i} must match serial run {i}");
+        }
+        assert_eq!(batched.executions(), 3);
     }
 }

@@ -41,7 +41,10 @@ impl fmt::Display for SimError {
                 write!(f, "circuit needs {required} qubits but only {available} are available")
             }
             SimError::NonUnitaryCircuit { index } => {
-                write!(f, "operation {index} is not unitary; use a trajectory or branching executor")
+                write!(
+                    f,
+                    "operation {index} is not unitary; use a trajectory or branching executor"
+                )
             }
             SimError::MidCircuitUnsupported => {
                 write!(f, "device does not support mid-circuit measurement or reset")

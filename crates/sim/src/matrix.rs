@@ -41,10 +41,7 @@ pub fn single_qubit_matrix(gate: &Gate) -> Matrix2 {
         Sdg => [[one, z], [z, c(0.0, -1.0)]],
         T => [[one, z], [z, Complex::from_polar(1.0, std::f64::consts::FRAC_PI_4)]],
         Tdg => [[one, z], [z, Complex::from_polar(1.0, -std::f64::consts::FRAC_PI_4)]],
-        SqrtX => [
-            [c(0.5, 0.5), c(0.5, -0.5)],
-            [c(0.5, -0.5), c(0.5, 0.5)],
-        ],
+        SqrtX => [[c(0.5, 0.5), c(0.5, -0.5)], [c(0.5, -0.5), c(0.5, 0.5)]],
         Rx(t) => {
             let (ct, st) = ((t / 2.0).cos(), (t / 2.0).sin());
             [[c(ct, 0.0), c(0.0, -st)], [c(0.0, -st), c(ct, 0.0)]]
@@ -53,10 +50,7 @@ pub fn single_qubit_matrix(gate: &Gate) -> Matrix2 {
             let (ct, st) = ((t / 2.0).cos(), (t / 2.0).sin());
             [[c(ct, 0.0), c(-st, 0.0)], [c(st, 0.0), c(ct, 0.0)]]
         }
-        Rz(t) => [
-            [Complex::from_polar(1.0, -t / 2.0), z],
-            [z, Complex::from_polar(1.0, t / 2.0)],
-        ],
+        Rz(t) => [[Complex::from_polar(1.0, -t / 2.0), z], [z, Complex::from_polar(1.0, t / 2.0)]],
         Phase(l) => [[one, z], [z, Complex::from_polar(1.0, l)]],
         U3(theta, phi, lambda) => {
             let (ct, st) = ((theta / 2.0).cos(), (theta / 2.0).sin());
@@ -302,8 +296,8 @@ mod tests {
     fn cz_only_phases_the_11_state() {
         let m = two_qubit_matrix(&Gate::Cz);
         assert!(m[3][3].approx_eq(Complex::new(-1.0, 0.0), TOL));
-        for i in 0..3 {
-            assert!(m[i][i].approx_eq(Complex::ONE, TOL));
+        for (i, row) in m.iter().enumerate().take(3) {
+            assert!(row[i].approx_eq(Complex::ONE, TOL));
         }
     }
 

@@ -143,7 +143,8 @@ mod tests {
 
     #[test]
     fn readout_error_flips_at_the_configured_rate() {
-        let model = NoiseModel { single_qubit_error: 0.0, two_qubit_error: 0.0, readout_error: 0.3 };
+        let model =
+            NoiseModel { single_qubit_error: 0.0, two_qubit_error: 0.0, readout_error: 0.3 };
         let mut rng = StdRng::seed_from_u64(3);
         let flips = (0..20_000).filter(|_| model.apply_readout(false, &mut rng)).count();
         let rate = flips as f64 / 20_000.0;

@@ -527,7 +527,7 @@ mod tests {
         obs.add_term(2.0, PauliString::z(2, 0)); // <Z0> = -1
         obs.add_term(3.0, PauliString::z(2, 1)); // <Z1> = +1
         obs.add_term(0.5, PauliString::identity(2)); // constant
-        assert!((sv.expectation(&obs) - (2.0 * -1.0 + 3.0 * 1.0 + 0.5)).abs() < 1e-12);
+        assert!((sv.expectation(&obs) - (-2.0 + 3.0 * 1.0 + 0.5)).abs() < 1e-12);
     }
 
     #[test]

@@ -94,7 +94,7 @@ proptest! {
     fn pauli_expectations_are_bounded(c in random_circuit(4, 20), p in random_pauli(4)) {
         let sv = StateVector::from_circuit(&c).unwrap();
         let e = sv.expectation_pauli(&p);
-        prop_assert!(e >= -1.0 - 1e-9 && e <= 1.0 + 1e-9, "expectation {e} out of range");
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e), "expectation {e} out of range");
     }
 
     #[test]

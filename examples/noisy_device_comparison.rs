@@ -37,9 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pipeline.plan_ref().gate_cut_count(),
         pipeline.total_instances()
     );
-    let backend =
-        ShotsBackend::new(Device::new(DeviceConfig::noisy(4, noise).with_seed(2)), shots);
-    let qrcc_value = pipeline.reconstruct_expectation(&backend, &observable)?;
+    // The batch runs rayon-parallel on the simulated device, with one
+    // deterministic sampling stream per circuit.
+    let backend = ShotsBackend::new(Device::new(DeviceConfig::noisy(4, noise).with_seed(2)), shots);
+    let results = pipeline.execute_observables(&backend, &[&observable])?;
+    println!(
+        "executed {} noisy subcircuit runs for {} variant requests",
+        results.executed(),
+        results.requested()
+    );
+    let qrcc_value = pipeline.reconstruct_expectation_from(&results, &observable)?;
     println!(
         "QRCC (4-qubit + post-proc)  ⟨H⟩ = {qrcc_value:.4}  (error {:.4})",
         (qrcc_value - exact).abs()

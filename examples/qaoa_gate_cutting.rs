@@ -36,8 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("subcircuit instances: {}", pipeline.total_instances());
 
+    // One deduplicated batch serves every Pauli term of the observable; terms
+    // sharing a measurement-basis signature execute once.
     let backend = ExactBackend::new();
-    let reconstructed = pipeline.reconstruct_expectation(&backend, &observable)?;
+    let results = pipeline.execute_observables(&backend, &[&observable])?;
+    println!(
+        "batch: {} variant requests across {} Pauli terms → {} circuits executed",
+        results.requested(),
+        observable.terms().len(),
+        results.executed()
+    );
+    let reconstructed = pipeline.reconstruct_expectation_from(&results, &observable)?;
     let exact = StateVector::from_circuit(&circuit)?.expectation(&observable);
     println!("expectation value from reconstruction = {reconstructed:.6}");
     println!("expectation value from simulation     = {exact:.6}");

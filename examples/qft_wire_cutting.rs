@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 10;
     let device = 6;
     let circuit = generators::qft(n);
-    println!("QFT({n}) with {} two-qubit gates, target device: {device} qubits", circuit.two_qubit_gate_count());
+    println!(
+        "QFT({n}) with {} two-qubit gates, target device: {device} qubits",
+        circuit.two_qubit_gate_count()
+    );
 
     // CutQC baseline: wire cuts only, no qubit reuse.
     match CutQcPlanner::new(device).plan(&circuit) {
@@ -34,26 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.subcircuit_widths(),
         plan.planning_time()
     );
-    println!(
-        "post-processing factor 4^cuts = {:.3e}",
-        plan.metrics().post_processing_factor()
-    );
+    println!("post-processing factor 4^cuts = {:.3e}", plan.metrics().post_processing_factor());
 
     // Verify a smaller instance end-to-end (QFT(6) on 4 qubits) so the example
     // also demonstrates reconstruction correctness.
     let small = generators::qft(6);
-    let pipeline = QrccPipeline::plan(
-        &small,
-        QrccConfig::new(4).with_ilp_time_limit(Duration::ZERO),
-    )?;
+    let pipeline =
+        QrccPipeline::plan(&small, QrccConfig::new(4).with_ilp_time_limit(Duration::ZERO))?;
     let backend = ExactBackend::new();
-    let reconstructed = pipeline.reconstruct_probabilities(&backend)?;
+    let results = pipeline.execute(&backend)?;
+    let reconstructed = pipeline.reconstruct_probabilities_from(&results)?;
     let exact = StateVector::from_circuit(&small)?.probabilities();
-    let max_error = reconstructed
-        .iter()
-        .zip(&exact)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_error =
+        reconstructed.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("QFT(6) on a 4-qubit device: max reconstruction error {max_error:.2e}");
     Ok(())
 }

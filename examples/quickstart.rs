@@ -1,6 +1,7 @@
 //! Quickstart: cut a 6-qubit GHZ-style circuit so it runs on a 3-qubit
-//! device, execute the subcircuit variants on an exact simulator, and
-//! reconstruct the original probability distribution.
+//! device, execute every subcircuit variant as one deduplicated parallel
+//! batch on an exact simulator, and reconstruct the original probability
+//! distribution from the batch results.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -28,17 +29,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("subcircuit instances to execute: {}", pipeline.total_instances());
 
-    // 3. Execute every variant exactly and reconstruct the distribution.
+    // 3. Execute: the pipeline enumerates every variant, deduplicates them by
+    //    structural key and runs ONE parallel batch on the backend.
     let backend = ExactBackend::new();
-    let probabilities = pipeline.reconstruct_probabilities(&backend)?;
+    let results = pipeline.execute(&backend)?;
+    println!(
+        "batch: {} variants requested, {} circuits executed after dedup",
+        results.requested(),
+        results.executed()
+    );
 
-    // 4. Compare against direct state-vector simulation.
+    // 4. Consume: reconstruct the distribution from the batch results.
+    let probabilities = pipeline.reconstruct_probabilities_from(&results)?;
+
+    // 5. Compare against direct state-vector simulation.
     let exact = StateVector::from_circuit(&circuit)?.probabilities();
-    let max_error = probabilities
-        .iter()
-        .zip(&exact)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let max_error =
+        probabilities.iter().zip(&exact).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!("P(|000000>) = {:.4}   P(|111111>) = {:.4}", probabilities[0], probabilities[63]);
     println!("max |reconstructed - exact| = {max_error:.2e}");
     assert!(max_error < 1e-6);

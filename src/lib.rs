@@ -15,6 +15,11 @@
 //!
 //! # Quickstart
 //!
+//! Execution is batch-first: plan once, `execute` once (the pipeline
+//! enumerates every subcircuit variant, deduplicates them by structural key
+//! and runs one rayon-parallel batch), then reconstruct as many outputs as
+//! needed from the same [`ExecutionResults`](core::execute::ExecutionResults).
+//!
 //! ```rust
 //! use qrcc::prelude::*;
 //!
@@ -25,8 +30,15 @@
 //! for q in 0..5 {
 //!     circuit.cx(q, q + 1);
 //! }
-//! let plan = CutPlanner::new(QrccConfig::new(3)).plan(&circuit)?;
-//! assert!(plan.subcircuit_widths().iter().all(|&w| w <= 3));
+//! let config = QrccConfig::new(3).with_ilp_time_limit(std::time::Duration::ZERO);
+//! let pipeline = QrccPipeline::plan(&circuit, config)?;
+//! assert!(pipeline.plan_ref().subcircuit_widths().iter().all(|&w| w <= 3));
+//!
+//! // execute → consume: one deduplicated batch serves the reconstruction
+//! let backend = ExactBackend::new();
+//! let results = pipeline.execute(&backend)?;
+//! let probabilities = pipeline.reconstruct_probabilities_from(&results)?;
+//! assert!((probabilities[0] - 0.5).abs() < 1e-6);
 //! # Ok(())
 //! # }
 //! ```
@@ -43,8 +55,11 @@ pub mod prelude {
     };
     pub use qrcc_core::{
         cutqc::CutQcPlanner,
-        execute::{CachingBackend, ExactBackend, ExecutionBackend, ShotsBackend},
-        fragment::FragmentSet,
+        execute::{
+            execute_requests, CachingBackend, ExactBackend, ExecutionBackend, ExecutionResults,
+            ShotsBackend,
+        },
+        fragment::{FragmentSet, FragmentVariant, VariantKey, VariantRequest},
         pipeline::QrccPipeline,
         planner::{CutPlan, CutPlanner},
         reconstruct::{ExpectationReconstructor, ProbabilityReconstructor},

@@ -47,9 +47,7 @@ fn random_circuit() -> impl Strategy<Value = Circuit> {
 }
 
 fn config() -> QrccConfig {
-    QrccConfig::new(4)
-        .with_subcircuit_range(2, 3)
-        .with_ilp_time_limit(Duration::ZERO)
+    QrccConfig::new(4).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO)
 }
 
 proptest! {

@@ -25,9 +25,9 @@ fn every_fragment_fits_the_device_for_assorted_benchmarks() {
         (generators::qaoa_regular(10, 3, 1, 4).0, 6),
     ];
     for (circuit, device) in workloads {
-        let plan = CutPlanner::new(heuristic_config(device)).plan(&circuit).unwrap_or_else(|e| {
-            panic!("no plan for {} on {device} qubits: {e}", circuit.name())
-        });
+        let plan = CutPlanner::new(heuristic_config(device))
+            .plan(&circuit)
+            .unwrap_or_else(|e| panic!("no plan for {} on {device} qubits: {e}", circuit.name()));
         assert!(
             plan.subcircuit_widths().iter().all(|&w| w <= device),
             "{}: widths {:?} exceed device {device}",
@@ -60,21 +60,19 @@ fn reuse_pass_preserves_distributions_and_shrinks_width() {
 fn qrcc_never_needs_more_cuts_than_the_baseline_on_reuse_friendly_workloads() {
     // Linear-entanglement workloads expose many reuse opportunities, which is
     // exactly where the paper reports the largest gains.
-    for (circuit, device) in [
-        (generators::vqe_two_local(10, 2, 1), 6),
-        (generators::ripple_carry_adder(4, 7), 6),
-    ] {
+    for (circuit, device) in
+        [(generators::vqe_two_local(10, 2, 1), 6), (generators::ripple_carry_adder(4, 7), 6)]
+    {
         let qrcc = CutPlanner::new(heuristic_config(device)).plan(&circuit).expect("qrcc plan");
-        match CutQcPlanner::new(device).plan(&circuit) {
-            Ok(cutqc) => assert!(
+        // The baseline failing outright is an even stronger form of the claim.
+        if let Ok(cutqc) = CutQcPlanner::new(device).plan(&circuit) {
+            assert!(
                 qrcc.wire_cut_count() <= cutqc.wire_cut_count(),
                 "{}: qrcc {} cuts vs cutqc {} cuts",
                 circuit.name(),
                 qrcc.wire_cut_count(),
                 cutqc.wire_cut_count()
-            ),
-            // The baseline failing outright is an even stronger form of the claim.
-            Err(_) => {}
+            );
         }
     }
 }
@@ -84,9 +82,8 @@ fn gate_cuts_only_appear_when_enabled() {
     let (circuit, _) = generators::qaoa_regular(8, 3, 1, 2);
     let without = CutPlanner::new(heuristic_config(5)).plan(&circuit).expect("plan");
     assert_eq!(without.gate_cut_count(), 0);
-    let with = CutPlanner::new(heuristic_config(5).with_gate_cuts(true))
-        .plan(&circuit)
-        .expect("plan");
+    let with =
+        CutPlanner::new(heuristic_config(5).with_gate_cuts(true)).plan(&circuit).expect("plan");
     // gate cuts are allowed (not required); the planner must still satisfy
     // the budget either way
     assert!(with.subcircuit_widths().iter().all(|&w| w <= 5));

@@ -18,11 +18,17 @@ fn config(device: usize, gate_cuts: bool) -> QrccConfig {
 fn assert_distribution_matches(circuit: &Circuit, device: usize) {
     let pipeline = QrccPipeline::plan(circuit, config(device, false)).expect("plan");
     let backend = ExactBackend::new();
-    let reconstructed = pipeline.reconstruct_probabilities(&backend).expect("reconstruct");
+    // batch-first flow: one deduplicated parallel batch, then consume
+    let results = pipeline.execute(&backend).expect("execute batch");
+    assert_eq!(backend.executions(), results.executed());
+    let reconstructed = pipeline.reconstruct_probabilities_from(&results).expect("reconstruct");
     let exact = StateVector::from_circuit(circuit).expect("simulate").probabilities();
     assert_eq!(reconstructed.len(), exact.len());
     for (i, (a, b)) in exact.iter().zip(&reconstructed).enumerate() {
-        assert!((a - b).abs() < 1e-6, "mismatch at basis state {i}: exact {a} vs reconstructed {b}");
+        assert!(
+            (a - b).abs() < 1e-6,
+            "mismatch at basis state {i}: exact {a} vs reconstructed {b}"
+        );
     }
 }
 
@@ -66,29 +72,32 @@ fn qaoa_expectation_with_wire_and_gate_cuts() {
     let observable = PauliObservable::maxcut(&graph);
     let pipeline = QrccPipeline::plan(&circuit, config(4, true)).expect("plan");
     let backend = ExactBackend::new();
+    // batch-first flow: enumerate every Pauli term's variants, execute once
+    let results = pipeline.execute_observables(&backend, &[&observable]).expect("execute");
+    assert!(results.requested() >= results.executed());
     let reconstructed =
-        pipeline.reconstruct_expectation(&backend, &observable).expect("reconstruct");
+        pipeline.reconstruct_expectation_from(&results, &observable).expect("reconstruct");
     let exact = StateVector::from_circuit(&circuit).expect("simulate").expectation(&observable);
-    assert!(
-        (reconstructed - exact).abs() < 1e-6,
-        "reconstructed {reconstructed} vs exact {exact}"
-    );
+    assert!((reconstructed - exact).abs() < 1e-6, "reconstructed {reconstructed} vs exact {exact}");
 }
 
 #[test]
 fn hamiltonian_simulation_expectation_on_small_device() {
-    let (circuit, graph) =
-        generators::hamiltonian_simulation(generators::HamiltonianKind::TransverseFieldIsing, 2, 3, false, 1, 0.2);
+    let (circuit, graph) = generators::hamiltonian_simulation(
+        generators::HamiltonianKind::TransverseFieldIsing,
+        2,
+        3,
+        false,
+        1,
+        0.2,
+    );
     let observable = PauliObservable::ising(&graph, 1.0, 0.5);
     let pipeline = QrccPipeline::plan(&circuit, config(4, true)).expect("plan");
     let backend = ExactBackend::new();
     let reconstructed =
         pipeline.reconstruct_expectation(&backend, &observable).expect("reconstruct");
     let exact = StateVector::from_circuit(&circuit).expect("simulate").expectation(&observable);
-    assert!(
-        (reconstructed - exact).abs() < 1e-6,
-        "reconstructed {reconstructed} vs exact {exact}"
-    );
+    assert!((reconstructed - exact).abs() < 1e-6, "reconstructed {reconstructed} vs exact {exact}");
 }
 
 #[test]
@@ -104,10 +113,7 @@ fn vqe_expectation_with_mixed_observable() {
     let reconstructed =
         pipeline.reconstruct_expectation(&backend, &observable).expect("reconstruct");
     let exact = StateVector::from_circuit(&circuit).expect("simulate").expectation(&observable);
-    assert!(
-        (reconstructed - exact).abs() < 1e-6,
-        "reconstructed {reconstructed} vs exact {exact}"
-    );
+    assert!((reconstructed - exact).abs() < 1e-6, "reconstructed {reconstructed} vs exact {exact}");
 }
 
 #[test]
@@ -115,13 +121,13 @@ fn shots_backend_converges_to_the_exact_distribution() {
     let mut circuit = Circuit::new(4);
     circuit.h(0).cx(0, 1).ry(0.6, 1).cx(1, 2).cx(2, 3);
     let pipeline = QrccPipeline::plan(&circuit, config(3, false)).expect("plan");
-    let device = qrcc::sim::device::Device::new(
-        qrcc::sim::device::DeviceConfig::ideal(3).with_seed(23),
-    );
+    let device =
+        qrcc::sim::device::Device::new(qrcc::sim::device::DeviceConfig::ideal(3).with_seed(23));
     let backend = ShotsBackend::new(device, 40_000);
-    let reconstructed = pipeline.reconstruct_probabilities(&backend).expect("reconstruct");
+    // the shots batch runs rayon-parallel with per-circuit sampling streams
+    let results = pipeline.execute(&backend).expect("execute batch");
+    let reconstructed = pipeline.reconstruct_probabilities_from(&results).expect("reconstruct");
     let exact = StateVector::from_circuit(&circuit).expect("simulate").probabilities();
-    let tvd: f64 =
-        exact.iter().zip(&reconstructed).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+    let tvd: f64 = exact.iter().zip(&reconstructed).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
     assert!(tvd < 0.05, "total variation distance {tvd} too large");
 }

@@ -1,0 +1,222 @@
+//! Offline shim for the slice of `rayon` the QRCC workspace uses.
+//!
+//! Provides `par_iter()` / `into_par_iter()` with `map(...).collect()` on
+//! slices, vectors and ranges, executed with genuine data parallelism:
+//! work is strided across `std::thread::scope` threads (one per available
+//! core) and results are written back in input order. No work stealing, no
+//! splitting heuristics — but for the coarse-grained circuit-simulation
+//! batches this workspace runs, a static stride is within noise of the real
+//! thing, and the API subset is call-compatible so the real `rayon` can be
+//! swapped in when registry access is available.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel call fans out to.
+fn num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
+}
+
+/// Runs `f` over `items`, in parallel, preserving input order in the output.
+fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = num_threads().min(n).max(1);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Hand each worker every `threads`-th item. Slots are written exactly
+    // once, in input order, through per-item Option cells.
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    {
+        let mut slot_refs: Vec<(usize, &mut Option<R>, I)> = Vec::with_capacity(n);
+        for (idx, (slot, item)) in slots.iter_mut().zip(items).enumerate() {
+            slot_refs.push((idx, slot, item));
+        }
+        let work = parking_free_queue(slot_refs, threads);
+        std::thread::scope(|scope| {
+            for chunk in work {
+                let f = &f;
+                scope.spawn(move || {
+                    for (_, slot, item) in chunk {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+    }
+    slots.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+}
+
+/// Strides `work` into `threads` disjoint chunks (round-robin, so uneven
+/// per-item costs still balance).
+fn parking_free_queue<T>(work: Vec<T>, threads: usize) -> Vec<Vec<T>> {
+    let mut chunks: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in work.into_iter().enumerate() {
+        chunks[i % threads].push(item);
+    }
+    chunks
+}
+
+/// A parallel iterator over owned items (eagerly materialised).
+pub struct ParIter<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParIter<I> {
+    /// Maps each item through `f` (lazily; the parallel fan-out happens at
+    /// [`ParMap::collect`] / [`ParMap::for_each`] time).
+    pub fn map<R, F>(self, f: F) -> ParMap<I, F>
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Runs `f` on every item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        parallel_map(self.items, f);
+    }
+
+    /// Pairs every item with its index, mirroring
+    /// `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParIter<(usize, I)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// The result of [`ParIter::map`]: a mapped parallel iterator.
+pub struct ParMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I, R, F> ParMap<I, F>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    /// Executes the map in parallel and collects the results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        parallel_map(self.items, self.f).into_iter().collect()
+    }
+}
+
+/// Types convertible into a parallel iterator over owned items.
+pub trait IntoParallelIterator {
+    /// The item type.
+    type Item: Send;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// Types whose references can be iterated in parallel (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: Send + 'a;
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+/// Commonly used items, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares.len(), 1000);
+        for (i, &sq) in squares.iter().enumerate() {
+            assert_eq!(sq, i * i);
+        }
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let data: Vec<String> = (0..64).map(|i| format!("item{i}")).collect();
+        let lens: Vec<usize> = data.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens[0], 5);
+        assert_eq!(lens[10], 6);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) < 2 {
+            return; // single-core environment: nothing to assert
+        }
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        (0..256usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert!(ids.lock().unwrap().len() > 1, "expected more than one worker thread");
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_types() {
+        let ok: Result<Vec<usize>, ()> =
+            (0..10usize).into_par_iter().map(Ok).collect::<Result<Vec<_>, _>>();
+        assert_eq!(ok.unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline facade for the slice of `serde` the QRCC workspace uses.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types but
+//! never serialises anything at runtime, so this shim only re-exports the
+//! no-op derives (which accept `#[serde(...)]` helper attributes) plus empty
+//! marker traits under the usual names. Swapping in the real `serde` is a
+//! one-line `Cargo.toml` change when registry access is available.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods in the shim).
+pub trait SerializeTrait {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods in the shim).
+pub trait DeserializeTrait {}
