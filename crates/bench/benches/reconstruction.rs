@@ -1,13 +1,20 @@
-//! Criterion benchmarks of classical post-processing: probability-vector
-//! reconstruction (wire cuts) and expectation-value reconstruction
-//! (wire + gate cuts), including subcircuit-variant execution on the exact
-//! backend.
+//! Criterion benchmarks of classical post-processing.
+//!
+//! * end-to-end probability / expectation reconstruction (including variant
+//!   execution on the exact backend),
+//! * **dense vs contract**: the two executable strategies on the same
+//!   pre-executed batch of a multi-fragment chain plan (reconstruction only,
+//!   no execution inside the timed loop) — the measured counterpart of the
+//!   Figure 6 FRP-vs-ARP cost models,
+//! * **dense thread scaling**: the rayon-parallel dense component loop at 1
+//!   worker thread vs all cores.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use qrcc_circuit::observable::PauliObservable;
 use qrcc_circuit::Circuit;
 use qrcc_core::pipeline::{ExactBackend, QrccPipeline};
-use qrcc_core::QrccConfig;
+use qrcc_core::reconstruct::{ProbabilityReconstructor, ReconstructionOptions};
+use qrcc_core::{QrccConfig, ReconstructionStrategy};
 use std::time::Duration;
 
 fn chain_circuit(n: usize) -> Circuit {
@@ -56,5 +63,95 @@ fn bench_expectation_reconstruction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_probability_reconstruction, bench_expectation_reconstruction);
+/// A chain plan with one fragment per link: `fragments` fragments and
+/// `fragments − 1` wire cuts, the sweet spot of pairwise contraction.
+fn chain_plan(n: usize) -> QrccPipeline {
+    let config = QrccConfig::new(2)
+        .with_subcircuit_range(n - 1, n - 1)
+        .with_qubit_reuse(false)
+        .with_ilp_time_limit(Duration::ZERO);
+    QrccPipeline::plan(&chain_circuit(n), config).unwrap()
+}
+
+/// Dense vs contract on the same pre-executed batch: the timed loop runs
+/// reconstruction only. The chain plan has ≥ 3 fragments, where the cut
+/// graph is maximally sparse and contraction undercuts the global 4^cuts
+/// loop.
+fn bench_dense_vs_contract(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy");
+    group.sample_size(10);
+    // 8 fragments, 7 cuts: dense loops 4^7 · 2^8 combinations, contraction
+    // never holds more than a couple of legs at once.
+    let pipeline = chain_plan(9);
+    assert!(pipeline.fragments().fragments.len() >= 3);
+    let backend = ExactBackend::new();
+    let results = pipeline.execute(&backend).unwrap();
+    for strategy in [ReconstructionStrategy::Dense, ReconstructionStrategy::Contract] {
+        let reconstructor = ProbabilityReconstructor::with_options(ReconstructionOptions {
+            strategy,
+            prune_tolerance: 0.0,
+        });
+        group.bench_function(format!("chain9_{strategy:?}"), |b| {
+            b.iter(|| reconstructor.reconstruct(pipeline.fragments(), &results).unwrap());
+        });
+    }
+    // pruned contraction: drops the chain's many exactly-redundant entries
+    let pruned = ProbabilityReconstructor::with_options(ReconstructionOptions {
+        strategy: ReconstructionStrategy::Contract,
+        prune_tolerance: 1e-12,
+    });
+    group.bench_function("chain9_Contract_pruned", |b| {
+        b.iter(|| pruned.reconstruct(pipeline.fragments(), &results).unwrap());
+    });
+    group.finish();
+}
+
+/// The dense component loop at 1 rayon worker vs all cores. A 13-qubit
+/// chain in six 3-qubit fragments keeps the per-combination payload work
+/// (2^13 output slots) heavy enough for parallelism to matter.
+///
+/// NOTE: toggling `RAYON_NUM_THREADS` between measurements only works with
+/// the vendored rayon shim, which reads the variable on every parallel
+/// call. Real rayon pins its global pool at first use — when the shim is
+/// swapped out (see the ROADMAP vendor item), this bench must switch to
+/// explicit `ThreadPoolBuilder::build().install(...)` pools or it will
+/// silently measure the same thread count twice.
+fn bench_dense_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_threads");
+    group.sample_size(10);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("dense_threads: {cores} core(s) available (1thread vs all only differs on >1)");
+    let config = QrccConfig::new(3)
+        .with_subcircuit_range(6, 6)
+        .with_qubit_reuse(false)
+        .with_ilp_time_limit(Duration::ZERO);
+    let pipeline = QrccPipeline::plan(&chain_circuit(13), config).unwrap();
+    let backend = ExactBackend::new();
+    let results = pipeline.execute(&backend).unwrap();
+    let dense = ProbabilityReconstructor::with_options(ReconstructionOptions {
+        strategy: ReconstructionStrategy::Dense,
+        prune_tolerance: 0.0,
+    });
+    let previous = std::env::var("RAYON_NUM_THREADS").ok();
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    group.bench_function("chain13_dense_1thread", |b| {
+        b.iter(|| dense.reconstruct(pipeline.fragments(), &results).unwrap());
+    });
+    match &previous {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    group.bench_function("chain13_dense_all_threads", |b| {
+        b.iter(|| dense.reconstruct(pipeline.fragments(), &results).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_probability_reconstruction,
+    bench_expectation_reconstruction,
+    bench_dense_vs_contract,
+    bench_dense_thread_scaling,
+);
 criterion_main!(benches);

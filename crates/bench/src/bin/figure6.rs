@@ -27,11 +27,17 @@ fn main() {
             threshold
         );
     }
+    // `max_tolerable_cuts` distinguishes "tolerates zero cuts" (Some(0))
+    // from "intolerable even uncut" (None).
+    let tolerated = |cuts: Option<usize>| match cuts {
+        Some(c) => c.to_string(),
+        None => "none (over threshold even uncut)".to_string(),
+    };
     println!("\nMaximum #cuts tolerated before exceeding the FSS threshold:");
-    println!("  FRP_48: {}", max_tolerable_cuts(|c| frp_log2_flops(48, c), 128));
-    println!("  FRP_32: {}", max_tolerable_cuts(|c| frp_log2_flops(32, c), 128));
-    println!("  ARP_2 : {}", max_tolerable_cuts(|c| arp_log2_flops(48, c, 2), 128));
-    println!("  ARP_4 : {}", max_tolerable_cuts(|c| arp_log2_flops(48, c, 4), 128));
-    println!("  FRE   : {}", max_tolerable_cuts(|c| fre_log2_flops(c as f64), 128));
+    println!("  FRP_48: {}", tolerated(max_tolerable_cuts(|c| frp_log2_flops(48, c), 128)));
+    println!("  FRP_32: {}", tolerated(max_tolerable_cuts(|c| frp_log2_flops(32, c), 128)));
+    println!("  ARP_2 : {}", tolerated(max_tolerable_cuts(|c| arp_log2_flops(48, c, 2), 128)));
+    println!("  ARP_4 : {}", tolerated(max_tolerable_cuts(|c| arp_log2_flops(48, c, 4), 128)));
+    println!("  FRE   : {}", tolerated(max_tolerable_cuts(|c| fre_log2_flops(c as f64), 128)));
     println!("\nPaper shape: FRE ≫ ARP-4 > ARP-2 > FRP in cut tolerance; FRP_48 ≈ 16 cuts, FRE ≈ 40 cuts.");
 }

@@ -1,3 +1,4 @@
+use crate::reconstruct::ReconstructionStrategy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -53,6 +54,14 @@ pub struct QrccConfig {
     pub ilp_size_limit: usize,
     /// Random seed for the heuristic's tie-breaking.
     pub seed: u64,
+    /// How the classical post-processing reconstructs the output: the dense
+    /// global component loop, pairwise tensor contraction, or automatic
+    /// selection by the cost models (the default).
+    pub reconstruction_strategy: ReconstructionStrategy,
+    /// Sparse-pruning tolerance of the `Contract` reconstruction strategy:
+    /// attribution entries whose accumulated absolute weight stays below
+    /// this value are dropped (0.0, the default, disables pruning).
+    pub prune_tolerance: f64,
 }
 
 fn default_ilp_time_limit() -> Duration {
@@ -76,6 +85,8 @@ impl QrccConfig {
             ilp_time_limit: default_ilp_time_limit(),
             ilp_size_limit: 600,
             seed: 0,
+            reconstruction_strategy: ReconstructionStrategy::Auto,
+            prune_tolerance: 0.0,
         }
     }
 
@@ -149,6 +160,28 @@ impl QrccConfig {
         self
     }
 
+    /// Sets the reconstruction strategy (dense loop, pairwise contraction,
+    /// or cost-model-driven automatic selection).
+    pub fn with_reconstruction_strategy(mut self, strategy: ReconstructionStrategy) -> Self {
+        self.reconstruction_strategy = strategy;
+        self
+    }
+
+    /// Sets the sparse-pruning tolerance of the `Contract` reconstruction
+    /// strategy (0.0 disables pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is negative or not finite.
+    pub fn with_prune_tolerance(mut self, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance >= 0.0,
+            "prune tolerance must be finite and non-negative"
+        );
+        self.prune_tolerance = tolerance;
+        self
+    }
+
     /// The linearised post-processing cost `α·#wire_cuts + β·#gate_cuts`
     /// (Eq. (15)).
     pub fn linear_post_processing_cost(&self, wire_cuts: usize, gate_cuts: usize) -> f64 {
@@ -168,6 +201,8 @@ mod tests {
         assert_eq!(c.delta, 1.0);
         assert!(c.qubit_reuse_enabled);
         assert!(!c.gate_cuts_enabled);
+        assert_eq!(c.reconstruction_strategy, ReconstructionStrategy::Auto);
+        assert_eq!(c.prune_tolerance, 0.0);
         assert_eq!(QrccConfig::qrcc_b(7).delta, 0.7);
     }
 
@@ -206,5 +241,20 @@ mod tests {
     #[should_panic(expected = "delta")]
     fn delta_must_be_positive() {
         QrccConfig::new(3).with_delta(0.0);
+    }
+
+    #[test]
+    fn reconstruction_knobs_chain() {
+        let c = QrccConfig::new(5)
+            .with_reconstruction_strategy(ReconstructionStrategy::Contract)
+            .with_prune_tolerance(1e-8);
+        assert_eq!(c.reconstruction_strategy, ReconstructionStrategy::Contract);
+        assert_eq!(c.prune_tolerance, 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "prune tolerance")]
+    fn prune_tolerance_must_be_non_negative() {
+        QrccConfig::new(3).with_prune_tolerance(-1.0);
     }
 }

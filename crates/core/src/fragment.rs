@@ -159,6 +159,12 @@ pub struct Fragment {
 }
 
 impl Fragment {
+    /// The number of cut legs this fragment carries: incoming and outgoing
+    /// wire cuts plus gate-cut roles — the axes of its reconstruction tensor.
+    pub fn cut_leg_count(&self) -> usize {
+        self.incoming_cuts.len() + self.outgoing_cuts.len() + self.gate_cut_roles.len()
+    }
+
     /// The number of executable variants this fragment has:
     /// `4^incoming · 3^outgoing · 6^gate_roles` (ignoring output-basis
     /// changes).
@@ -311,6 +317,65 @@ impl FragmentSet {
     /// (the paper's "42 instances" accounting for its Table 3 example).
     pub fn total_variants(&self) -> u64 {
         self.fragments.iter().map(Fragment::variant_count).sum()
+    }
+
+    /// For each wire cut id, the fragments hosting its two sides:
+    /// `(measuring fragment, preparing fragment)`. A side is `None` only for
+    /// inconsistent plans (every planner-produced cut has both).
+    pub fn wire_cut_endpoints(&self) -> Vec<(Option<usize>, Option<usize>)> {
+        let mut endpoints = vec![(None, None); self.num_wire_cuts()];
+        for fragment in &self.fragments {
+            for &cut in &fragment.outgoing_cuts {
+                endpoints[cut].0 = Some(fragment.index);
+            }
+            for &cut in &fragment.incoming_cuts {
+                endpoints[cut].1 = Some(fragment.index);
+            }
+        }
+        endpoints
+    }
+
+    /// For each gate cut id, the fragments hosting its two halves:
+    /// `(top fragment, bottom fragment)`.
+    pub fn gate_cut_endpoints(&self) -> Vec<(Option<usize>, Option<usize>)> {
+        let mut endpoints = vec![(None, None); self.num_gate_cuts()];
+        for fragment in &self.fragments {
+            for &(cut, half) in &fragment.gate_cut_roles {
+                match half {
+                    GateHalf::Top => endpoints[cut].0 = Some(fragment.index),
+                    GateHalf::Bottom => endpoints[cut].1 = Some(fragment.index),
+                }
+            }
+        }
+        endpoints
+    }
+
+    /// The cut graph over fragments: `adjacency[f]` lists the fragments that
+    /// share at least one wire or gate cut with fragment `f`, sorted and
+    /// deduplicated. The contraction engine's pairwise merges walk the edges
+    /// of this graph; its connectivity determines how far the `Contract`
+    /// strategy can undercut the dense `4^cuts` loop.
+    pub fn cut_adjacency(&self) -> Vec<Vec<usize>> {
+        let mut adjacency = vec![Vec::new(); self.fragments.len()];
+        let link = |a: Option<usize>, b: Option<usize>, adjacency: &mut Vec<Vec<usize>>| {
+            if let (Some(a), Some(b)) = (a, b) {
+                if a != b {
+                    adjacency[a].push(b);
+                    adjacency[b].push(a);
+                }
+            }
+        };
+        for (measure, prepare) in self.wire_cut_endpoints() {
+            link(measure, prepare, &mut adjacency);
+        }
+        for (top, bottom) in self.gate_cut_endpoints() {
+            link(top, bottom, &mut adjacency);
+        }
+        for neighbours in &mut adjacency {
+            neighbours.sort_unstable();
+            neighbours.dedup();
+        }
+        adjacency
     }
 
     /// Instantiates the circuit a [`VariantKey`] identifies, validating the
@@ -667,6 +732,26 @@ mod tests {
         let outgoing: usize = set.fragments.iter().map(|f| f.outgoing_cuts.len()).sum();
         assert_eq!(incoming, set.num_wire_cuts());
         assert_eq!(outgoing, set.num_wire_cuts());
+        let legs: usize = set.fragments.iter().map(Fragment::cut_leg_count).sum();
+        assert_eq!(legs, 2 * set.num_wire_cuts() + 2 * set.num_gate_cuts());
+    }
+
+    #[test]
+    fn cut_adjacency_connects_every_cut_endpoint_pair() {
+        let plan = plan_chain(6, 3);
+        let set = FragmentSet::from_plan(&plan).unwrap();
+        // every wire cut has both endpoints, in different fragments
+        for (cut, (measure, prepare)) in set.wire_cut_endpoints().into_iter().enumerate() {
+            let measure = measure.unwrap_or_else(|| panic!("cut {cut} lacks a measuring side"));
+            let prepare = prepare.unwrap_or_else(|| panic!("cut {cut} lacks a preparing side"));
+            assert_ne!(measure, prepare, "cut {cut} must cross fragments");
+            let adjacency = set.cut_adjacency();
+            assert!(adjacency[measure].contains(&prepare));
+            assert!(adjacency[prepare].contains(&measure));
+        }
+        // a chain plan's cut graph is connected: no isolated fragment
+        let adjacency = set.cut_adjacency();
+        assert!(adjacency.iter().all(|n| !n.is_empty()));
     }
 
     #[test]

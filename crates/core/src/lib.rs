@@ -21,7 +21,10 @@
 //!   [`fragment::VariantKey`], run one rayon-parallel batch on an
 //!   [`execute::ExecutionBackend`].
 //! * [`reconstruct`] — probability-vector and expectation-value
-//!   reconstruction, and the post-processing cost models of Figure 6.
+//!   reconstruction through a shared contraction engine (dense global loop
+//!   or pairwise fragment-tensor contraction with sparse pruning, selected
+//!   by [`ReconstructionStrategy`]), and the post-processing cost models of
+//!   Figure 6.
 //! * [`pipeline::QrccPipeline`] — the end-to-end flow
 //!   (plan → fragments → execute → reconstruct).
 //!
@@ -66,4 +69,5 @@ pub mod spec;
 
 pub use config::{QrccConfig, ALPHA_WIRE_CUT, BETA_GATE_CUT};
 pub use error::CoreError;
+pub use reconstruct::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy};
 pub use spec::{CutMetrics, CutSolution, Segment, SubcircuitId, WireCutPoint};

@@ -19,7 +19,9 @@
 use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
 use crate::fragment::{FragmentSet, VariantRequest};
 use crate::planner::{CutPlan, CutPlanner};
-use crate::reconstruct::{ExpectationReconstructor, ProbabilityReconstructor};
+use crate::reconstruct::{
+    ExpectationReconstructor, ProbabilityReconstructor, ReconstructionOptions, ReconstructionReport,
+};
 use crate::{CoreError, QrccConfig};
 use qrcc_circuit::observable::PauliObservable;
 use qrcc_circuit::Circuit;
@@ -90,6 +92,20 @@ impl QrccPipeline {
         self.fragments.total_variants()
     }
 
+    /// The reconstruction options the plan's [`QrccConfig`] selects
+    /// (strategy and sparse-pruning tolerance).
+    pub fn reconstruction_options(&self) -> ReconstructionOptions {
+        ReconstructionOptions::from_config(self.plan.config())
+    }
+
+    fn probability_reconstructor(&self) -> ProbabilityReconstructor {
+        ProbabilityReconstructor::with_options(self.reconstruction_options())
+    }
+
+    fn expectation_reconstructor(&self) -> ExpectationReconstructor {
+        ExpectationReconstructor::with_options(self.reconstruction_options())
+    }
+
     // ---- phase 1+2: enumerate, deduplicate and execute ----
 
     /// Executes the probability workload's variants as one deduplicated
@@ -99,10 +115,12 @@ impl QrccPipeline {
     ///
     /// * [`CoreError::GateCutNeedsExpectation`] if the plan contains gate
     ///   cuts (use [`QrccPipeline::execute_observables`] instead).
-    /// * [`CoreError::TooManyCuts`] beyond the dense-reconstruction limit.
+    /// * [`CoreError::TooManyCuts`] if the plan exceeds what the configured
+    ///   reconstruction strategy supports (total cuts for `Dense`,
+    ///   per-contraction legs for `Contract`).
     /// * Any backend error.
     pub fn execute(&self, backend: &dyn ExecutionBackend) -> Result<ExecutionResults, CoreError> {
-        let requests = ProbabilityReconstructor::new().requests(&self.fragments)?;
+        let requests = self.probability_reconstructor().requests(&self.fragments)?;
         self.execute_requests(backend, &requests)
     }
 
@@ -119,7 +137,7 @@ impl QrccPipeline {
         backend: &dyn ExecutionBackend,
         observables: &[&PauliObservable],
     ) -> Result<ExecutionResults, CoreError> {
-        let reconstructor = ExpectationReconstructor::new();
+        let reconstructor = self.expectation_reconstructor();
         let mut requests = Vec::new();
         for observable in observables {
             requests.extend(reconstructor.requests(&self.fragments, observable)?);
@@ -146,9 +164,9 @@ impl QrccPipeline {
     ) -> Result<ExecutionResults, CoreError> {
         let mut requests = Vec::new();
         if self.fragments.num_gate_cuts() == 0 {
-            requests.extend(ProbabilityReconstructor::new().requests(&self.fragments)?);
+            requests.extend(self.probability_reconstructor().requests(&self.fragments)?);
         }
-        let reconstructor = ExpectationReconstructor::new();
+        let reconstructor = self.expectation_reconstructor();
         for observable in observables {
             requests.extend(reconstructor.requests(&self.fragments, observable)?);
         }
@@ -173,7 +191,8 @@ impl QrccPipeline {
     // ---- phase 3: consume ----
 
     /// Reconstructs the original circuit's probability distribution from an
-    /// executed batch.
+    /// executed batch, using the strategy and pruning tolerance of the
+    /// plan's [`QrccConfig`].
     ///
     /// # Errors
     ///
@@ -182,11 +201,26 @@ impl QrccPipeline {
         &self,
         results: &ExecutionResults,
     ) -> Result<Vec<f64>, CoreError> {
-        ProbabilityReconstructor::new().reconstruct(&self.fragments, results)
+        self.probability_reconstructor().reconstruct(&self.fragments, results)
+    }
+
+    /// Like [`QrccPipeline::reconstruct_probabilities_from`], also returning
+    /// the engine's [`ReconstructionReport`] (resolved strategy, contraction
+    /// count, pruned mass).
+    ///
+    /// # Errors
+    ///
+    /// See [`ProbabilityReconstructor::reconstruct`].
+    pub fn reconstruct_probabilities_with_report_from(
+        &self,
+        results: &ExecutionResults,
+    ) -> Result<(Vec<f64>, ReconstructionReport), CoreError> {
+        self.probability_reconstructor().reconstruct_with_report(&self.fragments, results)
     }
 
     /// Reconstructs the expectation value of `observable` from an executed
-    /// batch.
+    /// batch, using the strategy and pruning tolerance of the plan's
+    /// [`QrccConfig`].
     ///
     /// # Errors
     ///
@@ -196,7 +230,26 @@ impl QrccPipeline {
         results: &ExecutionResults,
         observable: &PauliObservable,
     ) -> Result<f64, CoreError> {
-        ExpectationReconstructor::new().reconstruct(&self.fragments, results, observable)
+        self.expectation_reconstructor().reconstruct(&self.fragments, results, observable)
+    }
+
+    /// Like [`QrccPipeline::reconstruct_expectation_from`], also returning
+    /// the engine's [`ReconstructionReport`] accumulated over the
+    /// observable's Pauli terms.
+    ///
+    /// # Errors
+    ///
+    /// See [`ExpectationReconstructor::reconstruct`].
+    pub fn reconstruct_expectation_with_report_from(
+        &self,
+        results: &ExecutionResults,
+        observable: &PauliObservable,
+    ) -> Result<(f64, ReconstructionReport), CoreError> {
+        self.expectation_reconstructor().reconstruct_with_report(
+            &self.fragments,
+            results,
+            observable,
+        )
     }
 
     // ---- convenience: all three phases in one call ----
@@ -304,6 +357,27 @@ mod tests {
         }
         assert!((ea - sv.expectation(&obs_a)).abs() < 1e-6);
         assert!((eb - sv.expectation(&obs_b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn config_selects_the_reconstruction_strategy_and_reports_it() {
+        use crate::reconstruct::ReconstructionStrategy;
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).ry(0.4, 2).cx(2, 3);
+        let exact = StateVector::from_circuit(&c).unwrap().probabilities();
+        let backend = ExactBackend::new();
+        for strategy in [ReconstructionStrategy::Dense, ReconstructionStrategy::Contract] {
+            let config = small_config(3).with_reconstruction_strategy(strategy);
+            let pipeline = QrccPipeline::plan(&c, config).unwrap();
+            assert_eq!(pipeline.reconstruction_options().strategy, strategy);
+            let results = pipeline.execute(&backend).unwrap();
+            let (p, report) =
+                pipeline.reconstruct_probabilities_with_report_from(&results).unwrap();
+            assert_eq!(report.strategy, strategy);
+            for (a, b) in exact.iter().zip(&p) {
+                assert!((a - b).abs() < 1e-6, "{strategy:?} mismatch");
+            }
+        }
     }
 
     #[test]

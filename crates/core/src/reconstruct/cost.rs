@@ -47,11 +47,26 @@ pub fn fss_threshold_log2() -> f64 {
     1e24f64.log2()
 }
 
+/// `log₂` of the total FP cost of an explicit pairwise-contraction schedule
+/// (the executable ARP path), given each step's `log₂` size. An empty
+/// schedule (a single-fragment plan) costs `0` (`= log₂ 1`).
+///
+/// The summation runs in the `log₂` domain (max-shifted) so schedules whose
+/// steps are astronomically large still produce a finite, comparable value.
+pub fn contract_log2_flops(step_log2_sizes: &[f64]) -> f64 {
+    let Some(max) = step_log2_sizes.iter().copied().reduce(f64::max) else {
+        return 0.0;
+    };
+    max + step_log2_sizes.iter().map(|&s| 2f64.powf(s - max)).sum::<f64>().log2()
+}
+
 /// The largest number of cuts a strategy tolerates before exceeding the FSS
-/// threshold, searched over `0..=max_cuts`.
-pub fn max_tolerable_cuts(log2_cost: impl Fn(usize) -> f64, max_cuts: usize) -> usize {
+/// threshold, searched over `0..=max_cuts`; `None` when even a cut-free
+/// reconstruction exceeds the threshold (distinct from `Some(0)`, which
+/// tolerates zero cuts but no more).
+pub fn max_tolerable_cuts(log2_cost: impl Fn(usize) -> f64, max_cuts: usize) -> Option<usize> {
     let threshold = fss_threshold_log2();
-    (0..=max_cuts).take_while(|&c| log2_cost(c) <= threshold).last().unwrap_or(0)
+    (0..=max_cuts).take_while(|&c| log2_cost(c) <= threshold).last()
 }
 
 #[cfg(test)]
@@ -68,22 +83,47 @@ mod tests {
     #[test]
     fn frp48_tolerates_about_16_cuts() {
         // the paper reports FRP_48 hitting the threshold around 16 cuts
-        let tolerated = max_tolerable_cuts(|c| frp_log2_flops(48, c), 64);
+        let tolerated = max_tolerable_cuts(|c| frp_log2_flops(48, c), 64).unwrap();
         assert!((15..=17).contains(&tolerated), "tolerated {tolerated}");
     }
 
     #[test]
     fn fre_tolerates_about_40_cuts() {
-        let tolerated = max_tolerable_cuts(|c| fre_log2_flops(c as f64), 64);
+        let tolerated = max_tolerable_cuts(|c| fre_log2_flops(c as f64), 64).unwrap();
         assert!((38..=41).contains(&tolerated), "tolerated {tolerated}");
     }
 
     #[test]
     fn approximate_reconstruction_tolerates_more_cuts_with_more_subcircuits() {
-        let arp2 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 2), 128);
-        let arp4 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 4), 128);
+        let arp2 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 2), 128).unwrap();
+        let arp4 = max_tolerable_cuts(|c| arp_log2_flops(50, c, 4), 128).unwrap();
         assert!((20..=30).contains(&arp2), "arp2 tolerated {arp2}");
         assert!(arp4 > arp2, "arp4 {arp4} should tolerate more cuts than arp2 {arp2}");
+    }
+
+    #[test]
+    fn intolerable_baseline_is_none_not_zero_cuts() {
+        // a cost model already above the threshold at zero cuts tolerates
+        // nothing — previously conflated with "tolerates exactly 0 cuts"
+        let over = fss_threshold_log2() + 1.0;
+        assert_eq!(max_tolerable_cuts(|_| over, 64), None);
+        // a model that fits only the cut-free case reports Some(0)
+        let threshold = fss_threshold_log2();
+        assert_eq!(max_tolerable_cuts(|c| threshold + c as f64, 64), Some(0));
+    }
+
+    #[test]
+    fn contract_cost_sums_step_sizes_in_log_space() {
+        // two equally sized steps double the cost: +1 in log2
+        assert!((contract_log2_flops(&[10.0, 10.0]) - 11.0).abs() < 1e-9);
+        // a dominant step swamps a tiny one
+        let dominated = contract_log2_flops(&[40.0, 1.0]);
+        assert!((dominated - 40.0).abs() < 1e-6, "dominated {dominated}");
+        // empty schedules (single fragment) cost log2(1) = 0
+        assert_eq!(contract_log2_flops(&[]), 0.0);
+        // astronomically large steps stay finite and ordered
+        let huge = contract_log2_flops(&[2000.0, 1999.0]);
+        assert!(huge > 2000.0 && huge.is_finite());
     }
 
     #[test]

@@ -1,0 +1,1141 @@
+//! The shared contraction engine behind both reconstructors.
+//!
+//! Every executed fragment variant is folded **once** into a cut-indexed
+//! [`CutTensor`]: one axis per wire cut (radix 4, the attribution components
+//! of Eq. (3)) or gate cut (radix 6, the Mitarai–Fujii instances), with a
+//! payload per entry — the sub-normalised distribution over the fragment's
+//! output bits for probability workloads, a parity-weighted scalar for
+//! expectation workloads.
+//!
+//! Reconstruction then runs in one of two executable strategies:
+//!
+//! * **Dense** — the global mixed-radix loop of the paper's FRP/FRE models,
+//!   chunked deterministically and executed rayon-parallel.
+//! * **Contract** — the ARP divide-and-conquer model made executable:
+//!   tensors are merged pairwise along shared cut legs (each contracted wire
+//!   leg folds the `1/2` scale, each gate leg folds its quasi-probability
+//!   coefficient), with the merge order chosen greedily by intermediate
+//!   tensor size. Attribution entries whose accumulated absolute weight
+//!   falls below a tolerance are pruned, and the dropped mass is reported.
+//!
+//! [`resolve_strategy`] turns a [`ReconstructionStrategy`] (possibly `Auto`)
+//! into a concrete executable path using the [`cost`] models.
+
+use super::{cut_bit_weight, init_weight, mixed_radix, required_basis, Odometer, MAX_DENSE_CUTS};
+use crate::execute::ExecutionResults;
+use crate::fragment::{CutBasis, Fragment, FragmentSet, FragmentVariant, InitState, VariantKey};
+use crate::gatecut::instance_measures;
+use crate::reconstruct::cost;
+use crate::{CoreError, QrccConfig};
+use qrcc_circuit::observable::{Pauli, PauliString};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Which classical post-processing path reconstructs the output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReconstructionStrategy {
+    /// The global `4^wire · 6^gate` mixed-radix loop (the paper's FRP/FRE
+    /// models), rayon-parallel over deterministic component chunks. Capped at
+    /// [`MAX_DENSE_CUTS`] wire cuts.
+    Dense,
+    /// Pairwise fragment-tensor contraction along shared cuts (the paper's
+    /// ARP model made executable), with greedy ordering and sparse term
+    /// pruning. Only per-contraction legs are capped, so plans whose total
+    /// cut count exceeds [`MAX_DENSE_CUTS`] remain reconstructable.
+    Contract,
+    /// Pick whichever feasible strategy the [`cost`] models rate cheaper.
+    #[default]
+    Auto,
+}
+
+/// The two reconstruction workloads the engine serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Full probability-vector reconstruction (wire cuts only).
+    Probability,
+    /// Expectation-value reconstruction (wire and gate cuts).
+    Expectation,
+}
+
+/// Tuning knobs of the reconstruction engine, shared by both reconstructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconstructionOptions {
+    /// Strategy selection (`Auto` consults the [`cost`] models).
+    pub strategy: ReconstructionStrategy,
+    /// Sparse-pruning tolerance of the `Contract` strategy: attribution
+    /// entries whose accumulated absolute weight stays below this value are
+    /// dropped (`0.0` disables pruning; the dense path never prunes).
+    pub prune_tolerance: f64,
+}
+
+impl Default for ReconstructionOptions {
+    fn default() -> Self {
+        ReconstructionOptions { strategy: ReconstructionStrategy::Auto, prune_tolerance: 0.0 }
+    }
+}
+
+impl ReconstructionOptions {
+    /// The options a [`QrccConfig`] selects.
+    pub fn from_config(config: &QrccConfig) -> Self {
+        ReconstructionOptions {
+            strategy: config.reconstruction_strategy,
+            prune_tolerance: config.prune_tolerance,
+        }
+    }
+}
+
+/// What one reconstruction actually did: the resolved strategy, the pairwise
+/// contraction stats, and the mass dropped by sparse pruning.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReconstructionReport {
+    /// The strategy that executed (never `Auto`; the default value `Auto`
+    /// only appears in a freshly initialised report).
+    pub strategy: ReconstructionStrategy,
+    /// Number of pairwise tensor contractions performed (0 for `Dense`).
+    pub contractions: usize,
+    /// The largest number of cut legs alive in any single tensor or pairwise
+    /// contraction — the quantity the per-contraction cap applies to.
+    pub max_contraction_legs: usize,
+    /// Attribution entries that survived pruning across all tensors built.
+    pub kept_terms: usize,
+    /// Attribution entries dropped because their absolute weight stayed
+    /// below the tolerance.
+    pub pruned_terms: usize,
+    /// Total absolute weight of the dropped entries — an upper-bound proxy
+    /// for the reconstruction error pruning introduced.
+    pub pruned_weight: f64,
+    /// The tolerance pruning ran with.
+    pub prune_tolerance: f64,
+}
+
+/// One cut axis of a [`CutTensor`], identified by its global cut id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Leg {
+    /// A wire cut: 4 attribution components, contraction folds `1/2`.
+    Wire(usize),
+    /// A gate cut: 6 instances, contraction folds the instance coefficient.
+    Gate(usize),
+}
+
+impl Leg {
+    fn radix(self) -> usize {
+        match self {
+            Leg::Wire(_) => 4,
+            Leg::Gate(_) => 6,
+        }
+    }
+}
+
+/// A fragment's executed variants folded into one cut-indexed tensor.
+///
+/// Entry `e` (mixed-radix over `legs`, least-significant leg first) holds a
+/// payload of `2^bit_origins.len()` values: the weighted distribution over
+/// the fragment's original-circuit output bits (`bit_origins[i]` names the
+/// original qubit of payload bit `i`); expectation tensors carry scalar
+/// payloads (`bit_origins` empty).
+#[derive(Debug, Clone)]
+pub(crate) struct CutTensor {
+    legs: Vec<Leg>,
+    strides: Vec<usize>,
+    entries: usize,
+    bit_origins: Vec<usize>,
+    payload_len: usize,
+    data: Vec<f64>,
+    /// Per-entry liveness: `false` entries are all-zero (or pruned) and are
+    /// skipped by both strategies.
+    active: Vec<bool>,
+}
+
+impl CutTensor {
+    fn new(legs: Vec<Leg>, bit_origins: Vec<usize>) -> Self {
+        let mut strides = Vec::with_capacity(legs.len());
+        let mut entries = 1usize;
+        for leg in &legs {
+            strides.push(entries);
+            entries *= leg.radix();
+        }
+        let payload_len = 1usize << bit_origins.len();
+        CutTensor {
+            legs,
+            strides,
+            entries,
+            bit_origins,
+            payload_len,
+            data: vec![0.0; entries * payload_len],
+            active: vec![false; entries],
+        }
+    }
+
+    fn payload(&self, entry: usize) -> &[f64] {
+        &self.data[entry * self.payload_len..(entry + 1) * self.payload_len]
+    }
+
+    /// Recomputes the liveness flags from the payload contents.
+    fn refresh_active(&mut self) {
+        for entry in 0..self.entries {
+            self.active[entry] = self.data
+                [entry * self.payload_len..(entry + 1) * self.payload_len]
+                .iter()
+                .any(|&v| v != 0.0);
+        }
+    }
+
+    /// Drops entries whose accumulated absolute weight stays below
+    /// `tolerance`, recording the dropped mass in `report`. A tolerance of
+    /// zero prunes nothing but still refreshes liveness and term counts.
+    fn prune(&mut self, tolerance: f64, report: &mut ReconstructionReport) {
+        for entry in 0..self.entries {
+            let start = entry * self.payload_len;
+            let slice = &mut self.data[start..start + self.payload_len];
+            let mass: f64 = slice.iter().map(|v| v.abs()).sum();
+            if mass == 0.0 {
+                self.active[entry] = false;
+            } else if mass < tolerance {
+                slice.iter_mut().for_each(|v| *v = 0.0);
+                self.active[entry] = false;
+                report.pruned_terms += 1;
+                report.pruned_weight += mass;
+            } else {
+                self.active[entry] = true;
+                report.kept_terms += 1;
+            }
+        }
+    }
+
+    /// Sums out diagonal pairs of duplicated legs (a cut whose both sides
+    /// land in the same fragment), folding the contraction weight. Such a
+    /// cut is internal to the fragment — no other tensor carries its leg —
+    /// so **both** axes disappear and the diagonal is summed over, exactly
+    /// as the dense path's global component sum handles that cut. Real plans
+    /// place the two sides of a cut in different fragments, so this is
+    /// normally a no-op — but the contract path must not silently mis-handle
+    /// a self-cut if a planner ever emits one.
+    fn normalize_legs(mut self, coeffs: &[[f64; 6]]) -> CutTensor {
+        loop {
+            let dup = self.legs.iter().enumerate().find_map(|(p1, leg)| {
+                self.legs[p1 + 1..].iter().position(|l| l == leg).map(|off| (p1, p1 + 1 + off))
+            });
+            let Some((p1, p2)) = dup else { return self };
+            let legs: Vec<Leg> = self
+                .legs
+                .iter()
+                .enumerate()
+                .filter(|&(p, _)| p != p1 && p != p2)
+                .map(|(_, &l)| l)
+                .collect();
+            let mut out = CutTensor::new(legs, self.bit_origins.clone());
+            let diagonal_stride = self.strides[p1] + self.strides[p2];
+            let radix = self.legs[p1].radix();
+            let diagonal_weights: Vec<f64> = (0..radix)
+                .map(|d| match self.legs[p1] {
+                    Leg::Wire(_) => 0.5,
+                    Leg::Gate(g) => coeffs[g][d],
+                })
+                .collect();
+            let mut od = Odometer::new(out.legs.iter().map(|l| l.radix()).collect());
+            let mut e_out = 0usize;
+            while let Some(digits) = od.next() {
+                // map the surviving out legs back to their original strides
+                let mut base = 0usize;
+                let mut out_digit = 0usize;
+                for (tp, stride) in self.strides.iter().enumerate() {
+                    if tp == p1 || tp == p2 {
+                        continue;
+                    }
+                    base += digits[out_digit] * stride;
+                    out_digit += 1;
+                }
+                let start = e_out * out.payload_len;
+                for (d, &w) in diagonal_weights.iter().enumerate() {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    let diag = self.payload(base + d * diagonal_stride);
+                    for (slot, &v) in out.data[start..start + out.payload_len].iter_mut().zip(diag)
+                    {
+                        *slot += w * v;
+                    }
+                }
+                e_out += 1;
+            }
+            out.refresh_active();
+            self = out;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Variant enumeration (phase 1 building blocks, shared with the front-ends)
+// ---------------------------------------------------------------------------
+
+/// Every variant the probability workload needs from one fragment: all
+/// `4^incoming · 3^outgoing` combinations, outputs measured in Z.
+pub(super) fn probability_variants(
+    fragment: &Fragment,
+) -> impl Iterator<Item = FragmentVariant> + '_ {
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let output_bits = fragment.output_clbits.len();
+    mixed_radix(num_in, 4).flat_map(move |init_digits| {
+        let init_states: Vec<InitState> = init_digits.iter().map(|&d| InitState::ALL[d]).collect();
+        mixed_radix(num_out, 3).map(move |basis_digits| FragmentVariant {
+            init_states: init_states.clone(),
+            cut_bases: basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect(),
+            gate_instances: Vec::new(),
+            output_bases: vec![Pauli::Z; output_bits],
+        })
+    })
+}
+
+/// The output-measurement bases one fragment needs for one Pauli string,
+/// normalised so that `I` measures like `Z`: both instantiate to a plain
+/// computational-basis measurement, and normalising makes variant keys of
+/// different Pauli terms collide exactly when their circuits are identical
+/// (maximising batch dedup).
+pub(super) fn normalized_output_bases(fragment: &Fragment, string: &PauliString) -> Vec<Pauli> {
+    fragment
+        .output_clbits
+        .iter()
+        .map(|&(orig, _)| match string.pauli(orig) {
+            Pauli::I => Pauli::Z,
+            p => p,
+        })
+        .collect()
+}
+
+/// Every variant one fragment needs for one Pauli string: all
+/// `6^roles · 4^incoming · 3^outgoing` combinations with the string's output
+/// bases.
+pub(super) fn expectation_variants<'a>(
+    fragment: &'a Fragment,
+    string: &PauliString,
+) -> impl Iterator<Item = FragmentVariant> + 'a {
+    let output_bases = normalized_output_bases(fragment, string);
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let num_roles = fragment.gate_cut_roles.len();
+    mixed_radix(num_roles, 6).flat_map(move |instance_digits| {
+        let instances: Vec<usize> = instance_digits.iter().map(|&d| d + 1).collect();
+        let output_bases = output_bases.clone();
+        mixed_radix(num_in, 4).flat_map(move |init_digits| {
+            let init_states: Vec<InitState> =
+                init_digits.iter().map(|&d| InitState::ALL[d]).collect();
+            let instances = instances.clone();
+            let output_bases = output_bases.clone();
+            mixed_radix(num_out, 3).map(move |basis_digits| FragmentVariant {
+                init_states: init_states.clone(),
+                cut_bases: basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect(),
+                gate_instances: instances.clone(),
+                output_bases: output_bases.clone(),
+            })
+        })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Tensor building (consume phase, step 1)
+// ---------------------------------------------------------------------------
+
+/// An empty (clbit-free) fragment was never executed: the distribution over
+/// its zero classical bits is the constant `[1.0]`.
+const TRIVIAL: [f64; 1] = [1.0];
+
+/// Folds one fragment's executed probability variants into a cut tensor:
+/// legs are the incoming then outgoing wire cuts, payloads the weighted
+/// distributions over the fragment's output bits.
+pub(crate) fn probability_tensor(
+    fragment: &Fragment,
+    results: &ExecutionResults,
+) -> Result<CutTensor, CoreError> {
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let legs: Vec<Leg> = fragment
+        .incoming_cuts
+        .iter()
+        .chain(&fragment.outgoing_cuts)
+        .map(|&cut| Leg::Wire(cut))
+        .collect();
+    let bit_origins: Vec<usize> = fragment.output_clbits.iter().map(|&(orig, _)| orig).collect();
+    let mut tensor = CutTensor::new(legs, bit_origins);
+
+    let output_bit_positions: Vec<usize> =
+        fragment.output_clbits.iter().map(|&(_, clbit)| clbit).collect();
+    let cut_bit_positions: Vec<usize> =
+        fragment.cut_clbits.iter().map(|&(_, clbit)| clbit).collect();
+
+    let mut cut_bits = vec![false; cut_bit_positions.len()];
+    let mut in_od = Odometer::uniform(num_in, 4);
+    let mut out_od = Odometer::uniform(num_out, 4);
+    let payload_len = tensor.payload_len;
+
+    for variant in probability_variants(fragment) {
+        let key = VariantKey::new(fragment.index, variant);
+        let init_states = &key.variant.init_states;
+        let cut_bases = &key.variant.cut_bases;
+        let dist: &[f64] =
+            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
+
+        for (outcome, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let mut y = 0usize;
+            for (bit, &pos) in output_bit_positions.iter().enumerate() {
+                if outcome & (1 << pos) != 0 {
+                    y |= 1 << bit;
+                }
+            }
+            for (slot, &pos) in cut_bit_positions.iter().enumerate() {
+                cut_bits[slot] = outcome & (1 << pos) != 0;
+            }
+
+            // distribute this outcome over every compatible component combo
+            in_od.reset();
+            while let Some(in_components) = in_od.next() {
+                let mut weight = p;
+                let mut idx_in = 0usize;
+                for (slot, &component) in in_components.iter().enumerate() {
+                    weight *= init_weight(component, init_states[slot]);
+                    if weight == 0.0 {
+                        break;
+                    }
+                    idx_in += component * tensor.strides[slot];
+                }
+                if weight == 0.0 {
+                    continue;
+                }
+                out_od.reset();
+                while let Some(out_components) = out_od.next() {
+                    let mut w = weight;
+                    let mut idx = idx_in;
+                    for (slot, &component) in out_components.iter().enumerate() {
+                        if required_basis(component) != cut_bases[slot] {
+                            w = 0.0;
+                            break;
+                        }
+                        w *= cut_bit_weight(component, cut_bits[slot]);
+                        if w == 0.0 {
+                            break;
+                        }
+                        idx += component * tensor.strides[num_in + slot];
+                    }
+                    if w == 0.0 {
+                        continue;
+                    }
+                    tensor.data[idx * payload_len + y] += w;
+                }
+            }
+        }
+    }
+    tensor.refresh_active();
+    Ok(tensor)
+}
+
+/// Folds one fragment's executed expectation variants (for one Pauli string)
+/// into a cut tensor with scalar payloads: legs are the incoming and
+/// outgoing wire cuts plus the fragment's gate-cut roles.
+pub(crate) fn expectation_tensor(
+    fragment: &Fragment,
+    results: &ExecutionResults,
+    string: &PauliString,
+) -> Result<CutTensor, CoreError> {
+    let num_in = fragment.incoming_cuts.len();
+    let num_out = fragment.outgoing_cuts.len();
+    let num_roles = fragment.gate_cut_roles.len();
+    let legs: Vec<Leg> = fragment
+        .incoming_cuts
+        .iter()
+        .chain(&fragment.outgoing_cuts)
+        .map(|&cut| Leg::Wire(cut))
+        .chain(fragment.gate_cut_roles.iter().map(|&(cut, _)| Leg::Gate(cut)))
+        .collect();
+    let mut tensor = CutTensor::new(legs, Vec::new());
+
+    // Which output bits enter the Pauli parity.
+    let parity_bits: Vec<usize> = fragment
+        .output_clbits
+        .iter()
+        .filter(|&&(orig, _)| string.pauli(orig) != Pauli::I)
+        .map(|&(_, clbit)| clbit)
+        .collect();
+    let cut_bit_positions: Vec<usize> = fragment.cut_clbits.iter().map(|&(_, c)| c).collect();
+    let gate_bit_positions: Vec<usize> = fragment.gatecut_clbits.iter().map(|&(_, c)| c).collect();
+    let role_halves: Vec<crate::gatecut::GateHalf> =
+        fragment.gate_cut_roles.iter().map(|&(_, h)| h).collect();
+
+    let mut cut_bits = vec![false; cut_bit_positions.len()];
+    let mut weighted = vec![0.0f64; 4usize.pow(num_out as u32)];
+    let mut in_od = Odometer::uniform(num_in, 4);
+    let out_stride = 4usize.pow(num_in as u32);
+    let gate_base_stride = 4usize.pow((num_in + num_out) as u32);
+
+    for variant in expectation_variants(fragment, string) {
+        let key = VariantKey::new(fragment.index, variant);
+        let init_states = &key.variant.init_states;
+        let cut_bases = &key.variant.cut_bases;
+        let instances = &key.variant.gate_instances;
+        let dist: &[f64] =
+            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
+
+        // entry-index contribution of this variant's gate instances
+        let mut idx_gate = 0usize;
+        let mut stride = gate_base_stride;
+        for (role, &instance) in instances.iter().enumerate() {
+            debug_assert!(role < num_roles);
+            idx_gate += (instance - 1) * stride;
+            stride *= 6;
+        }
+
+        // Weighted scalar for this executed variant, per outgoing combo.
+        weighted.iter_mut().for_each(|w| *w = 0.0);
+        for (outcome, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            // parity of the Pauli support bits
+            let mut sign = 1.0;
+            for &bit in &parity_bits {
+                if outcome & (1 << bit) != 0 {
+                    sign = -sign;
+                }
+            }
+            // gate-cut measurement signs
+            for (role, &instance) in instances.iter().enumerate() {
+                if instance_measures(instance, role_halves[role])
+                    && outcome & (1 << gate_bit_positions[role]) != 0
+                {
+                    sign = -sign;
+                }
+            }
+            for (slot, &pos) in cut_bit_positions.iter().enumerate() {
+                cut_bits[slot] = outcome & (1 << pos) != 0;
+            }
+            for (combo, slot) in weighted.iter_mut().enumerate() {
+                let mut w = p * sign;
+                let mut rest = combo;
+                for (cut_slot, &basis) in cut_bases.iter().enumerate() {
+                    let component = rest % 4;
+                    rest /= 4;
+                    if required_basis(component) != basis {
+                        w = 0.0;
+                        break;
+                    }
+                    w *= cut_bit_weight(component, cut_bits[cut_slot]);
+                    if w == 0.0 {
+                        break;
+                    }
+                }
+                *slot += w;
+            }
+        }
+
+        // Scatter into the tensor across compatible incoming components.
+        in_od.reset();
+        while let Some(in_components) = in_od.next() {
+            let mut in_weight = 1.0;
+            let mut idx_in = 0usize;
+            for (slot, &component) in in_components.iter().enumerate() {
+                in_weight *= init_weight(component, init_states[slot]);
+                if in_weight == 0.0 {
+                    break;
+                }
+                idx_in += component * tensor.strides[slot];
+            }
+            if in_weight == 0.0 {
+                continue;
+            }
+            for (combo, &value) in weighted.iter().enumerate() {
+                if value == 0.0 {
+                    continue;
+                }
+                let idx = idx_in + combo * out_stride + idx_gate;
+                tensor.data[idx] += in_weight * value;
+            }
+        }
+    }
+    tensor.refresh_active();
+    Ok(tensor)
+}
+
+// ---------------------------------------------------------------------------
+// Contraction planning (greedy order + feasibility + cost)
+// ---------------------------------------------------------------------------
+
+/// Leg-level summary of one tensor, enough to plan a contraction order
+/// without building the tensor.
+#[derive(Debug, Clone)]
+struct LegMeta {
+    legs: Vec<Leg>,
+    bits: usize,
+}
+
+/// A replayable pairwise-contraction schedule over an evolving tensor list:
+/// step `(i, j)` contracts the tensors at positions `i < j`, removes both and
+/// appends the result.
+#[derive(Debug, Clone)]
+pub(crate) struct ContractionPlan {
+    steps: Vec<(usize, usize)>,
+    /// Largest number of cut legs alive in any single tensor or pairwise
+    /// contraction.
+    pub(crate) max_step_legs: usize,
+    /// `log₂` FP size of each step (for the [`cost`] comparison).
+    pub(crate) step_log2_sizes: Vec<f64>,
+}
+
+fn leg_metas(fragments: &FragmentSet, workload: Workload) -> Vec<LegMeta> {
+    fragments
+        .fragments
+        .iter()
+        .map(|f| {
+            let mut raw: Vec<Leg> =
+                f.incoming_cuts.iter().chain(&f.outgoing_cuts).map(|&cut| Leg::Wire(cut)).collect();
+            let bits = match workload {
+                Workload::Probability => f.output_clbits.len(),
+                Workload::Expectation => {
+                    raw.extend(f.gate_cut_roles.iter().map(|&(cut, _)| Leg::Gate(cut)));
+                    0
+                }
+            };
+            // A leg appearing twice is a self-cut: `normalize_legs` sums it
+            // out at tensor-build time, so it carries no axis at all.
+            let legs: Vec<Leg> = raw
+                .iter()
+                .filter(|leg| raw.iter().filter(|l| l == leg).count() == 1)
+                .copied()
+                .collect();
+            LegMeta { legs, bits }
+        })
+        .collect()
+}
+
+/// `log₂` of the FP cost of contracting two tensors: the full union of their
+/// legs times both payload sizes.
+fn pair_log2_size(a: &LegMeta, b: &LegMeta) -> f64 {
+    let mut log2 = (a.bits + b.bits) as f64;
+    for leg in &a.legs {
+        log2 += (leg.radix() as f64).log2();
+    }
+    for leg in &b.legs {
+        if !a.legs.contains(leg) {
+            log2 += (leg.radix() as f64).log2();
+        }
+    }
+    log2
+}
+
+/// Greedily orders pairwise contractions by smallest resulting intermediate
+/// (ties broken by position, so the schedule is deterministic).
+pub(crate) fn plan_contraction(fragments: &FragmentSet, workload: Workload) -> ContractionPlan {
+    let mut metas = leg_metas(fragments, workload);
+    let mut steps = Vec::new();
+    let mut step_log2_sizes = Vec::new();
+    let mut max_step_legs = metas.iter().map(|m| m.legs.len()).max().unwrap_or(0);
+    while metas.len() > 1 {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..metas.len() {
+            for j in i + 1..metas.len() {
+                let size = pair_log2_size(&metas[i], &metas[j]);
+                if best.is_none_or(|(s, _, _)| size < s) {
+                    best = Some((size, i, j));
+                }
+            }
+        }
+        let (size, i, j) = best.expect("at least one pair");
+        let b = metas.remove(j);
+        let a = metas.remove(i);
+        let union_legs = a.legs.len() + b.legs.iter().filter(|l| !a.legs.contains(l)).count();
+        max_step_legs = max_step_legs.max(union_legs);
+        let merged_legs: Vec<Leg> = a
+            .legs
+            .iter()
+            .filter(|l| !b.legs.contains(l))
+            .chain(b.legs.iter().filter(|l| !a.legs.contains(l)))
+            .copied()
+            .collect();
+        metas.push(LegMeta { legs: merged_legs, bits: a.bits + b.bits });
+        steps.push((i, j));
+        step_log2_sizes.push(size);
+    }
+    ContractionPlan { steps, max_step_legs, step_log2_sizes }
+}
+
+/// Resolves a requested strategy against a plan's feasibility and the
+/// [`cost`] models: `Auto` picks the cheaper feasible path, explicit choices
+/// fail with [`CoreError::TooManyCuts`] when infeasible.
+pub(crate) fn resolve_strategy(
+    fragments: &FragmentSet,
+    options: &ReconstructionOptions,
+    workload: Workload,
+) -> Result<(ReconstructionStrategy, ContractionPlan), CoreError> {
+    let plan = plan_contraction(fragments, workload);
+    let wire_cuts = fragments.num_wire_cuts();
+    let dense_feasible = wire_cuts <= MAX_DENSE_CUTS;
+    let contract_feasible = plan.max_step_legs <= MAX_DENSE_CUTS;
+    match options.strategy {
+        ReconstructionStrategy::Dense => {
+            if dense_feasible {
+                Ok((ReconstructionStrategy::Dense, plan))
+            } else {
+                Err(CoreError::TooManyCuts { cuts: wire_cuts, limit: MAX_DENSE_CUTS })
+            }
+        }
+        ReconstructionStrategy::Contract => {
+            if contract_feasible {
+                Ok((ReconstructionStrategy::Contract, plan))
+            } else {
+                Err(CoreError::TooManyCuts { cuts: plan.max_step_legs, limit: MAX_DENSE_CUTS })
+            }
+        }
+        ReconstructionStrategy::Auto => match (dense_feasible, contract_feasible) {
+            (false, false) => Err(CoreError::TooManyCuts {
+                cuts: wire_cuts.max(plan.max_step_legs),
+                limit: MAX_DENSE_CUTS,
+            }),
+            (true, false) => Ok((ReconstructionStrategy::Dense, plan)),
+            (false, true) => Ok((ReconstructionStrategy::Contract, plan)),
+            (true, true) => {
+                let dense_log2 = match workload {
+                    Workload::Probability => {
+                        let measured =
+                            fragments.output_owner.iter().filter(|o| o.is_some()).count();
+                        cost::frp_log2_flops(measured, wire_cuts)
+                    }
+                    Workload::Expectation => {
+                        // fold gate cuts into an effective cut count so that
+                        // 2·cuts_eff = log₂(4^wire · 6^gate)
+                        let effective =
+                            wire_cuts as f64 + fragments.num_gate_cuts() as f64 * 6f64.log2() / 2.0;
+                        cost::fre_log2_flops(effective)
+                    }
+                };
+                let contract_log2 = cost::contract_log2_flops(&plan.step_log2_sizes);
+                if contract_log2 < dense_log2 {
+                    Ok((ReconstructionStrategy::Contract, plan))
+                } else {
+                    Ok((ReconstructionStrategy::Dense, plan))
+                }
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Contract strategy (pairwise contraction)
+// ---------------------------------------------------------------------------
+
+/// Contracts two tensors along their shared legs: each shared wire leg folds
+/// the `1/2` reconstruction scale, each shared gate leg folds its instance
+/// coefficient, and the payloads combine as an outer product (`a`'s bits stay
+/// low, `b`'s go high).
+fn contract_pair(a: &CutTensor, b: &CutTensor, coeffs: &[[f64; 6]]) -> CutTensor {
+    let shared: Vec<(usize, usize)> = a
+        .legs
+        .iter()
+        .enumerate()
+        .filter_map(|(pa, la)| b.legs.iter().position(|lb| lb == la).map(|pb| (pa, pb)))
+        .collect();
+    let free_a: Vec<usize> =
+        (0..a.legs.len()).filter(|p| !shared.iter().any(|&(pa, _)| pa == *p)).collect();
+    let free_b: Vec<usize> =
+        (0..b.legs.len()).filter(|p| !shared.iter().any(|&(_, pb)| pb == *p)).collect();
+    let legs: Vec<Leg> =
+        free_a.iter().map(|&p| a.legs[p]).chain(free_b.iter().map(|&p| b.legs[p])).collect();
+    let bit_origins: Vec<usize> = a.bit_origins.iter().chain(&b.bit_origins).copied().collect();
+    let mut out = CutTensor::new(legs, bit_origins);
+
+    let pa_len = a.payload_len;
+    let out_payload_len = out.payload_len;
+    let mut out_od = Odometer::new(out.legs.iter().map(|l| l.radix()).collect());
+    let mut sh_od = Odometer::new(shared.iter().map(|&(pa, _)| a.legs[pa].radix()).collect());
+    let mut e_out = 0usize;
+    while let Some(digits) = out_od.next() {
+        let base_a: usize =
+            digits[..free_a.len()].iter().zip(&free_a).map(|(&d, &p)| d * a.strides[p]).sum();
+        let base_b: usize =
+            digits[free_a.len()..].iter().zip(&free_b).map(|(&d, &p)| d * b.strides[p]).sum();
+        let start = e_out * out_payload_len;
+        let acc = &mut out.data[start..start + out_payload_len];
+        sh_od.reset();
+        while let Some(shared_digits) = sh_od.next() {
+            let mut w = 1.0f64;
+            let mut ia = base_a;
+            let mut ib = base_b;
+            for (k, &(pa, pb)) in shared.iter().enumerate() {
+                let d = shared_digits[k];
+                ia += d * a.strides[pa];
+                ib += d * b.strides[pb];
+                w *= match a.legs[pa] {
+                    Leg::Wire(_) => 0.5,
+                    Leg::Gate(g) => coeffs[g][d],
+                };
+            }
+            if w == 0.0 || !a.active[ia] || !b.active[ib] {
+                continue;
+            }
+            let pa_slice = a.payload(ia);
+            let pb_slice = b.payload(ib);
+            for (yb, &vb) in pb_slice.iter().enumerate() {
+                let f = w * vb;
+                if f == 0.0 {
+                    continue;
+                }
+                let row = &mut acc[yb * pa_len..(yb + 1) * pa_len];
+                for (slot, &va) in row.iter_mut().zip(pa_slice) {
+                    *slot += f * va;
+                }
+            }
+        }
+        e_out += 1;
+    }
+    out
+}
+
+/// Replays a [`ContractionPlan`] over concrete tensors, pruning every
+/// intermediate, and returns the final (leg-free) tensor.
+fn contract_all(
+    mut tensors: Vec<CutTensor>,
+    plan: &ContractionPlan,
+    coeffs: &[[f64; 6]],
+    tolerance: f64,
+    report: &mut ReconstructionReport,
+) -> CutTensor {
+    for &(i, j) in &plan.steps {
+        let b = tensors.remove(j);
+        let a = tensors.remove(i);
+        let mut merged = contract_pair(&a, &b, coeffs);
+        report.contractions += 1;
+        merged.prune(tolerance, report);
+        tensors.push(merged);
+    }
+    tensors.pop().expect("contraction leaves one tensor")
+}
+
+/// The `Contract` strategy for the probability workload: build, prune,
+/// pairwise-contract, scatter into the `2^N` vector.
+pub(crate) fn contract_probabilities(
+    fragments: &FragmentSet,
+    results: &ExecutionResults,
+    plan: &ContractionPlan,
+    tolerance: f64,
+    report: &mut ReconstructionReport,
+) -> Result<Vec<f64>, CoreError> {
+    let coeffs: Vec<[f64; 6]> = Vec::new();
+    let mut tensors = Vec::with_capacity(fragments.fragments.len());
+    for fragment in &fragments.fragments {
+        let mut tensor = probability_tensor(fragment, results)?.normalize_legs(&coeffs);
+        tensor.prune(tolerance, report);
+        tensors.push(tensor);
+    }
+    report.max_contraction_legs = plan.max_step_legs;
+    let final_tensor = contract_all(tensors, plan, &coeffs, tolerance, report);
+    debug_assert!(final_tensor.legs.is_empty(), "all cut legs must be contracted");
+
+    let mut probabilities = vec![0.0; 1usize << fragments.original_qubits];
+    for (y, &p) in final_tensor.payload(0).iter().enumerate() {
+        let mut x = 0usize;
+        for (bit, &orig) in final_tensor.bit_origins.iter().enumerate() {
+            if y & (1 << bit) != 0 {
+                x |= 1 << orig;
+            }
+        }
+        probabilities[x] += p;
+    }
+    Ok(probabilities)
+}
+
+/// The `Contract` strategy for one Pauli string of the expectation workload.
+pub(crate) fn contract_expectation(
+    fragments: &FragmentSet,
+    results: &ExecutionResults,
+    string: &PauliString,
+    plan: &ContractionPlan,
+    tolerance: f64,
+    report: &mut ReconstructionReport,
+) -> Result<f64, CoreError> {
+    let coeffs: Vec<[f64; 6]> =
+        fragments.gate_cut_forms.iter().map(|form| form.coefficients()).collect();
+    let mut tensors = Vec::with_capacity(fragments.fragments.len());
+    for fragment in &fragments.fragments {
+        let mut tensor = expectation_tensor(fragment, results, string)?.normalize_legs(&coeffs);
+        tensor.prune(tolerance, report);
+        tensors.push(tensor);
+    }
+    report.max_contraction_legs = report.max_contraction_legs.max(plan.max_step_legs);
+    let final_tensor = contract_all(tensors, plan, &coeffs, tolerance, report);
+    debug_assert!(final_tensor.legs.is_empty(), "all cut legs must be contracted");
+    Ok(final_tensor.payload(0)[0])
+}
+
+// ---------------------------------------------------------------------------
+// Dense strategy (global mixed-radix loop, rayon-parallel)
+// ---------------------------------------------------------------------------
+
+/// Splits `total` combinations into deterministic contiguous chunk bounds.
+/// The chunk count depends only on the problem size (not the thread count),
+/// so the ordered reduction gives bit-identical results on any machine;
+/// `payload_bits` bounds per-chunk memory for the probability path.
+fn chunk_bounds(total: usize, payload_bits: usize) -> Vec<(usize, usize)> {
+    // All chunks together hold at most ~2^23 partial accumulator slots
+    // (64 MiB of f64), so wide-output circuits degrade to fewer chunks
+    // instead of exhausting memory.
+    let memory_cap = (1usize << 23).checked_shr(payload_bits as u32).unwrap_or(1).max(1);
+    let chunks = total.min(64).min(memory_cap).max(1);
+    (0..chunks).map(|c| (c * total / chunks, (c + 1) * total / chunks)).collect()
+}
+
+/// Per-fragment entry-index descriptors: `(stride, global cut id)` per wire
+/// leg and `(stride, global gate id)` per gate leg.
+fn leg_descriptors(tensors: &[CutTensor]) -> Vec<Vec<(usize, Leg)>> {
+    tensors
+        .iter()
+        .map(|t| t.strides.iter().copied().zip(t.legs.iter().copied()).collect())
+        .collect()
+}
+
+/// The dense (FRP) probability reconstruction: one global `4^cuts` component
+/// loop, rayon-parallel over deterministic chunks, iterating only the
+/// non-idle output subspace and scattering at the end.
+pub(crate) fn dense_probabilities(fragments: &FragmentSet, tensors: &[CutTensor]) -> Vec<f64> {
+    let cuts = fragments.num_wire_cuts();
+    let n = fragments.original_qubits;
+    let scale = 0.5f64.powi(cuts as i32);
+
+    // Compact, idle-free output subspace: qubit `non_idle[j]` is compact bit
+    // `j`; idle wires always read 0 and are skipped entirely.
+    let non_idle: Vec<usize> = (0..n).filter(|&q| fragments.output_owner[q].is_some()).collect();
+    let mut rank = vec![usize::MAX; n];
+    for (j, &q) in non_idle.iter().enumerate() {
+        rank[q] = j;
+    }
+    let compact_positions: Vec<Vec<usize>> = fragments
+        .fragments
+        .iter()
+        .map(|f| f.output_clbits.iter().map(|&(orig, _)| rank[orig]).collect())
+        .collect();
+    let descriptors = leg_descriptors(tensors);
+    let m = non_idle.len();
+    let total = 1usize << (2 * cuts);
+
+    let partials: Vec<Vec<f64>> = chunk_bounds(total, m)
+        .into_par_iter()
+        .map(|(start, end)| {
+            let mut local = vec![0.0f64; 1 << m];
+            let mut factors: Vec<&[f64]> = Vec::with_capacity(tensors.len());
+            let mut od = Odometer::uniform(cuts, 4);
+            od.seek(start);
+            let mut remaining = end - start;
+            'combos: while remaining > 0 {
+                let Some(components) = od.next() else { break };
+                remaining -= 1;
+                factors.clear();
+                for (tensor, legs) in tensors.iter().zip(&descriptors) {
+                    let mut idx = 0usize;
+                    for &(stride, leg) in legs {
+                        let Leg::Wire(cut) = leg else {
+                            unreachable!("probability tensors carry wire legs only")
+                        };
+                        idx += components[cut] * stride;
+                    }
+                    if !tensor.active[idx] {
+                        continue 'combos; // a zero block annihilates the combo
+                    }
+                    factors.push(tensor.payload(idx));
+                }
+                for (x, slot) in local.iter_mut().enumerate() {
+                    let mut term = scale;
+                    for (factor, positions) in factors.iter().zip(&compact_positions) {
+                        let mut y = 0usize;
+                        for (bit, &cpos) in positions.iter().enumerate() {
+                            if x & (1 << cpos) != 0 {
+                                y |= 1 << bit;
+                            }
+                        }
+                        term *= factor[y];
+                        if term == 0.0 {
+                            break;
+                        }
+                    }
+                    *slot += term;
+                }
+            }
+            local
+        })
+        .collect();
+
+    // Ordered reduction: chunk results are summed in chunk order, so the
+    // outcome is independent of the worker-thread schedule.
+    let mut compact = vec![0.0f64; 1 << m];
+    for partial in partials {
+        for (slot, value) in compact.iter_mut().zip(&partial) {
+            *slot += value;
+        }
+    }
+
+    let mut probabilities = vec![0.0f64; 1 << n];
+    for (y, &p) in compact.iter().enumerate() {
+        let mut x = 0usize;
+        for (j, &q) in non_idle.iter().enumerate() {
+            if y & (1 << j) != 0 {
+                x |= 1 << q;
+            }
+        }
+        probabilities[x] = p;
+    }
+    probabilities
+}
+
+/// The dense (FRE) expectation reconstruction for one Pauli string: a global
+/// `4^wire · 6^gate` loop, rayon-parallel over deterministic wire-component
+/// chunks with an ordered scalar reduction.
+pub(crate) fn dense_expectation(fragments: &FragmentSet, tensors: &[CutTensor]) -> f64 {
+    let wire_cuts = fragments.num_wire_cuts();
+    let gate_cuts = fragments.num_gate_cuts();
+    let scale = 0.5f64.powi(wire_cuts as i32);
+    let coeffs: Vec<[f64; 6]> =
+        fragments.gate_cut_forms.iter().map(|form| form.coefficients()).collect();
+    let descriptors = leg_descriptors(tensors);
+    let total = 1usize << (2 * wire_cuts);
+
+    let partials: Vec<f64> = chunk_bounds(total, 0)
+        .into_par_iter()
+        .map(|(start, end)| {
+            let mut sum = 0.0f64;
+            let mut wire_od = Odometer::uniform(wire_cuts, 4);
+            wire_od.seek(start);
+            let mut gate_od = Odometer::uniform(gate_cuts, 6);
+            let mut remaining = end - start;
+            while remaining > 0 {
+                let Some(wire_components) = wire_od.next() else { break };
+                remaining -= 1;
+                gate_od.reset();
+                'instances: while let Some(gate_instances) = gate_od.next() {
+                    let mut term = scale;
+                    for (g, &instance) in gate_instances.iter().enumerate() {
+                        term *= coeffs[g][instance];
+                        if term == 0.0 {
+                            continue 'instances;
+                        }
+                    }
+                    for (tensor, legs) in tensors.iter().zip(&descriptors) {
+                        let mut idx = 0usize;
+                        for &(stride, leg) in legs {
+                            idx += match leg {
+                                Leg::Wire(cut) => wire_components[cut] * stride,
+                                Leg::Gate(cut) => gate_instances[cut] * stride,
+                            };
+                        }
+                        if !tensor.active[idx] {
+                            continue 'instances;
+                        }
+                        term *= tensor.payload(idx)[0];
+                    }
+                    sum += term;
+                }
+            }
+            sum
+        })
+        .collect();
+
+    partials.into_iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_default_is_auto() {
+        assert_eq!(ReconstructionStrategy::default(), ReconstructionStrategy::Auto);
+        let options = ReconstructionOptions::default();
+        assert_eq!(options.strategy, ReconstructionStrategy::Auto);
+        assert_eq!(options.prune_tolerance, 0.0);
+    }
+
+    #[test]
+    fn leg_radices_match_the_paper() {
+        assert_eq!(Leg::Wire(0).radix(), 4);
+        assert_eq!(Leg::Gate(0).radix(), 6);
+    }
+
+    #[test]
+    fn prune_drops_small_entries_and_reports_mass() {
+        let mut tensor = CutTensor::new(vec![Leg::Wire(0)], vec![0]);
+        // entry 0: mass 0.3; entry 1: mass 0.001; entries 2/3: zero
+        tensor.data[0] = 0.1;
+        tensor.data[1] = -0.2;
+        tensor.data[2] = 0.001;
+        let mut report = ReconstructionReport::default();
+        tensor.prune(0.01, &mut report);
+        assert_eq!(report.kept_terms, 1);
+        assert_eq!(report.pruned_terms, 1);
+        assert!((report.pruned_weight - 0.001).abs() < 1e-12);
+        assert!(tensor.active[0]);
+        assert!(!tensor.active[1]);
+        assert_eq!(tensor.payload(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn contract_pair_sums_shared_wire_legs_with_half_weight() {
+        // a[c] payload [p] = c+1; b[c] scalar = 1 for all c
+        let mut a = CutTensor::new(vec![Leg::Wire(0)], Vec::new());
+        let mut b = CutTensor::new(vec![Leg::Wire(0)], Vec::new());
+        for c in 0..4 {
+            a.data[c] = (c + 1) as f64;
+            b.data[c] = 1.0;
+        }
+        a.refresh_active();
+        b.refresh_active();
+        let out = contract_pair(&a, &b, &[]);
+        assert!(out.legs.is_empty());
+        // 0.5 · (1 + 2 + 3 + 4) = 5
+        assert!((out.payload(0)[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contract_pair_outer_products_disjoint_payloads() {
+        let mut a = CutTensor::new(Vec::new(), vec![0]);
+        a.data.copy_from_slice(&[0.25, 0.75]);
+        a.refresh_active();
+        let mut b = CutTensor::new(Vec::new(), vec![1]);
+        b.data.copy_from_slice(&[0.5, 0.5]);
+        b.refresh_active();
+        let out = contract_pair(&a, &b, &[]);
+        assert_eq!(out.bit_origins, vec![0, 1]);
+        let expected = [0.125, 0.375, 0.125, 0.375];
+        for (got, want) in out.payload(0).iter().zip(&expected) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalize_legs_sums_out_a_self_cut_diagonally() {
+        // tensor with the same wire leg twice: T[c1, c2] = c1 + 4·c2 + 1
+        let mut tensor = CutTensor::new(vec![Leg::Wire(3), Leg::Wire(3)], Vec::new());
+        for (i, v) in tensor.data.iter_mut().enumerate() {
+            *v = (i + 1) as f64;
+        }
+        tensor.refresh_active();
+        let merged = tensor.normalize_legs(&[]);
+        // the cut is internal: both axes disappear and the diagonal is
+        // summed with the 0.5 cut scale: 0.5·(1 + 6 + 11 + 16) = 17
+        assert!(merged.legs.is_empty());
+        assert!((merged.payload(0)[0] - 17.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_legs_keeps_unique_legs_intact() {
+        // a unique second leg survives the self-cut merge untouched
+        let mut tensor = CutTensor::new(vec![Leg::Wire(0), Leg::Wire(1), Leg::Wire(0)], Vec::new());
+        // T[c0, c1, c0'] = 1 when c0 == c0' == 0, marked per c1
+        for c1 in 0..4 {
+            tensor.data[c1 * 4] = (c1 + 1) as f64; // entry (0, c1, 0)
+        }
+        tensor.refresh_active();
+        let merged = tensor.normalize_legs(&[]);
+        assert_eq!(merged.legs, vec![Leg::Wire(1)]);
+        for c1 in 0..4 {
+            // only diagonal digit 0 holds data: 0.5 · (c1 + 1)
+            assert!((merged.payload(c1)[0] - 0.5 * (c1 + 1) as f64).abs() < 1e-12);
+        }
+    }
+}

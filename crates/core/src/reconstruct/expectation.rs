@@ -1,43 +1,32 @@
 //! Expectation-value reconstruction for plans with wire cuts and gate cuts
 //! (paper §4.3 "Reconstruction after W-Cut and G-Cut").
 //!
-//! Follows the batch-first protocol: [`requests`] enumerates every variant
-//! the observable needs (across *all* Pauli terms — terms sharing a
-//! measurement-basis signature collapse to the same [`VariantKey`], so the
-//! batch executes them once), the caller executes one batch, and
-//! [`reconstruct`] consumes the results without ever touching a backend.
+//! A thin front-end over the contraction [`engine`](super::engine):
+//! [`requests`] enumerates every variant the observable needs (across *all*
+//! Pauli terms — terms sharing a measurement-basis signature collapse to the
+//! same [`VariantKey`](crate::fragment::VariantKey), so the batch executes
+//! them once), the caller executes one batch, and [`reconstruct`] folds each
+//! fragment's results into scalar cut tensors and combines them with the
+//! strategy resolved from its [`ReconstructionOptions`] — the rayon-parallel
+//! dense loop or pairwise contraction with sparse pruning.
 //!
 //! [`requests`]: ExpectationReconstructor::requests
 //! [`reconstruct`]: ExpectationReconstructor::reconstruct
 
-use super::{cut_bit_weight, init_weight, mixed_radix, required_basis, MAX_DENSE_CUTS};
-use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
-use crate::fragment::{
-    CutBasis, Fragment, FragmentSet, FragmentVariant, InitState, VariantKey, VariantRequest,
+use super::engine::{
+    self, expectation_variants, ReconstructionOptions, ReconstructionReport,
+    ReconstructionStrategy, Workload,
 };
-use crate::gatecut::instance_measures;
+use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
+use crate::fragment::{FragmentSet, VariantRequest};
 use crate::CoreError;
 use qrcc_circuit::observable::{Pauli, PauliObservable, PauliString};
 
 /// Reconstructs expectation values of Pauli observables from a cut plan's
 /// fragments.
 #[derive(Debug, Clone, Default)]
-pub struct ExpectationReconstructor {}
-
-/// The output-measurement bases one fragment needs for one Pauli string,
-/// normalised so that `I` measures like `Z`: both instantiate to a plain
-/// computational-basis measurement, and normalising makes variant keys of
-/// different Pauli terms collide exactly when their circuits are identical
-/// (maximising batch dedup).
-fn normalized_output_bases(fragment: &Fragment, string: &PauliString) -> Vec<Pauli> {
-    fragment
-        .output_clbits
-        .iter()
-        .map(|&(orig, _)| match string.pauli(orig) {
-            Pauli::I => Pauli::Z,
-            p => p,
-        })
-        .collect()
+pub struct ExpectationReconstructor {
+    options: ReconstructionOptions,
 }
 
 /// Whether a Pauli string's contribution is identically zero because it acts
@@ -48,39 +37,21 @@ fn vanishes_on_idle_wires(fragments: &FragmentSet, string: &PauliString) -> bool
     })
 }
 
-/// Every variant one fragment needs for one Pauli string: all
-/// `6^roles · 4^incoming · 3^outgoing` combinations with the string's output
-/// bases.
-fn expectation_variants<'a>(
-    fragment: &'a Fragment,
-    string: &PauliString,
-) -> impl Iterator<Item = FragmentVariant> + 'a {
-    let output_bases = normalized_output_bases(fragment, string);
-    let num_in = fragment.incoming_cuts.len();
-    let num_out = fragment.outgoing_cuts.len();
-    let num_roles = fragment.gate_cut_roles.len();
-    mixed_radix(num_roles, 6).flat_map(move |instance_digits| {
-        let instances: Vec<usize> = instance_digits.iter().map(|&d| d + 1).collect();
-        let output_bases = output_bases.clone();
-        mixed_radix(num_in, 4).flat_map(move |init_digits| {
-            let init_states: Vec<InitState> =
-                init_digits.iter().map(|&d| InitState::ALL[d]).collect();
-            let instances = instances.clone();
-            let output_bases = output_bases.clone();
-            mixed_radix(num_out, 3).map(move |basis_digits| FragmentVariant {
-                init_states: init_states.clone(),
-                cut_bases: basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect(),
-                gate_instances: instances.clone(),
-                output_bases: output_bases.clone(),
-            })
-        })
-    })
-}
-
 impl ExpectationReconstructor {
-    /// Creates a reconstructor.
+    /// Creates a reconstructor with default options (`Auto` strategy, no
+    /// pruning).
     pub fn new() -> Self {
-        ExpectationReconstructor {}
+        ExpectationReconstructor::default()
+    }
+
+    /// Creates a reconstructor with explicit strategy / pruning options.
+    pub fn with_options(options: ReconstructionOptions) -> Self {
+        ExpectationReconstructor { options }
+    }
+
+    /// The options this reconstructor runs with.
+    pub fn options(&self) -> &ReconstructionOptions {
+        &self.options
     }
 
     fn check(
@@ -101,10 +72,7 @@ impl ExpectationReconstructor {
     }
 
     fn check_cuts(&self, fragments: &FragmentSet) -> Result<(), CoreError> {
-        let num_wire_cuts = fragments.num_wire_cuts();
-        if num_wire_cuts > MAX_DENSE_CUTS {
-            return Err(CoreError::TooManyCuts { cuts: num_wire_cuts, limit: MAX_DENSE_CUTS });
-        }
+        engine::resolve_strategy(fragments, &self.options, Workload::Expectation)?;
         Ok(())
     }
 
@@ -115,8 +83,9 @@ impl ExpectationReconstructor {
     ///
     /// # Errors
     ///
-    /// * [`CoreError::TooManyCuts`] when the number of wire cuts exceeds the
-    ///   dense-reconstruction limit.
+    /// * [`CoreError::TooManyCuts`] when the plan exceeds what the
+    ///   configured strategy supports (total wire cuts for `Dense`,
+    ///   per-contraction legs for `Contract`).
     /// * [`CoreError::InvalidCutSolution`] when the observable width does not
     ///   match the original circuit.
     pub fn requests(
@@ -136,7 +105,8 @@ impl ExpectationReconstructor {
     ///
     /// # Errors
     ///
-    /// [`CoreError::TooManyCuts`] when the plan exceeds the dense limit.
+    /// [`CoreError::TooManyCuts`] when the plan exceeds the configured
+    /// strategy's limit.
     pub fn requests_for_pauli(
         &self,
         fragments: &FragmentSet,
@@ -174,12 +144,52 @@ impl ExpectationReconstructor {
         results: &ExecutionResults,
         observable: &PauliObservable,
     ) -> Result<f64, CoreError> {
-        self.check(fragments, observable)?;
-        let mut total = 0.0;
-        for (coefficient, string) in observable.terms() {
-            total += coefficient * self.reconstruct_pauli(fragments, results, string)?;
+        self.reconstruct_with_report(fragments, results, observable).map(|(v, _)| v)
+    }
+
+    /// Phase 3 with the engine's [`ReconstructionReport`] accumulated over
+    /// every Pauli term.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExpectationReconstructor::reconstruct`].
+    pub fn reconstruct_with_report(
+        &self,
+        fragments: &FragmentSet,
+        results: &ExecutionResults,
+        observable: &PauliObservable,
+    ) -> Result<(f64, ReconstructionReport), CoreError> {
+        if observable.num_qubits() != fragments.original_qubits {
+            return Err(CoreError::InvalidCutSolution {
+                reason: format!(
+                    "observable acts on {} qubits but the circuit has {}",
+                    observable.num_qubits(),
+                    fragments.original_qubits
+                ),
+            });
         }
-        Ok(total)
+        // resolve the strategy and greedy contraction schedule once; the
+        // cut structure is the same for every Pauli term
+        let (strategy, plan) =
+            engine::resolve_strategy(fragments, &self.options, Workload::Expectation)?;
+        let mut total = 0.0;
+        let mut report = ReconstructionReport {
+            strategy,
+            prune_tolerance: self.options.prune_tolerance,
+            ..ReconstructionReport::default()
+        };
+        for (coefficient, string) in observable.terms() {
+            total += coefficient
+                * self.reconstruct_pauli_resolved(
+                    fragments,
+                    results,
+                    string,
+                    strategy,
+                    &plan,
+                    &mut report,
+                )?;
+        }
+        Ok((total, report))
     }
 
     /// Phase 3 for a single Pauli string.
@@ -193,56 +203,70 @@ impl ExpectationReconstructor {
         results: &ExecutionResults,
         string: &PauliString,
     ) -> Result<f64, CoreError> {
-        self.check_cuts(fragments)?;
+        self.reconstruct_pauli_with_report(fragments, results, string).map(|(v, _)| v)
+    }
+
+    /// Phase 3 for a single Pauli string, with the engine's report.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExpectationReconstructor::reconstruct`].
+    pub fn reconstruct_pauli_with_report(
+        &self,
+        fragments: &FragmentSet,
+        results: &ExecutionResults,
+        string: &PauliString,
+    ) -> Result<(f64, ReconstructionReport), CoreError> {
+        let (strategy, plan) =
+            engine::resolve_strategy(fragments, &self.options, Workload::Expectation)?;
+        let mut report = ReconstructionReport {
+            strategy,
+            prune_tolerance: self.options.prune_tolerance,
+            ..ReconstructionReport::default()
+        };
+        let value = self.reconstruct_pauli_resolved(
+            fragments,
+            results,
+            string,
+            strategy,
+            &plan,
+            &mut report,
+        )?;
+        Ok((value, report))
+    }
+
+    /// Phase 3 for one Pauli string with an already-resolved strategy and
+    /// contraction schedule, accumulating into a shared report.
+    fn reconstruct_pauli_resolved(
+        &self,
+        fragments: &FragmentSet,
+        results: &ExecutionResults,
+        string: &PauliString,
+        strategy: ReconstructionStrategy,
+        plan: &engine::ContractionPlan,
+        report: &mut ReconstructionReport,
+    ) -> Result<f64, CoreError> {
         if vanishes_on_idle_wires(fragments, string) {
             return Ok(0.0);
         }
-        let num_wire_cuts = fragments.num_wire_cuts();
-        let num_gate_cuts = fragments.num_gate_cuts();
-
-        // Per-fragment scalar tables indexed by (incoming components,
-        // outgoing components, executed gate-cut instances).
-        let tables: Vec<FragmentTable> = fragments
-            .fragments
-            .iter()
-            .map(|f| build_table(f, results, string))
-            .collect::<Result<_, _>>()?;
-
-        let gate_coefficients: Vec<[f64; 6]> =
-            fragments.gate_cut_forms.iter().map(|form| form.coefficients()).collect();
-
-        let scale = 0.5f64.powi(num_wire_cuts as i32);
-        let mut value = 0.0;
-        for wire_components in mixed_radix(num_wire_cuts, 4) {
-            for gate_instances in mixed_radix(num_gate_cuts, 6) {
-                let mut term = scale;
-                for (g, &instance) in gate_instances.iter().enumerate() {
-                    term *= gate_coefficients[g][instance];
-                }
-                if term == 0.0 {
-                    continue;
-                }
-                for (fragment, table) in fragments.fragments.iter().zip(&tables) {
-                    let in_components: Vec<usize> =
-                        fragment.incoming_cuts.iter().map(|&c| wire_components[c]).collect();
-                    let out_components: Vec<usize> =
-                        fragment.outgoing_cuts.iter().map(|&c| wire_components[c]).collect();
-                    // `gate_instances` digits are 0-based; the table (and the
-                    // paper) number instances 1..=6.
-                    let instances: Vec<usize> = fragment
-                        .gate_cut_roles
-                        .iter()
-                        .map(|&(cut, _)| gate_instances[cut] + 1)
-                        .collect();
-                    term *= table.value(&in_components, &out_components, &instances);
-                    if term == 0.0 {
-                        break;
-                    }
-                }
-                value += term;
+        match strategy {
+            ReconstructionStrategy::Contract => engine::contract_expectation(
+                fragments,
+                results,
+                string,
+                plan,
+                self.options.prune_tolerance,
+                report,
+            ),
+            _ => {
+                let tensors: Vec<_> = fragments
+                    .fragments
+                    .iter()
+                    .map(|f| engine::expectation_tensor(f, results, string))
+                    .collect::<Result<_, _>>()?;
+                Ok(engine::dense_expectation(fragments, &tensors))
             }
         }
-        Ok(value)
     }
 
     /// Convenience: runs all three phases against `backend` in one call.
@@ -261,151 +285,6 @@ impl ExpectationReconstructor {
         let results = execute_requests(fragments, &requests, backend)?;
         self.reconstruct(fragments, &results, observable)
     }
-}
-
-/// Scalar attribution table of one fragment for one Pauli string.
-struct FragmentTable {
-    num_in: usize,
-    num_out: usize,
-    num_roles: usize,
-    data: Vec<f64>,
-}
-
-impl FragmentTable {
-    fn index(&self, in_c: &[usize], out_c: &[usize], instances: &[usize]) -> usize {
-        debug_assert_eq!(in_c.len(), self.num_in);
-        debug_assert_eq!(out_c.len(), self.num_out);
-        debug_assert_eq!(instances.len(), self.num_roles);
-        let mut idx = 0usize;
-        let mut stride = 1usize;
-        for &c in in_c {
-            idx += c * stride;
-            stride *= 4;
-        }
-        for &c in out_c {
-            idx += c * stride;
-            stride *= 4;
-        }
-        for &i in instances {
-            idx += (i - 1) * stride;
-            stride *= 6;
-        }
-        idx
-    }
-
-    fn value(&self, in_c: &[usize], out_c: &[usize], instances: &[usize]) -> f64 {
-        self.data[self.index(in_c, out_c, instances)]
-    }
-}
-
-fn build_table(
-    fragment: &Fragment,
-    results: &ExecutionResults,
-    string: &PauliString,
-) -> Result<FragmentTable, CoreError> {
-    let num_in = fragment.incoming_cuts.len();
-    let num_out = fragment.outgoing_cuts.len();
-    let num_roles = fragment.gate_cut_roles.len();
-    let size = 4usize.pow((num_in + num_out) as u32) * 6usize.pow(num_roles as u32);
-    let mut table = FragmentTable { num_in, num_out, num_roles, data: vec![0.0; size] };
-
-    // Which output bits enter the Pauli parity.
-    let parity_bits: Vec<usize> = fragment
-        .output_clbits
-        .iter()
-        .filter(|&&(orig, _)| string.pauli(orig) != Pauli::I)
-        .map(|&(_, clbit)| clbit)
-        .collect();
-    let cut_bit_positions: Vec<usize> = fragment.cut_clbits.iter().map(|&(_, c)| c).collect();
-    let gate_bit_positions: Vec<usize> = fragment.gatecut_clbits.iter().map(|&(_, c)| c).collect();
-    let role_halves: Vec<crate::gatecut::GateHalf> =
-        fragment.gate_cut_roles.iter().map(|&(_, h)| h).collect();
-
-    // An empty (clbit-free) fragment was never executed: the distribution
-    // over its zero classical bits is the constant [1.0].
-    const TRIVIAL: [f64; 1] = [1.0];
-
-    for variant in expectation_variants(fragment, string) {
-        let key = VariantKey::new(fragment.index, variant);
-        let init_states = &key.variant.init_states;
-        let cut_bases = &key.variant.cut_bases;
-        let instances = &key.variant.gate_instances;
-        let dist: &[f64] =
-            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
-
-        // Weighted scalar for this executed variant.
-        let mut weighted = vec![0.0f64; 4usize.pow(num_out as u32)];
-        for (outcome, &p) in dist.iter().enumerate() {
-            if p == 0.0 {
-                continue;
-            }
-            // parity of the Pauli support bits
-            let mut sign = 1.0;
-            for &bit in &parity_bits {
-                if outcome & (1 << bit) != 0 {
-                    sign = -sign;
-                }
-            }
-            // gate-cut measurement signs
-            for (role, &instance) in instances.iter().enumerate() {
-                if instance_measures(instance, role_halves[role])
-                    && outcome & (1 << gate_bit_positions[role]) != 0
-                {
-                    sign = -sign;
-                }
-            }
-            let cut_bits: Vec<bool> =
-                cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
-            for (combo, slot) in weighted.iter_mut().enumerate() {
-                let mut w = p * sign;
-                let mut rest = combo;
-                for (cut_slot, &basis) in cut_bases.iter().enumerate() {
-                    let component = rest % 4;
-                    rest /= 4;
-                    if required_basis(component) != basis {
-                        w = 0.0;
-                        break;
-                    }
-                    w *= cut_bit_weight(component, cut_bits[cut_slot]);
-                    if w == 0.0 {
-                        break;
-                    }
-                }
-                *slot += w;
-            }
-        }
-
-        // Scatter into the table across compatible incoming components.
-        for in_components in mixed_radix(num_in, 4) {
-            let mut in_weight = 1.0;
-            for (slot, &component) in in_components.iter().enumerate() {
-                in_weight *= init_weight(component, init_states[slot]);
-                if in_weight == 0.0 {
-                    break;
-                }
-            }
-            if in_weight == 0.0 {
-                continue;
-            }
-            for (combo, &value) in weighted.iter().enumerate() {
-                if value == 0.0 {
-                    continue;
-                }
-                let out_components: Vec<usize> = {
-                    let mut digits = Vec::with_capacity(num_out);
-                    let mut rest = combo;
-                    for _ in 0..num_out {
-                        digits.push(rest % 4);
-                        rest /= 4;
-                    }
-                    digits
-                };
-                let idx = table.index(&in_components, &out_components, instances);
-                table.data[idx] += in_weight * value;
-            }
-        }
-    }
-    Ok(table)
 }
 
 #[cfg(test)]
@@ -428,14 +307,27 @@ mod tests {
         let reconstructor = ExpectationReconstructor::new();
         let requests = reconstructor.requests(&fragments, observable).unwrap();
         let results = execute_requests(&fragments, &requests, &backend).unwrap();
-        let reconstructed = reconstructor.reconstruct(&fragments, &results, observable).unwrap();
         let exact = StateVector::from_circuit(circuit).unwrap().expectation(observable);
-        assert!(
-            (reconstructed - exact).abs() < 1e-6,
-            "reconstructed {reconstructed} vs exact {exact} ({} wire cuts, {} gate cuts)",
-            fragments.num_wire_cuts(),
-            fragments.num_gate_cuts()
-        );
+        // every strategy must agree with the exact value
+        for strategy in [
+            ReconstructionStrategy::Auto,
+            ReconstructionStrategy::Dense,
+            ReconstructionStrategy::Contract,
+        ] {
+            let reconstructor = ExpectationReconstructor::with_options(ReconstructionOptions {
+                strategy,
+                ..ReconstructionOptions::default()
+            });
+            let (reconstructed, report) =
+                reconstructor.reconstruct_with_report(&fragments, &results, observable).unwrap();
+            assert_ne!(report.strategy, ReconstructionStrategy::Auto);
+            assert!(
+                (reconstructed - exact).abs() < 1e-6,
+                "reconstructed {reconstructed} vs exact {exact} ({strategy:?}, {} wire cuts, {} gate cuts)",
+                fragments.num_wire_cuts(),
+                fragments.num_gate_cuts()
+            );
+        }
     }
 
     #[test]

@@ -8,6 +8,37 @@
 //! [`ExecutionResults`](crate::execute::ExecutionResults) (`reconstruct`) —
 //! they never call a backend per variant.
 //!
+//! # Reconstruction strategies
+//!
+//! Every executed variant is first folded into one cut-indexed
+//! [`engine`] tensor per fragment; what happens next is selected by
+//! [`ReconstructionStrategy`] (via
+//! [`QrccConfig`](crate::QrccConfig::with_reconstruction_strategy) or
+//! [`ReconstructionOptions`]):
+//!
+//! * [`ReconstructionStrategy::Dense`] — the paper's FRP/FRE model: one
+//!   global mixed-radix loop over all `4^wire · 6^gate` attribution
+//!   components, multiplying every fragment's tensor entry per combination.
+//!   The outer component loop is split into deterministic chunks and run
+//!   rayon-parallel, and the probability path iterates only the non-idle
+//!   output subspace. Limited to [`MAX_DENSE_CUTS`] wire cuts.
+//! * [`ReconstructionStrategy::Contract`] — the paper's ARP
+//!   (divide-and-conquer) model made executable: fragment tensors are merged
+//!   **pairwise along shared cuts**, order chosen greedily by the size of the
+//!   intermediate tensor. Only the cut legs alive in one pairwise merge are
+//!   ever enumerated together, so plans whose *total* cut count exceeds
+//!   [`MAX_DENSE_CUTS`] reconstruct fine as long as every single merge stays
+//!   under the cap. Supports **sparse term pruning**: attribution entries
+//!   whose accumulated absolute weight falls below a tolerance are dropped,
+//!   and the dropped mass is reported in a [`ReconstructionReport`].
+//! * [`ReconstructionStrategy::Auto`] — compares the [`cost`] models of the
+//!   two executable paths ([`cost::frp_log2_flops`] /
+//!   [`cost::fre_log2_flops`] against [`cost::contract_log2_flops`] of the
+//!   greedy schedule) and picks the cheaper feasible one. In practice:
+//!   `Dense` on small, densely connected cut graphs; `Contract` as soon as
+//!   the cut graph is chain- or tree-like, or the total cut count exceeds
+//!   the dense cap.
+//!
 //! * [`ProbabilityReconstructor`] — rebuilds the full probability vector from
 //!   wire-cut fragments (the CutQC-style path; gate cuts are not allowed).
 //! * [`ExpectationReconstructor`] — rebuilds the expectation value of a Pauli
@@ -15,17 +46,20 @@
 //! * [`cost`] — analytic floating-point-operation cost models of the
 //!   reconstruction strategies compared in Figure 6.
 
+mod engine;
 mod expectation;
 mod probability;
 
 pub mod cost;
 
+pub use engine::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy, Workload};
 pub use expectation::ExpectationReconstructor;
 pub use probability::ProbabilityReconstructor;
 
 use crate::fragment::{CutBasis, InitState};
 
-/// Maximum number of wire cuts the dense reconstructors accept (4^k terms).
+/// Maximum number of wire cuts the dense reconstructors accept (4^k terms),
+/// and the per-contraction leg cap of the `Contract` strategy.
 pub const MAX_DENSE_CUTS: usize = 14;
 
 /// Weight of an executed initialisation state in the downstream combination
@@ -83,18 +117,90 @@ pub(crate) fn cut_bit_weight(component: usize, bit: bool) -> f64 {
     }
 }
 
-/// Iterates mixed-radix counters: all vectors of length `len` with entries in
-/// `0..radix`.
-pub(crate) fn mixed_radix(len: usize, radix: usize) -> impl Iterator<Item = Vec<usize>> {
-    let total = radix.pow(len as u32);
-    (0..total).map(move |mut index| {
-        let mut digits = vec![0usize; len];
-        for d in digits.iter_mut() {
-            *d = index % radix;
+/// An allocation-free mixed-radix odometer: enumerates all digit vectors for
+/// a fixed per-digit radix list, reusing **one** internal digit buffer.
+///
+/// This is the hot-loop counterpart of [`mixed_radix`]: `next` hands out a
+/// borrowed `&[usize]` instead of a fresh `Vec`, so the innermost loops of
+/// tensor building and reconstruction never allocate. The borrow ends before
+/// the next `next` call (a lending iterator), which is exactly the shape of
+/// every `while let Some(digits) = od.next()` loop in this module.
+#[derive(Debug, Clone)]
+pub(crate) struct Odometer {
+    digits: Vec<usize>,
+    radices: Vec<usize>,
+    /// `false` until the first `next` call (which yields the all-zero state).
+    started: bool,
+    done: bool,
+}
+
+impl Odometer {
+    /// An odometer over `radices[i]` values per digit `i` (least significant
+    /// digit first, matching the tensor stride convention).
+    pub(crate) fn new(radices: Vec<usize>) -> Self {
+        let done = radices.contains(&0);
+        Odometer { digits: vec![0; radices.len()], radices, started: false, done }
+    }
+
+    /// An odometer with `len` digits all of radix `radix`.
+    pub(crate) fn uniform(len: usize, radix: usize) -> Self {
+        Odometer::new(vec![radix; len])
+    }
+
+    /// Rewinds to the all-zero state.
+    pub(crate) fn reset(&mut self) {
+        self.digits.iter_mut().for_each(|d| *d = 0);
+        self.started = false;
+        self.done = self.radices.contains(&0);
+    }
+
+    /// Positions the odometer so the next `next` call yields the digit
+    /// vector whose little-endian mixed-radix value is `index`.
+    pub(crate) fn seek(&mut self, mut index: usize) {
+        self.reset();
+        for (digit, &radix) in self.digits.iter_mut().zip(&self.radices) {
+            *digit = index % radix;
             index /= radix;
         }
-        digits
-    })
+    }
+
+    /// The next digit vector, or `None` once every combination was yielded.
+    #[allow(clippy::should_implement_trait)] // lending: the borrow ties to &mut self
+    pub(crate) fn next(&mut self) -> Option<&[usize]> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(&self.digits);
+        }
+        for (digit, &radix) in self.digits.iter_mut().zip(&self.radices) {
+            *digit += 1;
+            if *digit < radix {
+                return Some(&self.digits);
+            }
+            *digit = 0;
+        }
+        self.done = true;
+        None
+    }
+
+    /// Total number of combinations.
+    #[cfg(test)]
+    pub(crate) fn combinations(&self) -> usize {
+        self.radices.iter().product()
+    }
+}
+
+/// Iterates mixed-radix counters: all vectors of length `len` with entries in
+/// `0..radix`.
+///
+/// This owned-`Vec` form exists for variant *enumeration*, where the digits
+/// are moved into [`FragmentVariant`](crate::fragment::FragmentVariant)s; the
+/// reconstruction hot loops use the allocation-free [`Odometer`] instead.
+pub(crate) fn mixed_radix(len: usize, radix: usize) -> impl Iterator<Item = Vec<usize>> {
+    let mut odometer = Odometer::uniform(len, radix);
+    std::iter::from_fn(move || odometer.next().map(<[usize]>::to_vec))
 }
 
 #[cfg(test)]
@@ -139,5 +245,40 @@ mod tests {
         assert_eq!(all[0], vec![0, 0]);
         assert_eq!(all[8], vec![2, 2]);
         assert_eq!(mixed_radix(0, 4).count(), 1);
+    }
+
+    #[test]
+    fn odometer_matches_mixed_radix_without_allocating_per_step() {
+        let mut od = Odometer::uniform(3, 4);
+        let mut seen = Vec::new();
+        while let Some(digits) = od.next() {
+            seen.push(digits.to_vec());
+        }
+        let expected: Vec<Vec<usize>> = mixed_radix(3, 4).collect();
+        assert_eq!(seen, expected);
+        assert_eq!(od.combinations(), 64);
+        // reset replays from the start
+        od.reset();
+        assert_eq!(od.next().unwrap(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn odometer_seek_starts_mid_sequence() {
+        let mut od = Odometer::uniform(3, 4);
+        od.seek(27); // 27 = 3 + 2·4 + 1·16
+        assert_eq!(od.next().unwrap(), &[3, 2, 1]);
+        assert_eq!(od.next().unwrap(), &[0, 3, 1]);
+        // a zero-length odometer yields exactly the empty vector
+        let mut empty = Odometer::uniform(0, 4);
+        assert_eq!(empty.next().unwrap(), &[] as &[usize]);
+        assert!(empty.next().is_none());
+        // mixed radices count correctly
+        let mut mixed = Odometer::new(vec![4, 6]);
+        assert_eq!(mixed.combinations(), 24);
+        let mut count = 0;
+        while mixed.next().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 24);
     }
 }

@@ -1,92 +1,69 @@
 //! Full probability-vector reconstruction for wire-cut-only plans (the
 //! CutQC-style path, paper §4.3 "Reconstruction after W-Cut").
 //!
-//! The reconstructor follows the batch-first protocol: [`requests`] lists the
-//! variants it needs (enumerate), the caller executes them in one batch, and
-//! [`reconstruct`] reads the distributions back out of the
-//! [`ExecutionResults`] (consume) — it never talks to a backend itself.
+//! The reconstructor is a thin front-end over the contraction
+//! [`engine`](super::engine): it enumerates the variants it needs
+//! ([`requests`]), the caller executes them in one batch, and
+//! [`reconstruct`] folds each fragment's results into a cut tensor and
+//! reconstructs with the strategy resolved from its
+//! [`ReconstructionOptions`] — the rayon-parallel dense loop or pairwise
+//! contraction with sparse pruning.
 //!
 //! [`requests`]: ProbabilityReconstructor::requests
 //! [`reconstruct`]: ProbabilityReconstructor::reconstruct
 
-use super::{cut_bit_weight, init_weight, mixed_radix, required_basis, MAX_DENSE_CUTS};
-use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
-use crate::fragment::{
-    CutBasis, Fragment, FragmentSet, FragmentVariant, InitState, VariantKey, VariantRequest,
+use super::engine::{
+    self, probability_variants, ReconstructionOptions, ReconstructionReport,
+    ReconstructionStrategy, Workload,
 };
+use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
+use crate::fragment::{FragmentSet, VariantRequest};
 use crate::CoreError;
 
 /// Reconstructs the original circuit's probability distribution from a
 /// wire-cut [`FragmentSet`].
 #[derive(Debug, Clone, Default)]
-pub struct ProbabilityReconstructor {}
-
-/// Per-fragment attribution tensor: for every combination of incoming and
-/// outgoing attribution components, the (sub-normalised) distribution over
-/// the fragment's output bits.
-struct FragmentTensor {
-    data: Vec<Vec<f64>>,
-}
-
-impl FragmentTensor {
-    fn index(&self, in_components: &[usize], out_components: &[usize]) -> usize {
-        let mut idx = 0usize;
-        let mut stride = 1usize;
-        for &c in in_components {
-            idx += c * stride;
-            stride *= 4;
-        }
-        for &c in out_components {
-            idx += c * stride;
-            stride *= 4;
-        }
-        idx
-    }
-}
-
-/// Every variant the probability workload needs from one fragment: all
-/// `4^incoming · 3^outgoing` combinations, outputs measured in Z.
-fn probability_variants(fragment: &Fragment) -> impl Iterator<Item = FragmentVariant> + '_ {
-    let num_in = fragment.incoming_cuts.len();
-    let num_out = fragment.outgoing_cuts.len();
-    let output_bits = fragment.output_clbits.len();
-    mixed_radix(num_in, 4).flat_map(move |init_digits| {
-        let init_states: Vec<InitState> = init_digits.iter().map(|&d| InitState::ALL[d]).collect();
-        mixed_radix(num_out, 3).map(move |basis_digits| FragmentVariant {
-            init_states: init_states.clone(),
-            cut_bases: basis_digits.iter().map(|&d| CutBasis::ALL[d]).collect(),
-            gate_instances: Vec::new(),
-            output_bases: vec![qrcc_circuit::observable::Pauli::Z; output_bits],
-        })
-    })
+pub struct ProbabilityReconstructor {
+    options: ReconstructionOptions,
 }
 
 impl ProbabilityReconstructor {
-    /// Creates a reconstructor.
+    /// Creates a reconstructor with default options (`Auto` strategy, no
+    /// pruning).
     pub fn new() -> Self {
-        ProbabilityReconstructor {}
+        ProbabilityReconstructor::default()
+    }
+
+    /// Creates a reconstructor with explicit strategy / pruning options.
+    pub fn with_options(options: ReconstructionOptions) -> Self {
+        ProbabilityReconstructor { options }
+    }
+
+    /// The options this reconstructor runs with.
+    pub fn options(&self) -> &ReconstructionOptions {
+        &self.options
     }
 
     fn check(&self, fragments: &FragmentSet) -> Result<(), CoreError> {
         if fragments.num_gate_cuts() > 0 {
             return Err(CoreError::GateCutNeedsExpectation);
         }
-        let num_cuts = fragments.num_wire_cuts();
-        if num_cuts > MAX_DENSE_CUTS {
-            return Err(CoreError::TooManyCuts { cuts: num_cuts, limit: MAX_DENSE_CUTS });
-        }
+        engine::resolve_strategy(fragments, &self.options, Workload::Probability)?;
         Ok(())
     }
 
     /// Phase 1 (enumerate): every variant request the probability workload
-    /// needs, as pure data.
+    /// needs, as pure data. The request list is strategy-independent; only
+    /// feasibility differs (`Contract` accepts plans whose total cut count
+    /// exceeds the dense cap).
     ///
     /// # Errors
     ///
     /// * [`CoreError::GateCutNeedsExpectation`] if the plan contains gate
     ///   cuts (their post-processing cannot rebuild a distribution).
-    /// * [`CoreError::TooManyCuts`] if the plan has more wire cuts than the
-    ///   dense reconstruction supports.
+    /// * [`CoreError::TooManyCuts`] if the plan exceeds what the configured
+    ///   strategy supports (total cuts for `Dense`, per-contraction legs for
+    ///   `Contract`).
     pub fn requests(&self, fragments: &FragmentSet) -> Result<Vec<VariantRequest>, CoreError> {
         self.check(fragments)?;
         let mut requests = Vec::new();
@@ -116,61 +93,49 @@ impl ProbabilityReconstructor {
         fragments: &FragmentSet,
         results: &ExecutionResults,
     ) -> Result<Vec<f64>, CoreError> {
-        self.check(fragments)?;
-        let num_cuts = fragments.num_wire_cuts();
+        self.reconstruct_with_report(fragments, results).map(|(p, _)| p)
+    }
 
-        let tensors: Vec<FragmentTensor> = fragments
-            .fragments
-            .iter()
-            .map(|f| build_tensor(f, results))
-            .collect::<Result<_, _>>()?;
-
-        let n = fragments.original_qubits;
-        let mut probabilities = vec![0.0; 1usize << n];
-        let scale = 0.5f64.powi(num_cuts as i32);
-
-        // Pre-compute, per fragment, the original-qubit position of every
-        // output bit so full bitstrings can be assembled quickly.
-        let output_positions: Vec<Vec<usize>> = fragments
-            .fragments
-            .iter()
-            .map(|f| f.output_clbits.iter().map(|&(orig, _)| orig).collect())
-            .collect();
-        let idle_mask: usize =
-            (0..n).filter(|&q| fragments.output_owner[q].is_none()).fold(0, |m, q| m | (1 << q));
-
-        for components in mixed_radix(num_cuts, 4) {
-            // factor vectors per fragment for this component assignment
-            let mut factors: Vec<&Vec<f64>> = Vec::with_capacity(fragments.fragments.len());
-            for (f, tensor) in fragments.fragments.iter().zip(&tensors) {
-                let in_components: Vec<usize> =
-                    f.incoming_cuts.iter().map(|&cut| components[cut]).collect();
-                let out_components: Vec<usize> =
-                    f.outgoing_cuts.iter().map(|&cut| components[cut]).collect();
-                factors.push(&tensor.data[tensor.index(&in_components, &out_components)]);
-            }
-            // accumulate the outer product into the full distribution
-            for (x, slot) in probabilities.iter_mut().enumerate() {
-                if x & idle_mask != 0 {
-                    continue; // idle qubits always read 0
-                }
-                let mut term = scale;
-                for (f_idx, positions) in output_positions.iter().enumerate() {
-                    let mut y = 0usize;
-                    for (bit, &orig) in positions.iter().enumerate() {
-                        if x & (1 << orig) != 0 {
-                            y |= 1 << bit;
-                        }
-                    }
-                    term *= factors[f_idx][y];
-                    if term == 0.0 {
-                        break;
-                    }
-                }
-                *slot += term;
-            }
+    /// Phase 3 with the engine's [`ReconstructionReport`]: which strategy
+    /// ran, how many pairwise contractions it took, and how much absolute
+    /// weight sparse pruning dropped.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProbabilityReconstructor::reconstruct`].
+    pub fn reconstruct_with_report(
+        &self,
+        fragments: &FragmentSet,
+        results: &ExecutionResults,
+    ) -> Result<(Vec<f64>, ReconstructionReport), CoreError> {
+        if fragments.num_gate_cuts() > 0 {
+            return Err(CoreError::GateCutNeedsExpectation);
         }
-        Ok(probabilities)
+        let (strategy, plan) =
+            engine::resolve_strategy(fragments, &self.options, Workload::Probability)?;
+        let mut report = ReconstructionReport {
+            strategy,
+            prune_tolerance: self.options.prune_tolerance,
+            ..ReconstructionReport::default()
+        };
+        let probabilities = match strategy {
+            ReconstructionStrategy::Contract => engine::contract_probabilities(
+                fragments,
+                results,
+                &plan,
+                self.options.prune_tolerance,
+                &mut report,
+            )?,
+            _ => {
+                let tensors: Vec<_> = fragments
+                    .fragments
+                    .iter()
+                    .map(|f| engine::probability_tensor(f, results))
+                    .collect::<Result<_, _>>()?;
+                engine::dense_probabilities(fragments, &tensors)
+            }
+        };
+        Ok((probabilities, report))
     }
 
     /// Convenience: runs all three phases (enumerate → dedup/execute →
@@ -191,81 +156,6 @@ impl ProbabilityReconstructor {
     }
 }
 
-fn build_tensor(
-    fragment: &Fragment,
-    results: &ExecutionResults,
-) -> Result<FragmentTensor, CoreError> {
-    let num_in = fragment.incoming_cuts.len();
-    let num_out = fragment.outgoing_cuts.len();
-    let output_bits = fragment.output_clbits.len();
-    let table_size = 4usize.pow((num_in + num_out) as u32);
-    let mut tensor = FragmentTensor { data: vec![vec![0.0; 1 << output_bits]; table_size] };
-
-    let output_bit_positions: Vec<usize> =
-        fragment.output_clbits.iter().map(|&(_, clbit)| clbit).collect();
-    let cut_bit_positions: Vec<usize> =
-        fragment.cut_clbits.iter().map(|&(_, clbit)| clbit).collect();
-
-    // An empty (clbit-free) fragment was never executed: the distribution
-    // over its zero classical bits is the constant [1.0].
-    const TRIVIAL: [f64; 1] = [1.0];
-
-    for variant in probability_variants(fragment) {
-        let key = VariantKey::new(fragment.index, variant);
-        let init_states = &key.variant.init_states;
-        let cut_bases = &key.variant.cut_bases;
-        let dist: &[f64] =
-            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
-
-        for (outcome, &p) in dist.iter().enumerate() {
-            if p == 0.0 {
-                continue;
-            }
-            let mut y = 0usize;
-            for (bit, &pos) in output_bit_positions.iter().enumerate() {
-                if outcome & (1 << pos) != 0 {
-                    y |= 1 << bit;
-                }
-            }
-            let cut_bits: Vec<bool> =
-                cut_bit_positions.iter().map(|&pos| outcome & (1 << pos) != 0).collect();
-
-            // distribute this outcome over every compatible component combo
-            for in_components in mixed_radix(num_in, 4) {
-                let mut weight = p;
-                for (slot, &component) in in_components.iter().enumerate() {
-                    weight *= init_weight(component, init_states[slot]);
-                    if weight == 0.0 {
-                        break;
-                    }
-                }
-                if weight == 0.0 {
-                    continue;
-                }
-                for out_components in mixed_radix(num_out, 4) {
-                    let mut w = weight;
-                    for (slot, &component) in out_components.iter().enumerate() {
-                        if required_basis(component) != cut_bases[slot] {
-                            w = 0.0;
-                            break;
-                        }
-                        w *= cut_bit_weight(component, cut_bits[slot]);
-                        if w == 0.0 {
-                            break;
-                        }
-                    }
-                    if w == 0.0 {
-                        continue;
-                    }
-                    let idx = tensor.index(&in_components, &out_components);
-                    tensor.data[idx][y] += w;
-                }
-            }
-        }
-    }
-    Ok(tensor)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,25 +166,45 @@ mod tests {
     use qrcc_sim::StateVector;
     use std::time::Duration;
 
-    fn reconstruct_and_compare(circuit: &Circuit, device_size: usize) {
+    fn plan_fragments(circuit: &Circuit, device_size: usize) -> FragmentSet {
         let config = QrccConfig::new(device_size)
             .with_subcircuit_range(2, 3)
             .with_ilp_time_limit(Duration::ZERO);
         let plan = CutPlanner::new(config).plan(circuit).unwrap();
-        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        FragmentSet::from_plan(&plan).unwrap()
+    }
+
+    fn reconstruct_and_compare(circuit: &Circuit, device_size: usize) {
+        let fragments = plan_fragments(circuit, device_size);
         let backend = ExactBackend::new();
         // three-phase flow: enumerate, batch-execute, consume
         let reconstructor = ProbabilityReconstructor::new();
         let requests = reconstructor.requests(&fragments).unwrap();
         let results = execute_requests(&fragments, &requests, &backend).unwrap();
         assert_eq!(results.requested(), requests.len() as u64);
-        let reconstructed = reconstructor.reconstruct(&fragments, &results).unwrap();
         let exact = StateVector::from_circuit(circuit).unwrap().probabilities();
-        assert_eq!(reconstructed.len(), exact.len());
-        let total: f64 = reconstructed.iter().sum();
-        assert!((total - 1.0).abs() < 1e-6, "reconstructed total {total}");
-        for (i, (a, b)) in exact.iter().zip(&reconstructed).enumerate() {
-            assert!((a - b).abs() < 1e-6, "probability mismatch at {i}: exact {a} vs {b}");
+        // every strategy must agree with the exact distribution
+        for strategy in [
+            ReconstructionStrategy::Auto,
+            ReconstructionStrategy::Dense,
+            ReconstructionStrategy::Contract,
+        ] {
+            let reconstructor = ProbabilityReconstructor::with_options(ReconstructionOptions {
+                strategy,
+                ..ReconstructionOptions::default()
+            });
+            let (reconstructed, report) =
+                reconstructor.reconstruct_with_report(&fragments, &results).unwrap();
+            assert_ne!(report.strategy, ReconstructionStrategy::Auto);
+            assert_eq!(reconstructed.len(), exact.len());
+            let total: f64 = reconstructed.iter().sum();
+            assert!((total - 1.0).abs() < 1e-6, "reconstructed total {total} ({strategy:?})");
+            for (i, (a, b)) in exact.iter().zip(&reconstructed).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "probability mismatch at {i}: exact {a} vs {b} ({strategy:?})"
+                );
+            }
         }
     }
 
@@ -324,6 +234,31 @@ mod tests {
         let direct = ProbabilityReconstructor::new().run(&fragments, &backend).unwrap();
         let exact = StateVector::from_circuit(&c).unwrap().probabilities();
         for (a, b) in exact.iter().zip(&direct) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pruned_contraction_reports_dropped_mass() {
+        let mut c = Circuit::new(4);
+        c.h(0).ry(0.7, 1).cx(0, 1).rz(0.3, 1).cx(1, 2).t(2).cx(2, 3).rx(1.1, 3);
+        let fragments = plan_fragments(&c, 3);
+        let backend = ExactBackend::new();
+        let reconstructor = ProbabilityReconstructor::with_options(ReconstructionOptions {
+            strategy: ReconstructionStrategy::Contract,
+            prune_tolerance: 1e-9,
+        });
+        let requests = reconstructor.requests(&fragments).unwrap();
+        let results = execute_requests(&fragments, &requests, &backend).unwrap();
+        let (reconstructed, report) =
+            reconstructor.reconstruct_with_report(&fragments, &results).unwrap();
+        assert_eq!(report.strategy, ReconstructionStrategy::Contract);
+        assert!(report.contractions >= 1, "multi-fragment plan must contract");
+        assert!(report.kept_terms > 0);
+        assert_eq!(report.prune_tolerance, 1e-9);
+        // a tolerance this small must not visibly perturb the distribution
+        let exact = StateVector::from_circuit(&c).unwrap().probabilities();
+        for (a, b) in exact.iter().zip(&reconstructed) {
             assert!((a - b).abs() < 1e-6);
         }
     }

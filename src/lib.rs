@@ -62,7 +62,10 @@ pub mod prelude {
         fragment::{FragmentSet, FragmentVariant, VariantKey, VariantRequest},
         pipeline::QrccPipeline,
         planner::{CutPlan, CutPlanner},
-        reconstruct::{ExpectationReconstructor, ProbabilityReconstructor},
+        reconstruct::{
+            ExpectationReconstructor, ProbabilityReconstructor, ReconstructionOptions,
+            ReconstructionReport, ReconstructionStrategy,
+        },
         reuse::ReusePass,
         QrccConfig,
     };
