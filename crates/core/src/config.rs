@@ -10,6 +10,77 @@ pub const ALPHA_WIRE_CUT: f64 = 3.25;
 /// See [`ALPHA_WIRE_CUT`].
 pub const BETA_GATE_CUT: f64 = 4.2;
 
+/// How a global shot budget is split across the deduplicated circuits of a
+/// scheduled batch (ShotQC-style, see PAPERS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ShotAllocation {
+    /// Every circuit receives `budget / circuits` shots.
+    Uniform,
+    /// Shots are split proportionally to each circuit's reconstruction
+    /// variance weight — the summed magnitude of the cut coefficients
+    /// (`1/2`-scaled wire attribution terms, gate-cut quasi-probability
+    /// coefficients) that multiply its measured distribution. High-leverage
+    /// variants get more shots, which lowers the reconstructed observable's
+    /// sampling error at equal total budget.
+    #[default]
+    VarianceWeighted,
+}
+
+/// Scheduling knobs of the execution [`schedule`](crate::schedule) layer:
+/// how a [`Scheduler`](crate::schedule::Scheduler) splits a global shot
+/// budget and chunks a batch for streaming reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulePolicy {
+    /// How the shot budget is split across the batch.
+    pub allocation: ShotAllocation,
+    /// Global shot budget across the *whole* deduplicated batch. `None`
+    /// leaves every backend running its own default shot count (exact
+    /// backends ignore shots entirely).
+    pub shot_budget: Option<u64>,
+    /// Minimum shots any scheduled circuit receives when a budget is set
+    /// (keeps zero-weight variants measurable).
+    pub min_shots: u64,
+    /// Circuits per streamed chunk; `0` disables chunking (one chunk).
+    pub chunk_size: usize,
+}
+
+impl Default for SchedulePolicy {
+    fn default() -> Self {
+        SchedulePolicy {
+            allocation: ShotAllocation::VarianceWeighted,
+            shot_budget: None,
+            min_shots: 1,
+            chunk_size: 0,
+        }
+    }
+}
+
+impl SchedulePolicy {
+    /// A policy with a global shot budget and variance-weighted allocation.
+    pub fn with_budget(budget: u64) -> Self {
+        SchedulePolicy { shot_budget: Some(budget), ..SchedulePolicy::default() }
+    }
+
+    /// Sets the allocation mode.
+    pub fn with_allocation(mut self, allocation: ShotAllocation) -> Self {
+        self.allocation = allocation;
+        self
+    }
+
+    /// Sets the per-circuit minimum shot count (only meaningful with a
+    /// budget).
+    pub fn with_min_shots(mut self, min_shots: u64) -> Self {
+        self.min_shots = min_shots;
+        self
+    }
+
+    /// Sets the streamed chunk size (`0` = one chunk).
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size;
+        self
+    }
+}
+
 /// Configuration of the QRCC cut planner (the meta parameters of §4.2.1).
 ///
 /// ```rust
@@ -62,6 +133,9 @@ pub struct QrccConfig {
     /// attribution entries whose accumulated absolute weight stays below
     /// this value are dropped (0.0, the default, disables pruning).
     pub prune_tolerance: f64,
+    /// How the execution [`schedule`](crate::schedule) layer splits a global
+    /// shot budget across the batch and chunks it for streaming.
+    pub schedule: SchedulePolicy,
 }
 
 fn default_ilp_time_limit() -> Duration {
@@ -87,6 +161,7 @@ impl QrccConfig {
             seed: 0,
             reconstruction_strategy: ReconstructionStrategy::Auto,
             prune_tolerance: 0.0,
+            schedule: SchedulePolicy::default(),
         }
     }
 
@@ -182,6 +257,24 @@ impl QrccConfig {
         self
     }
 
+    /// Sets the full schedule policy.
+    pub fn with_schedule_policy(mut self, policy: SchedulePolicy) -> Self {
+        self.schedule = policy;
+        self
+    }
+
+    /// Sets the global shot budget of the schedule policy.
+    pub fn with_shot_budget(mut self, budget: u64) -> Self {
+        self.schedule.shot_budget = Some(budget);
+        self
+    }
+
+    /// Sets the shot-allocation mode of the schedule policy.
+    pub fn with_shot_allocation(mut self, allocation: ShotAllocation) -> Self {
+        self.schedule.allocation = allocation;
+        self
+    }
+
     /// The linearised post-processing cost `α·#wire_cuts + β·#gate_cuts`
     /// (Eq. (15)).
     pub fn linear_post_processing_cost(&self, wire_cuts: usize, gate_cuts: usize) -> f64 {
@@ -256,5 +349,21 @@ mod tests {
     #[should_panic(expected = "prune tolerance")]
     fn prune_tolerance_must_be_non_negative() {
         QrccConfig::new(3).with_prune_tolerance(-1.0);
+    }
+
+    #[test]
+    fn schedule_policy_knobs_chain() {
+        let c = QrccConfig::new(5)
+            .with_shot_budget(10_000)
+            .with_shot_allocation(ShotAllocation::Uniform);
+        assert_eq!(c.schedule.shot_budget, Some(10_000));
+        assert_eq!(c.schedule.allocation, ShotAllocation::Uniform);
+        let p = SchedulePolicy::with_budget(500).with_min_shots(4).with_chunk_size(8);
+        assert_eq!(p.shot_budget, Some(500));
+        assert_eq!(p.min_shots, 4);
+        assert_eq!(p.chunk_size, 8);
+        assert_eq!(p.allocation, ShotAllocation::VarianceWeighted);
+        // no budget by default: backends keep their own shot counts
+        assert_eq!(SchedulePolicy::default().shot_budget, None);
     }
 }

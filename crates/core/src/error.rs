@@ -49,6 +49,23 @@ pub enum CoreError {
         /// The fragment whose variant is missing.
         fragment: usize,
     },
+    /// No backend in a [`DeviceRegistry`](crate::schedule::DeviceRegistry)
+    /// can run a routed fragment circuit (too wide for every device, or a
+    /// required capability such as mid-circuit measurement is missing).
+    NoCompatibleBackend {
+        /// Width of the circuit that could not be placed.
+        required: usize,
+        /// Number of backends in the registry.
+        backends: usize,
+    },
+    /// A shot budget is too small to give every circuit of a scheduled batch
+    /// its minimum shot count.
+    ShotBudgetTooSmall {
+        /// The global budget.
+        budget: u64,
+        /// The minimum total the batch needs (`circuits × min_shots`).
+        needed: u64,
+    },
     /// An error bubbled up from the simulator / device layer.
     Simulation(qrcc_sim::SimError),
     /// An error bubbled up from the ILP solver.
@@ -82,6 +99,14 @@ impl fmt::Display for CoreError {
             CoreError::MissingVariant { fragment } => write!(
                 f,
                 "execution results hold no distribution for a requested variant of fragment {fragment} (was it enumerated before execute?)"
+            ),
+            CoreError::NoCompatibleBackend { required, backends } => write!(
+                f,
+                "no registered backend can run a {required}-qubit fragment circuit ({backends} backend(s) registered)"
+            ),
+            CoreError::ShotBudgetTooSmall { budget, needed } => write!(
+                f,
+                "shot budget {budget} is below the scheduled batch minimum of {needed} shots"
             ),
             CoreError::Simulation(e) => write!(f, "simulation error: {e}"),
             CoreError::Ilp(e) => write!(f, "ilp error: {e}"),
@@ -125,6 +150,8 @@ mod tests {
             CoreError::GateCutNeedsExpectation,
             CoreError::TooManyCuts { cuts: 40, limit: 16 },
             CoreError::MissingVariant { fragment: 2 },
+            CoreError::NoCompatibleBackend { required: 5, backends: 2 },
+            CoreError::ShotBudgetTooSmall { budget: 10, needed: 64 },
             CoreError::Simulation(qrcc_sim::SimError::ZeroShots),
             CoreError::Ilp(qrcc_ilp::IlpError::Infeasible),
         ];

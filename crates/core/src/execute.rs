@@ -1,27 +1,48 @@
 //! Batch-first execution layer for fragment variants.
 //!
-//! Execution follows a three-phase protocol:
+//! Execution follows the **enumerate → dedup → schedule → execute → fold**
+//! protocol:
 //!
 //! 1. **Enumerate** — reconstructors list every
 //!    [`VariantRequest`](crate::fragment::VariantRequest) they need as pure
 //!    data (a structural [`VariantKey`]: fragment id, init states, cut bases,
-//!    gate-cut instances, output bases). No circuits are built yet.
-//! 2. **Deduplicate + execute** — [`execute_requests`] collapses duplicate
-//!    keys, collapses structurally identical circuits (a 64-bit
+//!    gate-cut instances, output bases), optionally tagged with a
+//!    reconstruction weight. No circuits are built yet.
+//! 2. **Deduplicate** — duplicate keys collapse, then structurally identical
+//!    circuits collapse too (a 64-bit
 //!    [`structural hash`](qrcc_circuit::Circuit::structural_hash) catches e.g.
 //!    gate-cut instances 3/4, which instantiate identically on the measuring
-//!    half), and submits the surviving circuits as **one batch** through
-//!    [`ExecutionBackend::run_batch`]. The provided [`ExactBackend`] and
-//!    [`ShotsBackend`] run batches with rayon data-parallelism.
-//! 3. **Consume** — reconstructors read distributions back out of the
-//!    returned [`ExecutionResults`] by key, never talking to a backend
-//!    directly. One batch of device runs can therefore serve the probability
-//!    reconstruction *and* any number of expectation observables.
+//!    half). The surviving circuits form the batch.
+//! 3. **Schedule** *(optional)* — a [`Scheduler`](crate::schedule::Scheduler)
+//!    routes each deduplicated circuit to a compatible backend of a
+//!    [`DeviceRegistry`](crate::schedule::DeviceRegistry) (heterogeneous
+//!    qubit counts, noise, shot costs), splits a global shot budget across
+//!    the batch by reconstruction-variance weight (ShotQC-style), and may
+//!    slice the batch into chunks so reconstruction can start before the
+//!    last chunk returns. The single-backend [`execute_requests`] path skips
+//!    this phase: the whole batch goes to one backend.
+//! 4. **Execute** — each backend receives its circuits as **one**
+//!    [`ExecutionBackend::run_batch`] /
+//!    [`ExecutionBackend::run_batch_with_shots`] call; the provided
+//!    [`ExactBackend`] and [`ShotsBackend`] run batches with rayon
+//!    data-parallelism, and scheduled backends run concurrently. Results
+//!    merge into [`ExecutionResults`] via the structural key
+//!    (`ExecutionResults::extend`), which also accumulates per-backend
+//!    routing and shots-spent accounting.
+//! 5. **Fold / consume** — reconstructors read distributions back out of the
+//!    [`ExecutionResults`] by key, never talking to a backend directly. One
+//!    batch serves the probability reconstruction *and* any number of
+//!    expectation observables; streamed chunks can be folded incrementally
+//!    into fragment tensors via
+//!    [`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator)
+//!    so contraction overlaps device execution.
 //!
 //! Simple backends only implement the per-circuit [`ExecutionBackend::run_one`];
-//! the default `run_batch` loops over it serially. [`CachingBackend`] remains
-//! as a memoising wrapper for callers that bypass the batch path, now keyed by
-//! the structural circuit hash instead of a QASM string.
+//! the default `run_batch` loops over it serially and the default
+//! `run_batch_with_shots` ignores the per-circuit shot counts (exact
+//! backends have no sampling noise). [`CachingBackend`] remains as a
+//! memoising wrapper for callers that bypass the batch path, keyed by the
+//! structural circuit hash.
 
 use crate::fragment::{FragmentSet, VariantKey, VariantRequest};
 use crate::CoreError;
@@ -30,7 +51,7 @@ use qrcc_circuit::Circuit;
 use qrcc_sim::branching::classical_distribution;
 use qrcc_sim::device::Device;
 use rayon::prelude::*;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// Executes fragment-variant circuits and reports the probability
 /// distribution over their classical bits (length `2^num_clbits`).
@@ -57,24 +78,111 @@ pub trait ExecutionBackend: Sync {
         circuits.iter().map(|c| self.run_one(c)).collect()
     }
 
+    /// Executes a batch with an explicit per-circuit shot count, as assigned
+    /// by a [`ShotAllocator`](crate::schedule::ShotAllocator).
+    ///
+    /// The default implementation ignores the shot counts and delegates to
+    /// [`ExecutionBackend::run_batch`] — correct for exact backends, whose
+    /// output has no sampling noise. Sampling backends override it
+    /// ([`ShotsBackend`] runs circuit `i` with `shots[i]` shots; a circuit
+    /// with zero shots fails with the backend's zero-shot error and consumes
+    /// no sampling stream).
+    fn run_batch_with_shots(
+        &self,
+        circuits: &[Circuit],
+        shots: &[u64],
+    ) -> Vec<Result<Vec<f64>, CoreError>> {
+        debug_assert_eq!(circuits.len(), shots.len(), "one shot count per circuit");
+        self.run_batch(circuits)
+    }
+
+    /// The widest circuit this backend can run, or `None` when unbounded.
+    /// The scheduler's router only places circuits on backends that fit.
+    fn max_qubits(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether this backend can run `circuit` — the router's placement
+    /// predicate. The default checks only [`ExecutionBackend::max_qubits`];
+    /// device-backed backends refine it (e.g. mid-circuit measurement
+    /// support).
+    fn can_run(&self, circuit: &Circuit) -> bool {
+        self.max_qubits().is_none_or(|max| circuit.num_qubits() <= max)
+    }
+
+    /// The backend's default shot count per circuit, or `None` for exact
+    /// (noise-free) backends. Used for shots-spent accounting and as the
+    /// router's load estimate when no global budget overrides it.
+    fn shots_per_circuit(&self) -> Option<u64> {
+        None
+    }
+
+    /// A short human-readable label for accounting
+    /// ([`ExecutionResults::routing`]).
+    fn label(&self) -> String {
+        "backend".into()
+    }
+
     /// Number of circuits executed so far (for instance accounting).
     fn executions(&self) -> u64;
 }
 
+/// How much work one backend performed for a batch: circuits routed to it
+/// and shots spent there (0 for exact backends).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BackendUsage {
+    /// The backend's label (registry name, or [`ExecutionBackend::label`]).
+    pub backend: String,
+    /// Circuits executed on this backend.
+    pub circuits: u64,
+    /// Total shots spent on this backend (0 when the backend is exact).
+    pub shots: u64,
+}
+
+impl BackendUsage {
+    /// Merges this usage into a per-label list: an existing entry with the
+    /// same label accumulates, otherwise the usage is appended. The one
+    /// definition of "merge usage by label", shared by
+    /// [`ExecutionResults::record_usage`] and the scheduler's report.
+    pub(crate) fn merge_into(self, list: &mut Vec<BackendUsage>) {
+        match list.iter_mut().find(|u| u.backend == self.backend) {
+            Some(existing) => {
+                existing.circuits += self.circuits;
+                existing.shots += self.shots;
+            }
+            None => list.push(self),
+        }
+    }
+}
+
 /// Distributions of an executed batch, keyed by structural [`VariantKey`].
 ///
-/// Produced by [`execute_requests`] (phase 2) and consumed by the
-/// reconstructors (phase 3). Also records the dedup accounting: how many
-/// variants were requested, how many unique keys survived, and how many
-/// circuits were actually executed after structural dedup.
+/// Produced by [`execute_requests`] / the
+/// [`Scheduler`](crate::schedule::Scheduler) and consumed by the
+/// reconstructors. Also records the dedup accounting — how many variants
+/// were requested, how many unique keys survived, how many circuits were
+/// actually executed after structural dedup — and the per-backend routing
+/// stats ([`ExecutionResults::routing`]).
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionResults {
     distributions: HashMap<VariantKey, Vec<f64>>,
     requested: u64,
     executed: u64,
+    routing: Vec<BackendUsage>,
 }
 
 impl ExecutionResults {
+    /// An empty result set carrying only dedup accounting — the scheduler
+    /// fills it key by key as a chunk's backends return.
+    pub(crate) fn new_accounted(requested: u64, executed: u64) -> Self {
+        ExecutionResults { distributions: HashMap::new(), requested, executed, routing: Vec::new() }
+    }
+
+    /// Stores one key's distribution (later inserts win).
+    pub(crate) fn insert(&mut self, key: VariantKey, distribution: Vec<f64>) {
+        self.distributions.insert(key, distribution);
+    }
+
     /// The distribution for `key`, or an error naming the missing fragment —
     /// the consume-phase signal that the enumerate phase forgot a variant.
     ///
@@ -121,41 +229,94 @@ impl ExecutionResults {
         self.distributions.is_empty()
     }
 
+    /// Iterates over the held `(key, distribution)` pairs (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&VariantKey, &[f64])> {
+        self.distributions.iter().map(|(k, d)| (k, d.as_slice()))
+    }
+
+    /// Per-backend routing stats: which backends ran how many circuits with
+    /// how many shots. A single-backend [`execute_requests`] batch holds one
+    /// entry; scheduled batches hold one per routed backend.
+    pub fn routing(&self) -> &[BackendUsage] {
+        &self.routing
+    }
+
+    /// Total shots spent across all backends (0 for exact-only batches).
+    pub fn shots_spent(&self) -> u64 {
+        self.routing.iter().map(|usage| usage.shots).sum()
+    }
+
+    /// Records work done by one backend, merging with an existing entry of
+    /// the same label.
+    pub fn record_usage(&mut self, usage: BackendUsage) {
+        usage.merge_into(&mut self.routing);
+    }
+
     /// Merges another batch into this one (later batches win on key
-    /// collisions). Accounting is summed.
+    /// collisions). Accounting is summed; routing stats merge by label.
     pub fn extend(&mut self, other: ExecutionResults) {
         self.distributions.extend(other.distributions);
         self.requested += other.requested;
         self.executed += other.executed;
+        for usage in other.routing {
+            self.record_usage(usage);
+        }
     }
 }
 
+/// The dedup phase's output: the unique variant keys of a request list, the
+/// deduplicated circuits they instantiate, and the key → circuit mapping.
+/// Shared by the single-backend [`execute_requests`] path and the
+/// multi-backend [`Scheduler`](crate::schedule::Scheduler).
+#[derive(Debug, Clone)]
+pub(crate) struct PreparedBatch<'a> {
+    /// First-seen-ordered unique keys.
+    pub(crate) unique_keys: Vec<&'a VariantKey>,
+    /// The deduplicated circuits to execute.
+    pub(crate) circuits: Vec<Circuit>,
+    /// For each unique key, the index of its circuit in `circuits`.
+    pub(crate) circuit_of_key: Vec<usize>,
+    /// Per unique key, the largest caller-supplied request weight among its
+    /// duplicate requests.
+    pub(crate) key_weight: Vec<f64>,
+    /// Per unique key, how many duplicate requests collapsed into it.
+    pub(crate) key_count: Vec<u64>,
+    /// Total requests before dedup.
+    pub(crate) requested: u64,
+}
+
 /// Phase 2 of the protocol: deduplicates `requests` by [`VariantKey`],
-/// instantiates each unique key once, collapses structurally identical
-/// circuits, and executes the survivors as one [`ExecutionBackend::run_batch`]
-/// call.
+/// instantiates each unique key once, and collapses structurally identical
+/// circuits (verifying equality on hash-bucket collisions) so e.g. the two
+/// measuring gate-cut instances of a half run once.
 ///
 /// # Errors
 ///
-/// * [`CoreError::InvalidCutSolution`] for keys that do not match `fragments`.
-/// * The first backend error of the batch, if any.
-pub fn execute_requests(
+/// [`CoreError::InvalidCutSolution`] for keys that do not match `fragments`.
+pub(crate) fn prepare_batch<'a>(
     fragments: &FragmentSet,
-    requests: &[VariantRequest],
-    backend: &dyn ExecutionBackend,
-) -> Result<ExecutionResults, CoreError> {
+    requests: &'a [VariantRequest],
+) -> Result<PreparedBatch<'a>, CoreError> {
     // Dedup by key, preserving first-seen order for reproducible batches.
-    let mut seen: HashSet<&VariantKey> = HashSet::with_capacity(requests.len());
+    let mut seen: HashMap<&VariantKey, usize> = HashMap::with_capacity(requests.len());
     let mut unique_keys: Vec<&VariantKey> = Vec::new();
+    let mut key_weight: Vec<f64> = Vec::new();
+    let mut key_count: Vec<u64> = Vec::new();
     for request in requests {
-        if seen.insert(&request.key) {
-            unique_keys.push(&request.key);
+        match seen.get(&request.key) {
+            Some(&slot) => {
+                key_weight[slot] = key_weight[slot].max(request.weight);
+                key_count[slot] += 1;
+            }
+            None => {
+                seen.insert(&request.key, unique_keys.len());
+                unique_keys.push(&request.key);
+                key_weight.push(request.weight);
+                key_count.push(1);
+            }
         }
     }
 
-    // Instantiate each unique key once, then collapse structurally identical
-    // circuits (verifying equality on hash-bucket collisions) so e.g. the two
-    // measuring gate-cut instances of a half run once.
     let mut circuits: Vec<Circuit> = Vec::new();
     let mut circuit_of_key: Vec<usize> = Vec::with_capacity(unique_keys.len());
     let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
@@ -175,52 +336,120 @@ pub fn execute_requests(
         circuit_of_key.push(index);
     }
 
-    // One batch submission; backends parallelise internally.
-    let outcomes = backend.run_batch(&circuits);
-    if outcomes.len() != circuits.len() {
-        return Err(CoreError::InvalidCutSolution {
-            reason: format!(
-                "backend returned {} results for a batch of {} circuits",
-                outcomes.len(),
-                circuits.len()
-            ),
-        });
-    }
-    let mut distributions: Vec<Vec<f64>> = Vec::with_capacity(outcomes.len());
-    for outcome in outcomes {
-        distributions.push(outcome?);
-    }
-
-    let executed = circuits.len() as u64;
-    let mut results = ExecutionResults {
-        distributions: HashMap::with_capacity(unique_keys.len()),
+    Ok(PreparedBatch {
+        unique_keys,
+        circuits,
+        circuit_of_key,
+        key_weight,
+        key_count,
         requested: requests.len() as u64,
-        executed,
-    };
-    for (key, &circuit_index) in unique_keys.iter().zip(&circuit_of_key) {
-        results.distributions.insert((*key).clone(), distributions[circuit_index].clone());
+    })
+}
+
+impl PreparedBatch<'_> {
+    /// Assembles [`ExecutionResults`] from per-circuit outcomes covering
+    /// `self.circuits` in order, propagating the first error.
+    pub(crate) fn into_results(
+        self,
+        outcomes: Vec<Result<Vec<f64>, CoreError>>,
+    ) -> Result<ExecutionResults, CoreError> {
+        if outcomes.len() != self.circuits.len() {
+            return Err(CoreError::InvalidCutSolution {
+                reason: format!(
+                    "backend returned {} results for a batch of {} circuits",
+                    outcomes.len(),
+                    self.circuits.len()
+                ),
+            });
+        }
+        let mut distributions: Vec<Vec<f64>> = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            distributions.push(outcome?);
+        }
+        let mut results = ExecutionResults {
+            distributions: HashMap::with_capacity(self.unique_keys.len()),
+            requested: self.requested,
+            executed: self.circuits.len() as u64,
+            routing: Vec::new(),
+        };
+        for (key, &circuit_index) in self.unique_keys.iter().zip(&self.circuit_of_key) {
+            results.distributions.insert((*key).clone(), distributions[circuit_index].clone());
+        }
+        Ok(results)
     }
+}
+
+/// Phases 2+4 for a single backend: deduplicates `requests` by
+/// [`VariantKey`], collapses structurally identical circuits, and executes
+/// the survivors as one [`ExecutionBackend::run_batch`] call. Multi-backend
+/// routing, shot allocation and chunking live in
+/// [`crate::schedule::Scheduler`].
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidCutSolution`] for keys that do not match `fragments`.
+/// * The first backend error of the batch, if any.
+pub fn execute_requests(
+    fragments: &FragmentSet,
+    requests: &[VariantRequest],
+    backend: &dyn ExecutionBackend,
+) -> Result<ExecutionResults, CoreError> {
+    let batch = prepare_batch(fragments, requests)?;
+    // One batch submission; backends parallelise internally.
+    let outcomes = backend.run_batch(&batch.circuits);
+    let circuits = batch.circuits.len() as u64;
+    let mut results = batch.into_results(outcomes)?;
+    results.record_usage(BackendUsage {
+        backend: backend.label(),
+        circuits,
+        shots: circuits * backend.shots_per_circuit().unwrap_or(0),
+    });
     Ok(results)
 }
 
 /// Exact backend: enumerates measurement branches with a state-vector
 /// simulator. Intended for verification and small fragments. Batches run
 /// rayon-parallel across all cores.
+///
+/// An optional width cap ([`ExactBackend::capped`]) makes the backend refuse
+/// circuits wider than a pretend device — useful for registering exact
+/// "devices" of different sizes in a
+/// [`DeviceRegistry`](crate::schedule::DeviceRegistry) and checking
+/// multi-device routing against noise-free ground truth.
 #[derive(Debug, Default)]
 pub struct ExactBackend {
     count: Mutex<u64>,
+    max_qubits: Option<usize>,
 }
 
 impl ExactBackend {
-    /// Creates the backend.
+    /// Creates the backend (unbounded width).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a backend that refuses circuits wider than `max_qubits`.
+    pub fn capped(max_qubits: usize) -> Self {
+        ExactBackend { count: Mutex::new(0), max_qubits: Some(max_qubits) }
+    }
+
+    fn check_width(&self, circuit: &Circuit) -> Result<(), CoreError> {
+        match self.max_qubits {
+            Some(max) if circuit.num_qubits() > max => {
+                Err(CoreError::Simulation(qrcc_sim::SimError::TooManyQubits {
+                    required: circuit.num_qubits(),
+                    available: max,
+                }))
+            }
+            _ => Ok(()),
+        }
     }
 }
 
 impl ExecutionBackend for ExactBackend {
     fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
         *self.count.lock() += 1;
+        self.check_width(circuit)?;
         Ok(classical_distribution(circuit)?)
     }
 
@@ -228,8 +457,22 @@ impl ExecutionBackend for ExactBackend {
         *self.count.lock() += circuits.len() as u64;
         circuits
             .par_iter()
-            .map(|circuit| classical_distribution(circuit).map_err(CoreError::from))
+            .map(|circuit| {
+                self.check_width(circuit)?;
+                classical_distribution(circuit).map_err(CoreError::from)
+            })
             .collect()
+    }
+
+    fn max_qubits(&self) -> Option<usize> {
+        self.max_qubits
+    }
+
+    fn label(&self) -> String {
+        match self.max_qubits {
+            Some(max) => format!("exact({max}q)"),
+            None => "exact".into(),
+        }
     }
 
     fn executions(&self) -> u64 {
@@ -267,19 +510,29 @@ impl ShotsBackend {
     }
 }
 
-impl ExecutionBackend for ShotsBackend {
-    fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
-        let counts = self.device.execute(circuit, self.shots)?;
-        Ok(counts.probability_vector())
-    }
-
-    fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
-        // Assign sampling streams only to circuits that will actually run.
-        // Serial `run_one` calls consume no stream for a circuit that fails
-        // validation, so skipping them here keeps batched sampling identical
-        // to serial execution and keeps `executions()` an honest run count.
-        let runnable: Vec<bool> =
-            circuits.iter().map(|c| self.shots > 0 && self.device.validate(c).is_ok()).collect();
+impl ShotsBackend {
+    /// The shared batch path: executes circuit `i` with `shots_of(i)` shots
+    /// on its own deterministic sampling stream.
+    ///
+    /// Stream reservation must stay deterministic even when some circuits
+    /// error mid-batch: a stream is assigned to circuit `i` **iff** a serial
+    /// [`ShotsBackend::run_one`] pass over the same circuits would consume
+    /// one for it — the circuit validates against the device and its shot
+    /// count is positive. Both checks run *before* any sampling (the same
+    /// order [`Device::execute`] applies them in), so a failing circuit can
+    /// never shift the streams of the circuits after it, regardless of where
+    /// in the batch it sits or how the per-circuit shot allocation splits
+    /// the budget.
+    fn run_batch_streams(
+        &self,
+        circuits: &[Circuit],
+        shots_of: impl Fn(usize) -> u64 + Sync,
+    ) -> Vec<Result<Vec<f64>, CoreError>> {
+        let runnable: Vec<bool> = circuits
+            .iter()
+            .enumerate()
+            .map(|(i, c)| shots_of(i) > 0 && self.device.validate(c).is_ok())
+            .collect();
         let base = self.device.reserve_streams(runnable.iter().filter(|&&r| r).count() as u64);
         let mut next = base;
         let streams: Vec<u64> = runnable
@@ -298,11 +551,47 @@ impl ExecutionBackend for ShotsBackend {
             .enumerate()
             .map(|(i, circuit)| {
                 self.device
-                    .execute_stream(circuit, self.shots, streams[i])
+                    .execute_stream(circuit, shots_of(i), streams[i])
                     .map(|counts| counts.probability_vector())
                     .map_err(CoreError::from)
             })
             .collect()
+    }
+}
+
+impl ExecutionBackend for ShotsBackend {
+    fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+        let counts = self.device.execute(circuit, self.shots)?;
+        Ok(counts.probability_vector())
+    }
+
+    fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
+        self.run_batch_streams(circuits, |_| self.shots)
+    }
+
+    fn run_batch_with_shots(
+        &self,
+        circuits: &[Circuit],
+        shots: &[u64],
+    ) -> Vec<Result<Vec<f64>, CoreError>> {
+        debug_assert_eq!(circuits.len(), shots.len(), "one shot count per circuit");
+        self.run_batch_streams(circuits, |i| shots[i])
+    }
+
+    fn max_qubits(&self) -> Option<usize> {
+        Some(self.device.config().num_qubits)
+    }
+
+    fn can_run(&self, circuit: &Circuit) -> bool {
+        self.device.validate(circuit).is_ok()
+    }
+
+    fn shots_per_circuit(&self) -> Option<u64> {
+        Some(self.shots)
+    }
+
+    fn label(&self) -> String {
+        format!("shots({}q)", self.device.config().num_qubits)
     }
 
     fn executions(&self) -> u64 {
@@ -568,6 +857,38 @@ mod tests {
         assert_eq!(results[1].as_ref().unwrap(), &first);
         assert_eq!(results[2].as_ref().unwrap(), &second);
         // only the two real runs are counted
+        assert_eq!(batched.executions(), 2);
+    }
+
+    #[test]
+    fn per_circuit_shots_keep_streams_deterministic_around_errors() {
+        // Regression for the scheduled path: when an allocator hands each
+        // circuit its own shot count and some circuits error mid-batch (an
+        // over-wide circuit, a zero-shot allocation), the stream reservation
+        // must still mirror a serial pass — no error may shift the sampling
+        // streams of the circuits after it.
+        let mut wide = Circuit::new(3);
+        wide.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let bell = bell_with_measures();
+
+        // serial reference: only the two valid, positively-allocated bells
+        // consume streams (in order)
+        let serial = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(3)), 0);
+        let base = serial.device().reserve_streams(2);
+        let first = serial.device().execute_stream(&bell, 1_500, base).unwrap();
+        let second = serial.device().execute_stream(&bell, 2_500, base + 1).unwrap();
+
+        // batched: [bell(1500), wide(2000), bell(0 shots), bell(2500)]
+        let batched = ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(3)), 9999);
+        let results = batched.run_batch_with_shots(
+            &[bell.clone(), wide, bell.clone(), bell.clone()],
+            &[1_500, 2_000, 0, 2_500],
+        );
+        assert_eq!(results[0].as_ref().unwrap(), &first.probability_vector());
+        assert!(matches!(results[1], Err(CoreError::Simulation(_))), "over-wide errors");
+        assert!(results[2].is_err(), "zero allocated shots errors");
+        assert_eq!(results[3].as_ref().unwrap(), &second.probability_vector());
+        // exactly the two real runs consumed streams
         assert_eq!(batched.executions(), 2);
     }
 

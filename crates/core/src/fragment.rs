@@ -102,19 +102,54 @@ impl VariantKey {
 /// Reconstructors *enumerate* the requests they need, the pipeline
 /// *deduplicates* them by [`VariantKey`] and executes one batch, and the
 /// reconstructors then *consume* the resulting
-/// [`ExecutionResults`](crate::execute::ExecutionResults). The request is a
-/// thin wrapper over the key today; shot-allocation weights (à la ShotQC) are
-/// the natural extension point.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// [`ExecutionResults`](crate::execute::ExecutionResults).
+///
+/// Beyond the structural key, a request carries a caller-supplied
+/// reconstruction `weight` (default `1.0`). The shot
+/// [`allocator`](crate::schedule) multiplies this by the structural variance
+/// weight it derives from the cut coefficients, so callers can bias the shot
+/// split (e.g. by an observable coefficient) without re-deriving the cut
+/// structure.
+#[derive(Debug, Clone)]
 pub struct VariantRequest {
     /// The structural identity of the requested variant.
     pub key: VariantKey,
+    /// Caller-supplied reconstruction weight multiplier (default `1.0`);
+    /// must be non-negative and finite.
+    pub weight: f64,
 }
 
 impl VariantRequest {
-    /// Builds a request for `fragment` with the given slot configuration.
+    /// Builds a request for `fragment` with the given slot configuration and
+    /// the default weight of `1.0`.
     pub fn new(fragment: usize, variant: FragmentVariant) -> Self {
-        VariantRequest { key: VariantKey::new(fragment, variant) }
+        VariantRequest { key: VariantKey::new(fragment, variant), weight: 1.0 }
+    }
+
+    /// Sets the caller-supplied reconstruction weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is negative or not finite.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        assert!(weight.is_finite() && weight >= 0.0, "request weight must be finite and >= 0");
+        self.weight = weight;
+        self
+    }
+}
+
+impl PartialEq for VariantRequest {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.weight.to_bits() == other.weight.to_bits()
+    }
+}
+
+impl Eq for VariantRequest {}
+
+impl std::hash::Hash for VariantRequest {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key.hash(state);
+        self.weight.to_bits().hash(state);
     }
 }
 

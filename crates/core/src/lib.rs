@@ -20,6 +20,11 @@
 //!   [`fragment::VariantRequest`]s, deduplicate by structural
 //!   [`fragment::VariantKey`], run one rayon-parallel batch on an
 //!   [`execute::ExecutionBackend`].
+//! * [`schedule`] — the execution scheduler between batching and
+//!   reconstruction: route each deduplicated circuit across a
+//!   [`schedule::DeviceRegistry`] of heterogeneous backends, split a global
+//!   shot budget by reconstruction-variance weight (ShotQC-style), and
+//!   stream result chunks into incremental reconstruction.
 //! * [`reconstruct`] — probability-vector and expectation-value
 //!   reconstruction through a shared contraction engine (dense global loop
 //!   or pairwise fragment-tensor contraction with sparse pruning, selected
@@ -65,9 +70,11 @@ pub mod pipeline;
 pub mod planner;
 pub mod reconstruct;
 pub mod reuse;
+pub mod schedule;
 pub mod spec;
 
-pub use config::{QrccConfig, ALPHA_WIRE_CUT, BETA_GATE_CUT};
+pub use config::{QrccConfig, SchedulePolicy, ShotAllocation, ALPHA_WIRE_CUT, BETA_GATE_CUT};
 pub use error::CoreError;
 pub use reconstruct::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy};
+pub use schedule::{DeviceRegistry, ScheduleReport, Scheduler};
 pub use spec::{CutMetrics, CutSolution, Segment, SubcircuitId, WireCutPoint};

@@ -20,8 +20,10 @@ use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
 use crate::fragment::{FragmentSet, VariantRequest};
 use crate::planner::{CutPlan, CutPlanner};
 use crate::reconstruct::{
-    ExpectationReconstructor, ProbabilityReconstructor, ReconstructionOptions, ReconstructionReport,
+    ExpectationReconstructor, ProbabilityAccumulator, ProbabilityReconstructor,
+    ReconstructionOptions, ReconstructionReport,
 };
+use crate::schedule::{ScheduleReport, Scheduler};
 use crate::{CoreError, QrccConfig};
 use qrcc_circuit::observable::PauliObservable;
 use qrcc_circuit::Circuit;
@@ -186,6 +188,88 @@ impl QrccPipeline {
         requests: &[VariantRequest],
     ) -> Result<ExecutionResults, CoreError> {
         execute_requests(&self.fragments, requests, backend)
+    }
+
+    // ---- scheduled execution: multi-device routing + shot allocation ----
+
+    /// Executes the probability workload through a multi-device
+    /// [`Scheduler`]: the deduplicated batch is routed across the
+    /// scheduler's [`DeviceRegistry`](crate::schedule::DeviceRegistry)
+    /// (backends run concurrently), and an optional global shot budget is
+    /// split by reconstruction-variance weight. Returns the merged results
+    /// plus the [`ScheduleReport`] (per-backend routing, shots spent).
+    ///
+    /// # Errors
+    ///
+    /// See [`QrccPipeline::execute`] and [`Scheduler::execute_chunked`].
+    pub fn execute_scheduled(
+        &self,
+        scheduler: &Scheduler<'_>,
+    ) -> Result<(ExecutionResults, ScheduleReport), CoreError> {
+        let requests = self.probability_reconstructor().requests(&self.fragments)?;
+        scheduler.execute_with_report(&self.fragments, &requests)
+    }
+
+    /// Executes every observable's variants through a multi-device
+    /// [`Scheduler`] — the scheduled counterpart of
+    /// [`QrccPipeline::execute_observables`].
+    ///
+    /// # Errors
+    ///
+    /// See [`QrccPipeline::execute_observables`] and
+    /// [`Scheduler::execute_chunked`].
+    pub fn execute_observables_scheduled(
+        &self,
+        scheduler: &Scheduler<'_>,
+        observables: &[&PauliObservable],
+    ) -> Result<(ExecutionResults, ScheduleReport), CoreError> {
+        let reconstructor = self.expectation_reconstructor();
+        let mut requests = Vec::new();
+        for observable in observables {
+            requests.extend(reconstructor.requests(&self.fragments, observable)?);
+        }
+        scheduler.execute_with_report(&self.fragments, &requests)
+    }
+
+    /// Streams the probability workload: the scheduler executes the batch in
+    /// chunks (size from
+    /// [`SchedulePolicy::chunk_size`](crate::SchedulePolicy::chunk_size)) on
+    /// a worker thread while this thread folds every finished chunk into the
+    /// fragment tensors — so
+    /// classical reconstruction overlaps device execution, and only the
+    /// final contraction remains once the last chunk lands.
+    ///
+    /// # Errors
+    ///
+    /// See [`QrccPipeline::execute_scheduled`] and
+    /// [`ProbabilityAccumulator`].
+    pub fn execute_streaming(
+        &self,
+        scheduler: &Scheduler<'_>,
+    ) -> Result<(Vec<f64>, ReconstructionReport, ScheduleReport), CoreError> {
+        let requests = self.probability_reconstructor().requests(&self.fragments)?;
+        let mut accumulator =
+            ProbabilityAccumulator::new(&self.fragments, self.reconstruction_options())?;
+        let schedule_report = std::thread::scope(|scope| -> Result<ScheduleReport, CoreError> {
+            let (sender, receiver) = std::sync::mpsc::channel::<ExecutionResults>();
+            let fragments = &self.fragments;
+            let producer = scope.spawn(move || {
+                scheduler.execute_chunked(fragments, &requests, |chunk| {
+                    // an unbounded channel: send fails only when the
+                    // consumer stopped folding (it hit an error)
+                    sender.send(chunk).map_err(|_| CoreError::InvalidCutSolution {
+                        reason: "streaming consumer stopped folding".into(),
+                    })
+                })
+            });
+            // fold chunks as they arrive, overlapping with execution
+            for chunk in receiver {
+                accumulator.absorb(chunk)?;
+            }
+            producer.join().expect("scheduler thread panicked")
+        })?;
+        let (probabilities, reconstruction_report) = accumulator.finish()?;
+        Ok((probabilities, reconstruction_report, schedule_report))
     }
 
     // ---- phase 3: consume ----

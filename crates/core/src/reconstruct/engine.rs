@@ -106,6 +106,12 @@ pub struct ReconstructionReport {
     pub pruned_weight: f64,
     /// The tolerance pruning ran with.
     pub prune_tolerance: f64,
+    /// Total device shots the consumed [`ExecutionResults`] spent across all
+    /// backends (0 for exact-only batches).
+    pub shots_spent: u64,
+    /// Number of distinct backends the consumed batch was routed across (1
+    /// for single-backend execution, more after scheduled dispatch).
+    pub backends_used: usize,
 }
 
 /// One cut axis of a [`CutTensor`], identified by its global cut id.
@@ -171,7 +177,7 @@ impl CutTensor {
     }
 
     /// Recomputes the liveness flags from the payload contents.
-    fn refresh_active(&mut self) {
+    pub(crate) fn refresh_active(&mut self) {
         for entry in 0..self.entries {
             self.active[entry] = self.data
                 [entry * self.payload_len..(entry + 1) * self.payload_len]
@@ -338,60 +344,87 @@ pub(super) fn expectation_variants<'a>(
 
 /// An empty (clbit-free) fragment was never executed: the distribution over
 /// its zero classical bits is the constant `[1.0]`.
-const TRIVIAL: [f64; 1] = [1.0];
+pub(crate) const TRIVIAL: [f64; 1] = [1.0];
 
-/// Folds one fragment's executed probability variants into a cut tensor:
-/// legs are the incoming then outgoing wire cuts, payloads the weighted
-/// distributions over the fragment's output bits.
-pub(crate) fn probability_tensor(
-    fragment: &Fragment,
-    results: &ExecutionResults,
-) -> Result<CutTensor, CoreError> {
-    let num_in = fragment.incoming_cuts.len();
-    let num_out = fragment.outgoing_cuts.len();
-    let legs: Vec<Leg> = fragment
-        .incoming_cuts
-        .iter()
-        .chain(&fragment.outgoing_cuts)
-        .map(|&cut| Leg::Wire(cut))
-        .collect();
-    let bit_origins: Vec<usize> = fragment.output_clbits.iter().map(|&(orig, _)| orig).collect();
-    let mut tensor = CutTensor::new(legs, bit_origins);
+/// Reusable scratch for folding one fragment's probability variants into its
+/// cut tensor one at a time: precomputed clbit positions and allocation-free
+/// odometers. One folder serves any number of [`CutTensor::fold_partial`]
+/// calls for the same fragment, whether the variants arrive as one complete
+/// batch or as streamed chunks.
+#[derive(Debug, Clone)]
+pub(crate) struct FragmentFolder {
+    output_bit_positions: Vec<usize>,
+    cut_bit_positions: Vec<usize>,
+    cut_bits: Vec<bool>,
+    in_od: Odometer,
+    out_od: Odometer,
+    num_in: usize,
+}
 
-    let output_bit_positions: Vec<usize> =
-        fragment.output_clbits.iter().map(|&(_, clbit)| clbit).collect();
-    let cut_bit_positions: Vec<usize> =
-        fragment.cut_clbits.iter().map(|&(_, clbit)| clbit).collect();
+impl FragmentFolder {
+    /// A folder plus the empty probability tensor of `fragment`: legs are
+    /// the incoming then outgoing wire cuts, payloads the weighted
+    /// distributions over the fragment's output bits.
+    pub(crate) fn probability(fragment: &Fragment) -> (CutTensor, FragmentFolder) {
+        let num_in = fragment.incoming_cuts.len();
+        let num_out = fragment.outgoing_cuts.len();
+        let legs: Vec<Leg> = fragment
+            .incoming_cuts
+            .iter()
+            .chain(&fragment.outgoing_cuts)
+            .map(|&cut| Leg::Wire(cut))
+            .collect();
+        let bit_origins: Vec<usize> =
+            fragment.output_clbits.iter().map(|&(orig, _)| orig).collect();
+        let tensor = CutTensor::new(legs, bit_origins);
+        let cut_bit_positions: Vec<usize> =
+            fragment.cut_clbits.iter().map(|&(_, clbit)| clbit).collect();
+        let folder = FragmentFolder {
+            output_bit_positions: fragment.output_clbits.iter().map(|&(_, clbit)| clbit).collect(),
+            cut_bits: vec![false; cut_bit_positions.len()],
+            cut_bit_positions,
+            in_od: Odometer::uniform(num_in, 4),
+            out_od: Odometer::uniform(num_out, 4),
+            num_in,
+        };
+        (tensor, folder)
+    }
+}
 
-    let mut cut_bits = vec![false; cut_bit_positions.len()];
-    let mut in_od = Odometer::uniform(num_in, 4);
-    let mut out_od = Odometer::uniform(num_out, 4);
-    let payload_len = tensor.payload_len;
-
-    for variant in probability_variants(fragment) {
-        let key = VariantKey::new(fragment.index, variant);
-        let init_states = &key.variant.init_states;
-        let cut_bases = &key.variant.cut_bases;
-        let dist: &[f64] =
-            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
-
+impl CutTensor {
+    /// Folds **one** executed probability variant's distribution into this
+    /// tensor — the incremental unit of tensor building. Calling it for
+    /// every variant of a fragment (in any order, across any number of
+    /// partial batches) accumulates exactly the tensor
+    /// [`probability_tensor`] builds in one pass; callers must
+    /// [`refresh_active`](CutTensor::refresh_active) (or prune) once folding
+    /// is complete.
+    pub(crate) fn fold_partial(
+        &mut self,
+        folder: &mut FragmentFolder,
+        variant: &FragmentVariant,
+        dist: &[f64],
+    ) {
+        let init_states = &variant.init_states;
+        let cut_bases = &variant.cut_bases;
+        let payload_len = self.payload_len;
         for (outcome, &p) in dist.iter().enumerate() {
             if p == 0.0 {
                 continue;
             }
             let mut y = 0usize;
-            for (bit, &pos) in output_bit_positions.iter().enumerate() {
+            for (bit, &pos) in folder.output_bit_positions.iter().enumerate() {
                 if outcome & (1 << pos) != 0 {
                     y |= 1 << bit;
                 }
             }
-            for (slot, &pos) in cut_bit_positions.iter().enumerate() {
-                cut_bits[slot] = outcome & (1 << pos) != 0;
+            for (slot, &pos) in folder.cut_bit_positions.iter().enumerate() {
+                folder.cut_bits[slot] = outcome & (1 << pos) != 0;
             }
 
             // distribute this outcome over every compatible component combo
-            in_od.reset();
-            while let Some(in_components) = in_od.next() {
+            folder.in_od.reset();
+            while let Some(in_components) = folder.in_od.next() {
                 let mut weight = p;
                 let mut idx_in = 0usize;
                 for (slot, &component) in in_components.iter().enumerate() {
@@ -399,13 +432,13 @@ pub(crate) fn probability_tensor(
                     if weight == 0.0 {
                         break;
                     }
-                    idx_in += component * tensor.strides[slot];
+                    idx_in += component * self.strides[slot];
                 }
                 if weight == 0.0 {
                     continue;
                 }
-                out_od.reset();
-                while let Some(out_components) = out_od.next() {
+                folder.out_od.reset();
+                while let Some(out_components) = folder.out_od.next() {
                     let mut w = weight;
                     let mut idx = idx_in;
                     for (slot, &component) in out_components.iter().enumerate() {
@@ -413,19 +446,42 @@ pub(crate) fn probability_tensor(
                             w = 0.0;
                             break;
                         }
-                        w *= cut_bit_weight(component, cut_bits[slot]);
+                        w *= cut_bit_weight(component, folder.cut_bits[slot]);
                         if w == 0.0 {
                             break;
                         }
-                        idx += component * tensor.strides[num_in + slot];
+                        idx += component * self.strides[folder.num_in + slot];
                     }
                     if w == 0.0 {
                         continue;
                     }
-                    tensor.data[idx * payload_len + y] += w;
+                    self.data[idx * payload_len + y] += w;
                 }
             }
         }
+    }
+
+    /// Zeroes the tensor so a dirty fragment can be re-folded from scratch
+    /// (the shot-top-up path: only the touched fragment's tensor rebuilds).
+    pub(crate) fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+        self.active.iter_mut().for_each(|a| *a = false);
+    }
+}
+
+/// Folds one fragment's executed probability variants into a cut tensor in
+/// one pass (the non-streaming path): every variant of the fragment must be
+/// present in `results`.
+pub(crate) fn probability_tensor(
+    fragment: &Fragment,
+    results: &ExecutionResults,
+) -> Result<CutTensor, CoreError> {
+    let (mut tensor, mut folder) = FragmentFolder::probability(fragment);
+    for variant in probability_variants(fragment) {
+        let key = VariantKey::new(fragment.index, variant);
+        let dist: &[f64] =
+            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
+        tensor.fold_partial(&mut folder, &key.variant, dist);
     }
     tensor.refresh_active();
     Ok(tensor)
@@ -810,22 +866,26 @@ fn contract_all(
     tensors.pop().expect("contraction leaves one tensor")
 }
 
-/// The `Contract` strategy for the probability workload: build, prune,
-/// pairwise-contract, scatter into the `2^N` vector.
-pub(crate) fn contract_probabilities(
+/// The `Contract` strategy's back half for the probability workload, fed
+/// with already-built (raw, un-normalised) fragment tensors: normalise,
+/// prune, pairwise-contract, scatter into the `2^N` vector. Shared by the
+/// one-pass [`contract_probabilities`] and the streaming accumulator.
+pub(crate) fn contract_probabilities_from_tensors(
     fragments: &FragmentSet,
-    results: &ExecutionResults,
+    tensors: Vec<CutTensor>,
     plan: &ContractionPlan,
     tolerance: f64,
     report: &mut ReconstructionReport,
-) -> Result<Vec<f64>, CoreError> {
+) -> Vec<f64> {
     let coeffs: Vec<[f64; 6]> = Vec::new();
-    let mut tensors = Vec::with_capacity(fragments.fragments.len());
-    for fragment in &fragments.fragments {
-        let mut tensor = probability_tensor(fragment, results)?.normalize_legs(&coeffs);
-        tensor.prune(tolerance, report);
-        tensors.push(tensor);
-    }
+    let tensors: Vec<CutTensor> = tensors
+        .into_iter()
+        .map(|tensor| {
+            let mut tensor = tensor.normalize_legs(&coeffs);
+            tensor.prune(tolerance, report);
+            tensor
+        })
+        .collect();
     report.max_contraction_legs = plan.max_step_legs;
     let final_tensor = contract_all(tensors, plan, &coeffs, tolerance, report);
     debug_assert!(final_tensor.legs.is_empty(), "all cut legs must be contracted");
@@ -840,7 +900,23 @@ pub(crate) fn contract_probabilities(
         }
         probabilities[x] += p;
     }
-    Ok(probabilities)
+    probabilities
+}
+
+/// The `Contract` strategy for the probability workload: build, prune,
+/// pairwise-contract, scatter into the `2^N` vector.
+pub(crate) fn contract_probabilities(
+    fragments: &FragmentSet,
+    results: &ExecutionResults,
+    plan: &ContractionPlan,
+    tolerance: f64,
+    report: &mut ReconstructionReport,
+) -> Result<Vec<f64>, CoreError> {
+    let mut tensors = Vec::with_capacity(fragments.fragments.len());
+    for fragment in &fragments.fragments {
+        tensors.push(probability_tensor(fragment, results)?);
+    }
+    Ok(contract_probabilities_from_tensors(fragments, tensors, plan, tolerance, report))
 }
 
 /// The `Contract` strategy for one Pauli string of the expectation workload.

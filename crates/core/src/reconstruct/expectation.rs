@@ -176,6 +176,8 @@ impl ExpectationReconstructor {
         let mut report = ReconstructionReport {
             strategy,
             prune_tolerance: self.options.prune_tolerance,
+            shots_spent: results.shots_spent(),
+            backends_used: results.routing().len(),
             ..ReconstructionReport::default()
         };
         for (coefficient, string) in observable.terms() {
@@ -222,6 +224,8 @@ impl ExpectationReconstructor {
         let mut report = ReconstructionReport {
             strategy,
             prune_tolerance: self.options.prune_tolerance,
+            shots_spent: results.shots_spent(),
+            backends_used: results.routing().len(),
             ..ReconstructionReport::default()
         };
         let value = self.reconstruct_pauli_resolved(

@@ -116,6 +116,8 @@ impl ProbabilityReconstructor {
         let mut report = ReconstructionReport {
             strategy,
             prune_tolerance: self.options.prune_tolerance,
+            shots_spent: results.shots_spent(),
+            backends_used: results.routing().len(),
             ..ReconstructionReport::default()
         };
         let probabilities = match strategy {

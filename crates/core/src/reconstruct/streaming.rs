@@ -1,0 +1,340 @@
+//! Streaming partial reconstruction: fold executed variants into fragment
+//! tensors **as chunks arrive**, so classical contraction overlaps device
+//! execution instead of waiting for the last variant.
+//!
+//! [`ProbabilityAccumulator`] is the consume-phase counterpart of the
+//! chunked [`Scheduler`](crate::schedule::Scheduler): every
+//! [`ExecutionResults`] chunk it [`absorb`](ProbabilityAccumulator::absorb)s
+//! is folded immediately into the owning fragment's cut tensor (the
+//! incremental `CutTensor::fold_partial` unit of the engine), and
+//! [`finish`](ProbabilityAccumulator::finish) runs only the final
+//! contraction (dense loop or pairwise contraction) over the accumulated
+//! tensors. Re-delivering a variant that was already folded — a **shot
+//! top-up** that replaces its distribution with a higher-shot estimate —
+//! marks just the owning fragment dirty, and the next `finish` re-folds
+//! only that fragment's tensor before re-contracting.
+
+use super::engine::{
+    self, probability_variants, FragmentFolder, ReconstructionOptions, ReconstructionReport,
+    ReconstructionStrategy, Workload,
+};
+use crate::execute::ExecutionResults;
+use crate::fragment::{Fragment, FragmentSet, FragmentVariant, VariantKey};
+use crate::CoreError;
+use qrcc_circuit::observable::Pauli;
+use std::collections::HashSet;
+
+/// Whether `variant` is one of the probability workload's enumerated
+/// variants for `fragment` (all-Z outputs, no gate instances, matching slot
+/// counts). Scheduled batches may interleave expectation variants; the
+/// accumulator skips those instead of mis-folding them.
+fn is_probability_variant(fragment: &Fragment, variant: &FragmentVariant) -> bool {
+    variant.gate_instances.is_empty()
+        && variant.init_states.len() == fragment.incoming_cuts.len()
+        && variant.cut_bases.len() == fragment.outgoing_cuts.len()
+        && variant.output_bases.len() == fragment.output_clbits.len()
+        && variant.output_bases.iter().all(|&p| p == Pauli::Z)
+}
+
+/// Incremental probability reconstruction over streamed
+/// [`ExecutionResults`] chunks.
+///
+/// ```text
+/// let mut acc = ProbabilityAccumulator::new(fragments, options)?;
+/// for chunk in scheduler_chunks {   // arrives while devices still run
+///     acc.absorb(chunk)?;           // folds into fragment tensors now
+/// }
+/// let (probabilities, report) = acc.finish()?;  // contraction only
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProbabilityAccumulator<'a> {
+    fragments: &'a FragmentSet,
+    options: ReconstructionOptions,
+    tensors: Vec<engine::CutTensor>,
+    folders: Vec<FragmentFolder>,
+    folded: Vec<HashSet<FragmentVariant>>,
+    expected: Vec<u64>,
+    dirty: Vec<bool>,
+    store: ExecutionResults,
+}
+
+impl<'a> ProbabilityAccumulator<'a> {
+    /// Creates an accumulator for `fragments`, validating the plan the same
+    /// way [`ProbabilityReconstructor`](super::ProbabilityReconstructor)
+    /// does (wire cuts only, feasible strategy). Clbit-free fragments are
+    /// pre-folded with their trivial `[1.0]` distribution, so only executed
+    /// variants need to arrive.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::GateCutNeedsExpectation`] for gate-cut plans.
+    /// * [`CoreError::TooManyCuts`] when the configured strategy cannot
+    ///   handle the plan.
+    pub fn new(
+        fragments: &'a FragmentSet,
+        options: ReconstructionOptions,
+    ) -> Result<Self, CoreError> {
+        if fragments.num_gate_cuts() > 0 {
+            return Err(CoreError::GateCutNeedsExpectation);
+        }
+        engine::resolve_strategy(fragments, &options, Workload::Probability)?;
+        let mut tensors = Vec::with_capacity(fragments.fragments.len());
+        let mut folders = Vec::with_capacity(fragments.fragments.len());
+        let mut folded = vec![HashSet::new(); fragments.fragments.len()];
+        let mut expected = Vec::with_capacity(fragments.fragments.len());
+        for fragment in &fragments.fragments {
+            let (mut tensor, mut folder) = FragmentFolder::probability(fragment);
+            if fragment.num_clbits == 0 {
+                // never executed: fold the constant distribution up front
+                for variant in probability_variants(fragment) {
+                    tensor.fold_partial(&mut folder, &variant, &engine::TRIVIAL);
+                    folded[fragment.index].insert(variant);
+                }
+            }
+            expected.push(
+                4u64.pow(fragment.incoming_cuts.len() as u32)
+                    * 3u64.pow(fragment.outgoing_cuts.len() as u32),
+            );
+            tensors.push(tensor);
+            folders.push(folder);
+        }
+        Ok(ProbabilityAccumulator {
+            fragments,
+            options,
+            tensors,
+            folders,
+            folded,
+            expected,
+            dirty: vec![false; fragments.fragments.len()],
+            store: ExecutionResults::default(),
+        })
+    }
+
+    /// Folds a partial batch into the fragment tensors.
+    ///
+    /// New probability variants fold immediately; a variant seen before is a
+    /// shot top-up — its distribution replaces the stored one and only the
+    /// owning fragment is marked for re-folding at the next
+    /// [`finish`](ProbabilityAccumulator::finish). Variants that belong to
+    /// other workloads (expectation bases, gate instances) are skipped, so a
+    /// mixed `execute_all` batch streams fine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidCutSolution`] when a key references a fragment
+    /// outside the plan.
+    pub fn absorb(&mut self, partial: ExecutionResults) -> Result<(), CoreError> {
+        for (key, dist) in partial.iter() {
+            let fragment = self.fragments.fragments.get(key.fragment).ok_or_else(|| {
+                CoreError::InvalidCutSolution {
+                    reason: format!(
+                        "streamed batch references fragment {} but the plan has {}",
+                        key.fragment,
+                        self.fragments.fragments.len()
+                    ),
+                }
+            })?;
+            if fragment.num_clbits == 0 || !is_probability_variant(fragment, &key.variant) {
+                continue;
+            }
+            if self.folded[key.fragment].contains(&key.variant) {
+                // shot top-up: re-fold only this fragment at finish time
+                self.dirty[key.fragment] = true;
+            } else {
+                self.tensors[key.fragment].fold_partial(
+                    &mut self.folders[key.fragment],
+                    &key.variant,
+                    dist,
+                );
+                self.folded[key.fragment].insert(key.variant.clone());
+            }
+        }
+        self.store.extend(partial);
+        Ok(())
+    }
+
+    /// `(folded, expected)` distinct-variant counts across all fragments —
+    /// reconstruction progress while the stream is still running.
+    pub fn progress(&self) -> (u64, u64) {
+        let folded = self.folded.iter().map(|set| set.len() as u64).sum();
+        (folded, self.expected.iter().sum())
+    }
+
+    /// Everything absorbed so far, merged (latest distribution per key wins).
+    pub fn results(&self) -> &ExecutionResults {
+        &self.store
+    }
+
+    /// Runs the final contraction over the accumulated fragment tensors,
+    /// re-folding any fragment dirtied by a shot top-up first.
+    ///
+    /// Callable repeatedly: absorb more chunks (or top-ups) and finish again
+    /// for a refined estimate — only dirty fragments re-fold, the rest of
+    /// the tensor work is already done.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::MissingVariant`] when some fragment's variants have not
+    /// all arrived yet.
+    pub fn finish(&mut self) -> Result<(Vec<f64>, ReconstructionReport), CoreError> {
+        // shot top-ups: rebuild only the touched fragments' tensors
+        for index in 0..self.fragments.fragments.len() {
+            if !self.dirty[index] {
+                continue;
+            }
+            let fragment = &self.fragments.fragments[index];
+            self.tensors[index].clear();
+            for variant in probability_variants(fragment) {
+                if !self.folded[index].contains(&variant) {
+                    continue;
+                }
+                let key = VariantKey::new(index, variant);
+                let dist = self.store.distribution(&key)?;
+                // borrow juggling: distribution lookup borrows store, fold
+                // needs the tensor — clone the slice reference lifetime away
+                let dist = dist.to_vec();
+                self.tensors[index].fold_partial(&mut self.folders[index], &key.variant, &dist);
+            }
+            self.dirty[index] = false;
+        }
+        for (index, fragment) in self.fragments.fragments.iter().enumerate() {
+            if fragment.num_clbits > 0 && (self.folded[index].len() as u64) < self.expected[index] {
+                return Err(CoreError::MissingVariant { fragment: index });
+            }
+        }
+        let (strategy, plan) =
+            engine::resolve_strategy(self.fragments, &self.options, Workload::Probability)?;
+        let mut report = ReconstructionReport {
+            strategy,
+            prune_tolerance: self.options.prune_tolerance,
+            shots_spent: self.store.shots_spent(),
+            backends_used: self.store.routing().len(),
+            ..ReconstructionReport::default()
+        };
+        // refresh liveness in place (idempotent); only the contract path
+        // clones, because normalisation/pruning mutate the tensors it is
+        // handed and later absorb/finish cycles still need the originals
+        self.tensors.iter_mut().for_each(engine::CutTensor::refresh_active);
+        let probabilities = match strategy {
+            ReconstructionStrategy::Contract => engine::contract_probabilities_from_tensors(
+                self.fragments,
+                self.tensors.clone(),
+                &plan,
+                self.options.prune_tolerance,
+                &mut report,
+            ),
+            _ => engine::dense_probabilities(self.fragments, &self.tensors),
+        };
+        Ok((probabilities, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::{execute_requests, ExactBackend};
+    use crate::planner::CutPlanner;
+    use crate::reconstruct::ProbabilityReconstructor;
+    use crate::QrccConfig;
+    use qrcc_circuit::Circuit;
+    use qrcc_sim::StateVector;
+    use std::time::Duration;
+
+    fn plan_fragments(circuit: &Circuit, device: usize) -> FragmentSet {
+        let config =
+            QrccConfig::new(device).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(circuit).unwrap();
+        FragmentSet::from_plan(&plan).unwrap()
+    }
+
+    #[test]
+    fn chunked_absorption_matches_one_shot_reconstruction() {
+        let mut c = Circuit::new(4);
+        c.h(0).ry(0.7, 1).cx(0, 1).rz(0.3, 1).cx(1, 2).t(2).cx(2, 3).rx(1.1, 3);
+        let fragments = plan_fragments(&c, 3);
+        let reconstructor = ProbabilityReconstructor::new();
+        let requests = reconstructor.requests(&fragments).unwrap();
+        let backend = ExactBackend::new();
+
+        // execute the batch in three separate chunks of requests
+        let third = requests.len() / 3;
+        let mut acc =
+            ProbabilityAccumulator::new(&fragments, ReconstructionOptions::default()).unwrap();
+        for chunk in requests.chunks(third.max(1)) {
+            let partial = execute_requests(&fragments, chunk, &backend).unwrap();
+            acc.absorb(partial).unwrap();
+        }
+        let (folded, expected) = acc.progress();
+        assert_eq!(folded, expected, "all variants absorbed");
+        let (streamed, report) = acc.finish().unwrap();
+        assert_ne!(report.strategy, ReconstructionStrategy::Auto);
+
+        let exact = StateVector::from_circuit(&c).unwrap().probabilities();
+        for (a, b) in exact.iter().zip(&streamed) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn incomplete_stream_reports_missing_variants() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let fragments = plan_fragments(&c, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let backend = ExactBackend::new();
+        let mut acc =
+            ProbabilityAccumulator::new(&fragments, ReconstructionOptions::default()).unwrap();
+        // absorb only the first half of the variants
+        let partial =
+            execute_requests(&fragments, &requests[..requests.len() / 2], &backend).unwrap();
+        acc.absorb(partial).unwrap();
+        assert!(matches!(acc.finish(), Err(CoreError::MissingVariant { .. })));
+    }
+
+    #[test]
+    fn shot_top_up_refolds_only_the_touched_fragment() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(0.4, 2).cx(1, 2).cx(2, 3);
+        let fragments = plan_fragments(&c, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let backend = ExactBackend::new();
+        let full = execute_requests(&fragments, &requests, &backend).unwrap();
+
+        let mut acc =
+            ProbabilityAccumulator::new(&fragments, ReconstructionOptions::default()).unwrap();
+        acc.absorb(full.clone()).unwrap();
+        let (first, _) = acc.finish().unwrap();
+
+        // re-deliver the variants of fragment 0 (identical distributions):
+        // a top-up that must dirty exactly that fragment and change nothing
+        let fragment0: Vec<_> = requests.iter().filter(|r| r.key.fragment == 0).cloned().collect();
+        let topup = execute_requests(&fragments, &fragment0, &backend).unwrap();
+        acc.absorb(topup).unwrap();
+        assert!(acc.dirty[0]);
+        assert!(acc.dirty[1..].iter().all(|&d| !d));
+        let (second, _) = acc.finish().unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert!((a - b).abs() < 1e-12, "identical top-up must not change the result");
+        }
+    }
+
+    #[test]
+    fn gate_cut_plans_are_rejected_up_front() {
+        let mut c = Circuit::new(4);
+        c.h(0).rzz(0.4, 0, 1).rzz(0.9, 1, 2).rzz(0.2, 2, 3);
+        let config = QrccConfig::new(3)
+            .with_subcircuit_range(2, 2)
+            .with_gate_cuts(true)
+            .with_max_wire_cuts(0)
+            .with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(&c).unwrap();
+        let fragments = FragmentSet::from_plan(&plan).unwrap();
+        if fragments.num_gate_cuts() == 0 {
+            return;
+        }
+        assert!(matches!(
+            ProbabilityAccumulator::new(&fragments, ReconstructionOptions::default()),
+            Err(CoreError::GateCutNeedsExpectation)
+        ));
+    }
+}

@@ -1,0 +1,427 @@
+//! The execution scheduler: multi-device routing, variance-aware shot
+//! allocation, and chunked streaming between the batch-first execution API
+//! and the reconstruction engine.
+//!
+//! [`execute_requests`](crate::execute::execute_requests) sends the whole
+//! deduplicated batch to one backend and hands reconstruction a complete
+//! [`ExecutionResults`]. The [`Scheduler`] generalises both ends of that
+//! contract:
+//!
+//! * **Routing** — a [`DeviceRegistry`] holds heterogeneous
+//!   [`ExecutionBackend`](crate::execute::ExecutionBackend)s (different
+//!   qubit counts, noise models, shot costs). Each deduplicated circuit is
+//!   placed on a compatible backend (widest circuits first, least projected
+//!   load, deterministic), backends run their sub-batches **concurrently**,
+//!   and the partial results merge by structural
+//!   [`VariantKey`](crate::fragment::VariantKey).
+//! * **Shot allocation** — a [`ShotAllocator`] splits a global shot budget
+//!   across the batch proportionally to each circuit's
+//!   reconstruction-variance weight (the magnitudes of the cut coefficients
+//!   its distribution is folded with — ShotQC-style), instead of spending
+//!   the budget uniformly.
+//! * **Chunked streaming** — [`Scheduler::execute_chunked`] emits
+//!   [`ExecutionResults`] in chunks as they complete, so a
+//!   [`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator)
+//!   can fold fragment tensors while later chunks are still executing
+//!   (see [`QrccPipeline::execute_streaming`]).
+//!
+//! [`QrccPipeline::execute_streaming`]: crate::pipeline::QrccPipeline::execute_streaming
+//!
+//! This module is the seam a future async/remote dispatcher plugs into: the
+//! routing table, allocation and chunk protocol are all synchronous-agnostic.
+
+mod allocator;
+mod registry;
+mod router;
+
+pub use allocator::{variant_weight, ShotAllocator};
+pub use registry::{DeviceRegistry, RegisteredBackend};
+
+pub use crate::config::{SchedulePolicy, ShotAllocation};
+
+use crate::execute::{prepare_batch, BackendUsage, ExecutionResults, PreparedBatch};
+use crate::fragment::{FragmentSet, VariantRequest};
+use crate::CoreError;
+use qrcc_circuit::Circuit;
+
+/// What one scheduled execution did: per-backend usage, shot totals and
+/// chunk count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScheduleReport {
+    /// Per-backend circuits routed and shots spent, in registry order of
+    /// first use.
+    pub backends: Vec<BackendUsage>,
+    /// Total shots spent across all backends. Exact backends ignore shot
+    /// allocations and spend none, so an exact-only registry reports 0 even
+    /// under a budget.
+    pub total_shots: u64,
+    /// Number of deduplicated circuits executed.
+    pub circuits: u64,
+    /// Number of chunks the batch was streamed in.
+    pub chunks: usize,
+    /// The allocation mode that split the budget.
+    pub allocation: ShotAllocation,
+}
+
+/// Routes a deduplicated batch across a [`DeviceRegistry`], splits the shot
+/// budget, and executes backends concurrently — optionally streaming the
+/// results in chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler<'r> {
+    registry: &'r DeviceRegistry,
+    policy: SchedulePolicy,
+}
+
+impl<'r> Scheduler<'r> {
+    /// A scheduler over `registry` following `policy`.
+    pub fn new(registry: &'r DeviceRegistry, policy: SchedulePolicy) -> Self {
+        Scheduler { registry, policy }
+    }
+
+    /// A scheduler following the [`SchedulePolicy`] of a
+    /// [`QrccConfig`](crate::QrccConfig).
+    pub fn from_config(registry: &'r DeviceRegistry, config: &crate::QrccConfig) -> Self {
+        Scheduler::new(registry, config.schedule)
+    }
+
+    /// The policy this scheduler runs with.
+    pub fn policy(&self) -> &SchedulePolicy {
+        &self.policy
+    }
+
+    /// The registry this scheduler routes over.
+    pub fn registry(&self) -> &'r DeviceRegistry {
+        self.registry
+    }
+
+    /// Executes `requests` across the registry as one scheduled run and
+    /// returns the merged results (routing stats are recorded in
+    /// [`ExecutionResults::routing`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::execute_chunked`].
+    pub fn execute(
+        &self,
+        fragments: &FragmentSet,
+        requests: &[VariantRequest],
+    ) -> Result<ExecutionResults, CoreError> {
+        Ok(self.execute_with_report(fragments, requests)?.0)
+    }
+
+    /// Executes `requests` across the registry and returns the merged
+    /// results along with the [`ScheduleReport`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Scheduler::execute_chunked`].
+    pub fn execute_with_report(
+        &self,
+        fragments: &FragmentSet,
+        requests: &[VariantRequest],
+    ) -> Result<(ExecutionResults, ScheduleReport), CoreError> {
+        let mut merged = ExecutionResults::default();
+        let report = self.execute_chunked(fragments, requests, |chunk| {
+            merged.extend(chunk);
+            Ok(())
+        })?;
+        Ok((merged, report))
+    }
+
+    /// The full scheduled pipeline, streaming results chunk by chunk:
+    /// deduplicate (`VariantKey` + structural circuit dedup), allocate the
+    /// shot budget over the whole batch, then for each chunk of circuits
+    /// route across the registry, run the routed backends **concurrently**,
+    /// and hand the chunk's [`ExecutionResults`] to `sink` before the next
+    /// chunk starts. `sink` typically folds into a
+    /// [`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator)
+    /// or forwards over a channel so reconstruction overlaps execution.
+    ///
+    /// The chunk size comes from [`SchedulePolicy::chunk_size`] (`0` = one
+    /// chunk). Accounting: each chunk's `requested()` counts the original
+    /// (pre-dedup) requests its keys collapsed from, so summing over chunks
+    /// reproduces the batch totals.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidCutSolution`] for keys that do not match
+    ///   `fragments`.
+    /// * [`CoreError::NoCompatibleBackend`] when a circuit fits no
+    ///   registered backend.
+    /// * [`CoreError::ShotBudgetTooSmall`] when the budget cannot cover the
+    ///   per-circuit minimum.
+    /// * The first backend error of any chunk, and any error `sink` returns.
+    pub fn execute_chunked(
+        &self,
+        fragments: &FragmentSet,
+        requests: &[VariantRequest],
+        mut sink: impl FnMut(ExecutionResults) -> Result<(), CoreError>,
+    ) -> Result<ScheduleReport, CoreError> {
+        let batch = prepare_batch(fragments, requests)?;
+        let allocator = ShotAllocator::new(self.policy);
+        let weights = allocator.circuit_weights(fragments, &batch);
+        let shots = allocator.allocate(&weights)?;
+
+        let total = batch.circuits.len();
+        let chunk_size =
+            if self.policy.chunk_size == 0 { total.max(1) } else { self.policy.chunk_size };
+        let mut report = ScheduleReport {
+            allocation: self.policy.allocation,
+            circuits: total as u64,
+            ..ScheduleReport::default()
+        };
+
+        let mut start = 0;
+        while start < total || (start == 0 && total == 0) {
+            let end = (start + chunk_size).min(total);
+            let chunk = self.run_chunk(&batch, shots.as_deref(), start, end)?;
+            for usage in chunk.routing() {
+                report.total_shots += usage.shots;
+                usage.clone().merge_into(&mut report.backends);
+            }
+            report.chunks += 1;
+            sink(chunk)?;
+            if total == 0 {
+                break;
+            }
+            start = end;
+        }
+        Ok(report)
+    }
+
+    /// Routes and executes the circuits `start..end` of the batch as one
+    /// concurrent multi-backend chunk.
+    fn run_chunk(
+        &self,
+        batch: &PreparedBatch<'_>,
+        shots: Option<&[u64]>,
+        start: usize,
+        end: usize,
+    ) -> Result<ExecutionResults, CoreError> {
+        let chunk_circuits = &batch.circuits[start..end];
+        let chunk_shots = shots.map(|s| &s[start..end]);
+        let assignment = router::route(self.registry, chunk_circuits, chunk_shots)?;
+
+        // group chunk-local circuit indices per backend entry
+        let entries = self.registry.entries();
+        let mut per_entry: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
+        for (local, &entry) in assignment.iter().enumerate() {
+            per_entry[entry].push(local);
+        }
+
+        // run every backend's sub-batch concurrently
+        let mut outcomes: Vec<Option<Result<Vec<f64>, CoreError>>> =
+            (0..chunk_circuits.len()).map(|_| None).collect();
+        /// One backend's sub-batch outcomes, tagged with its registry index.
+        type SubBatchResults = (usize, Vec<Result<Vec<f64>, CoreError>>);
+        let sub_results: Vec<SubBatchResults> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_entry
+                .iter()
+                .enumerate()
+                .filter(|(_, locals)| !locals.is_empty())
+                .map(|(entry_index, locals)| {
+                    let entry = &entries[entry_index];
+                    let circuits: Vec<Circuit> =
+                        locals.iter().map(|&l| chunk_circuits[l].clone()).collect();
+                    let sub_shots: Option<Vec<u64>> =
+                        chunk_shots.map(|s| locals.iter().map(|&l| s[l]).collect());
+                    scope.spawn(move || {
+                        let results = match &sub_shots {
+                            Some(s) => entry.backend().run_batch_with_shots(&circuits, s),
+                            None => entry.backend().run_batch(&circuits),
+                        };
+                        (entry_index, results)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("backend thread panicked"))
+                .collect()
+        });
+
+        let mut usages: Vec<BackendUsage> = Vec::new();
+        for (entry_index, results) in sub_results {
+            let locals = &per_entry[entry_index];
+            if results.len() != locals.len() {
+                return Err(CoreError::InvalidCutSolution {
+                    reason: format!(
+                        "backend '{}' returned {} results for a sub-batch of {}",
+                        entries[entry_index].name(),
+                        results.len(),
+                        locals.len()
+                    ),
+                });
+            }
+            // an exact backend ignores the allocated shot counts entirely
+            // (its default `run_batch_with_shots` delegates to `run_batch`),
+            // so it spends zero shots no matter what the allocator assigned
+            let shots_spent: u64 =
+                match (entries[entry_index].backend().shots_per_circuit(), chunk_shots) {
+                    (None, _) => 0,
+                    (Some(_), Some(s)) => locals.iter().map(|&l| s[l]).sum(),
+                    (Some(per), None) => per * locals.len() as u64,
+                };
+            usages.push(BackendUsage {
+                backend: entries[entry_index].name().to_string(),
+                circuits: locals.len() as u64,
+                shots: shots_spent,
+            });
+            for (&local, result) in locals.iter().zip(results) {
+                outcomes[local] = Some(result);
+            }
+        }
+
+        // assemble the chunk's ExecutionResults: the keys whose circuits
+        // live in [start, end)
+        let mut requested = 0u64;
+        let mut distributions: Vec<(usize, &crate::fragment::VariantKey)> = Vec::new();
+        for ((key, &circuit), &count) in
+            batch.unique_keys.iter().zip(&batch.circuit_of_key).zip(&batch.key_count)
+        {
+            if (start..end).contains(&circuit) {
+                requested += count;
+                distributions.push((circuit - start, key));
+            }
+        }
+        let mut chunk = ExecutionResults::new_accounted(requested, chunk_circuits.len() as u64);
+        let resolved: Vec<Vec<f64>> = outcomes
+            .into_iter()
+            .map(|slot| slot.expect("every routed circuit has an outcome"))
+            .collect::<Result<_, _>>()?;
+        for (local, key) in distributions {
+            chunk.insert((*key).clone(), resolved[local].clone());
+        }
+        for usage in usages {
+            chunk.record_usage(usage);
+        }
+        Ok(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execute::{execute_requests, ExactBackend};
+    use crate::planner::CutPlanner;
+    use crate::reconstruct::ProbabilityReconstructor;
+    use crate::QrccConfig;
+    use qrcc_circuit::Circuit;
+    use std::time::Duration;
+
+    fn chain(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+            c.ry(0.2 * (q as f64 + 1.0), q + 1);
+        }
+        c
+    }
+
+    fn fragments_for(circuit: &Circuit, device: usize) -> FragmentSet {
+        let config =
+            QrccConfig::new(device).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO);
+        let plan = CutPlanner::new(config).plan(circuit).unwrap();
+        FragmentSet::from_plan(&plan).unwrap()
+    }
+
+    #[test]
+    fn scheduled_execution_matches_single_backend() {
+        let circuit = chain(5);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+
+        let single = ExactBackend::new();
+        let reference = execute_requests(&fragments, &requests, &single).unwrap();
+
+        let mut registry = DeviceRegistry::new();
+        registry.register("big", ExactBackend::capped(3));
+        registry.register("small", ExactBackend::capped(2));
+        let scheduler = Scheduler::new(&registry, SchedulePolicy::default());
+        let (scheduled, report) = scheduler.execute_with_report(&fragments, &requests).unwrap();
+
+        assert_eq!(scheduled.requested(), reference.requested());
+        assert_eq!(scheduled.executed(), reference.executed());
+        assert_eq!(scheduled.unique_variants(), reference.unique_variants());
+        assert_eq!(report.circuits, reference.executed());
+        assert_eq!(report.chunks, 1);
+        for (key, dist) in reference.iter() {
+            let routed = scheduled.distribution(key).unwrap();
+            for (a, b) in dist.iter().zip(routed) {
+                assert!((a - b).abs() < 1e-12, "exact backends must agree bit-for-bit");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_execution_covers_every_key_exactly_once() {
+        let circuit = chain(5);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let mut registry = DeviceRegistry::new();
+        registry.register("only", ExactBackend::new());
+        let scheduler = Scheduler::new(&registry, SchedulePolicy::default().with_chunk_size(3));
+        let mut merged = ExecutionResults::default();
+        let mut chunks = 0usize;
+        let report = scheduler
+            .execute_chunked(&fragments, &requests, |chunk| {
+                assert!(!chunk.is_empty() || chunk.executed() == 0);
+                chunks += 1;
+                merged.extend(chunk);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(report.chunks, chunks);
+        assert!(chunks > 1, "a chunk size of 3 must split this batch");
+        assert_eq!(merged.requested(), requests.len() as u64);
+        let reference = execute_requests(&fragments, &requests, &ExactBackend::new()).unwrap();
+        assert_eq!(merged.unique_variants(), reference.unique_variants());
+        assert_eq!(merged.executed(), reference.executed());
+    }
+
+    #[test]
+    fn budget_is_spent_exactly_and_reported() {
+        let circuit = chain(5);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let mut registry = DeviceRegistry::new();
+        registry.register_device(
+            "dev3",
+            qrcc_sim::device::Device::new(qrcc_sim::device::DeviceConfig::ideal(3).with_seed(7)),
+            1024,
+        );
+        let scheduler =
+            Scheduler::new(&registry, SchedulePolicy::with_budget(50_000).with_min_shots(8));
+        let (results, report) = scheduler.execute_with_report(&fragments, &requests).unwrap();
+        assert_eq!(report.total_shots, 50_000, "the whole budget is spent");
+        assert_eq!(results.shots_spent(), 50_000);
+        assert_eq!(report.backends.len(), 1);
+        assert_eq!(report.backends[0].backend, "dev3");
+    }
+
+    #[test]
+    fn empty_registry_cannot_place_anything() {
+        let circuit = chain(4);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let registry = DeviceRegistry::new();
+        let scheduler = Scheduler::new(&registry, SchedulePolicy::default());
+        assert!(matches!(
+            scheduler.execute(&fragments, &requests),
+            Err(CoreError::NoCompatibleBackend { backends: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_request_list_schedules_to_an_empty_result() {
+        let circuit = chain(4);
+        let fragments = fragments_for(&circuit, 3);
+        let mut registry = DeviceRegistry::new();
+        registry.register("only", ExactBackend::new());
+        let scheduler = Scheduler::new(&registry, SchedulePolicy::default());
+        let (results, report) = scheduler.execute_with_report(&fragments, &[]).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(report.circuits, 0);
+    }
+}

@@ -51,23 +51,27 @@ pub use qrcc_sim as sim;
 /// Commonly used items, intended for glob import in examples and tests.
 pub mod prelude {
     pub use qrcc_circuit::{
-        generators, graph::Graph, observable::PauliObservable, Circuit, Gate, Operation, QubitId,
+        generators,
+        graph::Graph,
+        observable::{PauliObservable, PauliString},
+        Circuit, Gate, Operation, QubitId,
     };
     pub use qrcc_core::{
         cutqc::CutQcPlanner,
         execute::{
-            execute_requests, CachingBackend, ExactBackend, ExecutionBackend, ExecutionResults,
-            ShotsBackend,
+            execute_requests, BackendUsage, CachingBackend, ExactBackend, ExecutionBackend,
+            ExecutionResults, ShotsBackend,
         },
         fragment::{FragmentSet, FragmentVariant, VariantKey, VariantRequest},
         pipeline::QrccPipeline,
         planner::{CutPlan, CutPlanner},
         reconstruct::{
-            ExpectationReconstructor, ProbabilityReconstructor, ReconstructionOptions,
-            ReconstructionReport, ReconstructionStrategy,
+            ExpectationReconstructor, ProbabilityAccumulator, ProbabilityReconstructor,
+            ReconstructionOptions, ReconstructionReport, ReconstructionStrategy,
         },
         reuse::ReusePass,
-        QrccConfig,
+        schedule::{DeviceRegistry, ScheduleReport, Scheduler, ShotAllocator},
+        QrccConfig, SchedulePolicy, ShotAllocation,
     };
     pub use qrcc_sim::{
         device::{Device, DeviceConfig},
