@@ -28,7 +28,8 @@ pub enum ShotAllocation {
 
 /// Scheduling knobs of the execution [`schedule`](crate::schedule) layer:
 /// how a [`Scheduler`](crate::schedule::Scheduler) splits a global shot
-/// budget and chunks a batch for streaming reconstruction.
+/// budget, chunks a batch for streaming reconstruction, and how its
+/// [`dispatch`](crate::dispatch) event loop throttles and retries.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SchedulePolicy {
     /// How the shot budget is split across the batch.
@@ -42,6 +43,18 @@ pub struct SchedulePolicy {
     pub min_shots: u64,
     /// Circuits per streamed chunk; `0` disables chunking (one chunk).
     pub chunk_size: usize,
+    /// Upper bound on chunks the dispatcher keeps **in flight** — dispatched
+    /// to backend workers but not yet delivered to the consumer. A window of
+    /// 1 makes a slow consumer fully serialise dispatch (strict
+    /// backpressure, minimal undelivered-result memory); larger windows let
+    /// execution run ahead of reconstruction. `0` disables the bound.
+    pub max_in_flight_chunks: usize,
+    /// How many times a dispatched circuit that fails on a backend is
+    /// re-routed to another compatible backend (the failing backend is
+    /// excluded first; exhausted exclusions fall back to previously failed
+    /// backends). `0` disables retries: the first backend error aborts the
+    /// run, exactly like single-backend execution.
+    pub max_retries: u32,
 }
 
 impl Default for SchedulePolicy {
@@ -51,6 +64,8 @@ impl Default for SchedulePolicy {
             shot_budget: None,
             min_shots: 1,
             chunk_size: 0,
+            max_in_flight_chunks: 2,
+            max_retries: 2,
         }
     }
 }
@@ -77,6 +92,21 @@ impl SchedulePolicy {
     /// Sets the streamed chunk size (`0` = one chunk).
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size;
+        self
+    }
+
+    /// Sets the dispatcher's bounded in-flight chunk window (`0` = no
+    /// bound). A window of 1 gives strict backpressure: the next chunk is
+    /// not dispatched until the consumer has accepted the previous one.
+    pub fn with_max_in_flight_chunks(mut self, window: usize) -> Self {
+        self.max_in_flight_chunks = window;
+        self
+    }
+
+    /// Sets the per-circuit retry budget of the dispatcher (`0` disables
+    /// retries — the first backend failure aborts the run).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
         self
     }
 }
@@ -358,12 +388,21 @@ mod tests {
             .with_shot_allocation(ShotAllocation::Uniform);
         assert_eq!(c.schedule.shot_budget, Some(10_000));
         assert_eq!(c.schedule.allocation, ShotAllocation::Uniform);
-        let p = SchedulePolicy::with_budget(500).with_min_shots(4).with_chunk_size(8);
+        let p = SchedulePolicy::with_budget(500)
+            .with_min_shots(4)
+            .with_chunk_size(8)
+            .with_max_in_flight_chunks(1)
+            .with_max_retries(5);
         assert_eq!(p.shot_budget, Some(500));
         assert_eq!(p.min_shots, 4);
         assert_eq!(p.chunk_size, 8);
+        assert_eq!(p.max_in_flight_chunks, 1);
+        assert_eq!(p.max_retries, 5);
         assert_eq!(p.allocation, ShotAllocation::VarianceWeighted);
         // no budget by default: backends keep their own shot counts
         assert_eq!(SchedulePolicy::default().shot_budget, None);
+        // dispatch defaults: double-buffered window, a couple of retries
+        assert_eq!(SchedulePolicy::default().max_in_flight_chunks, 2);
+        assert_eq!(SchedulePolicy::default().max_retries, 2);
     }
 }

@@ -1,0 +1,361 @@
+//! Fault-tolerant asynchronous dispatch: the event loop between routing and
+//! folding.
+//!
+//! The [`Scheduler`](crate::schedule::Scheduler) of PR 3 ran each chunk's
+//! backends on scoped threads and **blocked** until the chunk finished —
+//! fine for ideal simulators, wrong for the setting QRCC actually targets:
+//! flaky, queued, heterogeneous remote devices. This module replaces that
+//! inner loop with a hand-rolled async dispatcher (the build environment
+//! vendors no tokio, so concurrency is a channel-driven event loop over
+//! worker threads, in the spirit of the `vendor/` shims):
+//!
+//! * **Worker pool** — one [`worker`] thread per
+//!   [`DeviceRegistry`](crate::schedule::DeviceRegistry) backend, each
+//!   draining a FIFO job queue, so a slow or queued device
+//!   ([`QueueBackend`]) never stalls the others.
+//! * **Bounded in-flight window** — at most
+//!   [`SchedulePolicy::max_in_flight_chunks`] chunks may be dispatched but
+//!   not yet delivered to the consumer. Chunks are delivered strictly in
+//!   order; a slow consumer (e.g. a
+//!   [`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator)
+//!   folding tensors) therefore exerts **backpressure** on dispatch, and a
+//!   window of 1 guarantees the dispatcher holds at most one undelivered
+//!   chunk's results in memory.
+//! * **Retry with exclusion** — a circuit that fails on a backend
+//!   ([`FlakyBackend`] simulates transient and persistent faults) is
+//!   re-routed to another compatible backend with the failer excluded
+//!   ([`route_retry`](crate::schedule)); once every compatible backend has
+//!   failed it, the exclusions are waived (*requeue* — the fault may have
+//!   been transient) until [`SchedulePolicy::max_retries`] failures
+//!   accumulate, at which point [`CoreError::RetriesExhausted`] surfaces.
+//!   Shot accounting stays exact: a circuit's allocated shots are spent
+//!   exactly once, on the backend where it finally succeeds, and chunk
+//!   results merge deterministically by
+//!   [`VariantKey`](crate::fragment::VariantKey) regardless of worker
+//!   timing or retry schedule.
+//! * **Lifecycle telemetry** — [`DispatchStats`] counts jobs dispatched /
+//!   completed / retried / requeued and the wall-clock of each phase
+//!   (queue wait, backend execution, consumer delivery); per-backend failure
+//!   and retry counters ride on
+//!   [`BackendUsage`](crate::execute::BackendUsage) into
+//!   [`ExecutionResults::routing`](crate::execute::ExecutionResults::routing)
+//!   and the
+//!   [`ReconstructionReport`](crate::reconstruct::ReconstructionReport).
+//!
+//! [`SchedulePolicy::max_in_flight_chunks`]: crate::SchedulePolicy::max_in_flight_chunks
+//! [`SchedulePolicy::max_retries`]: crate::SchedulePolicy::max_retries
+
+mod testing;
+mod worker;
+
+pub use testing::{FailureMode, FlakyBackend, QueueBackend};
+
+use crate::config::SchedulePolicy;
+use crate::execute::{BackendUsage, ExecutionResults, PreparedBatch};
+use crate::schedule::{router, DeviceRegistry};
+use crate::CoreError;
+use qrcc_circuit::Circuit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use worker::{Job, JobOutcome};
+
+/// Lifecycle telemetry of one dispatched batch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Jobs handed to backend workers by the initial per-chunk routing (one
+    /// job per chunk × backend sub-batch).
+    pub jobs_dispatched: u64,
+    /// Jobs that returned with every circuit succeeding.
+    pub jobs_completed: u64,
+    /// Single-circuit retry jobs created after a failure.
+    pub jobs_retried: u64,
+    /// Retry jobs that had to fall back to a previously failed backend
+    /// because every compatible backend had already failed the circuit.
+    pub jobs_requeued: u64,
+    /// Individual circuit executions that failed (each either became a
+    /// retry or exhausted the budget).
+    pub failures: u64,
+    /// Largest number of chunks simultaneously in flight (dispatched but
+    /// not yet delivered) — never exceeds the policy window when one is set.
+    pub max_in_flight_chunks: usize,
+    /// Total time jobs sat in worker queues before executing.
+    pub queue_wait: Duration,
+    /// Total backend execution wall-clock across all workers (overlapping
+    /// workers each contribute their own time).
+    pub execute_wall: Duration,
+    /// Total time the consumer (`sink`) spent accepting delivered chunks —
+    /// the backpressure the dispatcher absorbed.
+    pub deliver_wall: Duration,
+}
+
+/// The channel-driven async dispatch engine inside
+/// [`Scheduler`](crate::schedule::Scheduler): routes each chunk across the
+/// registry, drives the routed sub-batches through per-backend worker
+/// threads under a bounded in-flight window, re-routes failed circuits with
+/// the failing backend excluded, and delivers completed chunks to the
+/// consumer strictly in order.
+#[derive(Debug, Clone, Copy)]
+pub struct Dispatcher<'r> {
+    registry: &'r DeviceRegistry,
+    policy: SchedulePolicy,
+}
+
+impl<'r> Dispatcher<'r> {
+    /// A dispatcher over `registry` following `policy`.
+    pub fn new(registry: &'r DeviceRegistry, policy: SchedulePolicy) -> Self {
+        Dispatcher { registry, policy }
+    }
+
+    /// The policy this dispatcher runs with.
+    pub fn policy(&self) -> &SchedulePolicy {
+        &self.policy
+    }
+
+    /// Runs one prepared (deduplicated, shot-allocated) batch through the
+    /// worker pool, delivering each chunk's [`ExecutionResults`] to `sink`
+    /// in chunk order.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NoCompatibleBackend`] when routing cannot place a
+    ///   circuit on any registered backend.
+    /// * [`CoreError::RetriesExhausted`] when a circuit fails more than
+    ///   [`SchedulePolicy::max_retries`] times; with a retry budget of 0 the
+    ///   first backend error propagates unwrapped instead.
+    /// * Any error `sink` returns.
+    pub(crate) fn run_batch(
+        &self,
+        batch: &PreparedBatch<'_>,
+        shots: Option<&[u64]>,
+        mut sink: impl FnMut(ExecutionResults) -> Result<(), CoreError>,
+    ) -> Result<DispatchStats, CoreError> {
+        let total = batch.circuits.len();
+        let mut stats = DispatchStats::default();
+        if total == 0 {
+            // preserve the chunk protocol: an empty batch still delivers one
+            // (empty, accounted) chunk
+            let chunk = ExecutionResults::new_accounted(batch.requested, 0);
+            let started = Instant::now();
+            sink(chunk)?;
+            stats.deliver_wall = started.elapsed();
+            return Ok(stats);
+        }
+
+        let entries = self.registry.entries();
+        let chunk_size = if self.policy.chunk_size == 0 { total } else { self.policy.chunk_size };
+        let mut bounds: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0;
+        while start < total {
+            let end = (start + chunk_size).min(total);
+            bounds.push((start, end));
+            start = end;
+        }
+        let window = if self.policy.max_in_flight_chunks == 0 {
+            bounds.len()
+        } else {
+            self.policy.max_in_flight_chunks
+        };
+
+        // per-circuit dispatch state (indices are batch-global)
+        let mut outcomes: Vec<Option<Vec<f64>>> = vec![None; total];
+        let mut failures_of: Vec<u32> = vec![0; total];
+        let mut excluded: Vec<Vec<usize>> = vec![Vec::new(); total];
+        // per-chunk progress and per-(chunk, backend) usage accounting
+        let mut remaining: Vec<usize> = bounds.iter().map(|&(s, e)| e - s).collect();
+        let mut usage: Vec<Vec<BackendUsage>> =
+            bounds.iter().map(|_| vec![BackendUsage::default(); entries.len()]).collect();
+
+        let cancelled = AtomicBool::new(false);
+        std::thread::scope(|scope| -> Result<(), CoreError> {
+            let (event_tx, event_rx) = std::sync::mpsc::channel::<JobOutcome>();
+            let workers = worker::spawn_workers(scope, entries, &event_tx, &cancelled);
+            drop(event_tx); // workers hold their own clones
+
+            let mut next_dispatch = 0usize; // next chunk to route + enqueue
+            let mut next_deliver = 0usize; // next chunk owed to the sink
+            let mut in_flight = 0usize;
+            let loop_result = (|| -> Result<(), CoreError> {
+                while next_deliver < bounds.len() {
+                    // 1. dispatch while the in-flight window allows
+                    if next_dispatch < bounds.len() && in_flight < window {
+                        let chunk_index = next_dispatch;
+                        let (start, end) = bounds[chunk_index];
+                        let chunk_circuits = &batch.circuits[start..end];
+                        let chunk_shots = shots.map(|s| &s[start..end]);
+                        let assignment = router::route(self.registry, chunk_circuits, chunk_shots)?;
+                        let mut per_entry: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
+                        for (local, &entry) in assignment.iter().enumerate() {
+                            per_entry[entry].push(start + local);
+                        }
+                        for (entry_index, globals) in per_entry.into_iter().enumerate() {
+                            if globals.is_empty() {
+                                continue;
+                            }
+                            let payload: Vec<Circuit> =
+                                globals.iter().map(|&c| batch.circuits[c].clone()).collect();
+                            let job_shots: Option<Vec<u64>> =
+                                shots.map(|s| globals.iter().map(|&c| s[c]).collect());
+                            stats.jobs_dispatched += 1;
+                            workers[entry_index].submit(Job {
+                                chunk: chunk_index,
+                                entry: entry_index,
+                                circuits: globals,
+                                payload,
+                                shots: job_shots,
+                                retry: false,
+                                dispatched_at: Instant::now(),
+                            });
+                        }
+                        in_flight += 1;
+                        next_dispatch += 1;
+                        stats.max_in_flight_chunks = stats.max_in_flight_chunks.max(in_flight);
+                        continue;
+                    }
+
+                    // 2. deliver the next chunk owed, once complete — always
+                    // in order, so merge order is deterministic and a slow
+                    // sink throttles step 1 through the window
+                    if next_deliver < next_dispatch && remaining[next_deliver] == 0 {
+                        let (start, end) = bounds[next_deliver];
+                        let mut requested = 0u64;
+                        let mut pairs: Vec<(usize, &crate::fragment::VariantKey)> = Vec::new();
+                        for ((key, &circuit), &count) in batch
+                            .unique_keys
+                            .iter()
+                            .zip(&batch.circuit_of_key)
+                            .zip(&batch.key_count)
+                        {
+                            if (start..end).contains(&circuit) {
+                                requested += count;
+                                pairs.push((circuit, key));
+                            }
+                        }
+                        let mut chunk =
+                            ExecutionResults::new_accounted(requested, (end - start) as u64);
+                        for (circuit, key) in pairs {
+                            let dist = outcomes[circuit]
+                                .as_ref()
+                                .expect("delivered chunks are complete")
+                                .clone();
+                            chunk.insert((*key).clone(), dist);
+                        }
+                        // release the delivered distributions: with a window
+                        // of w the dispatcher retains at most w chunks of
+                        // undelivered results
+                        for slot in &mut outcomes[start..end] {
+                            *slot = None;
+                        }
+                        for (entry_index, entry_usage) in usage[next_deliver].iter().enumerate() {
+                            if *entry_usage == BackendUsage::default() {
+                                continue;
+                            }
+                            let mut entry_usage = entry_usage.clone();
+                            entry_usage.backend = entries[entry_index].name().to_string();
+                            chunk.record_usage(entry_usage);
+                        }
+                        let started = Instant::now();
+                        sink(chunk)?;
+                        stats.deliver_wall += started.elapsed();
+                        in_flight -= 1;
+                        next_deliver += 1;
+                        continue;
+                    }
+
+                    // 3. otherwise wait for a worker event
+                    let JobOutcome { job, results, queue_wait, execute_wall } =
+                        event_rx.recv().expect("outstanding jobs keep workers alive");
+                    stats.queue_wait += queue_wait;
+                    stats.execute_wall += execute_wall;
+                    if results.len() != job.circuits.len() {
+                        return Err(CoreError::InvalidCutSolution {
+                            reason: format!(
+                                "backend '{}' returned {} results for a job of {}",
+                                entries[job.entry].name(),
+                                results.len(),
+                                job.circuits.len()
+                            ),
+                        });
+                    }
+                    let mut job_clean = true;
+                    for (&circuit, result) in job.circuits.iter().zip(results) {
+                        match result {
+                            Ok(dist) => {
+                                let entry_usage = &mut usage[job.chunk][job.entry];
+                                entry_usage.circuits += 1;
+                                // a circuit's allocated shots are spent
+                                // exactly once: on the backend where it
+                                // finally succeeded (exact backends spend 0)
+                                entry_usage.shots +=
+                                    match (entries[job.entry].backend().shots_per_circuit(), shots)
+                                    {
+                                        (None, _) => 0,
+                                        (Some(_), Some(s)) => s[circuit],
+                                        (Some(per), None) => per,
+                                    };
+                                if job.retry {
+                                    entry_usage.retries += 1;
+                                }
+                                outcomes[circuit] = Some(dist);
+                                remaining[job.chunk] -= 1;
+                            }
+                            Err(error) => {
+                                job_clean = false;
+                                stats.failures += 1;
+                                usage[job.chunk][job.entry].failures += 1;
+                                failures_of[circuit] += 1;
+                                if !excluded[circuit].contains(&job.entry) {
+                                    excluded[circuit].push(job.entry);
+                                }
+                                if self.policy.max_retries == 0 {
+                                    // retries disabled: behave like the
+                                    // blocking scheduler and surface the
+                                    // first backend error unwrapped
+                                    return Err(error);
+                                }
+                                if failures_of[circuit] > self.policy.max_retries {
+                                    return Err(CoreError::RetriesExhausted {
+                                        attempts: failures_of[circuit],
+                                        last: Box::new(error),
+                                    });
+                                }
+                                let (retry_entry, requeued) = router::route_retry(
+                                    self.registry,
+                                    &batch.circuits[circuit],
+                                    &excluded[circuit],
+                                )?;
+                                if requeued {
+                                    // every compatible backend failed once:
+                                    // waive the exclusions and hope the
+                                    // faults were transient
+                                    excluded[circuit].clear();
+                                    stats.jobs_requeued += 1;
+                                }
+                                stats.jobs_retried += 1;
+                                workers[retry_entry].submit(Job {
+                                    chunk: job.chunk,
+                                    entry: retry_entry,
+                                    circuits: vec![circuit],
+                                    payload: vec![batch.circuits[circuit].clone()],
+                                    shots: shots.map(|s| vec![s[circuit]]),
+                                    retry: true,
+                                    dispatched_at: Instant::now(),
+                                });
+                            }
+                        }
+                    }
+                    if job_clean {
+                        stats.jobs_completed += 1;
+                    }
+                }
+                Ok(())
+            })();
+            if loop_result.is_err() {
+                // let workers drain their queues without executing, so the
+                // error returns promptly
+                cancelled.store(true, Ordering::Relaxed);
+            }
+            loop_result
+        })?;
+        Ok(stats)
+    }
+}

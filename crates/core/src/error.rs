@@ -66,6 +66,24 @@ pub enum CoreError {
         /// The minimum total the batch needs (`circuits × min_shots`).
         needed: u64,
     },
+    /// A backend reported a transient failure (device dropped, queue
+    /// timeout, job rejected). The [`dispatch`](crate::dispatch) event loop
+    /// re-routes such jobs to another compatible backend with the failer
+    /// excluded; the error only surfaces once the retry budget is spent.
+    BackendUnavailable {
+        /// The backend that failed.
+        backend: String,
+        /// Human-readable failure cause.
+        reason: String,
+    },
+    /// A dispatched circuit failed on every attempt the retry budget
+    /// allowed, across every compatible backend.
+    RetriesExhausted {
+        /// Attempts made (initial dispatch + retries).
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<CoreError>,
+    },
     /// An error bubbled up from the simulator / device layer.
     Simulation(qrcc_sim::SimError),
     /// An error bubbled up from the ILP solver.
@@ -108,6 +126,12 @@ impl fmt::Display for CoreError {
                 f,
                 "shot budget {budget} is below the scheduled batch minimum of {needed} shots"
             ),
+            CoreError::BackendUnavailable { backend, reason } => {
+                write!(f, "backend '{backend}' unavailable: {reason}")
+            }
+            CoreError::RetriesExhausted { attempts, last } => {
+                write!(f, "circuit failed on every backend after {attempts} attempt(s): {last}")
+            }
             CoreError::Simulation(e) => write!(f, "simulation error: {e}"),
             CoreError::Ilp(e) => write!(f, "ilp error: {e}"),
         }
@@ -119,6 +143,7 @@ impl Error for CoreError {
         match self {
             CoreError::Simulation(e) => Some(e),
             CoreError::Ilp(e) => Some(e),
+            CoreError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -152,6 +177,14 @@ mod tests {
             CoreError::MissingVariant { fragment: 2 },
             CoreError::NoCompatibleBackend { required: 5, backends: 2 },
             CoreError::ShotBudgetTooSmall { budget: 10, needed: 64 },
+            CoreError::BackendUnavailable { backend: "ibm-ish".into(), reason: "queue".into() },
+            CoreError::RetriesExhausted {
+                attempts: 3,
+                last: Box::new(CoreError::BackendUnavailable {
+                    backend: "ibm-ish".into(),
+                    reason: "queue".into(),
+                }),
+            },
             CoreError::Simulation(qrcc_sim::SimError::ZeroShots),
             CoreError::Ilp(qrcc_ilp::IlpError::Infeasible),
         ];
@@ -167,5 +200,13 @@ mod tests {
         let e: CoreError = qrcc_ilp::IlpError::Infeasible.into();
         assert!(matches!(e, CoreError::Ilp(_)));
         assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retries_exhausted_exposes_the_final_attempt_as_source() {
+        let last = CoreError::BackendUnavailable { backend: "b".into(), reason: "down".into() };
+        let e = CoreError::RetriesExhausted { attempts: 2, last: Box::new(last.clone()) };
+        let source = Error::source(&e).expect("wraps the last error");
+        assert_eq!(source.to_string(), last.to_string());
     }
 }

@@ -1,7 +1,7 @@
 //! Batch-first execution layer for fragment variants.
 //!
-//! Execution follows the **enumerate → dedup → schedule → execute → fold**
-//! protocol:
+//! Execution follows the **enumerate → dedup → route → dispatch → fold →
+//! contract** protocol:
 //!
 //! 1. **Enumerate** — reconstructors list every
 //!    [`VariantRequest`](crate::fragment::VariantRequest) they need as pure
@@ -13,29 +13,39 @@
 //!    [`structural hash`](qrcc_circuit::Circuit::structural_hash) catches e.g.
 //!    gate-cut instances 3/4, which instantiate identically on the measuring
 //!    half). The surviving circuits form the batch.
-//! 3. **Schedule** *(optional)* — a [`Scheduler`](crate::schedule::Scheduler)
-//!    routes each deduplicated circuit to a compatible backend of a
+//! 3. **Route** *(scheduled runs)* — a
+//!    [`Scheduler`](crate::schedule::Scheduler) places each deduplicated
+//!    circuit on a compatible backend of a
 //!    [`DeviceRegistry`](crate::schedule::DeviceRegistry) (heterogeneous
-//!    qubit counts, noise, shot costs), splits a global shot budget across
-//!    the batch by reconstruction-variance weight (ShotQC-style), and may
-//!    slice the batch into chunks so reconstruction can start before the
-//!    last chunk returns. The single-backend [`execute_requests`] path skips
-//!    this phase: the whole batch goes to one backend.
-//! 4. **Execute** — each backend receives its circuits as **one**
-//!    [`ExecutionBackend::run_batch`] /
-//!    [`ExecutionBackend::run_batch_with_shots`] call; the provided
-//!    [`ExactBackend`] and [`ShotsBackend`] run batches with rayon
-//!    data-parallelism, and scheduled backends run concurrently. Results
-//!    merge into [`ExecutionResults`] via the structural key
+//!    qubit counts, noise, shot costs) and splits a global shot budget
+//!    across the batch by reconstruction-variance weight (ShotQC-style).
+//!    The single-backend [`execute_requests`] path skips routing: the whole
+//!    batch goes to one backend as **one**
+//!    [`ExecutionBackend::run_batch`] / `run_batch_with_shots` call.
+//! 4. **Dispatch** — the [`dispatch`](crate::dispatch) event loop drives the
+//!    routed sub-batches through one worker thread per backend, keeping at
+//!    most [`SchedulePolicy::max_in_flight_chunks`] chunks undelivered (a
+//!    slow consumer exerts backpressure on dispatch) and re-routing jobs
+//!    whose backend fails to another compatible backend with the failer
+//!    excluded, up to [`SchedulePolicy::max_retries`] times. Results merge
+//!    into [`ExecutionResults`] via the structural key
 //!    (`ExecutionResults::extend`), which also accumulates per-backend
-//!    routing and shots-spent accounting.
-//! 5. **Fold / consume** — reconstructors read distributions back out of the
-//!    [`ExecutionResults`] by key, never talking to a backend directly. One
-//!    batch serves the probability reconstruction *and* any number of
-//!    expectation observables; streamed chunks can be folded incrementally
-//!    into fragment tensors via
-//!    [`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator)
-//!    so contraction overlaps device execution.
+//!    routing, shots-spent, retry and failure accounting.
+//! 5. **Fold** — each delivered chunk folds incrementally into per-fragment
+//!    cut tensors
+//!    ([`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator) /
+//!    [`ExpectationAccumulator`](crate::reconstruct::ExpectationAccumulator)),
+//!    so tensor building overlaps device execution; blocking consumers
+//!    instead read distributions out of the merged [`ExecutionResults`] by
+//!    key, never talking to a backend directly. One batch serves the
+//!    probability reconstruction *and* any number of expectation
+//!    observables.
+//! 6. **Contract** — once every variant has arrived, only the final
+//!    contraction (dense mixed-radix loop or pairwise fragment-tensor
+//!    contraction) remains; see [`crate::reconstruct`].
+//!
+//! [`SchedulePolicy::max_in_flight_chunks`]: crate::SchedulePolicy::max_in_flight_chunks
+//! [`SchedulePolicy::max_retries`]: crate::SchedulePolicy::max_retries
 //!
 //! Simple backends only implement the per-circuit [`ExecutionBackend::run_one`];
 //! the default `run_batch` loops over it serially and the default
@@ -127,16 +137,24 @@ pub trait ExecutionBackend: Sync {
     fn executions(&self) -> u64;
 }
 
-/// How much work one backend performed for a batch: circuits routed to it
-/// and shots spent there (0 for exact backends).
+/// How much work one backend performed for a batch: circuits routed to it,
+/// shots spent there (0 for exact backends), and the dispatch-layer
+/// lifecycle counters (jobs that failed here, circuits that landed here as
+/// retries after failing elsewhere).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct BackendUsage {
     /// The backend's label (registry name, or [`ExecutionBackend::label`]).
     pub backend: String,
-    /// Circuits executed on this backend.
+    /// Circuits executed successfully on this backend.
     pub circuits: u64,
     /// Total shots spent on this backend (0 when the backend is exact).
     pub shots: u64,
+    /// Circuit executions that **failed** on this backend (each one either
+    /// became a retry elsewhere or exhausted the retry budget).
+    pub failures: u64,
+    /// Successful circuit executions that reached this backend as a
+    /// **retry** after failing on another backend.
+    pub retries: u64,
 }
 
 impl BackendUsage {
@@ -149,6 +167,8 @@ impl BackendUsage {
             Some(existing) => {
                 existing.circuits += self.circuits;
                 existing.shots += self.shots;
+                existing.failures += self.failures;
+                existing.retries += self.retries;
             }
             None => list.push(self),
         }
@@ -244,6 +264,19 @@ impl ExecutionResults {
     /// Total shots spent across all backends (0 for exact-only batches).
     pub fn shots_spent(&self) -> u64 {
         self.routing.iter().map(|usage| usage.shots).sum()
+    }
+
+    /// Total circuit executions that failed on some backend while this batch
+    /// was dispatched (0 unless a fault-tolerant dispatch run re-routed
+    /// work).
+    pub fn failures(&self) -> u64 {
+        self.routing.iter().map(|usage| usage.failures).sum()
+    }
+
+    /// Total successful executions that were retries — circuits that failed
+    /// elsewhere first and were re-routed here by the dispatcher.
+    pub fn retries(&self) -> u64 {
+        self.routing.iter().map(|usage| usage.retries).sum()
     }
 
     /// Records work done by one backend, merging with an existing entry of
@@ -403,6 +436,7 @@ pub fn execute_requests(
         backend: backend.label(),
         circuits,
         shots: circuits * backend.shots_per_circuit().unwrap_or(0),
+        ..BackendUsage::default()
     });
     Ok(results)
 }

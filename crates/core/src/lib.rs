@@ -25,6 +25,12 @@
 //!   [`schedule::DeviceRegistry`] of heterogeneous backends, split a global
 //!   shot budget by reconstruction-variance weight (ShotQC-style), and
 //!   stream result chunks into incremental reconstruction.
+//! * [`dispatch`] — the fault-tolerant async dispatch engine inside the
+//!   scheduler: a channel-driven event loop over per-backend worker threads
+//!   with a bounded in-flight chunk window (backpressure from slow
+//!   reconstruction), retry with failer exclusion, and per-job lifecycle
+//!   telemetry; plus the [`dispatch::FlakyBackend`] /
+//!   [`dispatch::QueueBackend`] fault-injection doubles.
 //! * [`reconstruct`] — probability-vector and expectation-value
 //!   reconstruction through a shared contraction engine (dense global loop
 //!   or pairwise fragment-tensor contraction with sparse pruning, selected
@@ -61,6 +67,7 @@ mod config;
 mod error;
 
 pub mod cutqc;
+pub mod dispatch;
 pub mod execute;
 pub mod fragment;
 pub mod gatecut;

@@ -15,13 +15,22 @@
 //! [`QrccPipeline::reconstruct_probabilities_from`] and any number of
 //! [`QrccPipeline::reconstruct_expectation_from`] calls without touching the
 //! device again.
+//!
+//! Multi-device runs go through a [`Scheduler`]:
+//! [`QrccPipeline::execute_scheduled`] routes the batch across a device
+//! registry and dispatches it fault-tolerantly (bounded in-flight windows,
+//! retry with failer exclusion — see [`crate::dispatch`]), while
+//! [`QrccPipeline::execute_streaming`] and
+//! [`QrccPipeline::execute_observables_streaming`] additionally fold each
+//! delivered chunk into fragment tensors as it arrives, overlapping
+//! reconstruction with device execution for both workloads.
 
 use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
 use crate::fragment::{FragmentSet, VariantRequest};
 use crate::planner::{CutPlan, CutPlanner};
 use crate::reconstruct::{
-    ExpectationReconstructor, ProbabilityAccumulator, ProbabilityReconstructor,
-    ReconstructionOptions, ReconstructionReport,
+    ExpectationAccumulator, ExpectationReconstructor, ProbabilityAccumulator,
+    ProbabilityReconstructor, ReconstructionOptions, ReconstructionReport,
 };
 use crate::schedule::{ScheduleReport, Scheduler};
 use crate::{CoreError, QrccConfig};
@@ -270,6 +279,49 @@ impl QrccPipeline {
         })?;
         let (probabilities, reconstruction_report) = accumulator.finish()?;
         Ok((probabilities, reconstruction_report, schedule_report))
+    }
+
+    /// Streams an expectation workload: the scheduler dispatches the
+    /// observable's deduplicated batch in chunks on a worker thread while
+    /// this thread folds every finished chunk into per-Pauli scalar tensors
+    /// (an [`ExpectationAccumulator`]) — the expectation counterpart of
+    /// [`QrccPipeline::execute_streaming`], valid for wire- **and** gate-cut
+    /// plans. Only the per-term final contraction runs after the last chunk
+    /// lands.
+    ///
+    /// # Errors
+    ///
+    /// See [`QrccPipeline::execute_observables_scheduled`] and
+    /// [`ExpectationAccumulator`].
+    pub fn execute_observables_streaming(
+        &self,
+        scheduler: &Scheduler<'_>,
+        observable: &PauliObservable,
+    ) -> Result<(f64, ReconstructionReport, ScheduleReport), CoreError> {
+        let requests = self.expectation_reconstructor().requests(&self.fragments, observable)?;
+        let mut accumulator = ExpectationAccumulator::new(
+            &self.fragments,
+            observable,
+            self.reconstruction_options(),
+        )?;
+        let schedule_report = std::thread::scope(|scope| -> Result<ScheduleReport, CoreError> {
+            let (sender, receiver) = std::sync::mpsc::channel::<ExecutionResults>();
+            let fragments = &self.fragments;
+            let producer = scope.spawn(move || {
+                scheduler.execute_chunked(fragments, &requests, |chunk| {
+                    sender.send(chunk).map_err(|_| CoreError::InvalidCutSolution {
+                        reason: "streaming consumer stopped folding".into(),
+                    })
+                })
+            });
+            // fold chunks as they arrive, overlapping with execution
+            for chunk in receiver {
+                accumulator.absorb(chunk)?;
+            }
+            producer.join().expect("scheduler thread panicked")
+        })?;
+        let (expectation, reconstruction_report) = accumulator.finish()?;
+        Ok((expectation, reconstruction_report, schedule_report))
     }
 
     // ---- phase 3: consume ----

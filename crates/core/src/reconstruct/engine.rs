@@ -112,6 +112,13 @@ pub struct ReconstructionReport {
     /// Number of distinct backends the consumed batch was routed across (1
     /// for single-backend execution, more after scheduled dispatch).
     pub backends_used: usize,
+    /// Circuit executions that failed on some backend while the consumed
+    /// batch was dispatched (0 unless fault-tolerant dispatch re-routed
+    /// work).
+    pub dispatch_failures: u64,
+    /// Successful executions that were dispatch retries — circuits that
+    /// failed elsewhere first and were re-routed by the dispatcher.
+    pub dispatch_retries: u64,
 }
 
 /// One cut axis of a [`CutTensor`], identified by its global cut id.
@@ -487,86 +494,119 @@ pub(crate) fn probability_tensor(
     Ok(tensor)
 }
 
-/// Folds one fragment's executed expectation variants (for one Pauli string)
-/// into a cut tensor with scalar payloads: legs are the incoming and
-/// outgoing wire cuts plus the fragment's gate-cut roles.
-pub(crate) fn expectation_tensor(
-    fragment: &Fragment,
-    results: &ExecutionResults,
-    string: &PauliString,
-) -> Result<CutTensor, CoreError> {
-    let num_in = fragment.incoming_cuts.len();
-    let num_out = fragment.outgoing_cuts.len();
-    let num_roles = fragment.gate_cut_roles.len();
-    let legs: Vec<Leg> = fragment
-        .incoming_cuts
-        .iter()
-        .chain(&fragment.outgoing_cuts)
-        .map(|&cut| Leg::Wire(cut))
-        .chain(fragment.gate_cut_roles.iter().map(|&(cut, _)| Leg::Gate(cut)))
-        .collect();
-    let mut tensor = CutTensor::new(legs, Vec::new());
+/// Reusable scratch for folding one fragment's expectation variants (for one
+/// Pauli string) into its scalar cut tensor one at a time — the expectation
+/// counterpart of [`FragmentFolder`]. One folder serves any number of
+/// [`CutTensor::fold_expectation_partial`] calls, whether the variants
+/// arrive as one complete batch or as streamed chunks.
+#[derive(Debug, Clone)]
+pub(crate) struct ExpectationFolder {
+    /// Output clbits entering the Pauli parity.
+    parity_bits: Vec<usize>,
+    cut_bit_positions: Vec<usize>,
+    gate_bit_positions: Vec<usize>,
+    role_halves: Vec<crate::gatecut::GateHalf>,
+    cut_bits: Vec<bool>,
+    weighted: Vec<f64>,
+    in_od: Odometer,
+    out_stride: usize,
+    gate_base_stride: usize,
+    num_roles: usize,
+}
 
-    // Which output bits enter the Pauli parity.
-    let parity_bits: Vec<usize> = fragment
-        .output_clbits
-        .iter()
-        .filter(|&&(orig, _)| string.pauli(orig) != Pauli::I)
-        .map(|&(_, clbit)| clbit)
-        .collect();
-    let cut_bit_positions: Vec<usize> = fragment.cut_clbits.iter().map(|&(_, c)| c).collect();
-    let gate_bit_positions: Vec<usize> = fragment.gatecut_clbits.iter().map(|&(_, c)| c).collect();
-    let role_halves: Vec<crate::gatecut::GateHalf> =
-        fragment.gate_cut_roles.iter().map(|&(_, h)| h).collect();
+impl ExpectationFolder {
+    /// A folder plus the empty expectation tensor of `fragment` for one
+    /// Pauli `string`: legs are the incoming and outgoing wire cuts plus the
+    /// fragment's gate-cut roles, payloads are parity-weighted scalars.
+    pub(crate) fn expectation(
+        fragment: &Fragment,
+        string: &PauliString,
+    ) -> (CutTensor, ExpectationFolder) {
+        let num_in = fragment.incoming_cuts.len();
+        let num_out = fragment.outgoing_cuts.len();
+        let num_roles = fragment.gate_cut_roles.len();
+        let legs: Vec<Leg> = fragment
+            .incoming_cuts
+            .iter()
+            .chain(&fragment.outgoing_cuts)
+            .map(|&cut| Leg::Wire(cut))
+            .chain(fragment.gate_cut_roles.iter().map(|&(cut, _)| Leg::Gate(cut)))
+            .collect();
+        let tensor = CutTensor::new(legs, Vec::new());
+        let cut_bit_positions: Vec<usize> = fragment.cut_clbits.iter().map(|&(_, c)| c).collect();
+        let folder = ExpectationFolder {
+            parity_bits: fragment
+                .output_clbits
+                .iter()
+                .filter(|&&(orig, _)| string.pauli(orig) != Pauli::I)
+                .map(|&(_, clbit)| clbit)
+                .collect(),
+            cut_bits: vec![false; cut_bit_positions.len()],
+            cut_bit_positions,
+            gate_bit_positions: fragment.gatecut_clbits.iter().map(|&(_, c)| c).collect(),
+            role_halves: fragment.gate_cut_roles.iter().map(|&(_, h)| h).collect(),
+            weighted: vec![0.0f64; 4usize.pow(num_out as u32)],
+            in_od: Odometer::uniform(num_in, 4),
+            out_stride: 4usize.pow(num_in as u32),
+            gate_base_stride: 4usize.pow((num_in + num_out) as u32),
+            num_roles,
+        };
+        (tensor, folder)
+    }
+}
 
-    let mut cut_bits = vec![false; cut_bit_positions.len()];
-    let mut weighted = vec![0.0f64; 4usize.pow(num_out as u32)];
-    let mut in_od = Odometer::uniform(num_in, 4);
-    let out_stride = 4usize.pow(num_in as u32);
-    let gate_base_stride = 4usize.pow((num_in + num_out) as u32);
-
-    for variant in expectation_variants(fragment, string) {
-        let key = VariantKey::new(fragment.index, variant);
-        let init_states = &key.variant.init_states;
-        let cut_bases = &key.variant.cut_bases;
-        let instances = &key.variant.gate_instances;
-        let dist: &[f64] =
-            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
+impl CutTensor {
+    /// Folds **one** executed expectation variant's distribution into this
+    /// scalar tensor — the incremental unit of expectation tensor building,
+    /// mirroring [`CutTensor::fold_partial`] for probability tensors.
+    /// Calling it for every variant of `(fragment, string)` accumulates
+    /// exactly the tensor [`expectation_tensor`] builds in one pass; callers
+    /// must [`refresh_active`](CutTensor::refresh_active) (or prune) once
+    /// folding is complete.
+    pub(crate) fn fold_expectation_partial(
+        &mut self,
+        folder: &mut ExpectationFolder,
+        variant: &FragmentVariant,
+        dist: &[f64],
+    ) {
+        let init_states = &variant.init_states;
+        let cut_bases = &variant.cut_bases;
+        let instances = &variant.gate_instances;
 
         // entry-index contribution of this variant's gate instances
         let mut idx_gate = 0usize;
-        let mut stride = gate_base_stride;
+        let mut stride = folder.gate_base_stride;
         for (role, &instance) in instances.iter().enumerate() {
-            debug_assert!(role < num_roles);
+            debug_assert!(role < folder.num_roles);
             idx_gate += (instance - 1) * stride;
             stride *= 6;
         }
 
         // Weighted scalar for this executed variant, per outgoing combo.
-        weighted.iter_mut().for_each(|w| *w = 0.0);
+        folder.weighted.iter_mut().for_each(|w| *w = 0.0);
         for (outcome, &p) in dist.iter().enumerate() {
             if p == 0.0 {
                 continue;
             }
             // parity of the Pauli support bits
             let mut sign = 1.0;
-            for &bit in &parity_bits {
+            for &bit in &folder.parity_bits {
                 if outcome & (1 << bit) != 0 {
                     sign = -sign;
                 }
             }
             // gate-cut measurement signs
             for (role, &instance) in instances.iter().enumerate() {
-                if instance_measures(instance, role_halves[role])
-                    && outcome & (1 << gate_bit_positions[role]) != 0
+                if instance_measures(instance, folder.role_halves[role])
+                    && outcome & (1 << folder.gate_bit_positions[role]) != 0
                 {
                     sign = -sign;
                 }
             }
-            for (slot, &pos) in cut_bit_positions.iter().enumerate() {
-                cut_bits[slot] = outcome & (1 << pos) != 0;
+            for (slot, &pos) in folder.cut_bit_positions.iter().enumerate() {
+                folder.cut_bits[slot] = outcome & (1 << pos) != 0;
             }
-            for (combo, slot) in weighted.iter_mut().enumerate() {
+            for (combo, slot) in folder.weighted.iter_mut().enumerate() {
                 let mut w = p * sign;
                 let mut rest = combo;
                 for (cut_slot, &basis) in cut_bases.iter().enumerate() {
@@ -576,7 +616,7 @@ pub(crate) fn expectation_tensor(
                         w = 0.0;
                         break;
                     }
-                    w *= cut_bit_weight(component, cut_bits[cut_slot]);
+                    w *= cut_bit_weight(component, folder.cut_bits[cut_slot]);
                     if w == 0.0 {
                         break;
                     }
@@ -586,8 +626,8 @@ pub(crate) fn expectation_tensor(
         }
 
         // Scatter into the tensor across compatible incoming components.
-        in_od.reset();
-        while let Some(in_components) = in_od.next() {
+        folder.in_od.reset();
+        while let Some(in_components) = folder.in_od.next() {
             let mut in_weight = 1.0;
             let mut idx_in = 0usize;
             for (slot, &component) in in_components.iter().enumerate() {
@@ -595,19 +635,36 @@ pub(crate) fn expectation_tensor(
                 if in_weight == 0.0 {
                     break;
                 }
-                idx_in += component * tensor.strides[slot];
+                idx_in += component * self.strides[slot];
             }
             if in_weight == 0.0 {
                 continue;
             }
-            for (combo, &value) in weighted.iter().enumerate() {
+            for (combo, &value) in folder.weighted.iter().enumerate() {
                 if value == 0.0 {
                     continue;
                 }
-                let idx = idx_in + combo * out_stride + idx_gate;
-                tensor.data[idx] += in_weight * value;
+                let idx = idx_in + combo * folder.out_stride + idx_gate;
+                self.data[idx] += in_weight * value;
             }
         }
+    }
+}
+
+/// Folds one fragment's executed expectation variants (for one Pauli string)
+/// into a cut tensor with scalar payloads in one pass (the non-streaming
+/// path): every variant of the fragment must be present in `results`.
+pub(crate) fn expectation_tensor(
+    fragment: &Fragment,
+    results: &ExecutionResults,
+    string: &PauliString,
+) -> Result<CutTensor, CoreError> {
+    let (mut tensor, mut folder) = ExpectationFolder::expectation(fragment, string);
+    for variant in expectation_variants(fragment, string) {
+        let key = VariantKey::new(fragment.index, variant);
+        let dist: &[f64] =
+            if fragment.num_clbits == 0 { &TRIVIAL } else { results.distribution(&key)? };
+        tensor.fold_expectation_partial(&mut folder, &key.variant, dist);
     }
     tensor.refresh_active();
     Ok(tensor)
@@ -919,6 +976,34 @@ pub(crate) fn contract_probabilities(
     Ok(contract_probabilities_from_tensors(fragments, tensors, plan, tolerance, report))
 }
 
+/// The `Contract` strategy's back half for one Pauli string of the
+/// expectation workload, fed with already-built (raw, un-normalised)
+/// fragment tensors: normalise, prune, pairwise-contract, read the final
+/// scalar. Shared by the one-pass [`contract_expectation`] and the streaming
+/// accumulator.
+pub(crate) fn contract_expectation_from_tensors(
+    fragments: &FragmentSet,
+    tensors: Vec<CutTensor>,
+    plan: &ContractionPlan,
+    tolerance: f64,
+    report: &mut ReconstructionReport,
+) -> f64 {
+    let coeffs: Vec<[f64; 6]> =
+        fragments.gate_cut_forms.iter().map(|form| form.coefficients()).collect();
+    let tensors: Vec<CutTensor> = tensors
+        .into_iter()
+        .map(|tensor| {
+            let mut tensor = tensor.normalize_legs(&coeffs);
+            tensor.prune(tolerance, report);
+            tensor
+        })
+        .collect();
+    report.max_contraction_legs = report.max_contraction_legs.max(plan.max_step_legs);
+    let final_tensor = contract_all(tensors, plan, &coeffs, tolerance, report);
+    debug_assert!(final_tensor.legs.is_empty(), "all cut legs must be contracted");
+    final_tensor.payload(0)[0]
+}
+
 /// The `Contract` strategy for one Pauli string of the expectation workload.
 pub(crate) fn contract_expectation(
     fragments: &FragmentSet,
@@ -928,18 +1013,11 @@ pub(crate) fn contract_expectation(
     tolerance: f64,
     report: &mut ReconstructionReport,
 ) -> Result<f64, CoreError> {
-    let coeffs: Vec<[f64; 6]> =
-        fragments.gate_cut_forms.iter().map(|form| form.coefficients()).collect();
     let mut tensors = Vec::with_capacity(fragments.fragments.len());
     for fragment in &fragments.fragments {
-        let mut tensor = expectation_tensor(fragment, results, string)?.normalize_legs(&coeffs);
-        tensor.prune(tolerance, report);
-        tensors.push(tensor);
+        tensors.push(expectation_tensor(fragment, results, string)?);
     }
-    report.max_contraction_legs = report.max_contraction_legs.max(plan.max_step_legs);
-    let final_tensor = contract_all(tensors, plan, &coeffs, tolerance, report);
-    debug_assert!(final_tensor.legs.is_empty(), "all cut legs must be contracted");
-    Ok(final_tensor.payload(0)[0])
+    Ok(contract_expectation_from_tensors(fragments, tensors, plan, tolerance, report))
 }
 
 // ---------------------------------------------------------------------------

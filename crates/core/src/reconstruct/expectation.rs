@@ -31,7 +31,7 @@ pub struct ExpectationReconstructor {
 
 /// Whether a Pauli string's contribution is identically zero because it acts
 /// with X or Y on an idle wire (idle original qubits stay in |0⟩).
-fn vanishes_on_idle_wires(fragments: &FragmentSet, string: &PauliString) -> bool {
+pub(super) fn vanishes_on_idle_wires(fragments: &FragmentSet, string: &PauliString) -> bool {
     (0..fragments.original_qubits).any(|q| {
         fragments.output_owner[q].is_none() && matches!(string.pauli(q), Pauli::X | Pauli::Y)
     })
@@ -178,6 +178,8 @@ impl ExpectationReconstructor {
             prune_tolerance: self.options.prune_tolerance,
             shots_spent: results.shots_spent(),
             backends_used: results.routing().len(),
+            dispatch_failures: results.failures(),
+            dispatch_retries: results.retries(),
             ..ReconstructionReport::default()
         };
         for (coefficient, string) in observable.terms() {
@@ -226,6 +228,8 @@ impl ExpectationReconstructor {
             prune_tolerance: self.options.prune_tolerance,
             shots_spent: results.shots_spent(),
             backends_used: results.routing().len(),
+            dispatch_failures: results.failures(),
+            dispatch_retries: results.retries(),
             ..ReconstructionReport::default()
         };
         let value = self.reconstruct_pauli_resolved(

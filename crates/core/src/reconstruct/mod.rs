@@ -43,12 +43,13 @@
 //!   wire-cut fragments (the CutQC-style path; gate cuts are not allowed).
 //! * [`ExpectationReconstructor`] — rebuilds the expectation value of a Pauli
 //!   observable from wire- *and* gate-cut fragments (paper §4.3).
-//! * [`ProbabilityAccumulator`] — the streaming front-end: folds
-//!   [`ExecutionResults`](crate::execute::ExecutionResults) chunks into
-//!   fragment tensors as they arrive (from a chunked
-//!   [`Scheduler`](crate::schedule::Scheduler)), so only the final
-//!   contraction remains once the last chunk lands; shot top-ups re-fold
-//!   only the touched fragment.
+//! * [`ProbabilityAccumulator`] / [`ExpectationAccumulator`] — the streaming
+//!   front-ends: fold [`ExecutionResults`](crate::execute::ExecutionResults)
+//!   chunks into fragment tensors as they arrive (from a chunked
+//!   [`Scheduler`](crate::schedule::Scheduler)) — full output distributions
+//!   for the probability workload, per-Pauli scalar tensors for expectation
+//!   observables — so only the final contraction remains once the last
+//!   chunk lands; shot top-ups re-fold only the touched fragment.
 //! * [`cost`] — analytic floating-point-operation cost models of the
 //!   reconstruction strategies compared in Figure 6.
 
@@ -62,7 +63,7 @@ pub mod cost;
 pub use engine::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy, Workload};
 pub use expectation::ExpectationReconstructor;
 pub use probability::ProbabilityReconstructor;
-pub use streaming::ProbabilityAccumulator;
+pub use streaming::{ExpectationAccumulator, ProbabilityAccumulator};
 
 use crate::fragment::{CutBasis, InitState};
 

@@ -118,6 +118,8 @@ impl ProbabilityReconstructor {
             prune_tolerance: self.options.prune_tolerance,
             shots_spent: results.shots_spent(),
             backends_used: results.routing().len(),
+            dispatch_failures: results.failures(),
+            dispatch_retries: results.retries(),
             ..ReconstructionReport::default()
         };
         let probabilities = match strategy {

@@ -1,51 +1,58 @@
 //! The execution scheduler: multi-device routing, variance-aware shot
-//! allocation, and chunked streaming between the batch-first execution API
-//! and the reconstruction engine.
+//! allocation, and fault-tolerant chunked dispatch between the batch-first
+//! execution API and the reconstruction engine.
 //!
-//! [`execute_requests`](crate::execute::execute_requests) sends the whole
-//! deduplicated batch to one backend and hands reconstruction a complete
-//! [`ExecutionResults`]. The [`Scheduler`] generalises both ends of that
-//! contract:
+//! Execution follows the six-phase **enumerate → dedup → route → dispatch →
+//! fold → contract** protocol (see [`crate::execute`] for the full
+//! walkthrough). [`execute_requests`](crate::execute::execute_requests)
+//! collapses phases 3–4 by sending the whole deduplicated batch to one
+//! backend; the [`Scheduler`] runs them in full:
 //!
-//! * **Routing** — a [`DeviceRegistry`] holds heterogeneous
+//! * **Route** — a [`DeviceRegistry`] holds heterogeneous
 //!   [`ExecutionBackend`](crate::execute::ExecutionBackend)s (different
 //!   qubit counts, noise models, shot costs). Each deduplicated circuit is
 //!   placed on a compatible backend (widest circuits first, least projected
-//!   load, deterministic), backends run their sub-batches **concurrently**,
-//!   and the partial results merge by structural
-//!   [`VariantKey`](crate::fragment::VariantKey).
-//! * **Shot allocation** — a [`ShotAllocator`] splits a global shot budget
-//!   across the batch proportionally to each circuit's
+//!   load, deterministic), and a [`ShotAllocator`] splits a global shot
+//!   budget across the batch proportionally to each circuit's
 //!   reconstruction-variance weight (the magnitudes of the cut coefficients
 //!   its distribution is folded with — ShotQC-style), instead of spending
 //!   the budget uniformly.
-//! * **Chunked streaming** — [`Scheduler::execute_chunked`] emits
-//!   [`ExecutionResults`] in chunks as they complete, so a
+//! * **Dispatch** — the [`dispatch`](crate::dispatch) event loop drives the
+//!   routed sub-batches through one worker thread per backend: chunks flow
+//!   under a **bounded in-flight window**
+//!   ([`SchedulePolicy::max_in_flight_chunks`]) so a slow consumer throttles
+//!   dispatch, circuits that fail on a backend are **retried** on another
+//!   compatible backend with the failer excluded
+//!   ([`SchedulePolicy::max_retries`]), and completed chunks are delivered
+//!   in order, merging deterministically by structural
+//!   [`VariantKey`](crate::fragment::VariantKey).
+//! * **Fold** — [`Scheduler::execute_chunked`] hands each delivered
+//!   [`ExecutionResults`] chunk to a sink, so a
 //!   [`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator)
-//!   can fold fragment tensors while later chunks are still executing
-//!   (see [`QrccPipeline::execute_streaming`]).
+//!   or [`ExpectationAccumulator`](crate::reconstruct::ExpectationAccumulator)
+//!   can fold fragment tensors while later chunks are still executing (see
+//!   [`QrccPipeline::execute_streaming`]).
 //!
 //! [`QrccPipeline::execute_streaming`]: crate::pipeline::QrccPipeline::execute_streaming
-//!
-//! This module is the seam a future async/remote dispatcher plugs into: the
-//! routing table, allocation and chunk protocol are all synchronous-agnostic.
+//! [`SchedulePolicy::max_in_flight_chunks`]: crate::SchedulePolicy::max_in_flight_chunks
+//! [`SchedulePolicy::max_retries`]: crate::SchedulePolicy::max_retries
 
 mod allocator;
 mod registry;
-mod router;
+pub(crate) mod router;
 
 pub use allocator::{variant_weight, ShotAllocator};
 pub use registry::{DeviceRegistry, RegisteredBackend};
 
 pub use crate::config::{SchedulePolicy, ShotAllocation};
 
-use crate::execute::{prepare_batch, BackendUsage, ExecutionResults, PreparedBatch};
+use crate::dispatch::{DispatchStats, Dispatcher};
+use crate::execute::{prepare_batch, BackendUsage, ExecutionResults};
 use crate::fragment::{FragmentSet, VariantRequest};
 use crate::CoreError;
-use qrcc_circuit::Circuit;
 
-/// What one scheduled execution did: per-backend usage, shot totals and
-/// chunk count.
+/// What one scheduled execution did: per-backend usage, shot totals, chunk
+/// count, and the dispatch-layer lifecycle telemetry.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScheduleReport {
     /// Per-backend circuits routed and shots spent, in registry order of
@@ -61,6 +68,9 @@ pub struct ScheduleReport {
     pub chunks: usize,
     /// The allocation mode that split the budget.
     pub allocation: ShotAllocation,
+    /// Dispatch lifecycle telemetry: jobs dispatched / retried / requeued,
+    /// observed in-flight window, and per-phase wall-clock.
+    pub dispatch: DispatchStats,
 }
 
 /// Routes a deduplicated batch across a [`DeviceRegistry`], splits the shot
@@ -130,17 +140,22 @@ impl<'r> Scheduler<'r> {
 
     /// The full scheduled pipeline, streaming results chunk by chunk:
     /// deduplicate (`VariantKey` + structural circuit dedup), allocate the
-    /// shot budget over the whole batch, then for each chunk of circuits
-    /// route across the registry, run the routed backends **concurrently**,
-    /// and hand the chunk's [`ExecutionResults`] to `sink` before the next
-    /// chunk starts. `sink` typically folds into a
+    /// shot budget over the whole batch, then hand the batch to the
+    /// [`Dispatcher`]: each chunk of circuits is routed across the registry
+    /// and driven through one worker thread per backend, with at most
+    /// [`SchedulePolicy::max_in_flight_chunks`] chunks dispatched but not
+    /// yet delivered (a slow `sink` exerts backpressure on dispatch) and
+    /// failed circuits re-routed to another compatible backend up to
+    /// [`SchedulePolicy::max_retries`] times. Chunks reach `sink` strictly
+    /// in order; `sink` typically folds into a
     /// [`ProbabilityAccumulator`](crate::reconstruct::ProbabilityAccumulator)
     /// or forwards over a channel so reconstruction overlaps execution.
     ///
     /// The chunk size comes from [`SchedulePolicy::chunk_size`] (`0` = one
     /// chunk). Accounting: each chunk's `requested()` counts the original
     /// (pre-dedup) requests its keys collapsed from, so summing over chunks
-    /// reproduces the batch totals.
+    /// reproduces the batch totals, and every circuit's allocated shots are
+    /// spent exactly once — on the backend where it finally succeeded.
     ///
     /// # Errors
     ///
@@ -150,7 +165,10 @@ impl<'r> Scheduler<'r> {
     ///   registered backend.
     /// * [`CoreError::ShotBudgetTooSmall`] when the budget cannot cover the
     ///   per-circuit minimum.
-    /// * The first backend error of any chunk, and any error `sink` returns.
+    /// * [`CoreError::RetriesExhausted`] when a circuit keeps failing past
+    ///   the retry budget (the first backend error, unwrapped, when
+    ///   [`SchedulePolicy::max_retries`] is 0), and any error `sink`
+    ///   returns.
     pub fn execute_chunked(
         &self,
         fragments: &FragmentSet,
@@ -162,140 +180,22 @@ impl<'r> Scheduler<'r> {
         let weights = allocator.circuit_weights(fragments, &batch);
         let shots = allocator.allocate(&weights)?;
 
-        let total = batch.circuits.len();
-        let chunk_size =
-            if self.policy.chunk_size == 0 { total.max(1) } else { self.policy.chunk_size };
         let mut report = ScheduleReport {
             allocation: self.policy.allocation,
-            circuits: total as u64,
+            circuits: batch.circuits.len() as u64,
             ..ScheduleReport::default()
         };
-
-        let mut start = 0;
-        while start < total || (start == 0 && total == 0) {
-            let end = (start + chunk_size).min(total);
-            let chunk = self.run_chunk(&batch, shots.as_deref(), start, end)?;
+        let dispatcher = Dispatcher::new(self.registry, self.policy);
+        let stats = dispatcher.run_batch(&batch, shots.as_deref(), |chunk| {
             for usage in chunk.routing() {
                 report.total_shots += usage.shots;
                 usage.clone().merge_into(&mut report.backends);
             }
             report.chunks += 1;
-            sink(chunk)?;
-            if total == 0 {
-                break;
-            }
-            start = end;
-        }
+            sink(chunk)
+        })?;
+        report.dispatch = stats;
         Ok(report)
-    }
-
-    /// Routes and executes the circuits `start..end` of the batch as one
-    /// concurrent multi-backend chunk.
-    fn run_chunk(
-        &self,
-        batch: &PreparedBatch<'_>,
-        shots: Option<&[u64]>,
-        start: usize,
-        end: usize,
-    ) -> Result<ExecutionResults, CoreError> {
-        let chunk_circuits = &batch.circuits[start..end];
-        let chunk_shots = shots.map(|s| &s[start..end]);
-        let assignment = router::route(self.registry, chunk_circuits, chunk_shots)?;
-
-        // group chunk-local circuit indices per backend entry
-        let entries = self.registry.entries();
-        let mut per_entry: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
-        for (local, &entry) in assignment.iter().enumerate() {
-            per_entry[entry].push(local);
-        }
-
-        // run every backend's sub-batch concurrently
-        let mut outcomes: Vec<Option<Result<Vec<f64>, CoreError>>> =
-            (0..chunk_circuits.len()).map(|_| None).collect();
-        /// One backend's sub-batch outcomes, tagged with its registry index.
-        type SubBatchResults = (usize, Vec<Result<Vec<f64>, CoreError>>);
-        let sub_results: Vec<SubBatchResults> = std::thread::scope(|scope| {
-            let handles: Vec<_> = per_entry
-                .iter()
-                .enumerate()
-                .filter(|(_, locals)| !locals.is_empty())
-                .map(|(entry_index, locals)| {
-                    let entry = &entries[entry_index];
-                    let circuits: Vec<Circuit> =
-                        locals.iter().map(|&l| chunk_circuits[l].clone()).collect();
-                    let sub_shots: Option<Vec<u64>> =
-                        chunk_shots.map(|s| locals.iter().map(|&l| s[l]).collect());
-                    scope.spawn(move || {
-                        let results = match &sub_shots {
-                            Some(s) => entry.backend().run_batch_with_shots(&circuits, s),
-                            None => entry.backend().run_batch(&circuits),
-                        };
-                        (entry_index, results)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| handle.join().expect("backend thread panicked"))
-                .collect()
-        });
-
-        let mut usages: Vec<BackendUsage> = Vec::new();
-        for (entry_index, results) in sub_results {
-            let locals = &per_entry[entry_index];
-            if results.len() != locals.len() {
-                return Err(CoreError::InvalidCutSolution {
-                    reason: format!(
-                        "backend '{}' returned {} results for a sub-batch of {}",
-                        entries[entry_index].name(),
-                        results.len(),
-                        locals.len()
-                    ),
-                });
-            }
-            // an exact backend ignores the allocated shot counts entirely
-            // (its default `run_batch_with_shots` delegates to `run_batch`),
-            // so it spends zero shots no matter what the allocator assigned
-            let shots_spent: u64 =
-                match (entries[entry_index].backend().shots_per_circuit(), chunk_shots) {
-                    (None, _) => 0,
-                    (Some(_), Some(s)) => locals.iter().map(|&l| s[l]).sum(),
-                    (Some(per), None) => per * locals.len() as u64,
-                };
-            usages.push(BackendUsage {
-                backend: entries[entry_index].name().to_string(),
-                circuits: locals.len() as u64,
-                shots: shots_spent,
-            });
-            for (&local, result) in locals.iter().zip(results) {
-                outcomes[local] = Some(result);
-            }
-        }
-
-        // assemble the chunk's ExecutionResults: the keys whose circuits
-        // live in [start, end)
-        let mut requested = 0u64;
-        let mut distributions: Vec<(usize, &crate::fragment::VariantKey)> = Vec::new();
-        for ((key, &circuit), &count) in
-            batch.unique_keys.iter().zip(&batch.circuit_of_key).zip(&batch.key_count)
-        {
-            if (start..end).contains(&circuit) {
-                requested += count;
-                distributions.push((circuit - start, key));
-            }
-        }
-        let mut chunk = ExecutionResults::new_accounted(requested, chunk_circuits.len() as u64);
-        let resolved: Vec<Vec<f64>> = outcomes
-            .into_iter()
-            .map(|slot| slot.expect("every routed circuit has an outcome"))
-            .collect::<Result<_, _>>()?;
-        for (local, key) in distributions {
-            chunk.insert((*key).clone(), resolved[local].clone());
-        }
-        for usage in usages {
-            chunk.record_usage(usage);
-        }
-        Ok(chunk)
     }
 }
 
@@ -410,6 +310,136 @@ mod tests {
         assert!(matches!(
             scheduler.execute(&fragments, &requests),
             Err(CoreError::NoCompatibleBackend { backends: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn transient_failures_are_retried_and_counted() {
+        use crate::dispatch::FlakyBackend;
+        let circuit = chain(5);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let reference = execute_requests(&fragments, &requests, &ExactBackend::new()).unwrap();
+
+        // one flaky device (every circuit drops once) plus a healthy one
+        let mut registry = DeviceRegistry::new();
+        registry.register("flaky", FlakyBackend::transient(ExactBackend::capped(3), 11, 1.0));
+        registry.register("healthy", ExactBackend::capped(3));
+        let scheduler = Scheduler::new(
+            &registry,
+            SchedulePolicy::default().with_chunk_size(2).with_max_retries(3),
+        );
+        let (results, report) = scheduler.execute_with_report(&fragments, &requests).unwrap();
+
+        assert_eq!(results.unique_variants(), reference.unique_variants());
+        for (key, dist) in reference.iter() {
+            let routed = results.distribution(key).unwrap();
+            for (a, b) in dist.iter().zip(routed) {
+                assert!((a - b).abs() < 1e-12, "retried execution must stay exact");
+            }
+        }
+        assert!(report.dispatch.failures > 0, "the flaky device must have failed work");
+        assert_eq!(report.dispatch.jobs_retried, report.dispatch.failures);
+        assert_eq!(results.failures(), report.dispatch.failures);
+        assert!(results.retries() > 0, "retried circuits must be counted on their rescuer");
+        let flaky = report.backends.iter().find(|u| u.backend == "flaky").unwrap();
+        assert!(flaky.failures > 0);
+    }
+
+    #[test]
+    fn in_flight_window_is_respected_and_observed() {
+        let circuit = chain(6);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let mut registry = DeviceRegistry::new();
+        registry.register("only", ExactBackend::new());
+        for window in [1usize, 2, 3] {
+            let policy =
+                SchedulePolicy::default().with_chunk_size(1).with_max_in_flight_chunks(window);
+            let scheduler = Scheduler::new(&registry, policy);
+            let (_, report) = scheduler.execute_with_report(&fragments, &requests).unwrap();
+            assert!(report.chunks > window, "enough chunks to fill the window");
+            assert!(
+                report.dispatch.max_in_flight_chunks <= window,
+                "window {window} exceeded: {}",
+                report.dispatch.max_in_flight_chunks
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_a_typed_error() {
+        use crate::dispatch::FlakyBackend;
+        let circuit = chain(4);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let mut registry = DeviceRegistry::new();
+        registry.register("dead-a", FlakyBackend::always_failing(ExactBackend::new()));
+        registry.register("dead-b", FlakyBackend::always_failing(ExactBackend::new()));
+        let scheduler = Scheduler::new(&registry, SchedulePolicy::default().with_max_retries(2));
+        match scheduler.execute(&fragments, &requests) {
+            Err(CoreError::RetriesExhausted { attempts, last }) => {
+                assert_eq!(attempts, 3, "initial attempt plus two retries");
+                assert!(matches!(*last, CoreError::BackendUnavailable { .. }));
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_backend_is_contained_and_its_work_is_rescued() {
+        // The old scoped-thread loop propagated a backend panic (killing the
+        // run); a dead worker must not hang the event loop either. The
+        // dispatcher converts the panic into a per-circuit failure and
+        // re-routes the work to the healthy device.
+        struct PanickingBackend;
+        impl crate::execute::ExecutionBackend for PanickingBackend {
+            fn run_one(&self, _: &Circuit) -> Result<Vec<f64>, CoreError> {
+                panic!("device firmware bug")
+            }
+            fn executions(&self) -> u64 {
+                0
+            }
+        }
+
+        let circuit = chain(4);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let reference = execute_requests(&fragments, &requests, &ExactBackend::new()).unwrap();
+
+        let mut registry = DeviceRegistry::new();
+        registry.register("panics", PanickingBackend);
+        registry.register("healthy", ExactBackend::new());
+        let scheduler = Scheduler::new(&registry, SchedulePolicy::default().with_max_retries(2));
+        let (results, report) = scheduler.execute_with_report(&fragments, &requests).unwrap();
+        assert_eq!(results.unique_variants(), reference.unique_variants());
+        assert!(report.dispatch.failures > 0, "the panic must be recorded as failures");
+
+        // with no healthy fallback and no retries, the panic surfaces as a
+        // typed error instead of hanging or aborting the process
+        let mut lone = DeviceRegistry::new();
+        lone.register("panics", PanickingBackend);
+        let scheduler = Scheduler::new(&lone, SchedulePolicy::default().with_max_retries(0));
+        match scheduler.execute(&fragments, &requests) {
+            Err(CoreError::BackendUnavailable { reason, .. }) => {
+                assert!(reason.contains("panicked"), "{reason}");
+            }
+            other => panic!("expected BackendUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_retry_budget_propagates_the_first_error_unwrapped() {
+        use crate::dispatch::FlakyBackend;
+        let circuit = chain(4);
+        let fragments = fragments_for(&circuit, 3);
+        let requests = ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let mut registry = DeviceRegistry::new();
+        registry.register("dead", FlakyBackend::always_failing(ExactBackend::new()));
+        let scheduler = Scheduler::new(&registry, SchedulePolicy::default().with_max_retries(0));
+        assert!(matches!(
+            scheduler.execute(&fragments, &requests),
+            Err(CoreError::BackendUnavailable { .. })
         ));
     }
 

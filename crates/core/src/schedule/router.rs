@@ -71,6 +71,51 @@ pub(crate) fn route(
     Ok(assignment)
 }
 
+/// Re-routes one failed circuit for the dispatcher: picks the **narrowest**
+/// compatible backend whose entry index is not in `excluded` (ties towards
+/// the earlier registration). When every compatible backend has already
+/// failed this circuit, the exclusion list is waived — the failure may have
+/// been transient — and the second tuple element reports the fallback as a
+/// *requeue* so telemetry can distinguish it from a clean re-route.
+///
+/// Unlike the batch [`route`] pass this ignores projected load: retries are
+/// rare, and a load-free rule keeps the retry target a pure function of
+/// `(circuit, excluded, registry)` — independent of worker timing, so retry
+/// schedules stay reproducible.
+///
+/// # Errors
+///
+/// [`CoreError::NoCompatibleBackend`] when no registered backend can run the
+/// circuit at all (impossible after a successful initial routing, but kept
+/// as a typed guard).
+pub(crate) fn route_retry(
+    registry: &DeviceRegistry,
+    circuit: &Circuit,
+    excluded: &[usize],
+) -> Result<(usize, bool), CoreError> {
+    let entries = registry.entries();
+    let pick = |waive_exclusions: bool| {
+        entries
+            .iter()
+            .enumerate()
+            .filter(|(index, entry)| {
+                (waive_exclusions || !excluded.contains(index)) && entry.backend().can_run(circuit)
+            })
+            .min_by_key(|(index, entry)| (entry.max_qubits().unwrap_or(usize::MAX), *index))
+            .map(|(index, _)| index)
+    };
+    if let Some(entry) = pick(false) {
+        return Ok((entry, false));
+    }
+    match pick(true) {
+        Some(entry) => Ok((entry, true)),
+        None => Err(CoreError::NoCompatibleBackend {
+            required: circuit.num_qubits(),
+            backends: entries.len(),
+        }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,5 +172,26 @@ mod tests {
         registry.register("small", ExactBackend::capped(2));
         let err = route(&registry, &[circuit(4)], None);
         assert!(matches!(err, Err(CoreError::NoCompatibleBackend { required: 4, backends: 1 })));
+    }
+
+    #[test]
+    fn retry_routing_excludes_the_failer_then_requeues() {
+        let mut registry = DeviceRegistry::new();
+        registry.register("big", ExactBackend::capped(3));
+        registry.register("small", ExactBackend::capped(2));
+        let c = circuit(2);
+        // nothing excluded: narrowest compatible wins
+        assert_eq!(route_retry(&registry, &c, &[]).unwrap(), (1, false));
+        // the narrow backend failed: fall over to the wide one
+        assert_eq!(route_retry(&registry, &c, &[1]).unwrap(), (0, false));
+        // both failed: requeue on the narrowest again, flagged as a requeue
+        assert_eq!(route_retry(&registry, &c, &[1, 0]).unwrap(), (1, true));
+        // a 3-wide circuit only ever fits the big backend
+        assert_eq!(route_retry(&registry, &circuit(3), &[0]).unwrap(), (0, true));
+        // nothing fits a 4-wide circuit at all
+        assert!(matches!(
+            route_retry(&registry, &circuit(4), &[]),
+            Err(CoreError::NoCompatibleBackend { required: 4, backends: 2 })
+        ));
     }
 }

@@ -58,6 +58,7 @@ pub mod prelude {
     };
     pub use qrcc_core::{
         cutqc::CutQcPlanner,
+        dispatch::{DispatchStats, FailureMode, FlakyBackend, QueueBackend},
         execute::{
             execute_requests, BackendUsage, CachingBackend, ExactBackend, ExecutionBackend,
             ExecutionResults, ShotsBackend,
@@ -66,8 +67,9 @@ pub mod prelude {
         pipeline::QrccPipeline,
         planner::{CutPlan, CutPlanner},
         reconstruct::{
-            ExpectationReconstructor, ProbabilityAccumulator, ProbabilityReconstructor,
-            ReconstructionOptions, ReconstructionReport, ReconstructionStrategy,
+            ExpectationAccumulator, ExpectationReconstructor, ProbabilityAccumulator,
+            ProbabilityReconstructor, ReconstructionOptions, ReconstructionReport,
+            ReconstructionStrategy,
         },
         reuse::ReusePass,
         schedule::{DeviceRegistry, ScheduleReport, Scheduler, ShotAllocator},
