@@ -44,6 +44,14 @@ pub enum CircuitError {
         /// The gate name.
         gate: &'static str,
     },
+    /// OpenQASM text could not be parsed back into a [`Circuit`](crate::Circuit).
+    QasmParse {
+        /// 1-based line number of the offending statement (0 for
+        /// document-level problems such as a missing `qreg`).
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -67,6 +75,9 @@ impl fmt::Display for CircuitError {
             CircuitError::NonFiniteParameter { gate } => {
                 write!(f, "gate {gate} was given a non-finite parameter")
             }
+            CircuitError::QasmParse { line, reason } => {
+                write!(f, "qasm parse error at line {line}: {reason}")
+            }
         }
     }
 }
@@ -86,6 +97,7 @@ mod tests {
             CircuitError::DuplicateQubit { qubit: 0 },
             CircuitError::NonUnitaryOperation { index: 3 },
             CircuitError::NonFiniteParameter { gate: "rz" },
+            CircuitError::QasmParse { line: 4, reason: "unknown gate 'bogus'".into() },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -1,0 +1,65 @@
+//! Property test: the OpenQASM parser is the exporter's inverse.
+//!
+//! The remote execution transport ships circuits as `to_qasm` text and
+//! parses them back on the worker, so `from_qasm(to_qasm(c))` must
+//! reproduce `c` **structurally** (equal registers, equal operation
+//! sequences, bit-exact parameters) for every circuit the benchmark
+//! generators can produce — they jointly exercise the whole gate set
+//! (H/T/SX/U3 singles, CX/CZ/CP/RZZ/RXX/SWAP twos, measure).
+
+use proptest::prelude::*;
+use qrcc_circuit::generators::{self, HamiltonianKind};
+use qrcc_circuit::{qasm, Circuit};
+
+/// One circuit from each of the paper's generator families, over a small
+/// range of sizes and seeds.
+fn generator_circuit() -> impl Strategy<Value = Circuit> {
+    (0..9usize, 0..3usize, 0..1_000u64).prop_map(|(family, size, seed)| {
+        let n = 4 + size;
+        match family {
+            0 => generators::qft(n),
+            1 => generators::aqft(n, 2),
+            2 => generators::qft_no_swap(n),
+            3 => generators::supremacy(2, 2 + size, 3, seed),
+            4 => generators::ripple_carry_adder(2 + size, seed),
+            5 => generators::qaoa_regular(n, 2, 1, seed).0,
+            6 => generators::qaoa_erdos_renyi(n, 0.5, 1, seed).0,
+            7 => {
+                let kind = match seed % 3 {
+                    0 => HamiltonianKind::TransverseFieldIsing,
+                    1 => HamiltonianKind::Xy,
+                    _ => HamiltonianKind::Heisenberg,
+                };
+                generators::hamiltonian_simulation(kind, 2, 2 + size, seed % 2 == 0, 1, 0.1).0
+            }
+            _ => generators::vqe_two_local(n, 1 + size % 2, seed),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn from_qasm_inverts_to_qasm_on_generator_circuits(circuit in generator_circuit()) {
+        let text = qasm::to_qasm(&circuit);
+        let parsed = qasm::from_qasm(&text).unwrap();
+        prop_assert!(parsed.structurally_equal(&circuit), "parsed circuit differs structurally");
+        prop_assert_eq!(parsed.structural_hash(), circuit.structural_hash());
+        prop_assert_eq!(parsed.num_qubits(), circuit.num_qubits());
+        prop_assert_eq!(parsed.num_clbits(), circuit.num_clbits());
+        // serialising the parsed circuit reproduces the wire text exactly
+        prop_assert_eq!(qasm::to_qasm(&parsed), text);
+    }
+
+    #[test]
+    fn measured_circuits_round_trip_with_their_classical_register(
+        circuit in generator_circuit()
+    ) {
+        let mut measured = circuit;
+        measured.measure_all();
+        let parsed = qasm::from_qasm(&qasm::to_qasm(&measured)).unwrap();
+        prop_assert!(parsed.structurally_equal(&measured));
+        prop_assert_eq!(parsed.num_clbits(), measured.num_clbits());
+    }
+}

@@ -12,7 +12,7 @@
 //! * **Worker pool** — one [`worker`] thread per
 //!   [`DeviceRegistry`](crate::schedule::DeviceRegistry) backend, each
 //!   draining a FIFO job queue, so a slow or queued device
-//!   ([`QueueBackend`]) never stalls the others.
+//!   (`QueueBackend`) never stalls the others.
 //! * **Bounded in-flight window** — at most
 //!   [`SchedulePolicy::max_in_flight_chunks`] chunks may be dispatched but
 //!   not yet delivered to the consumer. Chunks are delivered strictly in
@@ -22,7 +22,7 @@
 //!   window of 1 guarantees the dispatcher holds at most one undelivered
 //!   chunk's results in memory.
 //! * **Retry with exclusion** — a circuit that fails on a backend
-//!   ([`FlakyBackend`] simulates transient and persistent faults) is
+//!   (`FlakyBackend` simulates transient and persistent faults) is
 //!   re-routed to another compatible backend with the failer excluded
 //!   ([`route_retry`](crate::schedule)); once every compatible backend has
 //!   failed it, the exclusions are waived (*requeue* — the fault may have
@@ -45,9 +45,11 @@
 //! [`SchedulePolicy::max_in_flight_chunks`]: crate::SchedulePolicy::max_in_flight_chunks
 //! [`SchedulePolicy::max_retries`]: crate::SchedulePolicy::max_retries
 
-mod testing;
+#[cfg(any(test, feature = "testing"))]
+pub mod testing;
 mod worker;
 
+#[cfg(any(test, feature = "testing"))]
 pub use testing::{FailureMode, FlakyBackend, QueueBackend};
 
 use crate::config::SchedulePolicy;

@@ -1,8 +1,11 @@
 //! Fault-injection test doubles for the dispatch subsystem: deterministic
 //! flaky backends (transient and persistent failures) and queue-latency
-//! wrappers. They live in the library — not behind `cfg(test)` — so
-//! integration tests, benches and examples can all simulate unreliable
-//! fleets.
+//! wrappers. They ship behind the crate's `testing` feature (always on for
+//! this crate's own tests) so downstream integration tests, benches and
+//! examples — including the `qrcc-net` transport tests — can simulate
+//! unreliable fleets without the doubles riding along in production builds.
+//! The TCP-level counterpart, `qrcc_net::testing::FaultyProxy`, injects
+//! faults below these backends: into the byte stream itself.
 
 use crate::execute::ExecutionBackend;
 use crate::CoreError;

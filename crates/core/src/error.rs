@@ -76,6 +76,18 @@ pub enum CoreError {
         /// Human-readable failure cause.
         reason: String,
     },
+    /// The remote execution transport observed a **protocol violation**: a
+    /// malformed, oversized or unexpected frame, a handshake version
+    /// mismatch, or a server reply that breaks the submit/result contract.
+    /// Unlike [`CoreError::BackendUnavailable`] (I/O errors, disconnects,
+    /// timeouts — transient by assumption), a transport error means one side
+    /// is speaking the protocol wrong, so retrying the same bytes is
+    /// pointless; the dispatcher still re-routes the affected circuits to
+    /// *other* backends.
+    Transport {
+        /// Human-readable description of the violation.
+        detail: String,
+    },
     /// A dispatched circuit failed on every attempt the retry budget
     /// allowed, across every compatible backend.
     RetriesExhausted {
@@ -129,6 +141,9 @@ impl fmt::Display for CoreError {
             CoreError::BackendUnavailable { backend, reason } => {
                 write!(f, "backend '{backend}' unavailable: {reason}")
             }
+            CoreError::Transport { detail } => {
+                write!(f, "transport protocol violation: {detail}")
+            }
             CoreError::RetriesExhausted { attempts, last } => {
                 write!(f, "circuit failed on every backend after {attempts} attempt(s): {last}")
             }
@@ -178,6 +193,7 @@ mod tests {
             CoreError::NoCompatibleBackend { required: 5, backends: 2 },
             CoreError::ShotBudgetTooSmall { budget: 10, needed: 64 },
             CoreError::BackendUnavailable { backend: "ibm-ish".into(), reason: "queue".into() },
+            CoreError::Transport { detail: "frame length 99 exceeds the cap".into() },
             CoreError::RetriesExhausted {
                 attempts: 3,
                 last: Box::new(CoreError::BackendUnavailable {

@@ -29,8 +29,9 @@
 //!   scheduler: a channel-driven event loop over per-backend worker threads
 //!   with a bounded in-flight chunk window (backpressure from slow
 //!   reconstruction), retry with failer exclusion, and per-job lifecycle
-//!   telemetry; plus the [`dispatch::FlakyBackend`] /
-//!   [`dispatch::QueueBackend`] fault-injection doubles.
+//!   telemetry; plus the `dispatch::FlakyBackend` /
+//!   `dispatch::QueueBackend` fault-injection doubles (behind the
+//!   `testing` feature).
 //! * [`reconstruct`] — probability-vector and expectation-value
 //!   reconstruction through a shared contraction engine (dense global loop
 //!   or pairwise fragment-tensor contraction with sparse pruning, selected

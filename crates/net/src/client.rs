@@ -1,0 +1,541 @@
+//! `RemoteBackend`: an [`ExecutionBackend`] whose device lives across a TCP
+//! connection.
+//!
+//! The client is the other half of the dispatch seam: it speaks the
+//! [`proto`](crate::proto) frame protocol to a
+//! [`QrccServer`](crate::QrccServer), answers the scheduler's capability
+//! queries from the handshake's [`Capabilities`] (no network round trip),
+//! and maps failures onto the dispatch layer's taxonomy — I/O errors,
+//! disconnects and timeouts become [`CoreError::BackendUnavailable`] (the
+//! transient class the dispatcher retries on another backend with this one
+//! excluded), protocol violations become [`CoreError::Transport`].
+//!
+//! Connections live in a small **reconnecting pool**: a batch checks a
+//! connection out, and returns it only when the batch completed cleanly. A
+//! connection that saw any failure is dropped on the floor, so the next
+//! batch dials fresh — the pool never hands out a stream in an unknown
+//! protocol state. Crucially the client never *resubmits* a failed batch
+//! itself: retry policy (and its exactly-once shot accounting) belongs to
+//! the dispatcher.
+
+use crate::proto::{self, Capabilities, Frame, ProtoError, WireErrorKind, PROTOCOL_VERSION};
+use parking_lot::Mutex;
+use qrcc_circuit::{qasm, Circuit};
+use qrcc_core::execute::ExecutionBackend;
+use qrcc_core::CoreError;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default cap on every socket operation (connect, read, write). A stalled
+/// server therefore surfaces as [`CoreError::BackendUnavailable`] instead of
+/// hanging a dispatch worker forever.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default cap on the wait for a submitted batch's **first and subsequent
+/// reply frames**. The server runs a batch as one backend call (preserving
+/// its internal parallelism and deterministic sampling streams) and only
+/// then streams the replies, so this — not [`DEFAULT_IO_TIMEOUT`] — bounds
+/// how long a legitimate batch may compute remotely.
+pub const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(600);
+
+/// An [`ExecutionBackend`] that submits its batches to a remote
+/// [`QrccServer`](crate::QrccServer) over TCP.
+///
+/// Drops straight into a
+/// [`DeviceRegistry`](qrcc_core::schedule::DeviceRegistry); the PR 4
+/// dispatcher's retry-with-exclusion and bounded in-flight windows then
+/// rescue real network faults with no transport-specific code.
+pub struct RemoteBackend {
+    peer: SocketAddr,
+    capabilities: Capabilities,
+    io_timeout: Duration,
+    reply_timeout: Duration,
+    pool: Mutex<Vec<TcpStream>>,
+    executions: AtomicU64,
+    dials: AtomicU64,
+    next_batch: AtomicU64,
+}
+
+impl RemoteBackend {
+    /// Connects to a server with the [`DEFAULT_IO_TIMEOUT`], performing the
+    /// handshake and caching the worker's [`Capabilities`].
+    ///
+    /// Only the **first** resolved address is used (and re-used by every
+    /// pool reconnect); pass a concrete `SocketAddr` when a hostname
+    /// resolves to multiple address families.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BackendUnavailable`] when the server cannot be reached,
+    /// [`CoreError::Transport`] when it speaks the protocol wrong (including
+    /// a version mismatch).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, CoreError> {
+        Self::connect_with_timeouts(addr, DEFAULT_IO_TIMEOUT, DEFAULT_REPLY_TIMEOUT)
+    }
+
+    /// [`RemoteBackend::connect`] with one explicit timeout governing both
+    /// per-operation I/O **and** batch-reply waits — handy for tests that
+    /// want faults to surface fast.
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteBackend::connect`].
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        io_timeout: Duration,
+    ) -> Result<Self, CoreError> {
+        Self::connect_with_timeouts(addr, io_timeout, io_timeout)
+    }
+
+    /// [`RemoteBackend::connect`] with separate caps for socket operations
+    /// (connect/handshake/ping/write) and for awaiting a submitted batch's
+    /// reply frames (which includes the remote backend's compute time).
+    ///
+    /// # Errors
+    ///
+    /// See [`RemoteBackend::connect`].
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        io_timeout: Duration,
+        reply_timeout: Duration,
+    ) -> Result<Self, CoreError> {
+        let peer = addr
+            .to_socket_addrs()
+            .map_err(|e| unavailable("remote", format!("cannot resolve address: {e}")))?
+            .next()
+            .ok_or_else(|| unavailable("remote", "address resolved to nothing".to_string()))?;
+        let backend = RemoteBackend {
+            peer,
+            capabilities: Capabilities {
+                max_qubits: None,
+                shots_per_circuit: None,
+                supports_mid_circuit: false,
+                label: String::new(),
+            },
+            io_timeout,
+            reply_timeout,
+            pool: Mutex::new(Vec::new()),
+            executions: AtomicU64::new(0),
+            dials: AtomicU64::new(0),
+            next_batch: AtomicU64::new(0),
+        };
+        let (stream, capabilities) = backend.dial()?;
+        backend.pool.lock().push(stream);
+        Ok(RemoteBackend { capabilities, ..backend })
+    }
+
+    /// The worker's capabilities, as exchanged in the handshake.
+    pub fn capabilities(&self) -> &Capabilities {
+        &self.capabilities
+    }
+
+    /// The server address this backend submits to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Connections dialled so far (1 for the handshake; each one beyond
+    /// that replaced a connection lost to a fault).
+    pub fn connections_dialled(&self) -> u64 {
+        self.dials.load(Ordering::Relaxed)
+    }
+
+    /// Heartbeat: round-trips a `Ping` and returns its latency.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BackendUnavailable`] when the server is unreachable or
+    /// stalled, [`CoreError::Transport`] when it answers wrongly.
+    pub fn ping(&self) -> Result<Duration, CoreError> {
+        let mut stream = self.checkout()?;
+        let nonce = 0x9e37_79b9 ^ self.next_batch.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        proto::write_frame(&mut stream, &Frame::Ping { nonce })
+            .map_err(|e| ProtoError::Io(e).into_core(&self.label()))?;
+        match proto::read_frame(&mut FrameDeadline::new(&mut stream, self.io_timeout)) {
+            Ok(Frame::Pong { nonce: echoed }) if echoed == nonce => {
+                let rtt = started.elapsed();
+                self.checkin(stream);
+                Ok(rtt)
+            }
+            Ok(other) => Err(CoreError::Transport {
+                detail: format!("expected Pong, server sent {}", frame_name(&other)),
+            }),
+            Err(e) => Err(e.into_core(&self.label())),
+        }
+    }
+
+    /// Dials and handshakes one fresh connection.
+    fn dial(&self) -> Result<(TcpStream, Capabilities), CoreError> {
+        self.dials.fetch_add(1, Ordering::Relaxed);
+        let label = if self.capabilities.label.is_empty() {
+            format!("remote@{}", self.peer)
+        } else {
+            self.label()
+        };
+        let stream = TcpStream::connect_timeout(&self.peer, self.io_timeout)
+            .map_err(|e| unavailable(&label, format!("connect failed: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(self.io_timeout)))
+            .map_err(|e| unavailable(&label, format!("cannot configure socket: {e}")))?;
+        let mut stream = stream;
+        proto::write_frame(&mut stream, &Frame::ClientHello { version: PROTOCOL_VERSION })
+            .map_err(|e| ProtoError::Io(e).into_core(&label))?;
+        match proto::read_frame(&mut FrameDeadline::new(&mut stream, self.io_timeout)) {
+            Ok(Frame::ServerHello { version, capabilities }) if version == PROTOCOL_VERSION => {
+                Ok((stream, capabilities))
+            }
+            Ok(Frame::ServerHello { version, .. }) => Err(CoreError::Transport {
+                detail: format!(
+                    "server answered with protocol version {version}, expected {PROTOCOL_VERSION}"
+                ),
+            }),
+            Ok(Frame::Error { kind, message }) => Err(match kind {
+                WireErrorKind::Backend => unavailable(&label, message),
+                _ => CoreError::Transport { detail: message },
+            }),
+            Ok(other) => Err(CoreError::Transport {
+                detail: format!("expected ServerHello, server sent {}", frame_name(&other)),
+            }),
+            Err(e) => Err(e.into_core(&label)),
+        }
+    }
+
+    /// Takes an idle pooled connection or dials a new one. Pooled
+    /// connections are liveness-probed first: the server reaps connections
+    /// that idle past its deadline, and a reaped one must not cost the next
+    /// batch a spurious failure.
+    fn checkout(&self) -> Result<TcpStream, CoreError> {
+        while let Some(stream) = self.pool.lock().pop() {
+            if connection_is_live(&stream) {
+                return Ok(stream);
+            }
+        }
+        let (stream, capabilities) = self.dial()?;
+        // A worker restart may change capabilities; the scheduler routed
+        // against the handshake's answers, so a narrowed worker must not be
+        // silently accepted.
+        if capabilities != self.capabilities {
+            return Err(CoreError::Transport {
+                detail: format!(
+                    "server capabilities changed across reconnect (was {:?}, now {:?})",
+                    self.capabilities, capabilities
+                ),
+            });
+        }
+        Ok(stream)
+    }
+
+    /// Returns a connection that finished its batch cleanly to the pool,
+    /// restoring the ordinary per-operation read timeout.
+    fn checkin(&self, stream: TcpStream) {
+        if stream.set_read_timeout(Some(self.io_timeout)).is_err() {
+            return; // an unconfigurable socket is not worth pooling
+        }
+        self.pool.lock().push(stream);
+    }
+
+    /// Submits one batch and reads the streamed per-circuit replies.
+    ///
+    /// Whole-connection failures (dial, submit, a dead reply stream) fail
+    /// every circuit of the batch with the same error; per-circuit
+    /// `CircuitFailed` replies fail only their slot.
+    fn submit(
+        &self,
+        circuits: &[Circuit],
+        shots: Option<&[u64]>,
+    ) -> Vec<Result<Vec<f64>, CoreError>> {
+        if circuits.is_empty() {
+            return Vec::new();
+        }
+        let mut stream = match self.checkout() {
+            Ok(stream) => stream,
+            Err(error) => return vec![error; circuits.len()].into_iter().map(Err).collect(),
+        };
+        let batch = self.next_batch.fetch_add(1, Ordering::Relaxed);
+        let frame = Frame::SubmitBatch {
+            batch,
+            circuits: circuits.iter().map(qasm::to_qasm).collect(),
+            shots: shots.map(<[u64]>::to_vec),
+        };
+        if let Err(e) = proto::write_frame(&mut stream, &frame) {
+            // an oversized frame is refused before any bytes move: that is a
+            // deterministic serialisation failure, not a transient fault the
+            // dispatcher should replay on other backends
+            let error = if e.kind() == std::io::ErrorKind::InvalidData {
+                CoreError::Transport { detail: format!("cannot submit batch: {e}") }
+            } else {
+                ProtoError::Io(e).into_core(&self.label())
+            };
+            return circuits.iter().map(|_| Err(error.clone())).collect();
+        }
+        // the first reply arrives only after the worker's whole batch call
+        // returns, so the wait is bounded by the (long) reply timeout, not
+        // the per-operation I/O timeout
+        let _ = stream.set_read_timeout(Some(self.reply_timeout));
+        match self.read_batch_replies(&mut stream, batch, circuits) {
+            Ok(outcomes) => {
+                let ok = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+                self.executions.fetch_add(ok, Ordering::Relaxed);
+                self.checkin(stream);
+                outcomes
+            }
+            // the connection is in an unknown state: drop it, fail the batch
+            Err(error) => circuits.iter().map(|_| Err(error.clone())).collect(),
+        }
+    }
+
+    /// Collects exactly one reply per submitted circuit plus the closing
+    /// `BatchDone`.
+    fn read_batch_replies(
+        &self,
+        stream: &mut TcpStream,
+        batch: u64,
+        circuits: &[Circuit],
+    ) -> Result<Vec<Result<Vec<f64>, CoreError>>, CoreError> {
+        let label = self.label();
+        let expected = circuits.len();
+        let mut slots: Vec<Option<Result<Vec<f64>, CoreError>>> = vec![None; expected];
+        loop {
+            match proto::read_frame(&mut FrameDeadline::new(&mut *stream, self.io_timeout))
+                .map_err(|e| e.into_core(&label))?
+            {
+                Frame::CircuitResult { batch: b, index, distribution } => {
+                    // a distribution must cover exactly the circuit's
+                    // classical register — a wrong length would silently
+                    // corrupt reconstruction downstream
+                    if let Some(circuit) = circuits.get(index as usize) {
+                        let want = 1usize.checked_shl(circuit.num_clbits() as u32);
+                        if want != Some(distribution.len()) {
+                            return Err(CoreError::Transport {
+                                detail: format!(
+                                    "distribution of {} entries for circuit {index} with {} classical bit(s)",
+                                    distribution.len(),
+                                    circuit.num_clbits()
+                                ),
+                            });
+                        }
+                    }
+                    self.fill_slot(&mut slots, b, batch, index, Ok(distribution))?;
+                }
+                Frame::CircuitFailed { batch: b, index, kind, reason } => {
+                    // preserve the server's failure class: device faults are
+                    // transient (retry elsewhere), deterministic failures
+                    // (e.g. the circuit did not parse) are not
+                    let error = match kind {
+                        WireErrorKind::Protocol | WireErrorKind::VersionMismatch => {
+                            CoreError::Transport {
+                                detail: format!("remote execution failed: {reason}"),
+                            }
+                        }
+                        WireErrorKind::Backend => {
+                            unavailable(&label, format!("remote execution failed: {reason}"))
+                        }
+                    };
+                    self.fill_slot(&mut slots, b, batch, index, Err(error))?;
+                }
+                Frame::BatchDone { batch: b, executed } => {
+                    if b != batch {
+                        return Err(CoreError::Transport {
+                            detail: format!("BatchDone for batch {b} while awaiting {batch}"),
+                        });
+                    }
+                    let filled = slots.iter().filter(|s| s.is_some()).count();
+                    if filled != expected {
+                        return Err(CoreError::Transport {
+                            detail: format!(
+                                "server closed batch {batch} after {filled} of {expected} replies"
+                            ),
+                        });
+                    }
+                    let ok = slots.iter().flatten().filter(|o| o.is_ok()).count();
+                    if ok as u32 != executed {
+                        return Err(CoreError::Transport {
+                            detail: format!(
+                                "server counted {executed} executed circuits, client saw {ok}"
+                            ),
+                        });
+                    }
+                    return Ok(slots.into_iter().map(|s| s.expect("all slots filled")).collect());
+                }
+                Frame::Error { kind, message } => {
+                    return Err(match kind {
+                        WireErrorKind::Backend => unavailable(&label, message),
+                        _ => CoreError::Transport { detail: message },
+                    });
+                }
+                other => {
+                    return Err(CoreError::Transport {
+                        detail: format!(
+                            "unexpected {} frame inside batch {batch}",
+                            frame_name(&other)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn fill_slot(
+        &self,
+        slots: &mut [Option<Result<Vec<f64>, CoreError>>],
+        got_batch: u64,
+        batch: u64,
+        index: u32,
+        outcome: Result<Vec<f64>, CoreError>,
+    ) -> Result<(), CoreError> {
+        if got_batch != batch {
+            return Err(CoreError::Transport {
+                detail: format!("reply for batch {got_batch} while awaiting {batch}"),
+            });
+        }
+        let slot = slots.get_mut(index as usize).ok_or_else(|| CoreError::Transport {
+            detail: format!("reply for out-of-range circuit index {index}"),
+        })?;
+        if slot.is_some() {
+            return Err(CoreError::Transport {
+                detail: format!("duplicate reply for circuit index {index}"),
+            });
+        }
+        *slot = Some(outcome);
+        Ok(())
+    }
+}
+
+fn unavailable(backend: &str, reason: String) -> CoreError {
+    CoreError::BackendUnavailable { backend: backend.to_string(), reason }
+}
+
+/// Bounds the gap between received bytes once a frame has started: every
+/// read must make progress within `stall_cap` of the previous one (the
+/// server's `FRAME_STALL` enforces the same bound on its side). A wedged
+/// server that stops sending mid-frame fails fast even while the socket's
+/// own timeout is set to the much longer reply timeout; a slow but steady
+/// large transfer keeps resetting the clock and completes.
+struct FrameDeadline<'a> {
+    stream: &'a mut TcpStream,
+    stall_cap: Duration,
+    deadline: Option<Instant>,
+}
+
+impl<'a> FrameDeadline<'a> {
+    fn new(stream: &'a mut TcpStream, stall_cap: Duration) -> Self {
+        FrameDeadline { stream, stall_cap, deadline: None }
+    }
+}
+
+impl std::io::Read for FrameDeadline<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() > deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "peer stalled mid-frame",
+                ));
+            }
+        }
+        let n = self.stream.read(buf)?;
+        if n > 0 {
+            if self.deadline.is_none() {
+                // one blocked read could otherwise wait out the (long)
+                // pre-frame socket timeout before the deadline is even
+                // consulted: once a frame has started, cap every further
+                // wait at the stall budget
+                let _ = self.stream.set_read_timeout(Some(self.stall_cap));
+            }
+            self.deadline = Some(Instant::now() + self.stall_cap);
+        }
+        Ok(n)
+    }
+}
+
+/// Cheap liveness probe for an idle pooled connection: a healthy one has no
+/// pending bytes (`WouldBlock`); EOF, an error, or unsolicited data all mean
+/// the stream cannot safely carry another batch.
+fn connection_is_live(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut probe = [0u8; 1];
+    let live = matches!(
+        stream.peek(&mut probe),
+        Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+    );
+    live && stream.set_nonblocking(false).is_ok()
+}
+
+fn frame_name(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::ClientHello { .. } => "ClientHello",
+        Frame::ServerHello { .. } => "ServerHello",
+        Frame::SubmitBatch { .. } => "SubmitBatch",
+        Frame::CircuitResult { .. } => "CircuitResult",
+        Frame::CircuitFailed { .. } => "CircuitFailed",
+        Frame::BatchDone { .. } => "BatchDone",
+        Frame::Ping { .. } => "Ping",
+        Frame::Pong { .. } => "Pong",
+        Frame::Error { .. } => "Error",
+    }
+}
+
+impl ExecutionBackend for RemoteBackend {
+    fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+        self.submit(std::slice::from_ref(circuit), None)
+            .pop()
+            .expect("one outcome per submitted circuit")
+    }
+
+    fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
+        self.submit(circuits, None)
+    }
+
+    fn run_batch_with_shots(
+        &self,
+        circuits: &[Circuit],
+        shots: &[u64],
+    ) -> Vec<Result<Vec<f64>, CoreError>> {
+        debug_assert_eq!(circuits.len(), shots.len(), "one shot count per circuit");
+        self.submit(circuits, Some(shots))
+    }
+
+    fn max_qubits(&self) -> Option<usize> {
+        self.capabilities.max_qubits.map(|q| q as usize)
+    }
+
+    fn can_run(&self, circuit: &Circuit) -> bool {
+        // mirror the worker's handshake-probed refinements, so the router
+        // never places a circuit the worker would deterministically reject
+        let width_ok = self.max_qubits().is_none_or(|max| circuit.num_qubits() <= max);
+        width_ok
+            && (self.capabilities.supports_mid_circuit
+                || !qrcc_sim::device::needs_mid_circuit(circuit))
+    }
+
+    fn shots_per_circuit(&self) -> Option<u64> {
+        self.capabilities.shots_per_circuit
+    }
+
+    fn label(&self) -> String {
+        format!("remote({} @ {})", self.capabilities.label, self.peer)
+    }
+
+    fn executions(&self) -> u64 {
+        self.executions.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for RemoteBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBackend")
+            .field("peer", &self.peer)
+            .field("capabilities", &self.capabilities)
+            .field("io_timeout", &self.io_timeout)
+            .field("reply_timeout", &self.reply_timeout)
+            .field("pooled", &self.pool.lock().len())
+            .field("dialled", &self.dials.load(Ordering::Relaxed))
+            .finish()
+    }
+}

@@ -1,0 +1,64 @@
+//! Remote execution transport for QRCC: run the six-phase pipeline against
+//! a fleet of **actual remote workers** instead of in-process backends.
+//!
+//! The crate has three parts, layered strictly:
+//!
+//! * [`proto`] — a versioned, length-prefixed binary wire protocol:
+//!   handshake with capability exchange (max qubits, default shots, label),
+//!   batch submission with per-circuit shot counts, streamed per-circuit
+//!   result frames, heartbeats, and typed error frames. Circuits travel as
+//!   OpenQASM text ([`qrcc_circuit::qasm::to_qasm`] /
+//!   [`qrcc_circuit::qasm::from_qasm`]), so the wire format is
+//!   human-inspectable and independent of the IR's memory layout.
+//! * [`server`] — [`QrccServer`], a `std::net::TcpListener` worker wrapping
+//!   **any** local [`ExecutionBackend`](qrcc_core::execute::ExecutionBackend)
+//!   (thread-per-connection, graceful shutdown, live statistics). Bind port
+//!   0 for collision-free ephemeral ports in tests and fleets.
+//! * [`client`] — [`RemoteBackend`], an
+//!   [`ExecutionBackend`](qrcc_core::execute::ExecutionBackend) over a
+//!   reconnecting connection pool. It drops straight into a
+//!   [`DeviceRegistry`](qrcc_core::schedule::DeviceRegistry), where the
+//!   dispatch layer's retry-with-exclusion and bounded in-flight windows
+//!   rescue real network faults **unchanged**: I/O errors, disconnects and
+//!   timeouts surface as
+//!   [`CoreError::BackendUnavailable`](qrcc_core::CoreError::BackendUnavailable)
+//!   (transient — retry elsewhere), protocol violations as
+//!   [`CoreError::Transport`](qrcc_core::CoreError::Transport).
+//!
+//! The `testing` feature adds `testing::FaultyProxy`, a TCP forwarder
+//! that drops, stalls or garbles the byte stream mid-batch — the wire-level
+//! counterpart of `qrcc_core::dispatch::testing`'s backend doubles.
+//!
+//! # Example: a loopback fleet
+//!
+//! ```rust
+//! use qrcc_circuit::Circuit;
+//! use qrcc_core::execute::{ExactBackend, ExecutionBackend};
+//! use qrcc_net::{QrccServer, RemoteBackend};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = QrccServer::bind("127.0.0.1:0", ExactBackend::capped(3))?.spawn();
+//! let remote = RemoteBackend::connect(server.addr())?;
+//! assert_eq!(remote.max_qubits(), Some(3));
+//!
+//! let mut bell = Circuit::new(2);
+//! bell.h(0).cx(0, 1).measure_all();
+//! let distribution = remote.run_one(&bell)?;
+//! assert!((distribution[0b00] - 0.5).abs() < 1e-12);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+#[cfg(any(test, feature = "testing"))]
+pub mod testing;
+
+pub use client::{RemoteBackend, DEFAULT_IO_TIMEOUT};
+pub use proto::{Capabilities, ProtoError, PROTOCOL_VERSION};
+pub use server::{ConnectionStats, QrccServer, ServerHandle, ServerStats};

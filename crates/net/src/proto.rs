@@ -1,0 +1,646 @@
+//! The QRCC wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Every frame on the wire is `[u32 length (big-endian)][u8 tag][payload]`,
+//! where `length` counts the tag byte plus the payload and is capped at
+//! [`MAX_FRAME_LEN`] so a garbled peer cannot make the other side allocate
+//! unboundedly. All integers are big-endian; floats travel as their IEEE-754
+//! bit patterns; strings and lists are `u32`-length-prefixed.
+//!
+//! A session is: the client opens with [`Frame::ClientHello`] (protocol
+//! version), the server answers with [`Frame::ServerHello`] carrying its
+//! [`Capabilities`] (max qubits, default shots, label) — or rejects a
+//! version mismatch with a typed [`Frame::Error`] — after which the client
+//! may interleave batch submissions ([`Frame::SubmitBatch`], circuits as
+//! OpenQASM text produced by [`qrcc_circuit::qasm::to_qasm`]) and heartbeats
+//! ([`Frame::Ping`]/[`Frame::Pong`]). The server streams one
+//! [`Frame::CircuitResult`] or [`Frame::CircuitFailed`] per submitted
+//! circuit, in index order, and closes the batch with [`Frame::BatchDone`].
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// The protocol version spoken by this build. A [`Frame::ClientHello`] with
+/// any other version is rejected during the handshake with a typed
+/// [`WireErrorKind::VersionMismatch`] error frame.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on one frame's `tag + payload` length. Frames announcing a
+/// larger length are rejected before any payload is read.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// What a worker can do, exchanged in the handshake so the client can answer
+/// the scheduler's capability queries (`max_qubits`, `shots_per_circuit`,
+/// `label`) without a network round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capabilities {
+    /// The widest circuit the worker's backend accepts, or `None` when
+    /// unbounded.
+    pub max_qubits: Option<u64>,
+    /// The backend's default shots per circuit, or `None` for exact
+    /// backends.
+    pub shots_per_circuit: Option<u64>,
+    /// Whether the worker accepts circuits needing mid-circuit measurement
+    /// or reset (probed against the backend at handshake time), so the
+    /// router can avoid placing qubit-reuse circuits on workers that would
+    /// deterministically reject them.
+    pub supports_mid_circuit: bool,
+    /// The backend's human-readable label.
+    pub label: String,
+}
+
+/// The typed cause carried by an [`Frame::Error`] frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireErrorKind {
+    /// The peer speaks a different protocol version.
+    VersionMismatch,
+    /// The peer violated the protocol (unexpected or malformed frame).
+    Protocol,
+    /// The worker's backend failed in a way not attributable to a single
+    /// circuit.
+    Backend,
+}
+
+impl WireErrorKind {
+    fn code(self) -> u8 {
+        match self {
+            WireErrorKind::VersionMismatch => 0,
+            WireErrorKind::Protocol => 1,
+            WireErrorKind::Backend => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(WireErrorKind::VersionMismatch),
+            1 => Some(WireErrorKind::Protocol),
+            2 => Some(WireErrorKind::Backend),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server, first frame of a connection.
+    ClientHello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u16,
+    },
+    /// Server → client, handshake reply.
+    ServerHello {
+        /// The server's [`PROTOCOL_VERSION`].
+        version: u16,
+        /// What the worker's backend can do.
+        capabilities: Capabilities,
+    },
+    /// Client → server: execute a batch of circuits.
+    SubmitBatch {
+        /// Client-chosen batch identifier, echoed on every reply frame.
+        batch: u64,
+        /// One OpenQASM document per circuit
+        /// ([`qrcc_circuit::qasm::to_qasm`]).
+        circuits: Vec<String>,
+        /// Per-circuit shot counts (same length as `circuits`), or `None`
+        /// to run with the backend's defaults.
+        shots: Option<Vec<u64>>,
+    },
+    /// Server → client: one circuit's distribution. Replies stream in index
+    /// order once the worker's single batch call returns (the batch runs as
+    /// one backend call to preserve its internal parallelism and
+    /// deterministic sampling streams).
+    CircuitResult {
+        /// The submission's batch identifier.
+        batch: u64,
+        /// Index of the circuit within the submitted batch.
+        index: u32,
+        /// Probability distribution over the circuit's classical bits.
+        distribution: Vec<f64>,
+    },
+    /// Server → client: one circuit failed on the worker (the other
+    /// circuits of the batch still stream their results).
+    CircuitFailed {
+        /// The submission's batch identifier.
+        batch: u64,
+        /// Index of the circuit within the submitted batch.
+        index: u32,
+        /// The failure class: [`WireErrorKind::Backend`] for device faults
+        /// (transient — worth retrying elsewhere),
+        /// [`WireErrorKind::Protocol`] for deterministic ones (the circuit
+        /// did not parse), so the client can preserve the error taxonomy.
+        kind: WireErrorKind,
+        /// Human-readable failure cause.
+        reason: String,
+    },
+    /// Server → client: every circuit of the batch has been answered.
+    BatchDone {
+        /// The submission's batch identifier.
+        batch: u64,
+        /// Number of circuits that executed successfully.
+        executed: u32,
+    },
+    /// Heartbeat request (either direction).
+    Ping {
+        /// Echoed by the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Heartbeat reply.
+    Pong {
+        /// The nonce of the [`Frame::Ping`] being answered.
+        nonce: u64,
+    },
+    /// A typed failure; the sender closes the connection afterwards.
+    Error {
+        /// The failure class.
+        kind: WireErrorKind,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+const TAG_CLIENT_HELLO: u8 = 1;
+const TAG_SERVER_HELLO: u8 = 2;
+const TAG_SUBMIT_BATCH: u8 = 3;
+const TAG_CIRCUIT_RESULT: u8 = 4;
+const TAG_CIRCUIT_FAILED: u8 = 5;
+const TAG_BATCH_DONE: u8 = 6;
+const TAG_PING: u8 = 7;
+const TAG_PONG: u8 = 8;
+const TAG_ERROR: u8 = 9;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying stream failed (disconnect, timeout, reset) — the
+    /// transient class; clients map it to
+    /// [`CoreError::BackendUnavailable`](qrcc_core::CoreError::BackendUnavailable).
+    Io(io::Error),
+    /// The peer sent bytes that do not decode as a frame — the protocol
+    /// violation class; clients map it to
+    /// [`CoreError::Transport`](qrcc_core::CoreError::Transport).
+    Malformed {
+        /// What failed to decode.
+        detail: String,
+    },
+    /// The peer announced a frame larger than [`MAX_FRAME_LEN`].
+    FrameTooLarge {
+        /// The announced length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "i/o error: {e}"),
+            ProtoError::Malformed { detail } => write!(f, "malformed frame: {detail}"),
+            ProtoError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl ProtoError {
+    /// Maps this protocol failure to the dispatch layer's error taxonomy:
+    /// I/O failures (disconnects, timeouts) become
+    /// [`CoreError::BackendUnavailable`](qrcc_core::CoreError::BackendUnavailable)
+    /// — the transient class the dispatcher retries elsewhere — while
+    /// malformed or oversized frames become
+    /// [`CoreError::Transport`](qrcc_core::CoreError::Transport).
+    pub fn into_core(self, backend: &str) -> qrcc_core::CoreError {
+        match self {
+            ProtoError::Io(e) => qrcc_core::CoreError::BackendUnavailable {
+                backend: backend.to_string(),
+                reason: format!("connection error: {e}"),
+            },
+            other => qrcc_core::CoreError::Transport { detail: other.to_string() },
+        }
+    }
+
+    fn malformed(detail: impl Into<String>) -> Self {
+        ProtoError::Malformed { detail: detail.into() }
+    }
+}
+
+// ---- encoding ----------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, value: u16) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_be_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, value: &str) {
+    put_u32(out, value.len() as u32);
+    out.extend_from_slice(value.as_bytes());
+}
+
+/// Serialises `frame` as `tag + payload` (without the length prefix).
+fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    match frame {
+        Frame::ClientHello { version } => {
+            out.push(TAG_CLIENT_HELLO);
+            put_u16(&mut out, *version);
+        }
+        Frame::ServerHello { version, capabilities } => {
+            out.push(TAG_SERVER_HELLO);
+            put_u16(&mut out, *version);
+            put_opt_u64(&mut out, capabilities.max_qubits);
+            put_opt_u64(&mut out, capabilities.shots_per_circuit);
+            out.push(capabilities.supports_mid_circuit as u8);
+            put_string(&mut out, &capabilities.label);
+        }
+        Frame::SubmitBatch { batch, circuits, shots } => {
+            out.push(TAG_SUBMIT_BATCH);
+            put_u64(&mut out, *batch);
+            put_u32(&mut out, circuits.len() as u32);
+            for circuit in circuits {
+                put_string(&mut out, circuit);
+            }
+            match shots {
+                Some(shots) => {
+                    out.push(1);
+                    put_u32(&mut out, shots.len() as u32);
+                    for &s in shots {
+                        put_u64(&mut out, s);
+                    }
+                }
+                None => out.push(0),
+            }
+        }
+        Frame::CircuitResult { batch, index, distribution } => {
+            out.push(TAG_CIRCUIT_RESULT);
+            put_u64(&mut out, *batch);
+            put_u32(&mut out, *index);
+            put_u32(&mut out, distribution.len() as u32);
+            for &p in distribution {
+                put_u64(&mut out, p.to_bits());
+            }
+        }
+        Frame::CircuitFailed { batch, index, kind, reason } => {
+            out.push(TAG_CIRCUIT_FAILED);
+            put_u64(&mut out, *batch);
+            put_u32(&mut out, *index);
+            out.push(kind.code());
+            put_string(&mut out, reason);
+        }
+        Frame::BatchDone { batch, executed } => {
+            out.push(TAG_BATCH_DONE);
+            put_u64(&mut out, *batch);
+            put_u32(&mut out, *executed);
+        }
+        Frame::Ping { nonce } => {
+            out.push(TAG_PING);
+            put_u64(&mut out, *nonce);
+        }
+        Frame::Pong { nonce } => {
+            out.push(TAG_PONG);
+            put_u64(&mut out, *nonce);
+        }
+        Frame::Error { kind, message } => {
+            out.push(TAG_ERROR);
+            out.push(kind.code());
+            put_string(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Writes one length-prefixed frame and flushes the stream.
+///
+/// # Errors
+///
+/// [`io::ErrorKind::InvalidData`] when the encoded frame would exceed
+/// [`MAX_FRAME_LEN`] (the peer would reject it unread, so it is never
+/// sent), plus the stream's I/O errors.
+pub fn write_frame(stream: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let payload = encode(frame);
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap", payload.len()),
+        ));
+    }
+    stream.write_all(&(payload.len() as u32).to_be_bytes())?;
+    stream.write_all(&payload)?;
+    stream.flush()
+}
+
+// ---- decoding ----------------------------------------------------------
+
+struct Decoder<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.at + n > self.bytes.len() {
+            return Err(ProtoError::malformed(format!(
+                "payload truncated at byte {} (wanted {n} more of {})",
+                self.at,
+                self.bytes.len()
+            )));
+        }
+        let slice = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("two bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("four bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("eight bytes")))
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, ProtoError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            flag => Err(ProtoError::malformed(format!("invalid option flag {flag}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtoError::malformed("string is not valid utf-8"))
+    }
+}
+
+/// Validates a frame's announced length before its payload is read.
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] for empty frames, [`ProtoError::FrameTooLarge`]
+/// beyond [`MAX_FRAME_LEN`].
+pub fn validate_len(len: u32) -> Result<usize, ProtoError> {
+    if len == 0 {
+        return Err(ProtoError::malformed("zero-length frame"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(ProtoError::FrameTooLarge { len });
+    }
+    Ok(len as usize)
+}
+
+/// Decodes one `tag + payload` buffer (the bytes after the length prefix).
+///
+/// # Errors
+///
+/// [`ProtoError::Malformed`] for unknown tags, truncated payloads, or
+/// trailing garbage.
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, ProtoError> {
+    let mut d = Decoder { bytes: payload, at: 0 };
+    let tag = d.u8()?;
+    let frame = match tag {
+        TAG_CLIENT_HELLO => Frame::ClientHello { version: d.u16()? },
+        TAG_SERVER_HELLO => Frame::ServerHello {
+            version: d.u16()?,
+            capabilities: Capabilities {
+                max_qubits: d.opt_u64()?,
+                shots_per_circuit: d.opt_u64()?,
+                supports_mid_circuit: d.u8()? != 0,
+                label: d.string()?,
+            },
+        },
+        TAG_SUBMIT_BATCH => {
+            let batch = d.u64()?;
+            let count = d.u32()? as usize;
+            let mut circuits = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                circuits.push(d.string()?);
+            }
+            let shots = match d.u8()? {
+                0 => None,
+                1 => {
+                    let count = d.u32()? as usize;
+                    let mut shots = Vec::with_capacity(count.min(1024));
+                    for _ in 0..count {
+                        shots.push(d.u64()?);
+                    }
+                    Some(shots)
+                }
+                flag => return Err(ProtoError::malformed(format!("invalid shots flag {flag}"))),
+            };
+            Frame::SubmitBatch { batch, circuits, shots }
+        }
+        TAG_CIRCUIT_RESULT => {
+            let batch = d.u64()?;
+            let index = d.u32()?;
+            let count = d.u32()? as usize;
+            let mut distribution = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                distribution.push(f64::from_bits(d.u64()?));
+            }
+            Frame::CircuitResult { batch, index, distribution }
+        }
+        TAG_CIRCUIT_FAILED => {
+            let batch = d.u64()?;
+            let index = d.u32()?;
+            let code = d.u8()?;
+            let kind = WireErrorKind::from_code(code)
+                .ok_or_else(|| ProtoError::malformed(format!("unknown failure kind {code}")))?;
+            Frame::CircuitFailed { batch, index, kind, reason: d.string()? }
+        }
+        TAG_BATCH_DONE => Frame::BatchDone { batch: d.u64()?, executed: d.u32()? },
+        TAG_PING => Frame::Ping { nonce: d.u64()? },
+        TAG_PONG => Frame::Pong { nonce: d.u64()? },
+        TAG_ERROR => {
+            let code = d.u8()?;
+            let kind = WireErrorKind::from_code(code)
+                .ok_or_else(|| ProtoError::malformed(format!("unknown error kind {code}")))?;
+            Frame::Error { kind, message: d.string()? }
+        }
+        unknown => return Err(ProtoError::malformed(format!("unknown frame tag {unknown}"))),
+    };
+    if d.at != payload.len() {
+        return Err(ProtoError::malformed(format!(
+            "{} trailing byte(s) after a complete frame",
+            payload.len() - d.at
+        )));
+    }
+    Ok(frame)
+}
+
+/// Reads one length-prefixed frame from the stream.
+///
+/// # Errors
+///
+/// [`ProtoError::Io`] for stream failures (including a clean disconnect,
+/// surfaced as `UnexpectedEof`), [`ProtoError::FrameTooLarge`] /
+/// [`ProtoError::Malformed`] for protocol violations.
+pub fn read_frame(stream: &mut impl Read) -> Result<Frame, ProtoError> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf).map_err(ProtoError::Io)?;
+    let len = validate_len(u32::from_be_bytes(len_buf))?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).map_err(ProtoError::Io)?;
+    decode_frame(&payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let decoded = read_frame(&mut wire.as_slice()).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        roundtrip(Frame::ClientHello { version: PROTOCOL_VERSION });
+        roundtrip(Frame::ServerHello {
+            version: PROTOCOL_VERSION,
+            capabilities: Capabilities {
+                max_qubits: Some(5),
+                shots_per_circuit: None,
+                supports_mid_circuit: false,
+                label: "exact(5q)".into(),
+            },
+        });
+        roundtrip(Frame::SubmitBatch {
+            batch: 7,
+            circuits: vec!["OPENQASM 2.0;\nqreg q[1];\nh q[0];\n".into(), String::new()],
+            shots: Some(vec![100, 0]),
+        });
+        roundtrip(Frame::SubmitBatch { batch: 8, circuits: vec![], shots: None });
+        roundtrip(Frame::CircuitResult {
+            batch: 7,
+            index: 1,
+            distribution: vec![0.5, 0.25, 0.25, -0.0],
+        });
+        roundtrip(Frame::CircuitFailed {
+            batch: 7,
+            index: 0,
+            kind: WireErrorKind::Backend,
+            reason: "too wide".into(),
+        });
+        roundtrip(Frame::CircuitFailed {
+            batch: 7,
+            index: 1,
+            kind: WireErrorKind::Protocol,
+            reason: "qasm parse error".into(),
+        });
+        roundtrip(Frame::BatchDone { batch: 7, executed: 1 });
+        roundtrip(Frame::Ping { nonce: u64::MAX });
+        roundtrip(Frame::Pong { nonce: 0 });
+        roundtrip(Frame::Error {
+            kind: WireErrorKind::VersionMismatch,
+            message: "speak version 1".into(),
+        });
+    }
+
+    #[test]
+    fn distributions_survive_bit_exactly() {
+        let distribution = vec![1.0 / 3.0, f64::MIN_POSITIVE, 1e-300, 0.12345678901234567];
+        let frame = Frame::CircuitResult { batch: 1, index: 0, distribution: distribution.clone() };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        match read_frame(&mut wire.as_slice()).unwrap() {
+            Frame::CircuitResult { distribution: decoded, .. } => {
+                for (a, b) in distribution.iter().zip(&decoded) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbled_frames_are_malformed() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Ping { nonce: 3 }).unwrap();
+        // truncate mid-payload: an i/o error (the reader cannot tell a slow
+        // peer from a dead one; timeouts make the call)
+        let cut = wire.len() - 2;
+        assert!(matches!(read_frame(&mut wire[..cut].as_ref()), Err(ProtoError::Io(_))));
+        // declare 2 extra bytes the payload doesn't use: trailing garbage
+        let mut padded = wire.clone();
+        let len = u32::from_be_bytes(padded[..4].try_into().unwrap()) + 2;
+        padded[..4].copy_from_slice(&len.to_be_bytes());
+        padded.extend_from_slice(&[0, 0]);
+        assert!(matches!(read_frame(&mut padded.as_slice()), Err(ProtoError::Malformed { .. })));
+        // unknown tag
+        let mut unknown = wire;
+        unknown[4] = 200;
+        assert!(matches!(read_frame(&mut unknown.as_slice()), Err(ProtoError::Malformed { .. })));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_at_write_time() {
+        // a 2^23-entry distribution encodes past the 64 MiB cap: the writer
+        // must error out instead of sending a frame the peer will reject
+        let frame = Frame::CircuitResult { batch: 1, index: 0, distribution: vec![0.0; 1 << 23] };
+        let mut wire = Vec::new();
+        let err = write_frame(&mut wire, &frame).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(wire.is_empty(), "nothing may reach the stream");
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        wire.push(TAG_PING);
+        assert!(matches!(
+            read_frame(&mut wire.as_slice()),
+            Err(ProtoError::FrameTooLarge { len }) if len == MAX_FRAME_LEN + 1
+        ));
+        let mut empty = Vec::new();
+        empty.extend_from_slice(&0u32.to_be_bytes());
+        assert!(matches!(read_frame(&mut empty.as_slice()), Err(ProtoError::Malformed { .. })));
+    }
+
+    #[test]
+    fn io_errors_map_to_backend_unavailable_and_violations_to_transport() {
+        use qrcc_core::CoreError;
+        let io = ProtoError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "gone"));
+        assert!(matches!(io.into_core("srv"), CoreError::BackendUnavailable { .. }));
+        let garbled = ProtoError::malformed("unknown frame tag 200");
+        assert!(matches!(garbled.into_core("srv"), CoreError::Transport { .. }));
+        let oversized = ProtoError::FrameTooLarge { len: u32::MAX };
+        assert!(matches!(oversized.into_core("srv"), CoreError::Transport { .. }));
+    }
+}

@@ -1,0 +1,635 @@
+//! `QrccServer`: a TCP worker that serves any local
+//! [`ExecutionBackend`](qrcc_core::execute::ExecutionBackend) to remote
+//! [`RemoteBackend`](crate::RemoteBackend) clients.
+//!
+//! The server is deliberately boring infrastructure: a
+//! [`std::net::TcpListener`] accept loop on its own thread, one serving
+//! thread per connection (the protocol is request/response per connection,
+//! so thread-per-connection is the simplest correct concurrency model and
+//! the backend itself parallelises batches internally), graceful shutdown,
+//! and aggregate statistics. Circuits arrive as OpenQASM text and are parsed
+//! with [`qrcc_circuit::qasm::from_qasm`]; a circuit that fails to parse or
+//! to execute fails **individually** (a [`Frame::CircuitFailed`] reply)
+//! while the rest of its batch still runs — mirroring how the in-process
+//! batch API reports per-circuit errors.
+
+use crate::proto::{self, Capabilities, Frame, ProtoError, WireErrorKind, PROTOCOL_VERSION};
+use parking_lot::Mutex;
+use qrcc_circuit::{qasm, Circuit};
+use qrcc_core::execute::ExecutionBackend;
+use qrcc_core::CoreError;
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked connection reads wake up to check the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
+
+/// Cap on blocking writes to a client. A client that stops reading (its
+/// socket buffer fills) errors the connection out instead of wedging the
+/// connection thread — and with it [`ServerHandle::shutdown`] — forever.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a connection may sit before its `ClientHello` arrives. Port
+/// scanners and health probes that hold the socket without speaking are
+/// dropped after this, so they cannot pin connection threads.
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// How long an established connection may idle between frames before the
+/// server reaps it. Long enough to comfortably outlive dispatch gaps
+/// between batches; a half-open peer (died without RST) therefore leaks its
+/// thread only this long. Clients probe pooled connections on checkout and
+/// transparently redial ones the server reaped.
+const IDLE_DEADLINE: Duration = Duration::from_secs(900);
+
+/// Once a frame has started arriving, the longest the stream may stall
+/// without delivering another byte of it.
+const FRAME_STALL: Duration = Duration::from_secs(30);
+
+/// Aggregate counters of one server, also folded per connection (every
+/// connection thread owns a [`ConnectionStats`] and merges it live).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted since the server started.
+    pub connections: u64,
+    /// Batches served to completion (a `BatchDone` frame was sent).
+    pub batches: u64,
+    /// Circuits that executed successfully.
+    pub circuits_ok: u64,
+    /// Circuits that failed (parse error or backend error).
+    pub circuits_failed: u64,
+    /// Connections dropped over protocol violations (bad handshake,
+    /// malformed or unexpected frames).
+    pub protocol_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    connections: AtomicU64,
+    batches: AtomicU64,
+    circuits_ok: AtomicU64,
+    circuits_failed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            circuits_ok: self.circuits_ok.load(Ordering::Relaxed),
+            circuits_failed: self.circuits_failed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What one connection did; merged into the aggregate [`ServerStats`] as it
+/// happens so a live snapshot always adds up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Batches this connection served to completion.
+    pub batches: u64,
+    /// Circuits executed successfully on this connection.
+    pub circuits_ok: u64,
+    /// Circuits that failed on this connection.
+    pub circuits_failed: u64,
+}
+
+/// A bound-but-not-yet-serving QRCC worker.
+///
+/// Binding and serving are separate so tests and fleets can bind port 0
+/// (ephemeral), read the assigned address, hand it to clients, and only
+/// then start serving:
+///
+/// ```rust,no_run
+/// use qrcc_core::execute::ExactBackend;
+/// use qrcc_net::QrccServer;
+///
+/// let server = QrccServer::bind("127.0.0.1:0", ExactBackend::capped(3)).unwrap();
+/// let addr = server.local_addr().unwrap();
+/// let handle = server.spawn();
+/// // ... connect RemoteBackends to `addr` ...
+/// handle.shutdown();
+/// ```
+pub struct QrccServer {
+    listener: TcpListener,
+    backend: Arc<dyn ExecutionBackend + Send + Sync>,
+}
+
+impl QrccServer {
+    /// Binds a listener (use port 0 for an ephemeral port) serving
+    /// `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        backend: impl ExecutionBackend + Send + 'static,
+    ) -> io::Result<Self> {
+        Ok(QrccServer { listener: TcpListener::bind(addr)?, backend: Arc::new(backend) })
+    }
+
+    /// The bound address — with port 0, the ephemeral port the OS assigned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop on a background thread and returns the handle
+    /// controlling the server's lifetime.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.listener.local_addr().expect("bound listener has an address");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(StatsInner::default());
+        let connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+        let completed: Arc<Mutex<Vec<ConnectionStats>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            let connections = Arc::clone(&connections);
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || {
+                accept_loop(self.listener, self.backend, shutdown, stats, connections, completed)
+            })
+        };
+        ServerHandle { addr, shutdown, stats, connections, completed, accept: Some(accept) }
+    }
+}
+
+/// A running server: address, live statistics, graceful shutdown.
+///
+/// Dropping the handle shuts the server down (all connection threads are
+/// joined), so a test or example cannot leak a worker past its scope.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>>,
+    /// Ledgers of connections already reaped by the accept loop.
+    completed: Arc<Mutex<Vec<ConnectionStats>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A live snapshot of the aggregate statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, asks every connection thread to wind down, joins
+    /// them, and returns the per-connection ledgers. In-flight batches
+    /// finish their current backend call; their results may be lost to the
+    /// disconnect, which clients see as
+    /// [`CoreError::BackendUnavailable`] and the dispatcher re-routes.
+    pub fn shutdown(mut self) -> Vec<ConnectionStats> {
+        self.shutdown_impl()
+    }
+
+    fn shutdown_impl(&mut self) -> Vec<ConnectionStats> {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // wake the blocking accept with a throwaway connection; an
+        // unspecified bind address (0.0.0.0 / ::) is not connectable
+        // everywhere, so aim at the same-family loopback instead
+        let ip = match self.addr.ip() {
+            std::net::IpAddr::V4(ip) if ip.is_unspecified() => {
+                std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+            }
+            std::net::IpAddr::V6(ip) if ip.is_unspecified() => {
+                std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+            }
+            ip => ip,
+        };
+        let _ = TcpStream::connect((ip, self.addr.port()));
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let mut ledgers: Vec<ConnectionStats> = self.completed.lock().drain(..).collect();
+        ledgers.extend(self.connections.lock().drain(..).filter_map(|handle| handle.join().ok()));
+        ledgers
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        let _ = self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    backend: Arc<dyn ExecutionBackend + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+    connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>>,
+    completed: Arc<Mutex<Vec<ConnectionStats>>>,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else {
+            // fd exhaustion and friends error every accept: back off instead
+            // of pinning a core until the condition clears
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        };
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        let backend = Arc::clone(&backend);
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        let handle = std::thread::spawn(move || serve_connection(stream, backend, shutdown, stats));
+        // reap finished connection threads — joining them, so their ledgers
+        // survive into `shutdown()`'s return value — and keep the handle
+        // list proportional to *live* connections, not total accepts
+        let finished: Vec<JoinHandle<ConnectionStats>> = {
+            let mut held = connections.lock();
+            let (done, live): (Vec<_>, Vec<_>) = held.drain(..).partition(JoinHandle::is_finished);
+            *held = live;
+            held.push(handle);
+            done
+        };
+        let mut reaped: Vec<ConnectionStats> =
+            finished.into_iter().filter_map(|h| h.join().ok()).collect();
+        completed.lock().append(&mut reaped);
+    }
+}
+
+/// What one blocking-with-shutdown-polling frame read produced.
+enum ConnRead {
+    Frame(Frame),
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// The peer violated the protocol or the stream died mid-frame.
+    Failed(ProtoError),
+}
+
+/// Reads one frame, polling the shutdown flag while no frame has started.
+/// Once the first length byte arrives the read commits (interrupting
+/// mid-frame would desynchronise the stream), checking the flag only
+/// between read syscalls. A peer that sends nothing for `idle_deadline`,
+/// or stalls [`FRAME_STALL`] mid-frame, is dropped — a half-open socket
+/// (peer died without RST) can therefore pin the thread only for a bounded
+/// time.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    shutdown: &AtomicBool,
+    idle_deadline: Duration,
+) -> ConnRead {
+    let mut last_progress = std::time::Instant::now();
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        if shutdown.load(Ordering::Relaxed) {
+            return ConnRead::ShuttingDown;
+        }
+        let deadline = if got == 0 { idle_deadline } else { FRAME_STALL };
+        if last_progress.elapsed() > deadline {
+            return if got == 0 { ConnRead::Closed } else { ConnRead::Failed(stalled()) };
+        }
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 { ConnRead::Closed } else { ConnRead::Failed(eof()) };
+            }
+            Ok(n) => {
+                got += n;
+                last_progress = std::time::Instant::now();
+            }
+            Err(e) if retryable(&e) => continue,
+            Err(e) => return ConnRead::Failed(ProtoError::Io(e)),
+        }
+    }
+    let len = match proto::validate_len(u32::from_be_bytes(len_buf)) {
+        Ok(len) => len,
+        Err(e) => return ConnRead::Failed(e),
+    };
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        if shutdown.load(Ordering::Relaxed) {
+            return ConnRead::ShuttingDown;
+        }
+        if last_progress.elapsed() > FRAME_STALL {
+            return ConnRead::Failed(stalled());
+        }
+        match stream.read(&mut payload[got..]) {
+            Ok(0) => return ConnRead::Failed(eof()),
+            Ok(n) => {
+                got += n;
+                last_progress = std::time::Instant::now();
+            }
+            Err(e) if retryable(&e) => continue,
+            Err(e) => return ConnRead::Failed(ProtoError::Io(e)),
+        }
+    }
+    match proto::decode_frame(&payload) {
+        Ok(frame) => ConnRead::Frame(frame),
+        Err(e) => ConnRead::Failed(e),
+    }
+}
+
+/// A canonical 1-qubit qubit-reuse circuit (measure, reset, re-use): asking
+/// the backend's [`ExecutionBackend::can_run`] about it probes whether the
+/// worker supports mid-circuit measurement and reset, without the trait
+/// needing a dedicated query.
+fn mid_circuit_probe() -> Circuit {
+    let mut probe = Circuit::new(1);
+    probe.h(0).measure(0, 0).reset(0).h(0).measure(0, 1);
+    probe
+}
+
+fn eof() -> ProtoError {
+    ProtoError::Io(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed mid-frame"))
+}
+
+fn stalled() -> ProtoError {
+    ProtoError::Io(io::Error::new(io::ErrorKind::TimedOut, "peer stalled mid-frame"))
+}
+
+fn retryable(e: &io::Error) -> bool {
+    matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Serves one client connection: handshake, then batches and heartbeats
+/// until the client disconnects, violates the protocol, or the server shuts
+/// down.
+fn serve_connection(
+    mut stream: TcpStream,
+    backend: Arc<dyn ExecutionBackend + Send + Sync>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<StatsInner>,
+) -> ConnectionStats {
+    let mut conn = ConnectionStats::default();
+    let _ = stream.set_read_timeout(Some(SHUTDOWN_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let _ = stream.set_nodelay(true);
+
+    // Handshake: the very first frame must be a matching ClientHello.
+    match read_frame_polling(&mut stream, &shutdown, HANDSHAKE_DEADLINE) {
+        ConnRead::Frame(Frame::ClientHello { version }) if version == PROTOCOL_VERSION => {
+            let capabilities = Capabilities {
+                max_qubits: backend.max_qubits().map(|q| q as u64),
+                shots_per_circuit: backend.shots_per_circuit(),
+                supports_mid_circuit: backend.can_run(&mid_circuit_probe()),
+                label: backend.label(),
+            };
+            let hello = Frame::ServerHello { version: PROTOCOL_VERSION, capabilities };
+            if proto::write_frame(&mut stream, &hello).is_err() {
+                return conn;
+            }
+        }
+        ConnRead::Frame(Frame::ClientHello { version }) => {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = proto::write_frame(
+                &mut stream,
+                &Frame::Error {
+                    kind: WireErrorKind::VersionMismatch,
+                    message: format!(
+                        "server speaks protocol version {PROTOCOL_VERSION}, client sent {version}"
+                    ),
+                },
+            );
+            return conn;
+        }
+        ConnRead::Frame(_) => {
+            stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = proto::write_frame(
+                &mut stream,
+                &Frame::Error {
+                    kind: WireErrorKind::Protocol,
+                    message: "expected ClientHello as the first frame".into(),
+                },
+            );
+            return conn;
+        }
+        ConnRead::Failed(error) => {
+            // port scans and health probes just disconnect (an Io failure);
+            // only undecodable bytes count as protocol violations
+            if !matches!(error, ProtoError::Io(_)) {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            return conn;
+        }
+        ConnRead::Closed | ConnRead::ShuttingDown => return conn,
+    }
+
+    loop {
+        match read_frame_polling(&mut stream, &shutdown, IDLE_DEADLINE) {
+            ConnRead::Frame(Frame::SubmitBatch { batch, circuits, shots }) => {
+                if let Some(shots) = &shots {
+                    if shots.len() != circuits.len() {
+                        stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        let _ = proto::write_frame(
+                            &mut stream,
+                            &Frame::Error {
+                                kind: WireErrorKind::Protocol,
+                                message: format!(
+                                    "batch {batch} carries {} circuits but {} shot counts",
+                                    circuits.len(),
+                                    shots.len()
+                                ),
+                            },
+                        );
+                        return conn;
+                    }
+                }
+                let served = serve_batch(
+                    &mut stream,
+                    backend.as_ref(),
+                    batch,
+                    &circuits,
+                    shots.as_deref(),
+                    &stats,
+                    &mut conn,
+                );
+                if served.is_err() {
+                    return conn; // client gone mid-stream
+                }
+            }
+            ConnRead::Frame(Frame::Ping { nonce }) => {
+                if proto::write_frame(&mut stream, &Frame::Pong { nonce }).is_err() {
+                    return conn;
+                }
+            }
+            ConnRead::Frame(Frame::Error { .. }) => return conn, // client aborted
+            ConnRead::Frame(_) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = proto::write_frame(
+                    &mut stream,
+                    &Frame::Error {
+                        kind: WireErrorKind::Protocol,
+                        message: "unexpected frame (wanted SubmitBatch or Ping)".into(),
+                    },
+                );
+                return conn;
+            }
+            ConnRead::Failed(error) => {
+                // disconnects mid-frame are ordinary client failures;
+                // undecodable bytes are protocol errors worth counting
+                if !matches!(error, ProtoError::Io(_)) {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = proto::write_frame(
+                        &mut stream,
+                        &Frame::Error { kind: WireErrorKind::Protocol, message: error.to_string() },
+                    );
+                }
+                return conn;
+            }
+            ConnRead::Closed | ConnRead::ShuttingDown => {
+                let _ = stream.shutdown(Shutdown::Both);
+                return conn;
+            }
+        }
+    }
+}
+
+/// Parses and executes one submitted batch, then streams one reply frame
+/// per circuit (in index order) and the closing `BatchDone`. The backend
+/// runs the whole batch as **one** call — preserving its internal
+/// parallelism and the deterministic per-circuit sampling streams — so the
+/// first reply frame is written only once the batch call returns; the
+/// client waits on that with its (long) reply timeout. Folds the outcome
+/// into both the aggregate `stats` and the connection's `conn` ledger at
+/// the same point — before `BatchDone` — so the two can never disagree;
+/// `Err` means the reply stream died.
+fn serve_batch(
+    stream: &mut TcpStream,
+    backend: &dyn ExecutionBackend,
+    batch: u64,
+    circuits: &[String],
+    shots: Option<&[u64]>,
+    stats: &StatsInner,
+    conn: &mut ConnectionStats,
+) -> io::Result<()> {
+    // Parse every circuit; parse failures fail individually, exactly like
+    // backend failures, and the rest of the batch still runs.
+    let mut parse_errors: Vec<Option<CoreError>> = Vec::with_capacity(circuits.len());
+    let mut payload: Vec<Circuit> = Vec::with_capacity(circuits.len());
+    let mut sub_shots: Vec<u64> = Vec::new();
+    for (i, text) in circuits.iter().enumerate() {
+        match qasm::from_qasm(text) {
+            Ok(circuit) => {
+                payload.push(circuit);
+                if let Some(shots) = shots {
+                    sub_shots.push(shots[i]);
+                }
+                parse_errors.push(None);
+            }
+            Err(e) => parse_errors
+                .push(Some(CoreError::Transport { detail: format!("qasm parse error: {e}") })),
+        }
+    }
+
+    // A panicking backend must not kill the connection thread silently: the
+    // panic becomes per-circuit failures the client's dispatcher can rescue,
+    // mirroring the in-process dispatch workers.
+    let run = std::panic::AssertUnwindSafe(|| match shots {
+        Some(_) => backend.run_batch_with_shots(&payload, &sub_shots),
+        None => backend.run_batch(&payload),
+    });
+    let results = std::panic::catch_unwind(run).unwrap_or_else(|_| {
+        payload
+            .iter()
+            .map(|_| {
+                Err(CoreError::BackendUnavailable {
+                    backend: backend.label(),
+                    reason: "backend panicked".into(),
+                })
+            })
+            .collect()
+    });
+
+    let mut results = results.into_iter();
+    let mut ok = 0u64;
+    let mut failed = 0u64;
+    for (index, slot) in parse_errors.into_iter().enumerate() {
+        let outcome = match slot {
+            None => results.next().unwrap_or_else(|| {
+                Err(CoreError::Transport {
+                    detail: "backend returned fewer results than circuits".into(),
+                })
+            }),
+            Some(parse_error) => Err(parse_error),
+        };
+        let (frame, succeeded) = match outcome {
+            Ok(distribution) => {
+                (Frame::CircuitResult { batch, index: index as u32, distribution }, true)
+            }
+            Err(error) => {
+                // deterministic failures (the circuit did not parse) must
+                // not look transient to the client's dispatcher
+                let kind = match &error {
+                    CoreError::Transport { .. } => WireErrorKind::Protocol,
+                    _ => WireErrorKind::Backend,
+                };
+                let failed = Frame::CircuitFailed {
+                    batch,
+                    index: index as u32,
+                    kind,
+                    reason: error.to_string(),
+                };
+                (failed, false)
+            }
+        };
+        match proto::write_frame(stream, &frame) {
+            Ok(()) => {
+                if succeeded {
+                    ok += 1;
+                } else {
+                    failed += 1;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // the reply itself exceeds the frame cap (an enormous
+                // distribution): deterministic and per-circuit, so degrade
+                // to a failure instead of killing the whole connection
+                failed += 1;
+                proto::write_frame(
+                    stream,
+                    &Frame::CircuitFailed {
+                        batch,
+                        index: index as u32,
+                        kind: WireErrorKind::Protocol,
+                        reason: format!("result does not fit one frame: {e}"),
+                    },
+                )?;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    // fold into the aggregate and the connection ledger *before*
+    // acknowledging the batch, so a client that saw `BatchDone` never reads
+    // a stale snapshot, and the ledgers always agree with the aggregate
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    stats.circuits_ok.fetch_add(ok, Ordering::Relaxed);
+    stats.circuits_failed.fetch_add(failed, Ordering::Relaxed);
+    conn.batches += 1;
+    conn.circuits_ok += ok;
+    conn.circuits_failed += failed;
+    proto::write_frame(stream, &Frame::BatchDone { batch, executed: ok as u32 })?;
+    Ok(())
+}

@@ -1,0 +1,228 @@
+//! TCP-level fault injection for transport tests: a proxy that forwards
+//! bytes between a client and an upstream [`QrccServer`](crate::QrccServer)
+//! and breaks the stream on command — the network counterpart of the
+//! backend-level doubles in `qrcc_core::dispatch::testing`
+//! ([`FlakyBackend`](qrcc_core::dispatch::testing::FlakyBackend) injects
+//! *device* faults above the transport; [`FaultyProxy`] injects *wire*
+//! faults below it).
+//!
+//! Ships behind the crate's `testing` feature (always on for this crate's
+//! own tests).
+
+use parking_lot::Mutex;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What to do to one proxied connection's **server → client** byte stream
+/// (the client → server direction always forwards cleanly, so submissions
+/// reach the worker and the fault hits mid-reply — the hard case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProxyFault {
+    /// Forward everything untouched.
+    Clean,
+    /// Forward this many reply bytes, then sever both directions — a
+    /// mid-stream disconnect.
+    DropAfter(usize),
+    /// Forward this many reply bytes, then forward nothing more while
+    /// keeping the sockets open — a stalled peer (clients need an I/O
+    /// timeout to escape).
+    StallAfter(usize),
+    /// Forward this many reply bytes untouched, then XOR every further byte
+    /// with `0x5A` — a garbled stream that must surface as a typed
+    /// transport error, not a crash.
+    GarbleAfter(usize),
+}
+
+/// A fault-injecting TCP forwarder.
+///
+/// Each accepted connection takes the next fault from the schedule the
+/// proxy was spawned with (connections beyond the schedule are
+/// [`ProxyFault::Clean`]), so a test can script "first connection dies
+/// mid-reply, reconnects are healthy" and watch the dispatcher rescue the
+/// work.
+pub struct FaultyProxy {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultyProxy {
+    /// Binds an ephemeral local port forwarding to `upstream`, applying
+    /// `faults[i]` to the `i`-th accepted connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn spawn(upstream: SocketAddr, faults: Vec<ProxyFault>) -> io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let accepted = Arc::clone(&accepted);
+            let streams = Arc::clone(&streams);
+            std::thread::spawn(move || {
+                accept_loop(listener, upstream, faults, shutdown, accepted, streams)
+            })
+        };
+        Ok(FaultyProxy { addr, shutdown, accepted, streams, accept: Some(accept) })
+    }
+
+    /// The address clients should connect to instead of the upstream's.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting and severs every proxied connection.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        let _ = TcpStream::connect(self.addr); // wake the blocking accept
+        for stream in self.streams.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for FaultyProxy {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl std::fmt::Debug for FaultyProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyProxy")
+            .field("addr", &self.addr)
+            .field("connections", &self.accepted.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    upstream: SocketAddr,
+    faults: Vec<ProxyFault>,
+    shutdown: Arc<AtomicBool>,
+    accepted: Arc<AtomicU64>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+) {
+    for client in listener.incoming() {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(client) = client else { continue };
+        let index = accepted.fetch_add(1, Ordering::Relaxed) as usize;
+        let fault = faults.get(index).copied().unwrap_or(ProxyFault::Clean);
+        let Ok(server) = TcpStream::connect(upstream) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        // keep clones so proxy shutdown can sever in-flight connections
+        {
+            let mut held = streams.lock();
+            if let (Ok(c), Ok(s)) = (client.try_clone(), server.try_clone()) {
+                held.push(c);
+                held.push(s);
+            }
+        }
+        let (Ok(client_rx), Ok(server_rx)) = (client.try_clone(), server.try_clone()) else {
+            continue;
+        };
+        // client → server: always clean, so submissions reach the worker
+        let up_shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || forward(client_rx, server, ProxyFault::Clean, &up_shutdown));
+        // server → client: the faulted direction
+        let down_shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || forward(server_rx, client, fault, &down_shutdown));
+    }
+}
+
+/// Copies bytes `from → to`, applying `fault` to the stream. Returns when
+/// either side closes, the fault severs the stream, or the proxy shuts
+/// down.
+fn forward(mut from: TcpStream, mut to: TcpStream, fault: ProxyFault, shutdown: &AtomicBool) {
+    let _ = from.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut forwarded = 0usize;
+    let mut buf = [0u8; 4096];
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let chunk = &mut buf[..n];
+        match fault {
+            ProxyFault::Clean => {}
+            ProxyFault::DropAfter(limit) => {
+                let allowed = limit.saturating_sub(forwarded).min(n);
+                if to.write_all(&chunk[..allowed]).is_err() {
+                    break;
+                }
+                forwarded += n;
+                if forwarded >= limit {
+                    break; // sever both directions below
+                }
+                continue;
+            }
+            ProxyFault::StallAfter(limit) => {
+                let allowed = limit.saturating_sub(forwarded).min(n);
+                if to.write_all(&chunk[..allowed]).is_err() {
+                    break;
+                }
+                forwarded += n;
+                if forwarded >= limit {
+                    // swallow everything further but keep the client-facing
+                    // socket open: the client escapes only via its own I/O
+                    // timeout (or the proxy shutting down)
+                    while !shutdown.load(Ordering::Relaxed) {
+                        match from.read(&mut buf) {
+                            Ok(1..) => {}
+                            Ok(0) | Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                        }
+                    }
+                    return;
+                }
+                continue;
+            }
+            ProxyFault::GarbleAfter(limit) => {
+                for (offset, byte) in chunk.iter_mut().enumerate() {
+                    if forwarded + offset >= limit {
+                        *byte ^= 0x5A;
+                    }
+                }
+            }
+        }
+        if to.write_all(chunk).is_err() {
+            break;
+        }
+        forwarded += n;
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

@@ -5,13 +5,17 @@
 //! by combining **wire cutting**, **gate cutting**, and **qubit reuse**
 //! (Pawar et al., ASPLOS 2024).
 //!
-//! The workspace is organised as four library crates:
+//! The workspace is organised as five library crates:
 //!
 //! * [`circuit`] — quantum circuit IR, benchmark generators, observables.
 //! * [`sim`] — state-vector simulation, shot sampling, noise, devices.
 //! * [`ilp`] — self-contained 0-1 ILP modelling and solving substrate.
 //! * [`core`] — the QRCC compiler pass: QR-aware DAG, cutting models,
 //!   subcircuit generation, and classical reconstruction.
+//! * [`net`] — the remote execution transport: a framed TCP protocol,
+//!   [`QrccServer`](net::QrccServer) workers wrapping any backend, and
+//!   [`RemoteBackend`](net::RemoteBackend) clients that drop into the
+//!   dispatch layer.
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@
 pub use qrcc_circuit as circuit;
 pub use qrcc_core as core;
 pub use qrcc_ilp as ilp;
+pub use qrcc_net as net;
 pub use qrcc_sim as sim;
 
 /// Commonly used items, intended for glob import in examples and tests.
@@ -56,9 +61,12 @@ pub mod prelude {
         observable::{PauliObservable, PauliString},
         Circuit, Gate, Operation, QubitId,
     };
+    // the fault-injection doubles ship only behind the `testing` feature
+    #[cfg(feature = "testing")]
+    pub use qrcc_core::dispatch::{FailureMode, FlakyBackend, QueueBackend};
     pub use qrcc_core::{
         cutqc::CutQcPlanner,
-        dispatch::{DispatchStats, FailureMode, FlakyBackend, QueueBackend},
+        dispatch::DispatchStats,
         execute::{
             execute_requests, BackendUsage, CachingBackend, ExactBackend, ExecutionBackend,
             ExecutionResults, ShotsBackend,
@@ -75,6 +83,7 @@ pub mod prelude {
         schedule::{DeviceRegistry, ScheduleReport, Scheduler, ShotAllocator},
         QrccConfig, SchedulePolicy, ShotAllocation,
     };
+    pub use qrcc_net::{QrccServer, RemoteBackend, ServerHandle, ServerStats};
     pub use qrcc_sim::{
         device::{Device, DeviceConfig},
         noise::NoiseModel,
