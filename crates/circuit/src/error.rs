@@ -49,6 +49,9 @@ pub enum CircuitError {
         /// 1-based line number of the offending statement (0 for
         /// document-level problems such as a missing `qreg`).
         line: usize,
+        /// 1-based byte column of the offending token within its line (0
+        /// when the error cannot be pinned to a token).
+        column: usize,
         /// Human-readable reason.
         reason: String,
     },
@@ -75,8 +78,11 @@ impl fmt::Display for CircuitError {
             CircuitError::NonFiniteParameter { gate } => {
                 write!(f, "gate {gate} was given a non-finite parameter")
             }
-            CircuitError::QasmParse { line, reason } => {
+            CircuitError::QasmParse { line, column: 0, reason } => {
                 write!(f, "qasm parse error at line {line}: {reason}")
+            }
+            CircuitError::QasmParse { line, column, reason } => {
+                write!(f, "qasm parse error at line {line}, column {column}: {reason}")
             }
         }
     }
@@ -97,7 +103,8 @@ mod tests {
             CircuitError::DuplicateQubit { qubit: 0 },
             CircuitError::NonUnitaryOperation { index: 3 },
             CircuitError::NonFiniteParameter { gate: "rz" },
-            CircuitError::QasmParse { line: 4, reason: "unknown gate 'bogus'".into() },
+            CircuitError::QasmParse { line: 4, column: 1, reason: "unknown gate 'bogus'".into() },
+            CircuitError::QasmParse { line: 4, column: 0, reason: "unknown gate 'bogus'".into() },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -112,13 +112,14 @@ pub fn to_qasm(circuit: &Circuit) -> String {
 ///
 /// # Errors
 ///
-/// Returns [`CircuitError::QasmParse`] (with the 1-based line number) for
+/// Returns [`CircuitError::QasmParse`] (with the 1-based line number and,
+/// where the error can be pinned to a token, the 1-based column) for
 /// unsupported versions, malformed statements, unknown gates, wrong
 /// parameter counts, or out-of-range bit indices.
 pub fn from_qasm(text: &str) -> Result<Circuit, CircuitError> {
     let mut num_qubits: Option<usize> = None;
     let mut num_clbits: Option<usize> = None;
-    let mut ops: Vec<(usize, Operation)> = Vec::new();
+    let mut ops: Vec<(usize, usize, Operation)> = Vec::new();
 
     for (index, raw) in text.lines().enumerate() {
         let line = index + 1;
@@ -129,7 +130,11 @@ pub fn from_qasm(text: &str) -> Result<Circuit, CircuitError> {
         if let Some(version) = stmt.strip_prefix("OPENQASM") {
             let version = version.trim().trim_end_matches(';').trim();
             if version != "2" && !version.starts_with("2.") {
-                return Err(parse_error(line, format!("unsupported OpenQASM version {version}")));
+                return Err(parse_error_at(
+                    line,
+                    column_of(raw, version),
+                    format!("unsupported OpenQASM version {version}"),
+                ));
             }
             continue;
         }
@@ -138,38 +143,76 @@ pub fn from_qasm(text: &str) -> Result<Circuit, CircuitError> {
         }
         let stmt = match stmt.strip_suffix(';') {
             Some(s) => s.trim(),
-            None => return Err(parse_error(line, "statement is missing a trailing ';'")),
+            None => {
+                return Err(parse_error_at(
+                    line,
+                    column_of(raw, stmt),
+                    "statement is missing a trailing ';'",
+                ))
+            }
         };
         if let Some(decl) = stmt.strip_prefix("qreg") {
-            let size = parse_register(decl.trim(), 'q')
-                .ok_or_else(|| parse_error(line, format!("malformed qreg declaration '{stmt}'")))?;
+            let size = parse_register(decl.trim(), 'q').ok_or_else(|| {
+                parse_error_at(
+                    line,
+                    column_of(raw, decl.trim()),
+                    format!("malformed qreg declaration '{stmt}'"),
+                )
+            })?;
             if num_qubits.replace(size).is_some() {
-                return Err(parse_error(line, "duplicate qreg declaration"));
+                return Err(parse_error_at(
+                    line,
+                    column_of(raw, stmt),
+                    "duplicate qreg declaration",
+                ));
             }
             continue;
         }
         if let Some(decl) = stmt.strip_prefix("creg") {
-            let size = parse_register(decl.trim(), 'c')
-                .ok_or_else(|| parse_error(line, format!("malformed creg declaration '{stmt}'")))?;
+            let size = parse_register(decl.trim(), 'c').ok_or_else(|| {
+                parse_error_at(
+                    line,
+                    column_of(raw, decl.trim()),
+                    format!("malformed creg declaration '{stmt}'"),
+                )
+            })?;
             if num_clbits.replace(size).is_some() {
-                return Err(parse_error(line, "duplicate creg declaration"));
+                return Err(parse_error_at(
+                    line,
+                    column_of(raw, stmt),
+                    "duplicate creg declaration",
+                ));
             }
             continue;
         }
-        ops.push((line, parse_statement(stmt, line)?));
+        ops.push((line, column_of(raw, stmt), parse_statement(stmt, line, raw)?));
     }
 
     let num_qubits =
         num_qubits.ok_or_else(|| parse_error(0, "document declares no qreg register"))?;
     let mut circuit = Circuit::with_clbits(num_qubits, num_clbits.unwrap_or(0));
-    for (line, op) in ops {
-        circuit.try_push(op).map_err(|e| parse_error(line, e.to_string()))?;
+    for (line, column, op) in ops {
+        circuit.try_push(op).map_err(|e| parse_error_at(line, column, e.to_string()))?;
     }
     Ok(circuit)
 }
 
 fn parse_error(line: usize, reason: impl Into<String>) -> CircuitError {
-    CircuitError::QasmParse { line, reason: reason.into() }
+    CircuitError::QasmParse { line, column: 0, reason: reason.into() }
+}
+
+fn parse_error_at(line: usize, column: usize, reason: impl Into<String>) -> CircuitError {
+    CircuitError::QasmParse { line, column, reason: reason.into() }
+}
+
+/// 1-based byte column of `token`'s first occurrence in the raw line (0 when
+/// the token cannot be located, so the error degrades to line-only).
+fn column_of(raw: &str, token: &str) -> usize {
+    let token = token.trim();
+    if token.is_empty() {
+        return 0;
+    }
+    raw.find(token).map_or(0, |offset| offset + 1)
 }
 
 /// Parses `name[size]` for a declaration like `qreg q[3]`, returning the size
@@ -186,18 +229,30 @@ fn parse_bit_ref(token: &str, register: char) -> Option<usize> {
 }
 
 /// Parses one operation statement (gate call, measure, reset or barrier);
-/// the trailing `;` is already stripped.
-fn parse_statement(stmt: &str, line: usize) -> Result<Operation, CircuitError> {
+/// the trailing `;` is already stripped. `raw` is the original line, used to
+/// pin errors to the offending token's column.
+fn parse_statement(stmt: &str, line: usize, raw: &str) -> Result<Operation, CircuitError> {
     if let Some(rest) = stmt.strip_prefix("measure ") {
         let (qubit, clbit) = rest
             .split_once("->")
             .and_then(|(q, c)| Some((parse_bit_ref(q, 'q')?, parse_bit_ref(c, 'c')?)))
-            .ok_or_else(|| parse_error(line, format!("malformed measure statement '{stmt}'")))?;
+            .ok_or_else(|| {
+                parse_error_at(
+                    line,
+                    column_of(raw, rest),
+                    format!("malformed measure statement '{stmt}'"),
+                )
+            })?;
         return Ok(Operation::Measure { qubit: QubitId::new(qubit), clbit });
     }
     if let Some(rest) = stmt.strip_prefix("reset ") {
-        let qubit = parse_bit_ref(rest, 'q')
-            .ok_or_else(|| parse_error(line, format!("malformed reset statement '{stmt}'")))?;
+        let qubit = parse_bit_ref(rest, 'q').ok_or_else(|| {
+            parse_error_at(
+                line,
+                column_of(raw, rest),
+                format!("malformed reset statement '{stmt}'"),
+            )
+        })?;
         return Ok(Operation::Reset { qubit: QubitId::new(qubit) });
     }
     if stmt == "barrier" || stmt.starts_with("barrier ") {
@@ -206,7 +261,11 @@ fn parse_statement(stmt: &str, line: usize) -> Result<Operation, CircuitError> {
         if !args.is_empty() {
             for token in args.split(',') {
                 let qubit = parse_bit_ref(token, 'q').ok_or_else(|| {
-                    parse_error(line, format!("malformed barrier operand '{token}'"))
+                    parse_error_at(
+                        line,
+                        column_of(raw, token),
+                        format!("malformed barrier operand '{token}'"),
+                    )
                 })?;
                 qubits.push(QubitId::new(qubit));
             }
@@ -219,13 +278,21 @@ fn parse_statement(stmt: &str, line: usize) -> Result<Operation, CircuitError> {
     let (name, rest) = stmt.split_at(name_end);
     let rest = rest.trim_start();
     let (params, operands) = if let Some(after_open) = rest.strip_prefix('(') {
-        let (inside, after) = after_open
-            .split_once(')')
-            .ok_or_else(|| parse_error(line, format!("unterminated parameter list in '{stmt}'")))?;
+        let (inside, after) = after_open.split_once(')').ok_or_else(|| {
+            parse_error_at(
+                line,
+                column_of(raw, rest),
+                format!("unterminated parameter list in '{stmt}'"),
+            )
+        })?;
         let mut params = Vec::new();
         for token in inside.split(',') {
             let value: f64 = token.trim().parse().map_err(|_| {
-                parse_error(line, format!("malformed gate parameter '{}'", token.trim()))
+                parse_error_at(
+                    line,
+                    column_of(raw, token),
+                    format!("malformed gate parameter '{}'", token.trim()),
+                )
             })?;
             params.push(value);
         }
@@ -234,18 +301,28 @@ fn parse_statement(stmt: &str, line: usize) -> Result<Operation, CircuitError> {
         (Vec::new(), rest)
     };
     if operands.is_empty() {
-        return Err(parse_error(line, format!("gate '{name}' names no qubits")));
+        return Err(parse_error_at(
+            line,
+            column_of(raw, name),
+            format!("gate '{name}' names no qubits"),
+        ));
     }
     let mut qubits = Vec::new();
     for token in operands.split(',') {
-        let qubit = parse_bit_ref(token, 'q')
-            .ok_or_else(|| parse_error(line, format!("malformed gate operand '{token}'")))?;
+        let qubit = parse_bit_ref(token, 'q').ok_or_else(|| {
+            parse_error_at(line, column_of(raw, token), format!("malformed gate operand '{token}'"))
+        })?;
         qubits.push(QubitId::new(qubit));
     }
     let gate = gate_from_name(name, &params).ok_or_else(|| {
-        parse_error(line, format!("unknown gate '{name}' with {} parameter(s)", params.len()))
+        parse_error_at(
+            line,
+            column_of(raw, name),
+            format!("unknown gate '{name}' with {} parameter(s)", params.len()),
+        )
     })?;
-    Operation::gate(gate, &qubits).map_err(|e| parse_error(line, e.to_string()))
+    Operation::gate(gate, &qubits)
+        .map_err(|e| parse_error_at(line, column_of(raw, name), e.to_string()))
 }
 
 /// Maps a QASM gate name plus parameter list back to the [`Gate`] that
@@ -352,7 +429,10 @@ mod tests {
     #[test]
     fn parser_rejects_malformed_documents_with_line_numbers() {
         let unknown = from_qasm("qreg q[2];\nbogus q[0];\n");
-        assert!(matches!(unknown, Err(CircuitError::QasmParse { line: 2, .. })), "{unknown:?}");
+        assert!(
+            matches!(unknown, Err(CircuitError::QasmParse { line: 2, column: 1, .. })),
+            "{unknown:?}"
+        );
         let version = from_qasm("OPENQASM 3.0;\nqreg q[1];\n");
         assert!(matches!(version, Err(CircuitError::QasmParse { line: 1, .. })));
         let no_semicolon = from_qasm("qreg q[1];\nh q[0]\n");
@@ -373,6 +453,35 @@ mod tests {
         assert!(matches!(dup_creg, Err(CircuitError::QasmParse { line: 3, .. })));
         let future_version = from_qasm("OPENQASM 20.0;\nqreg q[1];\n");
         assert!(matches!(future_version, Err(CircuitError::QasmParse { line: 1, .. })));
+    }
+
+    #[test]
+    fn parse_errors_pin_the_offending_token_column() {
+        // out-of-range indices are caught at whole-document validation, so
+        // they point at the statement start (column 1 of `h q[4];`)
+        let out_of_range = from_qasm("qreg q[1];\nh q[4];\n");
+        assert!(
+            matches!(out_of_range, Err(CircuitError::QasmParse { line: 2, column: 1, .. })),
+            "{out_of_range:?}"
+        );
+        // the malformed operand `q(0)` starts at column 4 of `cx q(0),q[1];`
+        let operand = from_qasm("qreg q[2];\ncx q(0),q[1];\n");
+        assert!(
+            matches!(operand, Err(CircuitError::QasmParse { line: 2, column: 4, .. })),
+            "{operand:?}"
+        );
+        // indentation shifts the column: `bogus` behind two spaces is column 3
+        let indented = from_qasm("qreg q[1];\n  bogus q[0];\n");
+        assert!(
+            matches!(indented, Err(CircuitError::QasmParse { line: 2, column: 3, .. })),
+            "{indented:?}"
+        );
+        // document-level errors cannot name a token: line 0, column 0
+        let no_qreg = from_qasm("h q[0];\n");
+        assert!(matches!(no_qreg, Err(CircuitError::QasmParse { line: 0, column: 0, .. })));
+        // the display message includes the column when one is known
+        let message = from_qasm("qreg q[1];\nh q[4];\n").unwrap_err().to_string();
+        assert!(message.contains("line 2, column 1"), "{message}");
     }
 
     #[test]

@@ -1,3 +1,4 @@
+use crate::analyze::LintLevel;
 use crate::reconstruct::ReconstructionStrategy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -166,6 +167,11 @@ pub struct QrccConfig {
     /// How the execution [`schedule`](crate::schedule) layer splits a global
     /// shot budget across the batch and chunks it for streaming.
     pub schedule: SchedulePolicy,
+    /// Severity gate of the pre-flight [`analyze`](crate::analyze) pass:
+    /// which diagnostics make [`AnalysisReport::gate`](crate::analyze::AnalysisReport::gate)
+    /// fail. `Warn` (the default) fails on errors only; `Deny` also fails on
+    /// warnings; `Allow` never fails.
+    pub lint_level: LintLevel,
 }
 
 fn default_ilp_time_limit() -> Duration {
@@ -192,6 +198,7 @@ impl QrccConfig {
             reconstruction_strategy: ReconstructionStrategy::Auto,
             prune_tolerance: 0.0,
             schedule: SchedulePolicy::default(),
+            lint_level: LintLevel::default(),
         }
     }
 
@@ -302,6 +309,15 @@ impl QrccConfig {
     /// Sets the shot-allocation mode of the schedule policy.
     pub fn with_shot_allocation(mut self, allocation: ShotAllocation) -> Self {
         self.schedule.allocation = allocation;
+        self
+    }
+
+    /// Sets the severity gate of the pre-flight analysis pass.
+    /// `LintLevel::Deny` is "deny warnings" mode: any warning- or
+    /// error-severity diagnostic fails
+    /// [`AnalysisReport::gate`](crate::analyze::AnalysisReport::gate) fast.
+    pub fn with_lint_level(mut self, level: LintLevel) -> Self {
+        self.lint_level = level;
         self
     }
 

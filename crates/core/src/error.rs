@@ -96,6 +96,18 @@ pub enum CoreError {
         /// The error of the final attempt.
         last: Box<CoreError>,
     },
+    /// The pre-flight [`analyze`](crate::analyze) pass found diagnostics at
+    /// or above the configured
+    /// [`LintLevel`](crate::analyze::LintLevel) gate, so execution was
+    /// refused before any backend was contacted.
+    AnalysisFailed {
+        /// Error-severity diagnostics in the report.
+        errors: usize,
+        /// Warning-severity diagnostics in the report.
+        warnings: usize,
+        /// The first gating diagnostic, rendered (`error[QL0203]: ...`).
+        first: String,
+    },
     /// An error bubbled up from the simulator / device layer.
     Simulation(qrcc_sim::SimError),
     /// An error bubbled up from the ILP solver.
@@ -147,6 +159,10 @@ impl fmt::Display for CoreError {
             CoreError::RetriesExhausted { attempts, last } => {
                 write!(f, "circuit failed on every backend after {attempts} attempt(s): {last}")
             }
+            CoreError::AnalysisFailed { errors, warnings, first } => write!(
+                f,
+                "pre-flight analysis failed with {errors} error(s) and {warnings} warning(s); first: {first}"
+            ),
             CoreError::Simulation(e) => write!(f, "simulation error: {e}"),
             CoreError::Ilp(e) => write!(f, "ilp error: {e}"),
         }
@@ -200,6 +216,11 @@ mod tests {
                     backend: "ibm-ish".into(),
                     reason: "queue".into(),
                 }),
+            },
+            CoreError::AnalysisFailed {
+                errors: 1,
+                warnings: 2,
+                first: "error[QL0203]: fragment 0 is 5 qubits wide".into(),
             },
             CoreError::Simulation(qrcc_sim::SimError::ZeroShots),
             CoreError::Ilp(qrcc_ilp::IlpError::Infeasible),

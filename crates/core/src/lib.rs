@@ -67,6 +67,7 @@
 mod config;
 mod error;
 
+pub mod analyze;
 pub mod cutqc;
 pub mod dispatch;
 pub mod execute;
@@ -81,6 +82,9 @@ pub mod reuse;
 pub mod schedule;
 pub mod spec;
 
+pub use analyze::{
+    AnalysisContext, AnalysisReport, Analyzer, Diagnostic, Lint, LintLevel, Location, Severity,
+};
 pub use config::{QrccConfig, SchedulePolicy, ShotAllocation, ALPHA_WIRE_CUT, BETA_GATE_CUT};
 pub use error::CoreError;
 pub use reconstruct::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy};

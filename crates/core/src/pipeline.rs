@@ -25,6 +25,7 @@
 //! delivered chunk into fragment tensors as it arrives, overlapping
 //! reconstruction with device execution for both workloads.
 
+use crate::analyze::{AnalysisContext, AnalysisReport, Analyzer};
 use crate::execute::{execute_requests, ExecutionBackend, ExecutionResults};
 use crate::fragment::{FragmentSet, VariantRequest};
 use crate::planner::{CutPlan, CutPlanner};
@@ -115,6 +116,55 @@ impl QrccPipeline {
 
     fn expectation_reconstructor(&self) -> ExpectationReconstructor {
         ExpectationReconstructor::with_options(self.reconstruction_options())
+    }
+
+    // ---- phase 0: pre-flight static analysis ----
+
+    /// Runs the pre-flight [`analyze`](crate::analyze) pass over the plan:
+    /// circuit lints (`QL01xx`) on the original circuit and plan lints
+    /// (`QL02xx`) on the fragments, using the plan's [`QrccConfig`]. Fleet
+    /// lints need a registry — see [`QrccPipeline::analyze_with_fleet`].
+    pub fn analyze(&self) -> AnalysisReport {
+        Analyzer::new().run(
+            &AnalysisContext::new()
+                .with_circuit(self.plan.circuit())
+                .with_fragments(&self.fragments)
+                .with_config(self.plan.config()),
+        )
+    }
+
+    /// Runs the full pre-flight pass — circuit, plan **and** fleet lints
+    /// (`QL03xx`): statically predicting
+    /// [`CoreError::NoCompatibleBackend`] and
+    /// [`CoreError::ShotBudgetTooSmall`] against `fleet` before any backend
+    /// is contacted.
+    pub fn analyze_with_fleet(&self, fleet: &crate::schedule::DeviceRegistry) -> AnalysisReport {
+        Analyzer::new().run(
+            &AnalysisContext::new()
+                .with_circuit(self.plan.circuit())
+                .with_fragments(&self.fragments)
+                .with_config(self.plan.config())
+                .with_fleet(fleet),
+        )
+    }
+
+    /// [`QrccPipeline::analyze_with_fleet`] plus the severity gate of the
+    /// plan's [`QrccConfig::lint_level`]: returns the report when it passes,
+    /// fails fast otherwise — call this before
+    /// [`QrccPipeline::execute_scheduled`] to turn mid-dispatch failures
+    /// into a pre-flight [`CoreError::AnalysisFailed`].
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::AnalysisFailed`] when the report holds diagnostics at or
+    /// above the configured [`LintLevel`](crate::analyze::LintLevel).
+    pub fn preflight(
+        &self,
+        fleet: &crate::schedule::DeviceRegistry,
+    ) -> Result<AnalysisReport, CoreError> {
+        let report = self.analyze_with_fleet(fleet);
+        report.gate(self.plan.config().lint_level)?;
+        Ok(report)
     }
 
     // ---- phase 1+2: enumerate, deduplicate and execute ----

@@ -283,7 +283,7 @@ impl CutTensor {
 
 /// Every variant the probability workload needs from one fragment: all
 /// `4^incoming · 3^outgoing` combinations, outputs measured in Z.
-pub(super) fn probability_variants(
+pub(crate) fn probability_variants(
     fragment: &Fragment,
 ) -> impl Iterator<Item = FragmentVariant> + '_ {
     let num_in = fragment.incoming_cuts.len();
@@ -319,7 +319,7 @@ pub(super) fn normalized_output_bases(fragment: &Fragment, string: &PauliString)
 /// Every variant one fragment needs for one Pauli string: all
 /// `6^roles · 4^incoming · 3^outgoing` combinations with the string's output
 /// bases.
-pub(super) fn expectation_variants<'a>(
+pub(crate) fn expectation_variants<'a>(
     fragment: &'a Fragment,
     string: &PauliString,
 ) -> impl Iterator<Item = FragmentVariant> + 'a {

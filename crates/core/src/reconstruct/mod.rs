@@ -60,6 +60,7 @@ mod streaming;
 
 pub mod cost;
 
+pub(crate) use engine::{expectation_variants, probability_variants, resolve_strategy};
 pub use engine::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy, Workload};
 pub use expectation::ExpectationReconstructor;
 pub use probability::ProbabilityReconstructor;

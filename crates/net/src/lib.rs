@@ -53,12 +53,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod client;
 pub mod proto;
 pub mod server;
 #[cfg(any(test, feature = "testing"))]
 pub mod testing;
 
+pub use analyze::lint_capabilities;
 pub use client::{RemoteBackend, DEFAULT_IO_TIMEOUT};
 pub use proto::{Capabilities, ProtoError, PROTOCOL_VERSION};
 pub use server::{ConnectionStats, QrccServer, ServerHandle, ServerStats};

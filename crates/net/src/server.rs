@@ -16,6 +16,7 @@
 use crate::proto::{self, Capabilities, Frame, ProtoError, WireErrorKind, PROTOCOL_VERSION};
 use parking_lot::Mutex;
 use qrcc_circuit::{qasm, Circuit};
+use qrcc_core::analyze;
 use qrcc_core::execute::ExecutionBackend;
 use qrcc_core::CoreError;
 use std::io::{self, Read};
@@ -28,10 +29,20 @@ use std::time::Duration;
 /// How often blocked connection reads wake up to check the shutdown flag.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(100);
 
-/// Cap on blocking writes to a client. A client that stops reading (its
-/// socket buffer fills) errors the connection out instead of wedging the
-/// connection thread — and with it [`ServerHandle::shutdown`] — forever.
+/// Cap on individual blocking writes to a client. A client that stops
+/// reading (its socket buffer fills) errors the connection out instead of
+/// wedging the connection thread — and with it [`ServerHandle::shutdown`] —
+/// forever.
 const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Default **cumulative** cap on all reply writes of one batch (tunable via
+/// [`QrccServer::with_batch_write_budget`]). The per-syscall
+/// [`WRITE_TIMEOUT`] alone cannot bound an adversarial *trickle-reading*
+/// client: one that drains a few bytes just often enough keeps every write
+/// syscall under the timeout while stretching the batch reply out
+/// indefinitely, pinning the connection thread. The budget bounds the whole
+/// reply; generous enough that a healthy client never notices.
+const BATCH_WRITE_BUDGET: Duration = Duration::from_secs(120);
 
 /// How long a connection may sit before its `ClientHello` arrives. Port
 /// scanners and health probes that hold the socket without speaking are
@@ -118,6 +129,7 @@ pub struct ConnectionStats {
 pub struct QrccServer {
     listener: TcpListener,
     backend: Arc<dyn ExecutionBackend + Send + Sync>,
+    write_budget: Duration,
 }
 
 impl QrccServer {
@@ -131,7 +143,21 @@ impl QrccServer {
         addr: impl ToSocketAddrs,
         backend: impl ExecutionBackend + Send + 'static,
     ) -> io::Result<Self> {
-        Ok(QrccServer { listener: TcpListener::bind(addr)?, backend: Arc::new(backend) })
+        Ok(QrccServer {
+            listener: TcpListener::bind(addr)?,
+            backend: Arc::new(backend),
+            write_budget: BATCH_WRITE_BUDGET,
+        })
+    }
+
+    /// Sets the cumulative deadline for all reply writes of one batch
+    /// (default 120 s). A connection whose client drains replies slower than
+    /// this — including a trickle-reader that keeps every individual write
+    /// under the per-syscall timeout — is dropped when the budget runs out.
+    #[must_use]
+    pub fn with_batch_write_budget(mut self, budget: Duration) -> Self {
+        self.write_budget = budget;
+        self
     }
 
     /// The bound address — with port 0, the ephemeral port the OS assigned.
@@ -157,8 +183,17 @@ impl QrccServer {
             let stats = Arc::clone(&stats);
             let connections = Arc::clone(&connections);
             let completed = Arc::clone(&completed);
+            let write_budget = self.write_budget;
             std::thread::spawn(move || {
-                accept_loop(self.listener, self.backend, shutdown, stats, connections, completed)
+                accept_loop(
+                    self.listener,
+                    self.backend,
+                    write_budget,
+                    shutdown,
+                    stats,
+                    connections,
+                    completed,
+                )
             })
         };
         ServerHandle { addr, shutdown, stats, connections, completed, accept: Some(accept) }
@@ -238,9 +273,11 @@ impl std::fmt::Debug for ServerHandle {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn accept_loop(
     listener: TcpListener,
     backend: Arc<dyn ExecutionBackend + Send + Sync>,
+    write_budget: Duration,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
     connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>>,
@@ -260,7 +297,9 @@ fn accept_loop(
         let backend = Arc::clone(&backend);
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
-        let handle = std::thread::spawn(move || serve_connection(stream, backend, shutdown, stats));
+        let handle = std::thread::spawn(move || {
+            serve_connection(stream, backend, write_budget, shutdown, stats)
+        });
         // reap finished connection threads — joining them, so their ledgers
         // survive into `shutdown()`'s return value — and keep the handle
         // list proportional to *live* connections, not total accepts
@@ -380,6 +419,7 @@ fn retryable(e: &io::Error) -> bool {
 fn serve_connection(
     mut stream: TcpStream,
     backend: Arc<dyn ExecutionBackend + Send + Sync>,
+    write_budget: Duration,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
 ) -> ConnectionStats {
@@ -460,6 +500,7 @@ fn serve_connection(
                 let served = serve_batch(
                     &mut stream,
                     backend.as_ref(),
+                    write_budget,
                     batch,
                     &circuits,
                     shots.as_deref(),
@@ -507,39 +548,88 @@ fn serve_connection(
     }
 }
 
-/// Parses and executes one submitted batch, then streams one reply frame
-/// per circuit (in index order) and the closing `BatchDone`. The backend
-/// runs the whole batch as **one** call — preserving its internal
-/// parallelism and the deterministic per-circuit sampling streams — so the
-/// first reply frame is written only once the batch call returns; the
-/// client waits on that with its (long) reply timeout. Folds the outcome
-/// into both the aggregate `stats` and the connection's `conn` ledger at
-/// the same point — before `BatchDone` — so the two can never disagree;
-/// `Err` means the reply stream died.
+/// Enforces the server's **cumulative** per-batch write deadline on top of
+/// the per-syscall `SO_SNDTIMEO`: every write first checks the shared
+/// deadline, then bounds the syscall itself by the remaining budget. The
+/// per-syscall timeout alone is not enough — a trickle-reading client that
+/// drains a few bytes just often enough keeps every individual write under
+/// [`WRITE_TIMEOUT`] while stretching the reply stream out forever. With the
+/// deadline re-armed per call, the worst-case overrun is one syscall that
+/// started just before the budget ran out (≤ 2× the budget overall).
+struct DeadlineWriter<'a> {
+    stream: &'a mut TcpStream,
+    deadline: std::time::Instant,
+}
+
+impl io::Write for DeadlineWriter<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(remaining) = self.deadline.checked_duration_since(std::time::Instant::now())
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "client drained batch replies too slowly: cumulative write budget exhausted",
+            ));
+        };
+        // a zero socket timeout means "block forever" — clamp up instead
+        let _ = self.stream.set_write_timeout(Some(remaining.max(Duration::from_millis(1))));
+        self.stream.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.stream.flush()
+    }
+}
+
+/// Parses and pre-flights one submitted batch, executes what survives, then
+/// streams one reply frame per circuit (in index order) and the closing
+/// `BatchDone`. Circuits fail **individually** — a parse error, a static
+/// pre-flight rejection ([`qrcc_core::analyze::preflight_backend`]: too wide
+/// for this worker, or needing mid-circuit support it lacks), or a backend
+/// error each produce a `CircuitFailed` while the rest of the batch still
+/// runs. The backend runs the surviving circuits as **one** call —
+/// preserving its internal parallelism and the deterministic per-circuit
+/// sampling streams — so the first reply frame is written only once the
+/// batch call returns; the client waits on that with its (long) reply
+/// timeout. All reply writes run under the cumulative `write_budget`
+/// deadline (see [`DeadlineWriter`]). Folds the outcome into both the
+/// aggregate `stats` and the connection's `conn` ledger at the same point —
+/// before `BatchDone` — so the two can never disagree; `Err` means the
+/// reply stream died.
+#[allow(clippy::too_many_arguments)]
 fn serve_batch(
     stream: &mut TcpStream,
     backend: &dyn ExecutionBackend,
+    write_budget: Duration,
     batch: u64,
     circuits: &[String],
     shots: Option<&[u64]>,
     stats: &StatsInner,
     conn: &mut ConnectionStats,
 ) -> io::Result<()> {
-    // Parse every circuit; parse failures fail individually, exactly like
-    // backend failures, and the rest of the batch still runs.
-    let mut parse_errors: Vec<Option<CoreError>> = Vec::with_capacity(circuits.len());
+    // Parse and statically pre-flight every circuit; rejected circuits fail
+    // individually, exactly like backend failures, and the rest of the
+    // batch still runs. Parse errors keep their line/column; pre-flight
+    // rejections carry the rendered QL diagnostic and stay `Backend`-kinded
+    // so the client's dispatcher re-routes them to a capable worker.
+    let mut rejections: Vec<Option<CoreError>> = Vec::with_capacity(circuits.len());
     let mut payload: Vec<Circuit> = Vec::with_capacity(circuits.len());
     let mut sub_shots: Vec<u64> = Vec::new();
     for (i, text) in circuits.iter().enumerate() {
         match qasm::from_qasm(text) {
-            Ok(circuit) => {
-                payload.push(circuit);
-                if let Some(shots) = shots {
-                    sub_shots.push(shots[i]);
+            Ok(circuit) => match analyze::preflight_backend(&circuit, backend) {
+                Some(diagnostic) => rejections.push(Some(CoreError::BackendUnavailable {
+                    backend: backend.label(),
+                    reason: format!("rejected by pre-flight analysis: {diagnostic}"),
+                })),
+                None => {
+                    payload.push(circuit);
+                    if let Some(shots) = shots {
+                        sub_shots.push(shots[i]);
+                    }
+                    rejections.push(None);
                 }
-                parse_errors.push(None);
-            }
-            Err(e) => parse_errors
+            },
+            Err(e) => rejections
                 .push(Some(CoreError::Transport { detail: format!("qasm parse error: {e}") })),
         }
     }
@@ -563,17 +653,21 @@ fn serve_batch(
             .collect()
     });
 
+    // Every reply write of this batch shares one cumulative deadline; the
+    // per-syscall timeout is restored before returning so later batches and
+    // control frames on this connection see the ordinary [`WRITE_TIMEOUT`].
+    let mut writer = DeadlineWriter { stream, deadline: std::time::Instant::now() + write_budget };
     let mut results = results.into_iter();
     let mut ok = 0u64;
     let mut failed = 0u64;
-    for (index, slot) in parse_errors.into_iter().enumerate() {
+    for (index, slot) in rejections.into_iter().enumerate() {
         let outcome = match slot {
             None => results.next().unwrap_or_else(|| {
                 Err(CoreError::Transport {
                     detail: "backend returned fewer results than circuits".into(),
                 })
             }),
-            Some(parse_error) => Err(parse_error),
+            Some(rejection) => Err(rejection),
         };
         let (frame, succeeded) = match outcome {
             Ok(distribution) => {
@@ -595,7 +689,7 @@ fn serve_batch(
                 (failed, false)
             }
         };
-        match proto::write_frame(stream, &frame) {
+        match proto::write_frame(&mut writer, &frame) {
             Ok(()) => {
                 if succeeded {
                     ok += 1;
@@ -609,7 +703,7 @@ fn serve_batch(
                 // to a failure instead of killing the whole connection
                 failed += 1;
                 proto::write_frame(
-                    stream,
+                    &mut writer,
                     &Frame::CircuitFailed {
                         batch,
                         index: index as u32,
@@ -630,6 +724,8 @@ fn serve_batch(
     conn.batches += 1;
     conn.circuits_ok += ok;
     conn.circuits_failed += failed;
-    proto::write_frame(stream, &Frame::BatchDone { batch, executed: ok as u32 })?;
+    let done = proto::write_frame(&mut writer, &Frame::BatchDone { batch, executed: ok as u32 });
+    let _ = writer.stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    done?;
     Ok(())
 }

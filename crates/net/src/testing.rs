@@ -35,6 +35,13 @@ pub enum ProxyFault {
     /// with `0x5A` — a garbled stream that must surface as a typed
     /// transport error, not a crash.
     GarbleAfter(usize),
+    /// Forward this many reply bytes at full speed, then *trickle*: drain
+    /// the server in small sips on a slow clock — an adversarial client
+    /// that reads just often enough to keep every individual server write
+    /// under its per-syscall timeout while never letting the reply stream
+    /// finish. The server escapes only via its cumulative batch write
+    /// budget.
+    TrickleAfter(usize),
 }
 
 /// A fault-injecting TCP forwarder.
@@ -217,11 +224,52 @@ fn forward(mut from: TcpStream, mut to: TcpStream, fault: ProxyFault, shutdown: 
                     }
                 }
             }
+            ProxyFault::TrickleAfter(limit) => {
+                let allowed = limit.saturating_sub(forwarded).min(n);
+                if allowed > 0 && to.write_all(&chunk[..allowed]).is_err() {
+                    break;
+                }
+                forwarded += n;
+                if forwarded >= limit {
+                    trickle(&mut from, &mut to, shutdown);
+                    return;
+                }
+                continue;
+            }
         }
         if to.write_all(chunk).is_err() {
             break;
         }
         forwarded += n;
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+/// Drains `from` (the server side) one small sip at a time on a slow clock,
+/// forwarding best-effort to the client and **ignoring** client-side write
+/// failures: the server-facing socket must stay alive and slowly read even
+/// after the client gives up, otherwise the server would escape via a
+/// broken pipe instead of its cumulative write budget. Returns once the
+/// server closes the connection (budget enforced) or the proxy shuts down.
+fn trickle(from: &mut TcpStream, to: &mut TcpStream, shutdown: &AtomicBool) {
+    let _ = to.set_write_timeout(Some(Duration::from_millis(50)));
+    // ~1 MB/s: slow enough that a multi-megabyte reply stream outlives any
+    // sub-second write budget by an order of magnitude, fast enough that
+    // draining the kernel-buffered leftovers after the server hangs up does
+    // not dominate test wall-clock (an EOF is only observable once the
+    // receive buffer — potentially several MB — is empty)
+    let mut sip = [0u8; 64 * 1024];
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+        match from.read(&mut sip) {
+            Ok(0) => break,
+            Ok(n) => {
+                let _ = to.write_all(&sip[..n]);
+            }
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(_) => break,
+        }
     }
     let _ = from.shutdown(Shutdown::Both);
     let _ = to.shutdown(Shutdown::Both);

@@ -335,6 +335,107 @@ fn device_level_faults_cross_the_wire_as_per_circuit_failures() {
 }
 
 #[test]
+fn statically_invalid_circuits_are_rejected_before_the_backend_runs() {
+    // a circuit the pre-flight analyzer can prove unrunnable on this worker
+    // (too wide for the capped backend) must be rejected *before* the batch
+    // call, with the rendered QL diagnostic in the reason and the Backend
+    // kind so the client's dispatcher re-routes instead of giving up
+    let server = QrccServer::bind("127.0.0.1:0", ExactBackend::capped(2)).unwrap().spawn();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    proto::write_frame(&mut stream, &Frame::ClientHello { version: PROTOCOL_VERSION }).unwrap();
+    assert!(matches!(proto::read_frame(&mut stream).unwrap(), Frame::ServerHello { .. }));
+    let mut wide = Circuit::new(3);
+    wide.h(0).cx(0, 1).cx(1, 2).measure_all();
+    proto::write_frame(
+        &mut stream,
+        &Frame::SubmitBatch {
+            batch: 11,
+            circuits: vec![
+                qrcc_circuit::qasm::to_qasm(&wide),
+                qrcc_circuit::qasm::to_qasm(&bell()),
+            ],
+            shots: None,
+        },
+    )
+    .unwrap();
+    match proto::read_frame(&mut stream).unwrap() {
+        Frame::CircuitFailed { index: 0, kind, reason, .. } => {
+            assert_eq!(kind, WireErrorKind::Backend, "pre-flight rejections stay re-routable");
+            assert!(reason.contains("rejected by pre-flight analysis"), "{reason}");
+            assert!(reason.contains("QL0301"), "the QL code must survive the wire: {reason}");
+        }
+        other => panic!("expected the pre-flight rejection first, got {other:?}"),
+    }
+    assert!(matches!(
+        proto::read_frame(&mut stream).unwrap(),
+        Frame::CircuitResult { index: 1, .. }
+    ));
+    assert!(matches!(
+        proto::read_frame(&mut stream).unwrap(),
+        Frame::BatchDone { executed: 1, .. }
+    ));
+    server.shutdown();
+}
+
+#[test]
+fn trickle_reading_client_is_bounded_by_the_cumulative_write_budget() {
+    // an adversarial client that drains replies a sip at a time keeps every
+    // individual write syscall comfortably under the per-syscall timeout, so
+    // only the *cumulative* batch write budget can unpin the connection
+    // thread — this replays that attack and expects a fast, clean escape
+    let server = QrccServer::bind("127.0.0.1:0", ExactBackend::new())
+        .unwrap()
+        .with_batch_write_budget(Duration::from_millis(500))
+        .spawn();
+    // the ~60-byte handshake passes at full speed; the trickle hits mid-reply
+    let proxy = FaultyProxy::spawn(server.addr(), vec![ProxyFault::TrickleAfter(256)]).unwrap();
+    let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    proto::write_frame(&mut stream, &Frame::ClientHello { version: PROTOCOL_VERSION }).unwrap();
+    assert!(matches!(proto::read_frame(&mut stream).unwrap(), Frame::ServerHello { .. }));
+
+    // 8 × 2^17-entry reply distributions ≈ 8 MiB — far more than the
+    // loopback kernel buffers absorb, so reply writes really wait on the
+    // (trickling) reader instead of completing into the socket buffer
+    let mut big = Circuit::new(17);
+    big.h(0).measure_all();
+    let started = std::time::Instant::now();
+    proto::write_frame(
+        &mut stream,
+        &Frame::SubmitBatch {
+            batch: 1,
+            circuits: vec![qrcc_circuit::qasm::to_qasm(&big); 8],
+            shots: None,
+        },
+    )
+    .unwrap();
+
+    // drain raw bytes until the server enforces the budget and drops the
+    // connection (the proxy mirrors the close); per-syscall timeouts alone
+    // would let this trickle run for minutes
+    let mut sink = [0u8; 4096];
+    loop {
+        match std::io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "the write budget must cut the trickle short, took {elapsed:?}"
+    );
+    assert_eq!(server.stats().batches, 0, "a starved batch must not count as served");
+
+    // the server survives the attack: a clean direct connection still works
+    let remote = RemoteBackend::connect(server.addr()).unwrap();
+    assert!(remote.run_one(&bell()).is_ok());
+    proxy.shutdown();
+    server.shutdown();
+}
+
+#[test]
 fn graceful_shutdown_disconnects_clients_cleanly() {
     let server = QrccServer::bind("127.0.0.1:0", ExactBackend::new()).unwrap().spawn();
     let addr = server.addr();

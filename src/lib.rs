@@ -81,9 +81,10 @@ pub mod prelude {
         },
         reuse::ReusePass,
         schedule::{DeviceRegistry, ScheduleReport, Scheduler, ShotAllocator},
-        QrccConfig, SchedulePolicy, ShotAllocation,
+        AnalysisContext, AnalysisReport, Analyzer, Diagnostic, LintLevel, Location, QrccConfig,
+        SchedulePolicy, Severity, ShotAllocation,
     };
-    pub use qrcc_net::{QrccServer, RemoteBackend, ServerHandle, ServerStats};
+    pub use qrcc_net::{lint_capabilities, QrccServer, RemoteBackend, ServerHandle, ServerStats};
     pub use qrcc_sim::{
         device::{Device, DeviceConfig},
         noise::NoiseModel,
