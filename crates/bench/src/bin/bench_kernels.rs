@@ -1,0 +1,279 @@
+//! Kernel-compiler benchmark: interpreted vs compiled wall-clock per gate
+//! family and per benchmark circuit family, with the compiler's fusion and
+//! specialization coverage. Writes `BENCH_kernels.json` in the working
+//! directory.
+//!
+//! Usage: `cargo run --release -p qrcc-bench --bin bench_kernels [--smoke]`
+//!
+//! `--smoke` runs scaled-down sizes and exits non-zero unless the compiled
+//! path is at least as fast as the interpreter on the fusion-heavy family —
+//! the CI guard against compiled-path regressions. The full run records the
+//! numbers quoted in the README.
+
+use qrcc_circuit::generators::{self, HamiltonianKind};
+use qrcc_circuit::Circuit;
+use qrcc_sim::compile::FramedProgram;
+use qrcc_sim::StateVector;
+use std::time::Instant;
+
+/// One measured row: a named circuit, both wall-clocks, and the compiler's
+/// view of it.
+struct Row {
+    name: String,
+    qubits: usize,
+    gates: usize,
+    kernels: usize,
+    interpreted_ms: f64,
+    compiled_ms: f64,
+    compile_ms: f64,
+    fusion_ratio: f64,
+    coverage: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.compiled_ms > 0.0 {
+            self.interpreted_ms / self.compiled_ms
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, \"kernels\": {}, \
+             \"interpreted_ms\": {:.3}, \"compiled_ms\": {:.3}, \"compile_ms\": {:.3}, \
+             \"speedup\": {:.2}, \"fusion_ratio\": {:.2}, \"coverage\": {:.3}}}",
+            self.name,
+            self.qubits,
+            self.gates,
+            self.kernels,
+            self.interpreted_ms,
+            self.compiled_ms,
+            self.compile_ms,
+            self.speedup(),
+            self.fusion_ratio,
+            self.coverage,
+        )
+    }
+}
+
+/// Best-of-`reps` wall-clock of `f`, in milliseconds.
+fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Measures one circuit: interpreted `StateVector::from_circuit` vs the
+/// compiled program's `run_unitary`, plus one-shot compile cost.
+fn measure(name: &str, circuit: &Circuit, reps: usize) -> Row {
+    let t = Instant::now();
+    let program = FramedProgram::compile(circuit);
+    let compile_ms = t.elapsed().as_secs_f64() * 1e3;
+    let interpreted_ms = time_ms(reps, || {
+        StateVector::from_circuit(circuit).unwrap();
+    });
+    let compiled_ms = time_ms(reps, || {
+        program.run_unitary().unwrap();
+    });
+    let stats = program.stats();
+    Row {
+        name: name.to_string(),
+        qubits: circuit.num_qubits(),
+        gates: stats.gates_in as usize,
+        kernels: stats.kernels_out as usize,
+        interpreted_ms,
+        compiled_ms,
+        compile_ms,
+        fusion_ratio: stats.fusion_ratio(),
+        coverage: stats.coverage(),
+    }
+}
+
+/// Fusion-heavy family: long single-qubit runs with a sparse entangling
+/// skeleton — the workload the compiler exists for, and the smoke gate.
+fn fusion_heavy(n: usize, depth: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for layer in 0..depth {
+        for q in 0..n {
+            let t = 0.1 + 0.01 * (layer * n + q) as f64;
+            c.h(q).rz(t, q).s(q).u3(t, 0.2, 0.4, q).t(q).rx(1.3 * t, q);
+        }
+        c.cx(layer % n, (layer + 1) % n);
+    }
+    c
+}
+
+/// Diagonal family: multiply-only sweeps (rz/t/s/cz/cp/rzz).
+fn diagonal(n: usize, depth: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.barrier();
+    for layer in 0..depth {
+        for q in 0..n {
+            c.rz(0.2 + 0.01 * q as f64, q).t(q);
+        }
+        for q in 0..n - 1 {
+            if (layer + q) % 2 == 0 {
+                c.cz(q, q + 1);
+            } else {
+                c.cp(0.3, q, q + 1);
+            }
+        }
+        c.barrier();
+    }
+    c
+}
+
+/// Permutation family: index remaps and controlled flips (x/swap/cx/cy).
+fn permutation(n: usize, depth: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.barrier();
+    for layer in 0..depth {
+        for q in 0..n {
+            c.x(q);
+        }
+        c.barrier();
+        for q in 0..n - 1 {
+            if (layer + q) % 2 == 0 {
+                c.cx(q, q + 1);
+            } else {
+                c.swap(q, q + 1);
+            }
+        }
+        c.barrier();
+    }
+    c
+}
+
+/// Dense two-qubit family: rxx/ryy kernels the compiler cannot specialize —
+/// the floor case where compiled ≈ interpreted.
+fn dense_2q(n: usize, depth: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    c.barrier();
+    for layer in 0..depth {
+        for q in 0..n - 1 {
+            if (layer + q) % 2 == 0 {
+                c.rxx(0.4, q, q + 1);
+            } else {
+                c.ryy(0.3, q, q + 1);
+            }
+        }
+        c.barrier();
+    }
+    c
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n, depth, reps) = if smoke { (12, 8, 3) } else { (16, 16, 5) };
+
+    println!("kernel benchmark: {n} qubits, depth {depth}, best of {reps} runs\n");
+    let header = format!(
+        "{:<16} {:>6} {:>8} {:>12} {:>12} {:>8} {:>7} {:>9}",
+        "family", "gates", "kernels", "interp (ms)", "compiled", "speedup", "fusion", "coverage"
+    );
+
+    println!("-- gate families --\n{header}");
+    let gate_families: Vec<Row> = vec![
+        measure("fusion_heavy", &fusion_heavy(n, depth), reps),
+        measure("diagonal", &diagonal(n, depth), reps),
+        measure("permutation", &permutation(n, depth), reps),
+        measure("dense_2q", &dense_2q(n, depth), reps),
+    ];
+    for row in &gate_families {
+        print_row(row);
+    }
+
+    let (sup_r, sup_c) = if smoke { (3, 4) } else { (4, 4) };
+    println!("\n-- benchmark circuit families --\n{header}");
+    let circuit_families: Vec<Row> = vec![
+        measure("QFT", &generators::qft(n), reps),
+        measure("AQFT", &generators::aqft(n, n / 2), reps),
+        measure("SPM", &generators::supremacy(sup_r, sup_c, 8, 7), reps),
+        measure("ADD", &generators::ripple_carry_adder((n - 2) / 2, 11), reps),
+        measure("REG", &generators::qaoa_regular(n, 3, 2, 5).0, reps),
+        measure(
+            "TFIM",
+            &generators::hamiltonian_simulation(
+                HamiltonianKind::TransverseFieldIsing,
+                4,
+                n / 4,
+                false,
+                3,
+                0.1,
+            )
+            .0,
+            reps,
+        ),
+        measure("VQE", &generators::vqe_two_local(n, 3, 13), reps),
+    ];
+    for row in &circuit_families {
+        print_row(row);
+    }
+
+    let covered: f64 = circuit_families.iter().map(|r| r.coverage * r.gates as f64).sum();
+    let total: f64 = circuit_families.iter().map(|r| r.gates as f64).sum();
+    let aggregate_coverage = covered / total;
+    println!(
+        "\naggregate benchmark coverage: {:.1}% of gates fused or specialized",
+        100.0 * aggregate_coverage
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"qubits\": {n}, \"depth\": {depth}, \"repeats\": {reps}, \"smoke\": {smoke}}},\n"
+    ));
+    json.push_str("  \"gate_families\": [\n");
+    json.push_str(&gate_families.iter().map(Row::to_json).collect::<Vec<_>>().join(",\n"));
+    json.push_str("\n  ],\n  \"circuit_families\": [\n");
+    json.push_str(&circuit_families.iter().map(Row::to_json).collect::<Vec<_>>().join(",\n"));
+    json.push_str(&format!("\n  ],\n  \"aggregate_coverage\": {aggregate_coverage:.3}\n}}\n"));
+
+    if smoke {
+        // CI guard: the compiled path must not lose to the interpreter on the
+        // workload it was built for. A small tolerance absorbs timer jitter.
+        let row = &gate_families[0];
+        assert!(
+            row.compiled_ms <= row.interpreted_ms * 1.05,
+            "compiled path regressed on {}: {:.3} ms compiled vs {:.3} ms interpreted",
+            row.name,
+            row.compiled_ms,
+            row.interpreted_ms,
+        );
+        println!(
+            "smoke OK: fusion_heavy compiled {:.3} ms <= interpreted {:.3} ms",
+            row.compiled_ms, row.interpreted_ms
+        );
+    } else {
+        std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+        println!("wrote BENCH_kernels.json");
+    }
+}
+
+fn print_row(row: &Row) {
+    println!(
+        "{:<16} {:>6} {:>8} {:>12.3} {:>12.3} {:>7.2}x {:>6.2}x {:>8.1}%",
+        row.name,
+        row.gates,
+        row.kernels,
+        row.interpreted_ms,
+        row.compiled_ms,
+        row.speedup(),
+        row.fusion_ratio,
+        100.0 * row.coverage,
+    );
+}

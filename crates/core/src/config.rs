@@ -172,6 +172,15 @@ pub struct QrccConfig {
     /// fail. `Warn` (the default) fails on errors only; `Deny` also fails on
     /// warnings; `Allow` never fails.
     pub lint_level: LintLevel,
+    /// Opts simulator backends out of the compiled kernel path: when `true`,
+    /// backends built from this config (see
+    /// [`QrccConfig::exact_backend`]) interpret circuits gate-by-gate
+    /// instead of lowering them to fused kernel programs. The interpreted
+    /// path is the differential-testing reference; the compiled default is
+    /// faster and numerically identical on the exact path. Equivalent to the
+    /// `QRCC_SIM_INTERPRETED=1` environment variable.
+    #[serde(default)]
+    pub sim_interpreted: bool,
 }
 
 fn default_ilp_time_limit() -> Duration {
@@ -199,6 +208,7 @@ impl QrccConfig {
             prune_tolerance: 0.0,
             schedule: SchedulePolicy::default(),
             lint_level: LintLevel::default(),
+            sim_interpreted: false,
         }
     }
 
@@ -319,6 +329,24 @@ impl QrccConfig {
     pub fn with_lint_level(mut self, level: LintLevel) -> Self {
         self.lint_level = level;
         self
+    }
+
+    /// Selects the simulator mode of backends built from this config:
+    /// `true` forces the gate-by-gate interpreter, `false` (the default)
+    /// keeps the compiled kernel path.
+    pub fn with_interpreted_sim(mut self, interpreted: bool) -> Self {
+        self.sim_interpreted = interpreted;
+        self
+    }
+
+    /// An [`ExactBackend`](crate::execute::ExactBackend) honouring this
+    /// config's [`sim_interpreted`](QrccConfig::sim_interpreted) mode.
+    pub fn exact_backend(&self) -> crate::execute::ExactBackend {
+        if self.sim_interpreted {
+            crate::execute::ExactBackend::interpreted()
+        } else {
+            crate::execute::ExactBackend::new()
+        }
     }
 
     /// The linearised post-processing cost `α·#wire_cuts + β·#gate_cuts`

@@ -59,6 +59,7 @@ use crate::CoreError;
 use parking_lot::Mutex;
 use qrcc_circuit::Circuit;
 use qrcc_sim::branching::classical_distribution;
+use qrcc_sim::compile::{interpreted_forced_by_env, CompileStats, KernelCache};
 use qrcc_sim::device::Device;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -135,6 +136,16 @@ pub trait ExecutionBackend: Sync {
 
     /// Number of circuits executed so far (for instance accounting).
     fn executions(&self) -> u64;
+
+    /// Cumulative kernel-compilation statistics of the backend's simulator,
+    /// or `None` when the backend interprets gate-by-gate (or is not a
+    /// simulator at all). Backends that run the compiled kernel path
+    /// ([`ExactBackend`], [`ShotsBackend`]) report their
+    /// [`KernelCache`](qrcc_sim::compile::KernelCache) aggregate here; the
+    /// default keeps non-simulating backends at `None`.
+    fn compile_stats(&self) -> Option<CompileStats> {
+        None
+    }
 }
 
 /// How much work one backend performed for a batch: circuits routed to it,
@@ -189,13 +200,20 @@ pub struct ExecutionResults {
     requested: u64,
     executed: u64,
     routing: Vec<BackendUsage>,
+    kernel_stats: Option<CompileStats>,
 }
 
 impl ExecutionResults {
     /// An empty result set carrying only dedup accounting — the scheduler
     /// fills it key by key as a chunk's backends return.
     pub(crate) fn new_accounted(requested: u64, executed: u64) -> Self {
-        ExecutionResults { distributions: HashMap::new(), requested, executed, routing: Vec::new() }
+        ExecutionResults {
+            distributions: HashMap::new(),
+            requested,
+            executed,
+            routing: Vec::new(),
+            kernel_stats: None,
+        }
     }
 
     /// Stores one key's distribution (later inserts win).
@@ -285,6 +303,22 @@ impl ExecutionResults {
         usage.merge_into(&mut self.routing);
     }
 
+    /// Kernel-compilation statistics of the simulator backend that executed
+    /// this batch (`None` when every backend interpreted gate-by-gate, or
+    /// when the producer did not record them). Filled by [`execute_requests`]
+    /// and the scheduler's merged-results path from
+    /// [`ExecutionBackend::compile_stats`].
+    pub fn kernel_stats(&self) -> Option<&CompileStats> {
+        self.kernel_stats.as_ref()
+    }
+
+    /// Records the kernel-compilation statistics of the executing backend
+    /// (replacing any previous record — the stats are cumulative cache
+    /// aggregates, not per-batch deltas, so the latest snapshot wins).
+    pub fn set_kernel_stats(&mut self, stats: Option<CompileStats>) {
+        self.kernel_stats = stats;
+    }
+
     /// Merges another batch into this one (later batches win on key
     /// collisions). Accounting is summed; routing stats merge by label.
     pub fn extend(&mut self, other: ExecutionResults) {
@@ -293,6 +327,12 @@ impl ExecutionResults {
         self.executed += other.executed;
         for usage in other.routing {
             self.record_usage(usage);
+        }
+        // Kernel stats are cumulative snapshots of the producing backend's
+        // cache, so a later batch from the same backend supersedes — keep the
+        // newest non-empty record.
+        if other.kernel_stats.is_some() {
+            self.kernel_stats = other.kernel_stats;
         }
     }
 }
@@ -404,6 +444,7 @@ impl PreparedBatch<'_> {
             requested: self.requested,
             executed: self.circuits.len() as u64,
             routing: Vec::new(),
+            kernel_stats: None,
         };
         for (key, &circuit_index) in self.unique_keys.iter().zip(&self.circuit_of_key) {
             results.distributions.insert((*key).clone(), distributions[circuit_index].clone());
@@ -438,6 +479,7 @@ pub fn execute_requests(
         shots: circuits * backend.shots_per_circuit().unwrap_or(0),
         ..BackendUsage::default()
     });
+    results.set_kernel_stats(backend.compile_stats());
     Ok(results)
 }
 
@@ -445,26 +487,64 @@ pub fn execute_requests(
 /// simulator. Intended for verification and small fragments. Batches run
 /// rayon-parallel across all cores.
 ///
+/// By default circuits run through the compiled kernel path: each circuit is
+/// lowered to a fused [`KernelProgram`](qrcc_sim::compile::KernelProgram)
+/// memoised in a [`KernelCache`], so QRCC's deduplicated variant batches —
+/// which differ only in their init prologue and measurement epilogue — share
+/// one compiled body. [`ExactBackend::interpreted`] (or the
+/// `QRCC_SIM_INTERPRETED=1` environment variable) opts back into the per-gate
+/// interpreter for differential testing.
+///
 /// An optional width cap ([`ExactBackend::capped`]) makes the backend refuse
 /// circuits wider than a pretend device — useful for registering exact
 /// "devices" of different sizes in a
 /// [`DeviceRegistry`](crate::schedule::DeviceRegistry) and checking
 /// multi-device routing against noise-free ground truth.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ExactBackend {
     count: Mutex<u64>,
     max_qubits: Option<usize>,
+    kernels: KernelCache,
+    use_compiled: bool,
+}
+
+impl Default for ExactBackend {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ExactBackend {
-    /// Creates the backend (unbounded width).
+    /// Creates the backend (unbounded width, compiled kernel path).
     pub fn new() -> Self {
-        Self::default()
+        ExactBackend {
+            count: Mutex::new(0),
+            max_qubits: None,
+            kernels: KernelCache::new(),
+            use_compiled: !interpreted_forced_by_env(),
+        }
     }
 
     /// Creates a backend that refuses circuits wider than `max_qubits`.
     pub fn capped(max_qubits: usize) -> Self {
-        ExactBackend { count: Mutex::new(0), max_qubits: Some(max_qubits) }
+        ExactBackend { max_qubits: Some(max_qubits), ..ExactBackend::new() }
+    }
+
+    /// Creates a backend that interprets gate-by-gate instead of compiling
+    /// kernel programs — the differential-testing reference path.
+    pub fn interpreted() -> Self {
+        ExactBackend { use_compiled: false, ..ExactBackend::new() }
+    }
+
+    /// Opts this backend out of the compiled kernel path (builder form).
+    pub fn with_interpreted(mut self) -> Self {
+        self.use_compiled = false;
+        self
+    }
+
+    /// The backend's kernel cache (empty when running interpreted).
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.kernels
     }
 
     fn check_width(&self, circuit: &Circuit) -> Result<(), CoreError> {
@@ -478,24 +558,26 @@ impl ExactBackend {
             _ => Ok(()),
         }
     }
+
+    fn distribution(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
+        self.check_width(circuit)?;
+        if self.use_compiled {
+            Ok(self.kernels.get_or_compile(circuit).classical_distribution()?)
+        } else {
+            Ok(classical_distribution(circuit)?)
+        }
+    }
 }
 
 impl ExecutionBackend for ExactBackend {
     fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
         *self.count.lock() += 1;
-        self.check_width(circuit)?;
-        Ok(classical_distribution(circuit)?)
+        self.distribution(circuit)
     }
 
     fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
         *self.count.lock() += circuits.len() as u64;
-        circuits
-            .par_iter()
-            .map(|circuit| {
-                self.check_width(circuit)?;
-                classical_distribution(circuit).map_err(CoreError::from)
-            })
-            .collect()
+        circuits.par_iter().map(|circuit| self.distribution(circuit)).collect()
     }
 
     fn max_qubits(&self) -> Option<usize> {
@@ -511,6 +593,10 @@ impl ExecutionBackend for ExactBackend {
 
     fn executions(&self) -> u64 {
         *self.count.lock()
+    }
+
+    fn compile_stats(&self) -> Option<CompileStats> {
+        self.use_compiled.then(|| self.kernels.stats())
     }
 }
 
@@ -631,6 +717,10 @@ impl ExecutionBackend for ShotsBackend {
     fn executions(&self) -> u64 {
         self.device.executions()
     }
+
+    fn compile_stats(&self) -> Option<CompileStats> {
+        self.device.compile_stats()
+    }
 }
 
 /// One hash bucket of the [`CachingBackend`]: circuits sharing a structural
@@ -734,6 +824,10 @@ impl<B: ExecutionBackend> ExecutionBackend for CachingBackend<B> {
 
     fn executions(&self) -> u64 {
         self.inner.executions()
+    }
+
+    fn compile_stats(&self) -> Option<CompileStats> {
+        self.inner.compile_stats()
     }
 }
 
@@ -962,6 +1056,77 @@ mod tests {
         assert_eq!(results.unique_variants(), 1);
         assert_eq!(results.executed(), 1);
         assert_eq!(backend.executions(), 1);
+    }
+
+    #[test]
+    fn compiled_backend_matches_interpreted_and_reports_stats() {
+        let mut circuits = Vec::new();
+        for n in 0..5 {
+            let mut c = Circuit::new(3);
+            c.h(0).rz(0.3 * (n as f64 + 1.0), 0).s(0).cx(0, 1).t(1).cx(1, 2).measure_all();
+            circuits.push(c);
+        }
+        let compiled = ExactBackend::new();
+        let interpreted = ExactBackend::interpreted();
+        let fast = compiled.run_batch(&circuits);
+        let slow = interpreted.run_batch(&circuits);
+        for (a, b) in fast.iter().zip(&slow) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-12, "compiled and interpreted paths must agree");
+            }
+        }
+        assert!(interpreted.compile_stats().is_none(), "interpreted path records none");
+        if interpreted_forced_by_env() {
+            return; // differential CI leg: only the parity checks above apply
+        }
+        let stats = compiled.compile_stats().expect("compiled path records stats");
+        assert!(stats.gates_in > 0);
+        assert!(stats.fusion_ratio() > 1.0, "h·rz·s and cx·t chains must fuse");
+    }
+
+    #[test]
+    fn execute_requests_records_kernel_stats() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).cx(1, 2).cx(2, 3);
+        let plan = CutPlanner::new(
+            QrccConfig::new(3).with_subcircuit_range(2, 3).with_ilp_time_limit(Duration::ZERO),
+        )
+        .plan(&c)
+        .unwrap();
+        let fragments = crate::fragment::FragmentSet::from_plan(&plan).unwrap();
+        let requests =
+            crate::reconstruct::ProbabilityReconstructor::new().requests(&fragments).unwrap();
+        let backend = ExactBackend::new();
+        let compiled = execute_requests(&fragments, &requests, &backend).unwrap();
+        if !interpreted_forced_by_env() {
+            let stats = compiled.kernel_stats().expect("compiled backend records stats");
+            assert!(stats.gates_in > 0);
+            assert!(stats.cache_misses > 0, "first batch compiles bodies: {stats}");
+            // a second identical batch reuses the compiled bodies
+            let again = execute_requests(&fragments, &requests, &backend).unwrap();
+            let stats = again.kernel_stats().expect("stats persist across batches");
+            assert!(stats.cache_hits > 0, "repeated batches share compiled bodies: {stats}");
+        }
+        let interpreted =
+            execute_requests(&fragments, &requests, &ExactBackend::interpreted()).unwrap();
+        assert!(interpreted.kernel_stats().is_none());
+        // interpreted and compiled agree on every variant distribution
+        for (key, dist) in compiled.iter() {
+            let other = interpreted.distribution(key).unwrap();
+            for (a, b) in dist.iter().zip(other) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn config_backend_honours_interpreted_knob() {
+        let config = QrccConfig::new(3);
+        // the env override trumps the config default in the differential CI leg
+        assert_eq!(config.exact_backend().compile_stats().is_some(), !interpreted_forced_by_env());
+        let interpreted = config.with_interpreted_sim(true);
+        assert!(interpreted.exact_backend().compile_stats().is_none());
     }
 
     #[test]

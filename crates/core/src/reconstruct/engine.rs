@@ -119,6 +119,12 @@ pub struct ReconstructionReport {
     /// Successful executions that were dispatch retries — circuits that
     /// failed elsewhere first and were re-routed by the dispatcher.
     pub dispatch_retries: u64,
+    /// Kernel-compilation statistics of the simulator backend that produced
+    /// the consumed [`ExecutionResults`]: gates lowered, kernels emitted,
+    /// fusion ratio, per-family specialization coverage and cache hit rate.
+    /// `None` when execution interpreted gate-by-gate (or the producer did
+    /// not record stats).
+    pub kernel_compile: Option<qrcc_sim::compile::CompileStats>,
 }
 
 /// One cut axis of a [`CutTensor`], identified by its global cut id.

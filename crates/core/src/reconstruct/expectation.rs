@@ -180,6 +180,7 @@ impl ExpectationReconstructor {
             backends_used: results.routing().len(),
             dispatch_failures: results.failures(),
             dispatch_retries: results.retries(),
+            kernel_compile: results.kernel_stats().cloned(),
             ..ReconstructionReport::default()
         };
         for (coefficient, string) in observable.terms() {
@@ -230,6 +231,7 @@ impl ExpectationReconstructor {
             backends_used: results.routing().len(),
             dispatch_failures: results.failures(),
             dispatch_retries: results.retries(),
+            kernel_compile: results.kernel_stats().cloned(),
             ..ReconstructionReport::default()
         };
         let value = self.reconstruct_pauli_resolved(

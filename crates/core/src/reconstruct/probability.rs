@@ -120,6 +120,7 @@ impl ProbabilityReconstructor {
             backends_used: results.routing().len(),
             dispatch_failures: results.failures(),
             dispatch_retries: results.retries(),
+            kernel_compile: results.kernel_stats().cloned(),
             ..ReconstructionReport::default()
         };
         let probabilities = match strategy {

@@ -214,6 +214,7 @@ impl<'a> ProbabilityAccumulator<'a> {
             backends_used: self.store.routing().len(),
             dispatch_failures: self.store.failures(),
             dispatch_retries: self.store.retries(),
+            kernel_compile: self.store.kernel_stats().cloned(),
             ..ReconstructionReport::default()
         };
         // refresh liveness in place (idempotent); only the contract path
@@ -466,6 +467,7 @@ impl<'a> ExpectationAccumulator<'a> {
             backends_used: self.store.routing().len(),
             dispatch_failures: self.store.failures(),
             dispatch_retries: self.store.retries(),
+            kernel_compile: self.store.kernel_stats().cloned(),
             ..ReconstructionReport::default()
         };
         let mut total = 0.0;

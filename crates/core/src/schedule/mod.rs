@@ -135,6 +135,10 @@ impl<'r> Scheduler<'r> {
             merged.extend(chunk);
             Ok(())
         })?;
+        // Streamed chunks carry no kernel stats (they would double-count the
+        // cumulative cache aggregates); the merged batch records one snapshot
+        // across the registry instead.
+        merged.set_kernel_stats(self.registry.compile_stats());
         Ok((merged, report))
     }
 

@@ -1,6 +1,7 @@
 //! A registry of heterogeneous execution backends the scheduler routes over.
 
 use crate::execute::{ExecutionBackend, ShotsBackend};
+use qrcc_sim::compile::CompileStats;
 use qrcc_sim::device::Device;
 
 /// One backend of a [`DeviceRegistry`]: a name for accounting, the backend
@@ -136,6 +137,19 @@ impl DeviceRegistry {
     /// Total circuits executed across all backends.
     pub fn total_executions(&self) -> u64 {
         self.entries.iter().map(|e| e.backend.executions()).sum()
+    }
+
+    /// Merged kernel-compilation statistics across every registered backend
+    /// running the compiled simulator path, or `None` when all backends
+    /// interpret gate-by-gate.
+    pub fn compile_stats(&self) -> Option<CompileStats> {
+        let mut merged: Option<CompileStats> = None;
+        for entry in &self.entries {
+            if let Some(stats) = entry.backend.compile_stats() {
+                merged.get_or_insert_with(CompileStats::default).merge(&stats);
+            }
+        }
+        merged
     }
 }
 

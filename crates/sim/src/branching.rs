@@ -10,6 +10,12 @@
 use crate::{SimError, StateVector};
 use qrcc_circuit::{Circuit, Operation};
 
+/// Branches whose probability falls at or below this threshold are pruned —
+/// shared by the interpreted enumerator and the compiled
+/// [`FramedProgram`](crate::compile::FramedProgram) so both paths keep the
+/// same branch set.
+pub(crate) const BRANCH_PRUNE: f64 = 1e-15;
+
 /// One measurement branch of a circuit execution.
 #[derive(Debug, Clone)]
 pub struct Branch {
@@ -47,14 +53,11 @@ pub struct Branch {
 /// assert!((branches[0].probability - 0.5).abs() < 1e-12);
 /// ```
 pub fn enumerate_branches(circuit: &Circuit) -> Result<Vec<Branch>, SimError> {
-    if circuit.num_qubits() > 28 {
-        return Err(SimError::TooManyQubits { required: circuit.num_qubits(), available: 28 });
-    }
     let num_clbits = circuit.num_clbits();
     let mut branches = vec![Branch {
         probability: 1.0,
         clbits: vec![false; num_clbits],
-        state: StateVector::new(circuit.num_qubits()),
+        state: StateVector::try_new(circuit.num_qubits())?,
     }];
 
     for op in circuit.operations() {
@@ -76,7 +79,7 @@ pub fn enumerate_branches(circuit: &Circuit) -> Result<Vec<Branch>, SimError> {
                     for outcome in [false, true] {
                         let mut state = b.state.clone();
                         let p = state.project(*qubit, outcome);
-                        if p > 1e-15 {
+                        if p > BRANCH_PRUNE {
                             let mut clbits = b.clbits.clone();
                             clbits[*clbit] = outcome;
                             next.push(Branch { probability: b.probability * p, clbits, state });
@@ -91,7 +94,7 @@ pub fn enumerate_branches(circuit: &Circuit) -> Result<Vec<Branch>, SimError> {
                     for outcome in [false, true] {
                         let mut state = b.state.clone();
                         let p = state.project(*qubit, outcome);
-                        if p > 1e-15 {
+                        if p > BRANCH_PRUNE {
                             if outcome {
                                 state.apply_gate(&qrcc_circuit::Gate::X, &[*qubit]);
                             }
@@ -124,7 +127,13 @@ pub fn classical_distribution(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
         return Err(SimError::NothingToMeasure);
     }
     let branches = enumerate_branches(circuit)?;
-    let mut dist = vec![0.0; 1 << circuit.num_clbits()];
+    Ok(distribution_over_clbits(&branches, circuit.num_clbits()))
+}
+
+/// Marginalises a branch set into the distribution over classical-bit
+/// patterns — shared by the interpreted and compiled executors.
+pub(crate) fn distribution_over_clbits(branches: &[Branch], num_clbits: usize) -> Vec<f64> {
+    let mut dist = vec![0.0; 1 << num_clbits];
     for b in branches {
         let mut key = 0usize;
         for (i, &bit) in b.clbits.iter().enumerate() {
@@ -134,7 +143,7 @@ pub fn classical_distribution(circuit: &Circuit) -> Result<Vec<f64>, SimError> {
         }
         dist[key] += b.probability;
     }
-    Ok(dist)
+    dist
 }
 
 #[cfg(test)]

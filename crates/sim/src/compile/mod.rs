@@ -1,0 +1,568 @@
+//! Compile-then-execute: lowering circuits to flat fused-kernel programs.
+//!
+//! The interpreted simulator walks a circuit one [`Operation`] at a time,
+//! paying one full amplitude sweep per gate. This module compiles the circuit
+//! **once** into a [`KernelProgram`] — a flat list of [`Kernel`]s — and
+//! executes that instead:
+//!
+//! * **Fusion** — adjacent single-qubit gates on the same wire (including
+//!   runs separated only by operations on *other* wires, which commute) are
+//!   folded into one 2×2 matrix, so a run of `k` gates costs one sweep.
+//!   Runs whose product is an exact identity are dropped entirely.
+//! * **Specialization** — diagonal gates (Z/S/T/RZ/Phase, CZ/CP/RZZ) lower
+//!   to multiply-only sweeps with no pair gathering; X-like anti-diagonal
+//!   products and SWAP lower to index remaps; CX/CY lower to controlled
+//!   flips that touch only half the array. Remaining two-qubit gates become
+//!   cache-blocked 4-amplitude sweeps.
+//! * **Parallelism** — every sweep is rayon-chunked above
+//!   [`PAR_THRESHOLD`](kernel::PAR_THRESHOLD) amplitudes with disjoint
+//!   per-chunk write sets, so results are bit-identical for any thread count.
+//! * **Caching** — [`KernelCache`] keys compiled bodies by
+//!   [`Circuit::structural_hash`], splitting each request into a
+//!   single-qubit init **prologue**, a shared **body**, and a
+//!   measurement/basis-rotation **epilogue**. QRCC's deduplicated variant
+//!   batches differ only in those frames, so thousands of variants share one
+//!   compiled body and only the cheap frames are compiled per request.
+//!
+//! [`CompileStats`] reports how much of the circuit lowered to fused or
+//! specialized kernels; backends surface it through
+//! `ReconstructionReport` in `qrcc-core`.
+//!
+//! ```rust
+//! use qrcc_circuit::Circuit;
+//! use qrcc_sim::compile::FramedProgram;
+//!
+//! let mut c = Circuit::new(2);
+//! c.h(0).t(0).h(0).cx(0, 1); // h·t·h fuses into one kernel
+//! let program = FramedProgram::compile(&c);
+//! assert_eq!(program.stats().gates_in, 4);
+//! assert_eq!(program.stats().kernels_out, 2);
+//! let sv = program.run_unitary().unwrap();
+//! assert!((sv.norm() - 1.0).abs() < 1e-12);
+//! ```
+//!
+//! [`Operation`]: qrcc_circuit::Operation
+
+mod cache;
+mod kernel;
+mod stats;
+
+pub use cache::KernelCache;
+pub use kernel::{Kernel, PAR_THRESHOLD};
+pub use stats::{CompileStats, FamilyStats};
+
+use crate::branching::{distribution_over_clbits, Branch, BRANCH_PRUNE};
+use crate::matrix::{matmul2, single_qubit_matrix, two_qubit_matrix, Matrix2};
+use crate::{Complex, SimError, StateVector};
+use qrcc_circuit::{Circuit, Gate, Operation, QubitId};
+use stats::Bucket;
+use std::sync::Arc;
+
+/// Whether the `QRCC_SIM_INTERPRETED` environment variable forces the
+/// interpreted (per-gate) execution path. Backends consult this once at
+/// construction time; CI uses it to run the whole test suite differentially
+/// against the compiled default.
+pub fn interpreted_forced_by_env() -> bool {
+    matches!(
+        std::env::var("QRCC_SIM_INTERPRETED").ok().as_deref(),
+        Some("1") | Some("true") | Some("yes")
+    )
+}
+
+fn is_zero(c: Complex) -> bool {
+    c.re == 0.0 && c.im == 0.0
+}
+
+fn is_one(c: Complex) -> bool {
+    c.re == 1.0 && c.im == 0.0
+}
+
+/// A run of single-qubit gates on one wire, folded into one matrix.
+struct Pending {
+    m: Matrix2,
+    gates: Vec<&'static str>,
+}
+
+/// Lowers an operation slice into `kernels`, fusing and specializing, and
+/// records every gate's outcome in `stats`. `Measure`/`Reset` kernels carry
+/// their index **relative to `ops`**; callers embedding a slice of a larger
+/// circuit add their own offset when reporting errors.
+pub(crate) fn lower_ops(
+    num_qubits: usize,
+    ops: &[Operation],
+    kernels: &mut Vec<Kernel>,
+    stats: &mut CompileStats,
+) {
+    let mut pending: Vec<Option<Pending>> = (0..num_qubits).map(|_| None).collect();
+    for (op_index, op) in ops.iter().enumerate() {
+        match op {
+            Operation::Single { gate, qubit } => {
+                let m = single_qubit_matrix(gate);
+                let q = qubit.index();
+                match &mut pending[q] {
+                    // Later gates multiply from the left: state' = m · run · state.
+                    Some(p) => {
+                        p.m = matmul2(&m, &p.m);
+                        p.gates.push(gate.name());
+                    }
+                    None => pending[q] = Some(Pending { m, gates: vec![gate.name()] }),
+                }
+            }
+            Operation::Two { gate, qubits } => {
+                flush(&mut pending, qubits[0].index(), kernels, stats);
+                flush(&mut pending, qubits[1].index(), kernels, stats);
+                lower_two(gate, qubits[0].index(), qubits[1].index(), kernels, stats);
+            }
+            Operation::Measure { qubit, clbit } => {
+                flush(&mut pending, qubit.index(), kernels, stats);
+                kernels.push(Kernel::Measure { qubit: qubit.index(), clbit: *clbit, op_index });
+                stats.control_kernels += 1;
+            }
+            Operation::Reset { qubit } => {
+                flush(&mut pending, qubit.index(), kernels, stats);
+                kernels.push(Kernel::Reset { qubit: qubit.index(), op_index });
+                stats.control_kernels += 1;
+            }
+            Operation::Barrier { .. } => {
+                // An ordering fence: nothing fuses across a barrier.
+                for q in 0..num_qubits {
+                    flush(&mut pending, q, kernels, stats);
+                }
+            }
+        }
+    }
+    for q in 0..num_qubits {
+        flush(&mut pending, q, kernels, stats);
+    }
+}
+
+/// Emits the pending fused run on qubit `q` (if any) as the most specialized
+/// kernel its matrix admits. Zero tests are exact: gate matrices contain
+/// exact 0.0 entries and products preserve them, so e.g. a run of diagonal
+/// gates always classifies as diagonal.
+fn flush(
+    pending: &mut [Option<Pending>],
+    q: usize,
+    kernels: &mut Vec<Kernel>,
+    stats: &mut CompileStats,
+) {
+    let Some(p) = pending[q].take() else { return };
+    let m = p.m;
+    let off_diag_zero = is_zero(m[0][1]) && is_zero(m[1][0]);
+    let diag_zero = is_zero(m[0][0]) && is_zero(m[1][1]);
+    let kernel = if off_diag_zero && is_one(m[0][0]) && is_one(m[1][1]) {
+        stats.eliminated_gates += p.gates.len() as u64;
+        None
+    } else if off_diag_zero {
+        Some(Kernel::Diag1 { qubit: q, p0: m[0][0], p1: m[1][1] })
+    } else if diag_zero {
+        Some(Kernel::Flip1 { qubit: q, c01: m[0][1], c10: m[1][0] })
+    } else {
+        Some(Kernel::Unary { qubit: q, m })
+    };
+    // A run of one still lowers through the fusion pass into a unary 2×2
+    // kernel, so it counts as fused: only gates reaching the generic dense
+    // two-qubit fallback in `lower_two` land in the general bucket. Singleton
+    // runs whose matrix classifies as diagonal/anti-diagonal (or folds to the
+    // identity) report as specialized instead.
+    let singleton_bucket = match kernel {
+        Some(Kernel::Unary { .. }) => Bucket::Fused,
+        _ => Bucket::Specialized,
+    };
+    let bucket = if p.gates.len() >= 2 { Bucket::Fused } else { singleton_bucket };
+    for name in &p.gates {
+        stats.record_gate(name, bucket);
+    }
+    if let Some(k) = kernel {
+        kernels.push(k);
+        stats.kernels_out += 1;
+    }
+}
+
+/// Lowers a two-qubit gate directly to its specialized kernel class.
+fn lower_two(
+    gate: &Gate,
+    qa: usize,
+    qb: usize,
+    kernels: &mut Vec<Kernel>,
+    stats: &mut CompileStats,
+) {
+    let m = two_qubit_matrix(gate);
+    let (k, bucket) = match gate {
+        Gate::Cz | Gate::CPhase(_) | Gate::Rzz(_) => {
+            (Kernel::Diag2 { qa, qb, p: [m[0][0], m[1][1], m[2][2], m[3][3]] }, Bucket::Specialized)
+        }
+        Gate::Swap => (Kernel::SwapPerm { qa, qb }, Bucket::Specialized),
+        Gate::Cx | Gate::Cy => (
+            Kernel::CFlip { control: qa, target: qb, c01: m[2][3], c10: m[3][2] },
+            Bucket::Specialized,
+        ),
+        _ => (Kernel::Two { qa, qb, m }, Bucket::General),
+    };
+    stats.record_gate(gate.name(), bucket);
+    kernels.push(k);
+    stats.kernels_out += 1;
+}
+
+/// A circuit compiled to a flat kernel list.
+#[derive(Debug, Clone)]
+pub struct KernelProgram {
+    num_qubits: usize,
+    num_clbits: usize,
+    kernels: Vec<Kernel>,
+    stats: CompileStats,
+}
+
+impl KernelProgram {
+    /// Compiles `circuit` in one pass (no caching, no frame split).
+    pub fn compile(circuit: &Circuit) -> Self {
+        let mut kernels = Vec::new();
+        let mut stats = CompileStats::default();
+        lower_ops(circuit.num_qubits(), circuit.operations(), &mut kernels, &mut stats);
+        KernelProgram {
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            kernels,
+            stats,
+        }
+    }
+
+    /// The compiled kernels, in execution order.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Compilation telemetry for this program.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Number of qubits the program acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits the program writes.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+}
+
+/// A compiled circuit split into a variant-specific init **prologue**, a
+/// (potentially cache-shared) **body**, and a measurement/output-basis
+/// **epilogue** — the shape [`KernelCache`] produces so deduplicated variant
+/// batches share one compiled body.
+#[derive(Debug, Clone)]
+pub struct FramedProgram {
+    num_qubits: usize,
+    num_clbits: usize,
+    prologue: Vec<Kernel>,
+    body: Arc<KernelProgram>,
+    epilogue: Vec<Kernel>,
+    /// Operation-index offsets of body/epilogue kernels in the source
+    /// circuit, for error parity with the interpreted path.
+    body_op_offset: usize,
+    epilogue_op_offset: usize,
+    stats: CompileStats,
+}
+
+impl FramedProgram {
+    /// Compiles `circuit` as a single frameless body (no cache involved).
+    pub fn compile(circuit: &Circuit) -> Self {
+        let program = KernelProgram::compile(circuit);
+        let stats = program.stats().clone();
+        FramedProgram {
+            num_qubits: circuit.num_qubits(),
+            num_clbits: circuit.num_clbits(),
+            prologue: Vec::new(),
+            body: Arc::new(program),
+            epilogue: Vec::new(),
+            body_op_offset: 0,
+            epilogue_op_offset: circuit.operations().len(),
+            stats,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        num_qubits: usize,
+        num_clbits: usize,
+        prologue: Vec<Kernel>,
+        body: Arc<KernelProgram>,
+        epilogue: Vec<Kernel>,
+        body_op_offset: usize,
+        epilogue_op_offset: usize,
+        stats: CompileStats,
+    ) -> Self {
+        FramedProgram {
+            num_qubits,
+            num_clbits,
+            prologue,
+            body,
+            epilogue,
+            body_op_offset,
+            epilogue_op_offset,
+            stats,
+        }
+    }
+
+    /// Combined compilation telemetry (body + frames; cache hit/miss marked
+    /// when the program came from a [`KernelCache`]).
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Number of qubits the program acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of classical bits the program writes.
+    pub fn num_clbits(&self) -> usize {
+        self.num_clbits
+    }
+
+    /// The shared compiled body (useful to assert cache identity in tests).
+    pub fn body(&self) -> &Arc<KernelProgram> {
+        &self.body
+    }
+
+    /// All kernels in execution order: prologue, body, epilogue.
+    pub fn kernels(&self) -> impl Iterator<Item = &Kernel> {
+        self.prologue.iter().chain(self.body.kernels()).chain(self.epilogue.iter())
+    }
+
+    fn segments(&self) -> [(&[Kernel], usize); 3] {
+        [
+            (&self.prologue[..], 0),
+            (self.body.kernels(), self.body_op_offset),
+            (&self.epilogue[..], self.epilogue_op_offset),
+        ]
+    }
+
+    /// Applies every kernel to `state`, failing on control kernels.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NonUnitaryCircuit`] (with the source operation index) on
+    /// the first measure/reset kernel — parity with
+    /// [`StateVector::apply_circuit`].
+    pub fn apply_unitary(&self, state: &mut StateVector) -> Result<(), SimError> {
+        for (segment, offset) in self.segments() {
+            for k in segment {
+                match k {
+                    Kernel::Measure { op_index, .. } | Kernel::Reset { op_index, .. } => {
+                        return Err(SimError::NonUnitaryCircuit { index: offset + op_index })
+                    }
+                    _ => k.apply(state.amps_mut()),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the program from |0…0⟩ — the compiled analogue of
+    /// [`StateVector::from_circuit`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TooManyQubits`] past the simulator limit and
+    /// [`SimError::NonUnitaryCircuit`] on measure/reset kernels.
+    pub fn run_unitary(&self) -> Result<StateVector, SimError> {
+        let mut state = StateVector::try_new(self.num_qubits)?;
+        self.apply_unitary(&mut state)?;
+        Ok(state)
+    }
+
+    /// Enumerates every measurement/reset branch exactly — the compiled
+    /// analogue of [`enumerate_branches`](crate::branching::enumerate_branches).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TooManyQubits`] past the simulator limit.
+    pub fn enumerate_branches(&self) -> Result<Vec<Branch>, SimError> {
+        let mut branches = vec![Branch {
+            probability: 1.0,
+            clbits: vec![false; self.num_clbits],
+            state: StateVector::try_new(self.num_qubits)?,
+        }];
+        for (segment, _) in self.segments() {
+            for k in segment {
+                match k {
+                    Kernel::Measure { qubit, clbit, .. } => {
+                        let q = QubitId::new(*qubit);
+                        let mut next = Vec::with_capacity(branches.len() * 2);
+                        for b in branches {
+                            for outcome in [false, true] {
+                                let mut state = b.state.clone();
+                                let p = state.project(q, outcome);
+                                if p > BRANCH_PRUNE {
+                                    let mut clbits = b.clbits.clone();
+                                    clbits[*clbit] = outcome;
+                                    next.push(Branch {
+                                        probability: b.probability * p,
+                                        clbits,
+                                        state,
+                                    });
+                                }
+                            }
+                        }
+                        branches = next;
+                    }
+                    Kernel::Reset { qubit, .. } => {
+                        let q = QubitId::new(*qubit);
+                        let mut next = Vec::with_capacity(branches.len() * 2);
+                        for b in branches {
+                            for outcome in [false, true] {
+                                let mut state = b.state.clone();
+                                let p = state.project(q, outcome);
+                                if p > BRANCH_PRUNE {
+                                    if outcome {
+                                        state.apply_gate(&Gate::X, &[q]);
+                                    }
+                                    next.push(Branch {
+                                        probability: b.probability * p,
+                                        clbits: b.clbits.clone(),
+                                        state,
+                                    });
+                                }
+                            }
+                        }
+                        branches = next;
+                    }
+                    _ => {
+                        for b in &mut branches {
+                            k.apply(b.state.amps_mut());
+                        }
+                    }
+                }
+            }
+        }
+        Ok(branches)
+    }
+
+    /// The exact distribution over classical bits — the compiled analogue of
+    /// [`classical_distribution`](crate::branching::classical_distribution).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NothingToMeasure`] when the program has no classical bits,
+    /// plus any error of [`FramedProgram::enumerate_branches`].
+    pub fn classical_distribution(&self) -> Result<Vec<f64>, SimError> {
+        if self.num_clbits == 0 {
+            return Err(SimError::NothingToMeasure);
+        }
+        let branches = self.enumerate_branches()?;
+        Ok(distribution_over_clbits(&branches, self.num_clbits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branching;
+
+    fn assert_states_close(a: &StateVector, b: &StateVector) {
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+            assert!((*x - *y).abs() < 1e-12, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn single_qubit_runs_fuse_to_one_kernel() {
+        let mut c = Circuit::new(1);
+        c.h(0).t(0).s(0).h(0).rx(0.4, 0);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.stats().gates_in, 5);
+        assert_eq!(p.stats().kernels_out, 1);
+        assert!(p.stats().coverage() > 0.99);
+        let sv = FramedProgram::compile(&c).run_unitary().unwrap();
+        assert_states_close(&sv, &StateVector::from_circuit(&c).unwrap());
+    }
+
+    #[test]
+    fn fusion_reaches_across_other_wires() {
+        // rz(q0); cx(q1,q2); rz(q0) — the two rz's commute past the cx and
+        // must fuse into a single diagonal kernel.
+        let mut c = Circuit::new(3);
+        c.rz(0.3, 0).cx(1, 2).rz(0.5, 0);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.stats().kernels_out, 2);
+        assert!(matches!(p.kernels()[1], Kernel::Diag1 { qubit: 0, .. }));
+        let sv = FramedProgram::compile(&c).run_unitary().unwrap();
+        assert_states_close(&sv, &StateVector::from_circuit(&c).unwrap());
+    }
+
+    #[test]
+    fn identity_runs_are_eliminated() {
+        let mut c = Circuit::new(1);
+        c.z(0).z(0);
+        let p = KernelProgram::compile(&c);
+        assert_eq!(p.stats().kernels_out, 0);
+        assert_eq!(p.stats().eliminated_gates, 2);
+        assert_eq!(p.stats().coverage(), 1.0);
+        let mut x = Circuit::new(1);
+        x.x(0).x(0);
+        assert_eq!(KernelProgram::compile(&x).stats().kernels_out, 0);
+    }
+
+    #[test]
+    fn specialization_classes_match_gate_families() {
+        let mut c = Circuit::new(2);
+        c.z(0).x(1).cz(0, 1).swap(0, 1).cx(0, 1).rzz(0.3, 0, 1).rxx(0.2, 0, 1);
+        let p = KernelProgram::compile(&c);
+        let kinds: Vec<&Kernel> = p.kernels().iter().collect();
+        assert!(matches!(kinds[0], Kernel::Diag1 { .. }));
+        assert!(matches!(kinds[1], Kernel::Flip1 { .. }));
+        assert!(matches!(kinds[2], Kernel::Diag2 { .. }));
+        assert!(matches!(kinds[3], Kernel::SwapPerm { .. }));
+        assert!(matches!(kinds[4], Kernel::CFlip { .. }));
+        assert!(matches!(kinds[5], Kernel::Diag2 { .. }));
+        assert!(matches!(kinds[6], Kernel::Two { .. }));
+        // only rxx is general
+        assert_eq!(p.stats().families["rxx"].general, 1);
+        assert!((p.stats().coverage() - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn barriers_are_fusion_fences() {
+        let mut fused = Circuit::new(1);
+        fused.h(0).h(0);
+        let mut fenced = Circuit::new(1);
+        fenced.h(0).barrier().h(0);
+        assert_eq!(KernelProgram::compile(&fused).stats().kernels_out, 1);
+        assert_eq!(KernelProgram::compile(&fenced).stats().kernels_out, 2);
+    }
+
+    #[test]
+    fn run_unitary_error_parity_with_interpreted() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(0, 0).h(1);
+        let compiled = FramedProgram::compile(&c).run_unitary();
+        assert_eq!(compiled.unwrap_err(), StateVector::from_circuit(&c).unwrap_err());
+    }
+
+    #[test]
+    fn compiled_distribution_matches_interpreted_with_reuse() {
+        // mid-circuit measure + reset (the qubit-reuse pattern)
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure(0, 0).reset(0).h(0).measure(0, 1).measure(1, 2);
+        let compiled = FramedProgram::compile(&c).classical_distribution().unwrap();
+        let interpreted = branching::classical_distribution(&c).unwrap();
+        assert_eq!(compiled.len(), interpreted.len());
+        for (a, b) in compiled.iter().zip(&interpreted) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn controlled_flip_coefficients_for_cy() {
+        let mut c = Circuit::new(2);
+        c.x(0).cy(0, 1);
+        let sv = FramedProgram::compile(&c).run_unitary().unwrap();
+        assert_states_close(&sv, &StateVector::from_circuit(&c).unwrap());
+        // |10⟩ -> i|11⟩
+        assert!((sv.amplitude(0b11) - Complex::i()).abs() < 1e-12);
+    }
+}

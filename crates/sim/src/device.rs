@@ -3,11 +3,12 @@
 //! (e.g. the 7-qubit IBM Lagos and hypothetical 3/4-qubit devices) the paper
 //! runs subcircuits on.
 
+use crate::compile::{interpreted_forced_by_env, CompileStats, FramedProgram, Kernel, KernelCache};
 use crate::expectation::{expectation_from_counts, measurement_circuit};
 use crate::noise::NoiseModel;
 use crate::{Counts, SimError, StateVector};
 use qrcc_circuit::observable::PauliObservable;
-use qrcc_circuit::{Circuit, Operation};
+use qrcc_circuit::{Circuit, Operation, QubitId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,6 +26,12 @@ pub struct DeviceConfig {
     /// Base seed for shot sampling; every execution derives a fresh stream
     /// from it so results are reproducible run-to-run.
     pub seed: u64,
+    /// Forces the interpreted per-gate simulator for noiseless execution
+    /// instead of compiled kernel programs (noisy execution is always
+    /// interpreted: per-gate noise anchors to gate boundaries, which fusion
+    /// would erase). The `QRCC_SIM_INTERPRETED=1` environment variable
+    /// forces this at [`Device::new`] time for differential testing.
+    pub interpreted: bool,
 }
 
 impl DeviceConfig {
@@ -36,12 +43,13 @@ impl DeviceConfig {
             noise: NoiseModel::noiseless(),
             supports_mid_circuit: true,
             seed: 0,
+            interpreted: false,
         }
     }
 
     /// A noisy device using the given noise model.
     pub fn noisy(num_qubits: usize, noise: NoiseModel) -> Self {
-        DeviceConfig { num_qubits, noise, supports_mid_circuit: true, seed: 0 }
+        DeviceConfig { num_qubits, noise, supports_mid_circuit: true, seed: 0, interpreted: false }
     }
 
     /// Sets the sampling seed.
@@ -53,6 +61,12 @@ impl DeviceConfig {
     /// Disables mid-circuit measurement/reset support.
     pub fn without_mid_circuit(mut self) -> Self {
         self.supports_mid_circuit = false;
+        self
+    }
+
+    /// Opts out of compiled kernel execution (differential-testing path).
+    pub fn interpreted(mut self) -> Self {
+        self.interpreted = true;
         self
     }
 }
@@ -73,12 +87,17 @@ impl DeviceConfig {
 pub struct Device {
     config: DeviceConfig,
     executions: AtomicU64,
+    /// Compiled kernel programs keyed by circuit body structural hash.
+    kernels: KernelCache,
+    /// Resolved at construction: config opt-out or `QRCC_SIM_INTERPRETED`.
+    use_compiled: bool,
 }
 
 impl Device {
     /// Creates a device from its configuration.
     pub fn new(config: DeviceConfig) -> Self {
-        Device { config, executions: AtomicU64::new(0) }
+        let use_compiled = !config.interpreted && !interpreted_forced_by_env();
+        Device { config, executions: AtomicU64::new(0), kernels: KernelCache::new(), use_compiled }
     }
 
     /// An ideal (noiseless) device with `num_qubits` qubits.
@@ -199,7 +218,11 @@ impl Device {
             // multinomial sampling of the measured qubits.
             let map = final_measurement_map(&circuit).expect("checked above");
             let unitary = circuit.without_non_unitary();
-            let sv = StateVector::from_circuit(&unitary)?;
+            let sv = if self.use_compiled {
+                self.kernels.get_or_compile(&unitary).run_unitary()?
+            } else {
+                StateVector::from_circuit(&unitary)?
+            };
             let all = sv.sample_counts(shots, &mut rng)?;
             let mut counts = Counts::new(circuit.num_clbits());
             for (outcome, count) in all.iter() {
@@ -214,13 +237,60 @@ impl Device {
             return Ok(counts);
         }
 
-        // Trajectory path: one state-vector run per shot with stochastic noise.
+        if noiseless && self.use_compiled {
+            // Compiled trajectory path: fuse once, then walk the (much
+            // shorter) kernel program per shot. Noiseless gate/readout noise
+            // draws no randomness, so the rng stream matches the interpreted
+            // trajectory exactly.
+            let program = self.kernels.get_or_compile(&circuit);
+            let mut counts = Counts::new(circuit.num_clbits());
+            for _ in 0..shots {
+                let bits = self.run_single_trajectory_compiled(&program, &mut rng)?;
+                counts.record_bits(&bits);
+            }
+            return Ok(counts);
+        }
+
+        // Interpreted trajectory path: one per-gate state-vector run per shot.
+        // Noisy execution always lands here — stochastic per-gate noise
+        // anchors to gate boundaries, which kernel fusion would erase.
         let mut counts = Counts::new(circuit.num_clbits());
         for _ in 0..shots {
             let bits = self.run_single_trajectory(&circuit, &mut rng)?;
             counts.record_bits(&bits);
         }
         Ok(counts)
+    }
+
+    fn run_single_trajectory_compiled(
+        &self,
+        program: &FramedProgram,
+        rng: &mut StdRng,
+    ) -> Result<Vec<bool>, SimError> {
+        let mut state = StateVector::try_new(program.num_qubits())?;
+        let mut clbits = vec![false; program.num_clbits()];
+        for kernel in program.kernels() {
+            match kernel {
+                Kernel::Measure { qubit, clbit, .. } => {
+                    let outcome = state.measure(QubitId::new(*qubit), rng);
+                    clbits[*clbit] = self.config.noise.apply_readout(outcome, rng);
+                }
+                Kernel::Reset { qubit, .. } => state.reset(QubitId::new(*qubit), rng),
+                _ => kernel.apply(state.amps_mut()),
+            }
+        }
+        Ok(clbits)
+    }
+
+    /// Cumulative kernel-compilation telemetry for this device (`None`
+    /// when the device runs the interpreted path).
+    pub fn compile_stats(&self) -> Option<CompileStats> {
+        self.use_compiled.then(|| self.kernels.stats())
+    }
+
+    /// The device's compiled-program cache.
+    pub fn kernel_cache(&self) -> &KernelCache {
+        &self.kernels
     }
 
     fn run_single_trajectory(

@@ -2,16 +2,42 @@
 //!
 //! The paper executes subcircuits on IBM quantum devices and verifies results
 //! against Qiskit's state-vector and shot-based simulators. This crate is the
-//! stand-in for all of that:
+//! stand-in for all of that, organised around a **compile-then-execute**
+//! flow:
+//!
+//! 1. **Lower** — [`compile`] turns a circuit into a flat
+//!    [`KernelProgram`](compile::KernelProgram): adjacent single-qubit gates
+//!    fuse into one 2×2 matrix, diagonal/permutation/controlled-flip gates
+//!    specialize to cheaper sweeps, the rest become cache-blocked dense
+//!    kernels. Every sweep is rayon-chunked above a size threshold with
+//!    disjoint write sets, so results are bit-identical for any thread count.
+//! 2. **Cache** — [`compile::KernelCache`] keys compiled bodies by
+//!    [`Circuit::structural_hash`](qrcc_circuit::Circuit::structural_hash);
+//!    QRCC's deduplicated variant batches differ only in their init prologue
+//!    and measurement epilogue, so thousands of variants share one compiled
+//!    body and only the frames are compiled per request.
+//! 3. **Execute** — compiled programs run as exact unitaries
+//!    ([`compile::FramedProgram::run_unitary`]), exact branch enumerations
+//!    ([`compile::FramedProgram::enumerate_branches`]) or per-shot
+//!    trajectories ([`device`]). The original per-gate interpreter remains
+//!    available everywhere (construction-time opt-out, or the
+//!    `QRCC_SIM_INTERPRETED=1` environment variable) and is the differential
+//!    reference the compiled path is tested against.
+//!
+//! The pieces:
 //!
 //! * [`Complex`] — minimal complex arithmetic (no external numeric crates).
-//! * [`StateVector`] — an exact state-vector simulator supporting every gate
-//!   of the IR plus mid-circuit measurement and reset (required for qubit
-//!   reuse), shot sampling and Pauli-observable expectation values.
-//! * [`branching`] — exact enumeration of measurement branches, used by the
-//!   gate-cut reconstruction where the measurement outcome β weights the
-//!   expectation value.
+//! * [`StateVector`] — the exact simulator supporting every gate of the IR
+//!   plus mid-circuit measurement and reset (required for qubit reuse), shot
+//!   sampling and Pauli-observable expectation values. Widths are capped at
+//!   [`MAX_QUBITS`] with a typed [`SimError::TooManyQubits`] error.
+//! * [`compile`] — the kernel compiler, cache and [`compile::CompileStats`]
+//!   coverage report described above.
+//! * [`branching`] — exact interpreted enumeration of measurement branches,
+//!   used by gate-cut reconstruction and as the compiled path's reference.
 //! * [`noise`] — stochastic-Pauli (depolarizing) and readout noise models.
+//!   Noisy execution always interprets gate-by-gate: per-gate noise anchors
+//!   to gate boundaries, which fusion would erase.
 //! * [`device`] — a small simulated quantum device with a qubit budget,
 //!   optional noise and shots-based execution, standing in for IBM Lagos.
 //! * [`Counts`] — measurement histograms.
@@ -20,14 +46,17 @@
 //!
 //! ```rust
 //! use qrcc_circuit::Circuit;
+//! use qrcc_sim::compile::FramedProgram;
 //! use qrcc_sim::StateVector;
 //!
 //! let mut bell = Circuit::new(2);
 //! bell.h(0).cx(0, 1);
-//! let sv = StateVector::from_circuit(&bell).unwrap();
-//! let probs = sv.probabilities();
-//! assert!((probs[0] - 0.5).abs() < 1e-12);
-//! assert!((probs[3] - 0.5).abs() < 1e-12);
+//! // interpreted and compiled paths agree
+//! let interpreted = StateVector::from_circuit(&bell).unwrap();
+//! let compiled = FramedProgram::compile(&bell).run_unitary().unwrap();
+//! for (a, b) in interpreted.amplitudes().iter().zip(compiled.amplitudes()) {
+//!     assert!((*a - *b).abs() < 1e-12);
+//! }
 //! ```
 
 #![warn(missing_docs)]
@@ -39,6 +68,7 @@ mod error;
 mod statevector;
 
 pub mod branching;
+pub mod compile;
 pub mod device;
 pub mod expectation;
 pub mod matrix;
@@ -47,4 +77,4 @@ pub mod noise;
 pub use complex::Complex;
 pub use counts::Counts;
 pub use error::SimError;
-pub use statevector::StateVector;
+pub use statevector::{StateVector, MAX_QUBITS};

@@ -25,18 +25,39 @@ pub struct StateVector {
     amps: Vec<Complex>,
 }
 
+/// The dense simulator's qubit limit: a `2^28`-amplitude vector is 4 GiB of
+/// [`Complex`], the largest allocation appropriate for this reproduction.
+/// Every width check in the crate ([`StateVector::try_new`],
+/// [`StateVector::from_circuit`], branch enumeration, compiled programs)
+/// funnels through this single constant and the typed
+/// [`SimError::TooManyQubits`] path.
+pub const MAX_QUBITS: usize = 28;
+
 impl StateVector {
+    /// The all-zeros state |0…0⟩ over `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TooManyQubits`] if `num_qubits` exceeds
+    /// [`MAX_QUBITS`].
+    pub fn try_new(num_qubits: usize) -> Result<Self, SimError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(SimError::TooManyQubits { required: num_qubits, available: MAX_QUBITS });
+        }
+        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
+        amps[0] = Complex::ONE;
+        Ok(StateVector { num_qubits, amps })
+    }
+
     /// The all-zeros state |0…0⟩ over `num_qubits` qubits.
     ///
     /// # Panics
     ///
-    /// Panics if `num_qubits > 28` (the dense vector would exceed memory
-    /// budgets appropriate for this reproduction).
+    /// Panics if `num_qubits > MAX_QUBITS`; use [`StateVector::try_new`] for
+    /// the typed-error path.
     pub fn new(num_qubits: usize) -> Self {
-        assert!(num_qubits <= 28, "state-vector simulation limited to 28 qubits");
-        let mut amps = vec![Complex::ZERO; 1 << num_qubits];
-        amps[0] = Complex::ONE;
-        StateVector { num_qubits, amps }
+        StateVector::try_new(num_qubits)
+            .unwrap_or_else(|_| panic!("state-vector simulation limited to {MAX_QUBITS} qubits"))
     }
 
     /// Builds the state produced by running the unitary part of `circuit`
@@ -45,15 +66,17 @@ impl StateVector {
     /// # Errors
     ///
     /// Returns [`SimError::NonUnitaryCircuit`] if the circuit contains a
-    /// measurement or reset, and [`SimError::TooManyQubits`] if it exceeds the
-    /// simulator's qubit limit.
+    /// measurement or reset, and [`SimError::TooManyQubits`] if it exceeds
+    /// [`MAX_QUBITS`].
     pub fn from_circuit(circuit: &Circuit) -> Result<Self, SimError> {
-        if circuit.num_qubits() > 28 {
-            return Err(SimError::TooManyQubits { required: circuit.num_qubits(), available: 28 });
-        }
-        let mut sv = StateVector::new(circuit.num_qubits());
+        let mut sv = StateVector::try_new(circuit.num_qubits())?;
         sv.apply_circuit(circuit)?;
         Ok(sv)
+    }
+
+    /// Mutable access to the raw amplitudes for in-crate kernel sweeps.
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex] {
+        &mut self.amps
     }
 
     /// Number of qubits.

@@ -1,0 +1,297 @@
+//! Differential tests for the compiled kernel path: the compiled simulator
+//! must agree with the gate-by-gate interpreter (the reference) to 1e-12 on
+//! every IR gate, on random circuits, on every benchmark generator family,
+//! and — bit-for-bit — on seeded shot trajectories with mid-circuit
+//! measurement and reset. A deduplicated variant batch served from the
+//! [`KernelCache`] must reproduce the uncached run exactly.
+
+use proptest::prelude::*;
+use qrcc_circuit::generators::{
+    aqft, hamiltonian_simulation, qaoa_regular, qft, qft_no_swap, ripple_carry_adder, supremacy,
+    vqe_two_local, HamiltonianKind,
+};
+use qrcc_circuit::Circuit;
+use qrcc_sim::branching::classical_distribution;
+use qrcc_sim::compile::{FramedProgram, KernelCache};
+use qrcc_sim::device::{Device, DeviceConfig};
+use qrcc_sim::StateVector;
+
+/// Asserts the compiled unitary run matches the interpreted state vector
+/// amplitude-for-amplitude at 1e-12.
+fn assert_compiled_matches_interpreted(circuit: &Circuit) {
+    let interpreted = StateVector::from_circuit(circuit).unwrap();
+    let program = FramedProgram::compile(circuit);
+    let compiled = program.run_unitary().unwrap();
+    for (i, (a, b)) in interpreted.amplitudes().iter().zip(compiled.amplitudes()).enumerate() {
+        assert!(
+            (*a - *b).abs() < 1e-12,
+            "amplitude {i} diverges in {}: interpreted {a:?} vs compiled {b:?}",
+            circuit.name()
+        );
+    }
+}
+
+/// Asserts compiled and interpreted classical distributions agree at 1e-12
+/// for a circuit with measurements (exercising branch enumeration).
+fn assert_distributions_match(circuit: &Circuit) {
+    let interpreted = classical_distribution(circuit).unwrap();
+    let cache = KernelCache::new();
+    let compiled = cache.get_or_compile(circuit).classical_distribution().unwrap();
+    assert_eq!(interpreted.len(), compiled.len());
+    for (i, (a, b)) in interpreted.iter().zip(&compiled).enumerate() {
+        assert!((a - b).abs() < 1e-12, "P[{i}] diverges: {a} vs {b}");
+    }
+}
+
+/// A circuit applying every single-qubit gate of the IR at least once.
+fn every_1q_gate(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        let t = 0.3 + 0.1 * q as f64;
+        c.id(q)
+            .h(q)
+            .x(q)
+            .y(q)
+            .z(q)
+            .s(q)
+            .sdg(q)
+            .t(q)
+            .tdg(q)
+            .sx(q)
+            .rx(t, q)
+            .ry(1.3 * t, q)
+            .rz(0.7 * t, q)
+            .p(0.9 * t, q)
+            .u3(t, 0.2, 1.1, q);
+    }
+    c
+}
+
+/// A circuit applying every two-qubit gate of the IR at least once.
+fn every_2q_gate(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    for q in 0..n {
+        c.h(q);
+    }
+    for a in 0..n {
+        let b = (a + 1) % n;
+        let t = 0.4 + 0.15 * a as f64;
+        c.cx(a, b)
+            .cy(a, b)
+            .cz(a, b)
+            .swap(a, b)
+            .rzz(t, a, b)
+            .rxx(1.2 * t, a, b)
+            .ryy(0.8 * t, a, b)
+            .cp(0.6 * t, a, b);
+    }
+    c
+}
+
+#[test]
+fn every_ir_gate_matches_interpreted() {
+    assert_compiled_matches_interpreted(&every_1q_gate(3));
+    assert_compiled_matches_interpreted(&every_2q_gate(4));
+    let mut both = every_1q_gate(4);
+    both.compose(&every_2q_gate(4));
+    both.ccx(0, 1, 2).barrier().ccx(2, 3, 0);
+    assert_compiled_matches_interpreted(&both);
+}
+
+#[test]
+fn benchmark_families_match_interpreted() {
+    let families: Vec<Circuit> = vec![
+        qft(6),
+        qft_no_swap(6),
+        aqft(6, 3),
+        supremacy(2, 3, 4, 7),
+        ripple_carry_adder(2, 11),
+        qaoa_regular(6, 3, 2, 5).0,
+        hamiltonian_simulation(HamiltonianKind::TransverseFieldIsing, 2, 3, false, 2, 0.1).0,
+        hamiltonian_simulation(HamiltonianKind::Xy, 2, 2, false, 2, 0.2).0,
+        hamiltonian_simulation(HamiltonianKind::Heisenberg, 2, 2, false, 1, 0.15).0,
+        vqe_two_local(6, 2, 13),
+    ];
+    for circuit in &families {
+        assert_compiled_matches_interpreted(circuit);
+        let mut measured = circuit.clone();
+        measured.measure_all();
+        assert_distributions_match(&measured);
+    }
+}
+
+#[test]
+fn mid_circuit_measure_and_reset_distributions_match() {
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).measure(0, 0).reset(0).h(0).cx(1, 2).measure(1, 1).x(0).measure_all();
+    assert_distributions_match(&c);
+
+    // reset after superposition: the reset branch probabilities must agree
+    let mut r = Circuit::new(2);
+    r.h(0).h(1).cz(0, 1).reset(1).h(1).measure_all();
+    assert_distributions_match(&r);
+}
+
+#[test]
+fn seeded_shot_trajectories_are_identical_across_modes() {
+    // Noiseless trajectories draw rng only at measure/reset, and the
+    // compiled path anchors those to the same points — so with equal seeds
+    // the two modes must produce byte-identical counts.
+    let mut c = Circuit::new(4);
+    c.h(0).cx(0, 1).measure(0, 0).reset(0).ry(0.7, 0).cx(1, 2).cx(2, 3).t(3).measure_all();
+    for seed in [1u64, 7, 42] {
+        let compiled = Device::new(DeviceConfig::ideal(4).with_seed(seed));
+        let interpreted = Device::new(DeviceConfig::ideal(4).with_seed(seed).interpreted());
+        let a = compiled.execute(&c, 500).unwrap();
+        let b = interpreted.execute(&c, 500).unwrap();
+        assert_eq!(a, b, "seed {seed}: compiled and interpreted counts must be identical");
+    }
+}
+
+#[test]
+fn cache_hits_are_deterministic_over_a_deduplicated_variant_batch() {
+    // A QRCC-style variant batch: one shared body, differing init prologues
+    // and measurement epilogues. Serving variants from the cache (bodies
+    // compiled once, shared via Arc) must reproduce the uncached per-variant
+    // compile exactly.
+    let mut body = Circuit::new(3);
+    body.h(0).cx(0, 1).t(1).cx(1, 2).rz(0.4, 2).cx(0, 2).s(0);
+
+    let mut variants = Vec::new();
+    for init in 0..4usize {
+        for basis in 0..2usize {
+            let mut v = Circuit::new(3);
+            // init prologue: prepare qubit 0 in one of the cut states
+            match init {
+                0 => {}
+                1 => {
+                    v.x(0);
+                }
+                2 => {
+                    v.h(0);
+                }
+                _ => {
+                    v.h(0).s(0);
+                }
+            }
+            v.compose(&body);
+            // measurement epilogue: basis rotation + terminal measures
+            if basis == 1 {
+                v.h(2);
+            }
+            v.measure_all();
+            variants.push(v);
+        }
+    }
+
+    let cache = KernelCache::new();
+    let mut first_pass = Vec::new();
+    for v in &variants {
+        let fresh = FramedProgram::compile(v).classical_distribution().unwrap();
+        let cached = cache.get_or_compile(v).classical_distribution().unwrap();
+        assert_eq!(fresh, cached, "cached body must reproduce the frameless compile exactly");
+        first_pass.push(cached);
+    }
+    assert_eq!(cache.compiled_bodies(), 1, "all variants share one compiled body");
+    assert!(cache.hits() >= variants.len() as u64 - 1);
+
+    // a second pass is served fully from cache and is bit-identical
+    for (v, expected) in variants.iter().zip(&first_pass) {
+        let again = cache.get_or_compile(v).classical_distribution().unwrap();
+        assert_eq!(&again, expected, "cache hits must be deterministic");
+    }
+}
+
+/// Strategy producing a random unitary circuit drawing from every gate
+/// family the compiler specializes: fusable 1q runs, diagonal gates,
+/// permutations, controlled flips and dense two-qubit kernels.
+fn random_compilable_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0..14usize, 0..n, 0..n, -3.0f64..3.0);
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (kind, a, b, theta) in gates {
+            match kind {
+                0 => {
+                    c.h(a);
+                }
+                1 => {
+                    c.rx(theta, a);
+                }
+                2 => {
+                    c.rz(theta, a);
+                }
+                3 => {
+                    c.t(a);
+                }
+                4 => {
+                    c.x(a);
+                }
+                5 => {
+                    c.s(a);
+                }
+                6 => {
+                    c.u3(theta, 0.3, 0.9, a);
+                }
+                7 if a != b => {
+                    c.cx(a, b);
+                }
+                8 if a != b => {
+                    c.cz(a, b);
+                }
+                9 if a != b => {
+                    c.swap(a, b);
+                }
+                10 if a != b => {
+                    c.rzz(theta, a, b);
+                }
+                11 if a != b => {
+                    c.rxx(theta, a, b);
+                }
+                12 if a != b => {
+                    c.cy(a, b);
+                }
+                _ => {
+                    c.sdg(a);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn compiled_equals_interpreted_on_random_circuits(c in random_compilable_circuit(4, 40)) {
+        assert_compiled_matches_interpreted(&c);
+    }
+
+    #[test]
+    fn compiled_distributions_match_with_mid_circuit_measures(
+        c in random_compilable_circuit(3, 20),
+        cut in 0..3usize,
+    ) {
+        let mut measured = Circuit::new(3);
+        measured.compose(&c);
+        measured.measure(cut, 0).reset(cut).h(cut);
+        measured.measure_all();
+        assert_distributions_match(&measured);
+    }
+
+    #[test]
+    fn compiled_trajectories_match_interpreted_per_seed(
+        c in random_compilable_circuit(3, 15),
+        seed in 0..1000u64,
+    ) {
+        let mut measured = Circuit::new(3);
+        measured.compose(&c);
+        measured.measure(0, 0).reset(0).h(0).measure_all();
+        let compiled = Device::new(DeviceConfig::ideal(3).with_seed(seed));
+        let interpreted = Device::new(DeviceConfig::ideal(3).with_seed(seed).interpreted());
+        prop_assert_eq!(
+            compiled.execute(&measured, 50).unwrap(),
+            interpreted.execute(&measured, 50).unwrap()
+        );
+    }
+}

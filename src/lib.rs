@@ -86,6 +86,7 @@ pub mod prelude {
     };
     pub use qrcc_net::{lint_capabilities, QrccServer, RemoteBackend, ServerHandle, ServerStats};
     pub use qrcc_sim::{
+        compile::{CompileStats, FramedProgram, KernelCache},
         device::{Device, DeviceConfig},
         noise::NoiseModel,
         Counts, StateVector,

@@ -22,6 +22,13 @@ fn num_threads() -> usize {
         .unwrap_or_else(|| std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1))
 }
 
+/// Number of threads a parallel call would fan out to, mirroring
+/// `rayon::current_num_threads`. Callers can skip building parallel job
+/// lists entirely when this is 1 (single-core hosts, `RAYON_NUM_THREADS=1`).
+pub fn current_num_threads() -> usize {
+    num_threads()
+}
+
 /// Runs `f` over `items`, in parallel, preserving input order in the output.
 fn parallel_map<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
 where
