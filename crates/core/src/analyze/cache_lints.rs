@@ -1,0 +1,209 @@
+//! Result-cache lints (`QL0305`): statically predicting a misconfigured
+//! [`cache::ResultCachePolicy`](crate::cache::ResultCachePolicy) — a cache
+//! that silently stores nothing, a persistence path that can never be
+//! written, or an on-disk snapshot the configured cache will ignore.
+
+use super::{AnalysisContext, AnalysisReport, Diagnostic, Lint, Location};
+use crate::cache::{ResultCache, SNAPSHOT_VERSION};
+use std::path::Path;
+
+/// `QL0305`: the configured result cache cannot do what the configuration
+/// asks of it. All findings are **warnings** — a misconfigured cache degrades
+/// to executing everything (or starting empty), never to wrong results.
+///
+/// Fires on:
+/// * caching enabled with a zero weight budget — every insertion is dropped,
+///   so the cache never serves anything;
+/// * a persistence path whose parent exists but is not a directory, or that
+///   points at a directory — the shutdown snapshot write is guaranteed to
+///   fail;
+/// * an existing snapshot written under a different format version (or a
+///   file that is not a snapshot at all) — [`ResultCache::open`] ignores it
+///   and starts empty.
+///
+/// Silent when `result_cache.enabled` is false (the default).
+pub struct CachePolicy;
+
+impl Lint for CachePolicy {
+    fn code(&self) -> &'static str {
+        "QL0305"
+    }
+
+    fn description(&self) -> &'static str {
+        "result-cache configurations that cannot store, persist, or reload"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, report: &mut AnalysisReport) {
+        let Some(config) = ctx.config else { return };
+        let policy = &config.result_cache;
+        if !policy.enabled {
+            return;
+        }
+        if policy.capacity == 0 {
+            report.push(
+                Diagnostic::warning(
+                    "QL0305",
+                    Location::Circuit,
+                    "the result cache is enabled with a zero weight budget: every insertion \
+                     is dropped, so lookups can never hit",
+                )
+                .with_suggestion(
+                    "set a positive capacity (ResultCachePolicy::with_capacity) or disable \
+                     the cache",
+                ),
+            );
+        }
+        let Some(path) = policy.persist_path.as_deref().map(Path::new) else { return };
+        if path.is_dir() {
+            report.push(
+                Diagnostic::warning(
+                    "QL0305",
+                    Location::Circuit,
+                    format!(
+                        "the result-cache persistence path '{}' is a directory: the shutdown \
+                         snapshot write will fail",
+                        path.display()
+                    ),
+                )
+                .with_suggestion("point persist_path at a file path"),
+            );
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() && parent.exists() && !parent.is_dir() {
+                report.push(
+                    Diagnostic::warning(
+                        "QL0305",
+                        Location::Circuit,
+                        format!(
+                            "the result-cache persistence path '{}' has a non-directory \
+                             parent: the snapshot can never be written there",
+                            path.display()
+                        ),
+                    )
+                    .with_suggestion("point persist_path below a real (or creatable) directory"),
+                );
+                return;
+            }
+        }
+        if path.exists() {
+            match ResultCache::snapshot_version(path) {
+                Some(version) if version == SNAPSHOT_VERSION => {}
+                Some(version) => {
+                    report.push(
+                        Diagnostic::warning(
+                            "QL0305",
+                            Location::Circuit,
+                            format!(
+                                "the snapshot at '{}' was written under cache-format version \
+                                 {version}, this build reads version {SNAPSHOT_VERSION}: it \
+                                 will be ignored and the cache starts empty",
+                                path.display()
+                            ),
+                        )
+                        .with_suggestion(
+                            "delete the stale snapshot (a fresh one is written at shutdown)",
+                        ),
+                    );
+                }
+                None => {
+                    report.push(
+                        Diagnostic::warning(
+                            "QL0305",
+                            Location::Circuit,
+                            format!(
+                                "the file at '{}' is not a result-cache snapshot: it will be \
+                                 ignored (and overwritten at shutdown)",
+                                path.display()
+                            ),
+                        )
+                        .with_suggestion("point persist_path somewhere that is not already in use"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalysisContext, Analyzer, Severity};
+    use crate::cache::{ResultCache, ResultCachePolicy};
+    use crate::QrccConfig;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("qrcc-cache-lint-{}-{}-{}", std::process::id(), n, name))
+    }
+
+    fn diagnostics_for(config: &QrccConfig) -> Vec<String> {
+        let report = Analyzer::new().run(&AnalysisContext::new().with_config(config));
+        report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "QL0305")
+            .map(|d| d.message.clone())
+            .collect()
+    }
+
+    #[test]
+    fn a_disabled_cache_is_silent() {
+        assert!(diagnostics_for(&QrccConfig::new(3)).is_empty());
+        // zero capacity too: the cache is off, nothing to warn about
+        let mut config = QrccConfig::new(3);
+        config.result_cache.capacity = 0;
+        assert!(diagnostics_for(&config).is_empty());
+    }
+
+    #[test]
+    fn zero_capacity_with_caching_enabled_warns() {
+        let config = QrccConfig::new(3).with_result_cache(true).with_result_cache_capacity(0);
+        let report = Analyzer::new().run(&AnalysisContext::new().with_config(&config));
+        let d = report.diagnostics().iter().find(|d| d.code == "QL0305").expect("fires");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("zero weight budget"), "{d}");
+    }
+
+    #[test]
+    fn a_directory_persistence_path_warns() {
+        let dir = scratch("as-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config =
+            QrccConfig::new(3).with_result_cache_persistence(dir.to_string_lossy().into_owned());
+        let messages = diagnostics_for(&config);
+        assert!(messages.iter().any(|m| m.contains("is a directory")), "{messages:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_version_mismatched_snapshot_warns_and_a_current_one_is_clean() {
+        let path = scratch("versioned");
+        std::fs::write(&path, "QRCC-RESULT-CACHE v999\n").unwrap();
+        let config =
+            QrccConfig::new(3).with_result_cache_persistence(path.to_string_lossy().into_owned());
+        let messages = diagnostics_for(&config);
+        assert!(messages.iter().any(|m| m.contains("version 999")), "{messages:?}");
+
+        // a snapshot written by the current build analyzes clean
+        let cache =
+            ResultCache::open(&ResultCachePolicy::persisted(path.to_string_lossy().into_owned()));
+        let mut circuit = qrcc_circuit::Circuit::new(1);
+        circuit.h(0);
+        cache.store(&circuit, &[0.5, 0.5], Some(100));
+        cache.persist().unwrap();
+        assert!(diagnostics_for(&config).is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_at_the_persistence_path_warns() {
+        let path = scratch("garbage");
+        std::fs::write(&path, "not a snapshot\n").unwrap();
+        let config =
+            QrccConfig::new(3).with_result_cache_persistence(path.to_string_lossy().into_owned());
+        let messages = diagnostics_for(&config);
+        assert!(messages.iter().any(|m| m.contains("not a result-cache snapshot")), "{messages:?}");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

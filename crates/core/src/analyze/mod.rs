@@ -42,10 +42,12 @@
 //! assert!(report.diagnostics().iter().any(|d| d.code == "QL0102"));
 //! ```
 
+mod cache_lints;
 mod circuit_lints;
 mod fleet_lints;
 mod plan_lints;
 
+pub use cache_lints::CachePolicy;
 pub use circuit_lints::{ClassicalRegisterUsage, DeadQubits, MeasureBeforeUse, ReuseCapability};
 pub use fleet_lints::{EmptyFleet, PredictedPlacement, PredictedShotBudget};
 pub use plan_lints::{
@@ -405,7 +407,8 @@ impl Analyzer {
             .register(Box::new(PruneMass))
             .register(Box::new(EmptyFleet))
             .register(Box::new(PredictedPlacement))
-            .register(Box::new(PredictedShotBudget));
+            .register(Box::new(PredictedShotBudget))
+            .register(Box::new(CachePolicy));
         analyzer
     }
 

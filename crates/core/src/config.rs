@@ -1,4 +1,5 @@
 use crate::analyze::LintLevel;
+use crate::cache::ResultCachePolicy;
 use crate::reconstruct::ReconstructionStrategy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -181,6 +182,15 @@ pub struct QrccConfig {
     /// `QRCC_SIM_INTERPRETED=1` environment variable.
     #[serde(default)]
     pub sim_interpreted: bool,
+    /// Result-cache policy of executions driven by this config: whether the
+    /// dispatch layer (and servers built from this config) consult a
+    /// shot-aware [`ResultCache`](crate::cache::ResultCache) before
+    /// executing, its weight budget, and an optional persistence snapshot
+    /// path. Disabled by default — cache-served circuits skip the backend,
+    /// which shifts a sampling backend's deterministic stream assignment
+    /// relative to a cache-free run.
+    #[serde(default)]
+    pub result_cache: ResultCachePolicy,
 }
 
 fn default_ilp_time_limit() -> Duration {
@@ -209,6 +219,7 @@ impl QrccConfig {
             schedule: SchedulePolicy::default(),
             lint_level: LintLevel::default(),
             sim_interpreted: false,
+            result_cache: ResultCachePolicy::default(),
         }
     }
 
@@ -336,6 +347,28 @@ impl QrccConfig {
     /// keeps the compiled kernel path.
     pub fn with_interpreted_sim(mut self, interpreted: bool) -> Self {
         self.sim_interpreted = interpreted;
+        self
+    }
+
+    /// Enables (or disables) the shot-aware result cache for executions
+    /// driven by this config.
+    pub fn with_result_cache(mut self, enabled: bool) -> Self {
+        self.result_cache.enabled = enabled;
+        self
+    }
+
+    /// Sets the result cache's weight budget, counted in stored
+    /// distribution values (`f64` slots). Implies nothing about enablement.
+    pub fn with_result_cache_capacity(mut self, capacity: u64) -> Self {
+        self.result_cache.capacity = capacity;
+        self
+    }
+
+    /// Enables the result cache with a persistence snapshot path, so a
+    /// restarted worker serves hits immediately.
+    pub fn with_result_cache_persistence(mut self, path: impl Into<String>) -> Self {
+        self.result_cache.enabled = true;
+        self.result_cache.persist_path = Some(path.into());
         self
     }
 

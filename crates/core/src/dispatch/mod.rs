@@ -52,6 +52,7 @@ mod worker;
 #[cfg(any(test, feature = "testing"))]
 pub use testing::{FailureMode, FlakyBackend, QueueBackend};
 
+use crate::cache::{merge_distributions, CacheLookup};
 use crate::config::SchedulePolicy;
 use crate::execute::{BackendUsage, ExecutionResults, PreparedBatch};
 use crate::schedule::{router, DeviceRegistry};
@@ -136,7 +137,8 @@ impl<'r> Dispatcher<'r> {
         if total == 0 {
             // preserve the chunk protocol: an empty batch still delivers one
             // (empty, accounted) chunk
-            let chunk = ExecutionResults::new_accounted(batch.requested, 0);
+            let mut chunk = ExecutionResults::new_accounted(batch.requested, 0);
+            chunk.set_cache_stats(self.registry.cache_stats());
             let started = Instant::now();
             sink(chunk)?;
             stats.deliver_wall = started.elapsed();
@@ -162,6 +164,17 @@ impl<'r> Dispatcher<'r> {
         let mut outcomes: Vec<Option<Vec<f64>>> = vec![None; total];
         let mut failures_of: Vec<u32> = vec![0; total];
         let mut excluded: Vec<Vec<usize>> = vec![Vec::new(); total];
+        // shots each circuit must actually execute: its allocation, or a
+        // delta hit's top-up — what the succeeding backend is charged and
+        // what retry jobs carry (cache-served shots are never re-spent)
+        let cache = self.registry.result_cache();
+        let mut effective: Vec<Option<u64>> = match shots {
+            Some(s) => s.iter().map(|&v| Some(v)).collect(),
+            None => vec![None; total],
+        };
+        // a delta hit's cached base distribution, merged with the fresh
+        // top-up when its job completes
+        let mut delta_base: Vec<Option<(Vec<f64>, u64)>> = vec![None; total];
         // per-chunk progress and per-(chunk, backend) usage accounting
         let mut remaining: Vec<usize> = bounds.iter().map(|&(s, e)| e - s).collect();
         let mut usage: Vec<Vec<BackendUsage>> =
@@ -187,7 +200,43 @@ impl<'r> Dispatcher<'r> {
                         let assignment = router::route(self.registry, chunk_circuits, chunk_shots)?;
                         let mut per_entry: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
                         for (local, &entry) in assignment.iter().enumerate() {
-                            per_entry[entry].push(start + local);
+                            let global = start + local;
+                            if let Some(cache) = cache {
+                                let requested = match shots {
+                                    Some(s) => Some(s[global]),
+                                    None => entries[entry].backend().shots_per_circuit(),
+                                };
+                                match cache.lookup(&batch.circuits[global], requested) {
+                                    CacheLookup::Hit(dist) => {
+                                        // served without touching a backend:
+                                        // no job, and the allocated shots are
+                                        // simply not spent
+                                        outcomes[global] = Some(dist);
+                                        remaining[chunk_index] -= 1;
+                                        continue;
+                                    }
+                                    CacheLookup::Delta { base, base_shots, missing } => {
+                                        // execute only the top-up, as its own
+                                        // job so the explicit delta count
+                                        // never disturbs sibling circuits
+                                        delta_base[global] = Some((base, base_shots));
+                                        effective[global] = Some(missing);
+                                        stats.jobs_dispatched += 1;
+                                        workers[entry].submit(Job {
+                                            chunk: chunk_index,
+                                            entry,
+                                            circuits: vec![global],
+                                            payload: vec![batch.circuits[global].clone()],
+                                            shots: Some(vec![missing]),
+                                            retry: false,
+                                            dispatched_at: Instant::now(),
+                                        });
+                                        continue;
+                                    }
+                                    CacheLookup::Miss => {}
+                                }
+                            }
+                            per_entry[entry].push(global);
                         }
                         for (entry_index, globals) in per_entry.into_iter().enumerate() {
                             if globals.is_empty() {
@@ -255,6 +304,9 @@ impl<'r> Dispatcher<'r> {
                             entry_usage.backend = entries[entry_index].name().to_string();
                             chunk.record_usage(entry_usage);
                         }
+                        // cumulative cache counters ride on every chunk so
+                        // streaming consumers always see the newest snapshot
+                        chunk.set_cache_stats(cache.map(|c| c.stats()));
                         let started = Instant::now();
                         sink(chunk)?;
                         stats.deliver_wall += started.elapsed();
@@ -282,18 +334,50 @@ impl<'r> Dispatcher<'r> {
                     for (&circuit, result) in job.circuits.iter().zip(results) {
                         match result {
                             Ok(dist) => {
-                                let entry_usage = &mut usage[job.chunk][job.entry];
-                                entry_usage.circuits += 1;
                                 // a circuit's allocated shots are spent
                                 // exactly once: on the backend where it
-                                // finally succeeded (exact backends spend 0)
-                                entry_usage.shots +=
-                                    match (entries[job.entry].backend().shots_per_circuit(), shots)
-                                    {
-                                        (None, _) => 0,
-                                        (Some(_), Some(s)) => s[circuit],
-                                        (Some(per), None) => per,
-                                    };
+                                // finally succeeded (exact backends spend 0,
+                                // delta hits spend only the top-up)
+                                let backend_shots =
+                                    entries[job.entry].backend().shots_per_circuit();
+                                let spent = match (backend_shots, effective[circuit]) {
+                                    (None, _) => 0,
+                                    (Some(_), Some(executed)) => executed,
+                                    (Some(per), None) => per,
+                                };
+                                let dist = match delta_base[circuit].take() {
+                                    Some(_) if backend_shots.is_none() => {
+                                        // a retry re-routed the top-up onto
+                                        // an exact backend: the fresh result
+                                        // beats any sampled merge
+                                        if let Some(cache) = cache {
+                                            cache.store(&batch.circuits[circuit], &dist, None);
+                                        }
+                                        dist
+                                    }
+                                    Some((base, base_shots)) => {
+                                        let merged =
+                                            merge_distributions(&base, base_shots, &dist, spent);
+                                        if let Some(cache) = cache {
+                                            cache.store(
+                                                &batch.circuits[circuit],
+                                                &merged,
+                                                Some(base_shots + spent),
+                                            );
+                                        }
+                                        merged
+                                    }
+                                    None => {
+                                        if let Some(cache) = cache {
+                                            let stored = backend_shots.is_some().then_some(spent);
+                                            cache.store(&batch.circuits[circuit], &dist, stored);
+                                        }
+                                        dist
+                                    }
+                                };
+                                let entry_usage = &mut usage[job.chunk][job.entry];
+                                entry_usage.circuits += 1;
+                                entry_usage.shots += spent;
                                 if job.retry {
                                     entry_usage.retries += 1;
                                 }
@@ -338,7 +422,7 @@ impl<'r> Dispatcher<'r> {
                                     entry: retry_entry,
                                     circuits: vec![circuit],
                                     payload: vec![batch.circuits[circuit].clone()],
-                                    shots: shots.map(|s| vec![s[circuit]]),
+                                    shots: effective[circuit].map(|e| vec![e]),
                                     retry: true,
                                     dispatched_at: Instant::now(),
                                 });

@@ -51,9 +51,12 @@
 //! the default `run_batch` loops over it serially and the default
 //! `run_batch_with_shots` ignores the per-circuit shot counts (exact
 //! backends have no sampling noise). [`CachingBackend`] remains as a
-//! memoising wrapper for callers that bypass the batch path, keyed by the
-//! structural circuit hash.
+//! memoising wrapper for callers that bypass the batch path; it is a thin
+//! adapter over the shot-aware [`ResultCache`](crate::cache::ResultCache),
+//! which the scheduled dispatch path consults directly (see
+//! [`DeviceRegistry::with_result_cache`](crate::schedule::DeviceRegistry::with_result_cache)).
 
+use crate::cache::{merge_distributions, CacheLookup, CacheStats, ResultCache, ResultCachePolicy};
 use crate::fragment::{FragmentSet, VariantKey, VariantRequest};
 use crate::CoreError;
 use parking_lot::Mutex;
@@ -146,6 +149,13 @@ pub trait ExecutionBackend: Sync {
     fn compile_stats(&self) -> Option<CompileStats> {
         None
     }
+
+    /// Cumulative result-cache counters, when the backend fronts a
+    /// [`ResultCache`](crate::cache::ResultCache) ([`CachingBackend`] does;
+    /// most backends execute everything and report `None`).
+    fn result_cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
 }
 
 /// How much work one backend performed for a batch: circuits routed to it,
@@ -201,6 +211,7 @@ pub struct ExecutionResults {
     executed: u64,
     routing: Vec<BackendUsage>,
     kernel_stats: Option<CompileStats>,
+    cache_stats: Option<CacheStats>,
 }
 
 impl ExecutionResults {
@@ -213,6 +224,7 @@ impl ExecutionResults {
             executed,
             routing: Vec::new(),
             kernel_stats: None,
+            cache_stats: None,
         }
     }
 
@@ -319,6 +331,22 @@ impl ExecutionResults {
         self.kernel_stats = stats;
     }
 
+    /// Result-cache counters of the cache that served (part of) this batch
+    /// (`None` when no cache was consulted). Filled by the dispatch layer
+    /// when a [`ResultCache`](crate::cache::ResultCache) is attached to the
+    /// registry, and by [`execute_requests`] from
+    /// [`ExecutionBackend::result_cache_stats`].
+    pub fn cache_stats(&self) -> Option<&CacheStats> {
+        self.cache_stats.as_ref()
+    }
+
+    /// Records the result-cache counters (replacing any previous record —
+    /// like kernel stats, these are cumulative snapshots, so the latest
+    /// wins).
+    pub fn set_cache_stats(&mut self, stats: Option<CacheStats>) {
+        self.cache_stats = stats;
+    }
+
     /// Merges another batch into this one (later batches win on key
     /// collisions). Accounting is summed; routing stats merge by label.
     pub fn extend(&mut self, other: ExecutionResults) {
@@ -333,6 +361,10 @@ impl ExecutionResults {
         // newest non-empty record.
         if other.kernel_stats.is_some() {
             self.kernel_stats = other.kernel_stats;
+        }
+        // Same snapshot semantics for the result-cache counters.
+        if other.cache_stats.is_some() {
+            self.cache_stats = other.cache_stats;
         }
     }
 }
@@ -445,6 +477,7 @@ impl PreparedBatch<'_> {
             executed: self.circuits.len() as u64,
             routing: Vec::new(),
             kernel_stats: None,
+            cache_stats: None,
         };
         for (key, &circuit_index) in self.unique_keys.iter().zip(&self.circuit_of_key) {
             results.distributions.insert((*key).clone(), distributions[circuit_index].clone());
@@ -480,6 +513,7 @@ pub fn execute_requests(
         ..BackendUsage::default()
     });
     results.set_kernel_stats(backend.compile_stats());
+    results.set_cache_stats(backend.result_cache_stats());
     Ok(results)
 }
 
@@ -723,26 +757,40 @@ impl ExecutionBackend for ShotsBackend {
     }
 }
 
-/// One hash bucket of the [`CachingBackend`]: circuits sharing a structural
-/// hash, each with its cached distribution.
-type CacheBucket = Vec<(Circuit, Vec<f64>)>;
-
 /// A memoising wrapper: identical variant circuits are executed once.
 ///
-/// The batch path already deduplicates inside [`execute_requests`], but
-/// callers that drive a backend circuit-by-circuit (or across independent
-/// batches) still benefit from a cache. Keys are the 64-bit
-/// [`Circuit::structural_hash`] with an equality check on bucket collisions —
-/// no QASM serialisation.
+/// Since the [`cache`](crate::cache) module landed this is a thin adapter
+/// over a shared [`ResultCache`] — the same shot-aware, content-addressed
+/// store the scheduled dispatch path consults via
+/// [`DeviceRegistry::with_result_cache`](crate::schedule::DeviceRegistry::with_result_cache).
+/// The wrapper exists for callers that drive a backend circuit-by-circuit
+/// (or across independent batches) outside the scheduler. Keys are the
+/// 64-bit [`Circuit::structural_hash`] with an equality check on bucket
+/// collisions — no QASM serialisation. Entries remember the shot count they
+/// were executed with, so a request the inner backend would over-sample is
+/// a hit and an under-sampled entry triggers only a shot top-up (see
+/// [`CacheLookup::Delta`]).
 pub struct CachingBackend<B> {
     inner: B,
-    cache: Mutex<HashMap<u64, CacheBucket>>,
+    cache: std::sync::Arc<ResultCache>,
 }
 
 impl<B: ExecutionBackend> CachingBackend<B> {
-    /// Wraps a backend with a cache.
+    /// Wraps a backend with a fresh, effectively unbounded in-memory cache —
+    /// the classic memoiser.
     pub fn new(inner: B) -> Self {
-        CachingBackend { inner, cache: Mutex::new(HashMap::new()) }
+        Self::with_cache(inner, std::sync::Arc::new(ResultCache::new(u64::MAX)))
+    }
+
+    /// Wraps a backend around an existing (possibly shared) cache.
+    pub fn with_cache(inner: B, cache: std::sync::Arc<ResultCache>) -> Self {
+        CachingBackend { inner, cache }
+    }
+
+    /// Wraps a backend with a cache built from `policy` (bounded capacity,
+    /// optional persistence snapshot).
+    pub fn from_policy(inner: B, policy: &ResultCachePolicy) -> Self {
+        Self::with_cache(inner, std::sync::Arc::new(ResultCache::open(policy)))
     }
 
     /// The wrapped backend.
@@ -750,76 +798,161 @@ impl<B: ExecutionBackend> CachingBackend<B> {
         &self.inner
     }
 
+    /// The underlying result cache.
+    pub fn cache(&self) -> &std::sync::Arc<ResultCache> {
+        &self.cache
+    }
+
     /// Number of distinct circuits held in the cache.
     pub fn cached_circuits(&self) -> usize {
-        self.cache.lock().values().map(Vec::len).sum()
+        self.cache.entries()
     }
 
-    fn lookup(&self, circuit: &Circuit, hash: u64) -> Option<Vec<f64>> {
-        let cache = self.cache.lock();
-        cache
-            .get(&hash)?
-            .iter()
-            .find(|(cached, _)| cached.structurally_equal(circuit))
-            .map(|(_, dist)| dist.clone())
-    }
-
-    fn store(&self, circuit: &Circuit, hash: u64, dist: &[f64]) {
-        let mut cache = self.cache.lock();
-        let bucket = cache.entry(hash).or_default();
-        if !bucket.iter().any(|(cached, _)| cached.structurally_equal(circuit)) {
-            bucket.push((circuit.clone(), dist.to_vec()));
+    /// Serves a batch where circuit `i` needs `requested(i)` shots (`None` =
+    /// exact): full hits skip the inner backend, misses run as one inner
+    /// batch, delta hits run only their shot top-up, and structurally
+    /// identical circuits collapse so the inner backend runs each distinct
+    /// circuit once per batch — the wrapper's once-per-circuit promise holds
+    /// within a batch, not just across calls.
+    fn serve_batch(
+        &self,
+        circuits: &[Circuit],
+        requested: impl Fn(usize) -> Option<u64>,
+    ) -> Vec<Result<Vec<f64>, CoreError>> {
+        let hashes: Vec<u64> = circuits.iter().map(Circuit::structural_hash).collect();
+        let mut reps: Vec<usize> = Vec::new();
+        let mut rep_of: Vec<usize> = Vec::with_capacity(circuits.len());
+        for i in 0..circuits.len() {
+            let found = reps.iter().position(|&r| {
+                hashes[r] == hashes[i] && circuits[r].structurally_equal(&circuits[i])
+            });
+            match found {
+                Some(p) => rep_of.push(p),
+                None => {
+                    reps.push(i);
+                    rep_of.push(reps.len() - 1);
+                }
+            }
         }
+        // Duplicates may request different shot counts; the representative
+        // asks for the largest so one execution serves them all.
+        let rep_request: Vec<Option<u64>> = reps
+            .iter()
+            .enumerate()
+            .map(|(p, _)| {
+                rep_of
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &r)| r == p)
+                    .map(|(i, _)| requested(i))
+                    .try_fold(0u64, |acc, r| r.map(|r| acc.max(r)))
+            })
+            .collect();
+
+        let mut outcomes: Vec<Option<Result<Vec<f64>, CoreError>>> = vec![None; reps.len()];
+        let mut misses: Vec<usize> = Vec::new(); // rep slots
+        let mut deltas: Vec<(usize, Vec<f64>, u64, u64)> = Vec::new();
+        for (slot, &rep) in reps.iter().enumerate() {
+            match self.cache.lookup(&circuits[rep], rep_request[slot]) {
+                CacheLookup::Hit(dist) => outcomes[slot] = Some(Ok(dist)),
+                CacheLookup::Delta { base, base_shots, missing } => {
+                    deltas.push((slot, base, base_shots, missing));
+                }
+                CacheLookup::Miss => misses.push(slot),
+            }
+        }
+
+        // Misses run as one inner batch at their requested shot counts.
+        let miss_circuits: Vec<Circuit> =
+            misses.iter().map(|&slot| circuits[reps[slot]].clone()).collect();
+        let miss_results = if miss_circuits.is_empty() {
+            Vec::new()
+        } else if misses.iter().all(|&slot| rep_request[slot].is_some()) {
+            let shots: Vec<u64> =
+                misses.iter().map(|&slot| rep_request[slot].unwrap_or(0)).collect();
+            self.inner.run_batch_with_shots(&miss_circuits, &shots)
+        } else {
+            self.inner.run_batch(&miss_circuits)
+        };
+        for (&slot, result) in misses.iter().zip(miss_results) {
+            if let Ok(dist) = &result {
+                self.cache.store(&circuits[reps[slot]], dist, rep_request[slot]);
+            }
+            outcomes[slot] = Some(result);
+        }
+
+        // Delta hits execute only their top-up, then merge and write back.
+        if !deltas.is_empty() {
+            let delta_circuits: Vec<Circuit> =
+                deltas.iter().map(|&(slot, ..)| circuits[reps[slot]].clone()).collect();
+            let top_ups: Vec<u64> = deltas.iter().map(|&(.., missing)| missing).collect();
+            let delta_results = self.inner.run_batch_with_shots(&delta_circuits, &top_ups);
+            for ((slot, base, base_shots, missing), result) in deltas.into_iter().zip(delta_results)
+            {
+                outcomes[slot] = Some(result.map(|fresh| {
+                    let merged = merge_distributions(&base, base_shots, &fresh, missing);
+                    self.cache.store(&circuits[reps[slot]], &merged, Some(base_shots + missing));
+                    merged
+                }));
+            }
+        }
+
+        rep_of
+            .iter()
+            .map(|&slot| outcomes[slot].clone().expect("every representative served"))
+            .collect()
     }
 }
 
 impl<B: ExecutionBackend> ExecutionBackend for CachingBackend<B> {
     fn run_one(&self, circuit: &Circuit) -> Result<Vec<f64>, CoreError> {
-        let hash = circuit.structural_hash();
-        if let Some(hit) = self.lookup(circuit, hash) {
-            return Ok(hit);
+        match self.cache.lookup(circuit, self.inner.shots_per_circuit()) {
+            CacheLookup::Hit(dist) => Ok(dist),
+            CacheLookup::Delta { base, base_shots, missing } => {
+                let fresh = self
+                    .inner
+                    .run_batch_with_shots(std::slice::from_ref(circuit), &[missing])
+                    .pop()
+                    .expect("one result per circuit")?;
+                let merged = merge_distributions(&base, base_shots, &fresh, missing);
+                self.cache.store(circuit, &merged, Some(base_shots + missing));
+                Ok(merged)
+            }
+            CacheLookup::Miss => {
+                let dist = self.inner.run_one(circuit)?;
+                self.cache.store(circuit, &dist, self.inner.shots_per_circuit());
+                Ok(dist)
+            }
         }
-        let dist = self.inner.run_one(circuit)?;
-        self.store(circuit, hash, &dist);
-        Ok(dist)
     }
 
     fn run_batch(&self, circuits: &[Circuit]) -> Vec<Result<Vec<f64>, CoreError>> {
-        // Serve hits from the cache, batch the misses through the inner
-        // backend, then fill the cache.
-        let hashes: Vec<u64> = circuits.iter().map(Circuit::structural_hash).collect();
-        let mut outcomes: Vec<Option<Result<Vec<f64>, CoreError>>> =
-            circuits.iter().zip(&hashes).map(|(c, &h)| self.lookup(c, h).map(Ok)).collect();
-        let miss_indices: Vec<usize> =
-            (0..circuits.len()).filter(|&i| outcomes[i].is_none()).collect();
-        // Collapse structurally identical misses so the inner batch runs each
-        // distinct circuit once — the wrapper's once-per-circuit promise holds
-        // within a batch, not just across calls.
-        let mut reps: Vec<usize> = Vec::new();
-        let mut rep_of_miss: Vec<usize> = Vec::with_capacity(miss_indices.len());
-        for &i in &miss_indices {
-            let found = reps.iter().position(|&r| {
-                hashes[r] == hashes[i] && circuits[r].structurally_equal(&circuits[i])
-            });
-            match found {
-                Some(p) => rep_of_miss.push(p),
-                None => {
-                    reps.push(i);
-                    rep_of_miss.push(reps.len() - 1);
-                }
-            }
-        }
-        let rep_circuits: Vec<Circuit> = reps.iter().map(|&i| circuits[i].clone()).collect();
-        let rep_results = self.inner.run_batch(&rep_circuits);
-        for (&r, result) in reps.iter().zip(&rep_results) {
-            if let Ok(dist) = result {
-                self.store(&circuits[r], hashes[r], dist);
-            }
-        }
-        for (&i, &p) in miss_indices.iter().zip(&rep_of_miss) {
-            outcomes[i] = Some(rep_results[p].clone());
-        }
-        outcomes.into_iter().map(|o| o.expect("every slot filled")).collect()
+        self.serve_batch(circuits, |_| self.inner.shots_per_circuit())
+    }
+
+    fn run_batch_with_shots(
+        &self,
+        circuits: &[Circuit],
+        shots: &[u64],
+    ) -> Vec<Result<Vec<f64>, CoreError>> {
+        debug_assert_eq!(circuits.len(), shots.len(), "one shot count per circuit");
+        self.serve_batch(circuits, |i| Some(shots[i]))
+    }
+
+    fn max_qubits(&self) -> Option<usize> {
+        self.inner.max_qubits()
+    }
+
+    fn can_run(&self, circuit: &Circuit) -> bool {
+        self.inner.can_run(circuit)
+    }
+
+    fn shots_per_circuit(&self) -> Option<u64> {
+        self.inner.shots_per_circuit()
+    }
+
+    fn label(&self) -> String {
+        format!("cached[{}]", self.inner.label())
     }
 
     fn executions(&self) -> u64 {
@@ -828,6 +961,10 @@ impl<B: ExecutionBackend> ExecutionBackend for CachingBackend<B> {
 
     fn compile_stats(&self) -> Option<CompileStats> {
         self.inner.compile_stats()
+    }
+
+    fn result_cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
     }
 }
 

@@ -32,6 +32,11 @@
 //!   telemetry; plus the `dispatch::FlakyBackend` /
 //!   `dispatch::QueueBackend` fault-injection doubles (behind the
 //!   `testing` feature).
+//! * [`cache`] — the shot-aware, content-addressed result cache: executed
+//!   distributions keyed by structural hash with full/delta-hit shot
+//!   semantics, LRU weight eviction and snapshot persistence, consulted by
+//!   the dispatcher (via [`schedule::DeviceRegistry::with_result_cache`])
+//!   and by `QrccServer` workers.
 //! * [`reconstruct`] — probability-vector and expectation-value
 //!   reconstruction through a shared contraction engine (dense global loop
 //!   or pairwise fragment-tensor contraction with sparse pruning, selected
@@ -68,6 +73,7 @@ mod config;
 mod error;
 
 pub mod analyze;
+pub mod cache;
 pub mod cutqc;
 pub mod dispatch;
 pub mod execute;
@@ -85,6 +91,7 @@ pub mod spec;
 pub use analyze::{
     AnalysisContext, AnalysisReport, Analyzer, Diagnostic, Lint, LintLevel, Location, Severity,
 };
+pub use cache::{CacheLookup, CacheStats, ResultCache, ResultCachePolicy};
 pub use config::{QrccConfig, SchedulePolicy, ShotAllocation, ALPHA_WIRE_CUT, BETA_GATE_CUT};
 pub use error::CoreError;
 pub use reconstruct::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy};

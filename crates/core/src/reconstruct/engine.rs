@@ -125,6 +125,10 @@ pub struct ReconstructionReport {
     /// `None` when execution interpreted gate-by-gate (or the producer did
     /// not record stats).
     pub kernel_compile: Option<qrcc_sim::compile::CompileStats>,
+    /// Result-cache counters of the execution that produced the consumed
+    /// [`ExecutionResults`]: full and delta hits, misses, and the device
+    /// shots the cache saved. `None` when no result cache was attached.
+    pub result_cache: Option<crate::cache::CacheStats>,
 }
 
 /// One cut axis of a [`CutTensor`], identified by its global cut id.

@@ -181,6 +181,7 @@ impl ExpectationReconstructor {
             dispatch_failures: results.failures(),
             dispatch_retries: results.retries(),
             kernel_compile: results.kernel_stats().cloned(),
+            result_cache: results.cache_stats().cloned(),
             ..ReconstructionReport::default()
         };
         for (coefficient, string) in observable.terms() {
@@ -232,6 +233,7 @@ impl ExpectationReconstructor {
             dispatch_failures: results.failures(),
             dispatch_retries: results.retries(),
             kernel_compile: results.kernel_stats().cloned(),
+            result_cache: results.cache_stats().cloned(),
             ..ReconstructionReport::default()
         };
         let value = self.reconstruct_pauli_resolved(

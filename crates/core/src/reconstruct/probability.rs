@@ -121,6 +121,7 @@ impl ProbabilityReconstructor {
             dispatch_failures: results.failures(),
             dispatch_retries: results.retries(),
             kernel_compile: results.kernel_stats().cloned(),
+            result_cache: results.cache_stats().cloned(),
             ..ReconstructionReport::default()
         };
         let probabilities = match strategy {

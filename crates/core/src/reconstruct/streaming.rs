@@ -215,6 +215,7 @@ impl<'a> ProbabilityAccumulator<'a> {
             dispatch_failures: self.store.failures(),
             dispatch_retries: self.store.retries(),
             kernel_compile: self.store.kernel_stats().cloned(),
+            result_cache: self.store.cache_stats().cloned(),
             ..ReconstructionReport::default()
         };
         // refresh liveness in place (idempotent); only the contract path
@@ -468,6 +469,7 @@ impl<'a> ExpectationAccumulator<'a> {
             dispatch_failures: self.store.failures(),
             dispatch_retries: self.store.retries(),
             kernel_compile: self.store.kernel_stats().cloned(),
+            result_cache: self.store.cache_stats().cloned(),
             ..ReconstructionReport::default()
         };
         let mut total = 0.0;

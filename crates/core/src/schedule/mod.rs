@@ -137,8 +137,10 @@ impl<'r> Scheduler<'r> {
         })?;
         // Streamed chunks carry no kernel stats (they would double-count the
         // cumulative cache aggregates); the merged batch records one snapshot
-        // across the registry instead.
+        // across the registry instead. The result-cache counters are likewise
+        // cumulative, so the merged batch keeps the final snapshot.
         merged.set_kernel_stats(self.registry.compile_stats());
+        merged.set_cache_stats(self.registry.cache_stats());
         Ok((merged, report))
     }
 

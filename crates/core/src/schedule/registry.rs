@@ -1,8 +1,10 @@
 //! A registry of heterogeneous execution backends the scheduler routes over.
 
+use crate::cache::{CacheStats, ResultCache, ResultCachePolicy};
 use crate::execute::{ExecutionBackend, ShotsBackend};
 use qrcc_sim::compile::CompileStats;
 use qrcc_sim::device::Device;
+use std::sync::Arc;
 
 /// One backend of a [`DeviceRegistry`]: a name for accounting, the backend
 /// itself, and its relative shot cost.
@@ -62,6 +64,10 @@ impl std::fmt::Debug for RegisteredBackend {
 #[derive(Debug, Default)]
 pub struct DeviceRegistry {
     entries: Vec<RegisteredBackend>,
+    /// Shot-aware result cache the dispatch layer consults before routing
+    /// circuits to any of the registered backends. `None` (the default)
+    /// executes everything.
+    result_cache: Option<Arc<ResultCache>>,
 }
 
 impl DeviceRegistry {
@@ -137,6 +143,36 @@ impl DeviceRegistry {
     /// Total circuits executed across all backends.
     pub fn total_executions(&self) -> u64 {
         self.entries.iter().map(|e| e.backend.executions()).sum()
+    }
+
+    /// Attaches a result cache built from `policy` (builder form). With
+    /// `policy.enabled == false` this detaches any cache — the knob mirrors
+    /// [`QrccConfig::result_cache`](crate::QrccConfig::result_cache), so a
+    /// config-driven caller can pass its policy through unconditionally.
+    /// Once attached, the [`Dispatcher`](crate::dispatch::Dispatcher)
+    /// consults the cache before routing: full hits skip the backend (their
+    /// allocated shots are simply not spent), delta hits execute only the
+    /// shot top-up, and every fresh execution is written back.
+    #[must_use]
+    pub fn with_result_cache(mut self, policy: &ResultCachePolicy) -> Self {
+        self.result_cache = policy.enabled.then(|| Arc::new(ResultCache::open(policy)));
+        self
+    }
+
+    /// Attaches an existing (possibly shared) result cache.
+    pub fn set_result_cache(&mut self, cache: Arc<ResultCache>) {
+        self.result_cache = Some(cache);
+    }
+
+    /// The attached result cache, if any.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.result_cache.as_ref()
+    }
+
+    /// Counters of the attached result cache, or `None` when no cache is
+    /// attached.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.result_cache.as_ref().map(|cache| cache.stats())
     }
 
     /// Merged kernel-compilation statistics across every registered backend

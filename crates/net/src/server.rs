@@ -17,6 +17,9 @@ use crate::proto::{self, Capabilities, Frame, ProtoError, WireErrorKind, PROTOCO
 use parking_lot::Mutex;
 use qrcc_circuit::{qasm, Circuit};
 use qrcc_core::analyze;
+use qrcc_core::cache::{
+    merge_distributions, CacheLookup, CacheStats, ResultCache, ResultCachePolicy,
+};
 use qrcc_core::execute::ExecutionBackend;
 use qrcc_core::CoreError;
 use std::io::{self, Read};
@@ -75,6 +78,15 @@ pub struct ServerStats {
     /// Connections dropped over protocol violations (bad handshake,
     /// malformed or unexpected frames).
     pub protocol_errors: u64,
+    /// Circuits served entirely from the result cache (no backend call).
+    pub cache_hits: u64,
+    /// Circuits served partially from the cache: only the missing shots ran.
+    pub cache_delta_hits: u64,
+    /// Circuits that found nothing usable in the result cache (0 when no
+    /// cache is attached — lookups never happen).
+    pub cache_misses: u64,
+    /// Device shots the result cache absorbed across all connections.
+    pub cache_shots_saved: u64,
 }
 
 #[derive(Debug, Default)]
@@ -84,6 +96,10 @@ struct StatsInner {
     circuits_ok: AtomicU64,
     circuits_failed: AtomicU64,
     protocol_errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_delta_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_shots_saved: AtomicU64,
 }
 
 impl StatsInner {
@@ -94,6 +110,10 @@ impl StatsInner {
             circuits_ok: self.circuits_ok.load(Ordering::Relaxed),
             circuits_failed: self.circuits_failed.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_delta_hits: self.cache_delta_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_shots_saved: self.cache_shots_saved.load(Ordering::Relaxed),
         }
     }
 }
@@ -108,6 +128,14 @@ pub struct ConnectionStats {
     pub circuits_ok: u64,
     /// Circuits that failed on this connection.
     pub circuits_failed: u64,
+    /// Circuits this connection served entirely from the result cache.
+    pub cache_hits: u64,
+    /// Circuits this connection served partially (delta hits).
+    pub cache_delta_hits: u64,
+    /// Circuits this connection looked up without finding anything usable.
+    pub cache_misses: u64,
+    /// Device shots the cache absorbed for this connection.
+    pub cache_shots_saved: u64,
 }
 
 /// A bound-but-not-yet-serving QRCC worker.
@@ -130,6 +158,7 @@ pub struct QrccServer {
     listener: TcpListener,
     backend: Arc<dyn ExecutionBackend + Send + Sync>,
     write_budget: Duration,
+    cache: Option<Arc<ResultCache>>,
 }
 
 impl QrccServer {
@@ -147,7 +176,28 @@ impl QrccServer {
             listener: TcpListener::bind(addr)?,
             backend: Arc::new(backend),
             write_budget: BATCH_WRITE_BUDGET,
+            cache: None,
         })
+    }
+
+    /// Attaches a result cache built from `policy` (a disabled policy
+    /// detaches any cache, so config-driven callers can pass theirs through
+    /// unconditionally). The server consults the cache **before** its
+    /// backend: full hits answer without executing, delta hits execute only
+    /// the missing shots, and every fresh execution is written back. With a
+    /// persisted policy the snapshot is loaded here and written back at
+    /// shutdown, so a restarted worker keeps serving its previous results.
+    #[must_use]
+    pub fn with_result_cache(mut self, policy: &ResultCachePolicy) -> Self {
+        self.cache = policy.enabled.then(|| Arc::new(ResultCache::open(policy)));
+        self
+    }
+
+    /// Attaches an existing (possibly shared) result cache.
+    #[must_use]
+    pub fn with_shared_result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Sets the cumulative deadline for all reply writes of one batch
@@ -178,17 +228,20 @@ impl QrccServer {
         let connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let completed: Arc<Mutex<Vec<ConnectionStats>>> = Arc::new(Mutex::new(Vec::new()));
+        let cache = self.cache.clone();
         let accept = {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
             let connections = Arc::clone(&connections);
             let completed = Arc::clone(&completed);
             let write_budget = self.write_budget;
+            let cache = cache.clone();
             std::thread::spawn(move || {
                 accept_loop(
                     self.listener,
                     self.backend,
                     write_budget,
+                    cache,
                     shutdown,
                     stats,
                     connections,
@@ -196,7 +249,7 @@ impl QrccServer {
                 )
             })
         };
-        ServerHandle { addr, shutdown, stats, connections, completed, accept: Some(accept) }
+        ServerHandle { addr, shutdown, stats, connections, completed, cache, accept: Some(accept) }
     }
 }
 
@@ -211,6 +264,7 @@ pub struct ServerHandle {
     connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>>,
     /// Ledgers of connections already reaped by the accept loop.
     completed: Arc<Mutex<Vec<ConnectionStats>>>,
+    cache: Option<Arc<ResultCache>>,
     accept: Option<JoinHandle<()>>,
 }
 
@@ -223,6 +277,16 @@ impl ServerHandle {
     /// A live snapshot of the aggregate statistics.
     pub fn stats(&self) -> ServerStats {
         self.stats.snapshot()
+    }
+
+    /// The server's result cache, if one was attached.
+    pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Counters of the attached result cache, or `None` without one.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|cache| cache.stats())
     }
 
     /// Stops accepting, asks every connection thread to wind down, joins
@@ -254,6 +318,11 @@ impl ServerHandle {
         }
         let mut ledgers: Vec<ConnectionStats> = self.completed.lock().drain(..).collect();
         ledgers.extend(self.connections.lock().drain(..).filter_map(|handle| handle.join().ok()));
+        // all connections are down: snapshot the cache so a restarted worker
+        // resumes with everything this one learned
+        if let Some(cache) = &self.cache {
+            let _ = cache.persist();
+        }
         ledgers
     }
 }
@@ -278,6 +347,7 @@ fn accept_loop(
     listener: TcpListener,
     backend: Arc<dyn ExecutionBackend + Send + Sync>,
     write_budget: Duration,
+    cache: Option<Arc<ResultCache>>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
     connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>>,
@@ -297,8 +367,9 @@ fn accept_loop(
         let backend = Arc::clone(&backend);
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
+        let cache = cache.clone();
         let handle = std::thread::spawn(move || {
-            serve_connection(stream, backend, write_budget, shutdown, stats)
+            serve_connection(stream, backend, write_budget, cache, shutdown, stats)
         });
         // reap finished connection threads — joining them, so their ledgers
         // survive into `shutdown()`'s return value — and keep the handle
@@ -420,6 +491,7 @@ fn serve_connection(
     mut stream: TcpStream,
     backend: Arc<dyn ExecutionBackend + Send + Sync>,
     write_budget: Duration,
+    cache: Option<Arc<ResultCache>>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<StatsInner>,
 ) -> ConnectionStats {
@@ -501,6 +573,7 @@ fn serve_connection(
                     &mut stream,
                     backend.as_ref(),
                     write_budget,
+                    cache.as_deref(),
                     batch,
                     &circuits,
                     shots.as_deref(),
@@ -600,46 +673,93 @@ fn serve_batch(
     stream: &mut TcpStream,
     backend: &dyn ExecutionBackend,
     write_budget: Duration,
+    cache: Option<&ResultCache>,
     batch: u64,
     circuits: &[String],
     shots: Option<&[u64]>,
     stats: &StatsInner,
     conn: &mut ConnectionStats,
 ) -> io::Result<()> {
+    /// How one submitted circuit is answered.
+    enum Slot {
+        /// Parse error or static pre-flight rejection.
+        Rejected(CoreError),
+        /// Served entirely from the result cache — no backend call.
+        Cached(Vec<f64>),
+        /// Runs on the backend; a delta hit carries the cached base
+        /// distribution to merge with the fresh top-up.
+        Execute { delta: Option<(Vec<f64>, u64)> },
+    }
+
     // Parse and statically pre-flight every circuit; rejected circuits fail
-    // individually, exactly like backend failures, and the rest of the
+    // individually, exactly like backend failures, and the rest of its
     // batch still runs. Parse errors keep their line/column; pre-flight
     // rejections carry the rendered QL diagnostic and stay `Backend`-kinded
     // so the client's dispatcher re-routes them to a capable worker.
-    let mut rejections: Vec<Option<CoreError>> = Vec::with_capacity(circuits.len());
+    // Surviving circuits then consult the result cache: full hits skip the
+    // backend entirely, delta hits execute only the missing shots.
+    let mut slots: Vec<Slot> = Vec::with_capacity(circuits.len());
     let mut payload: Vec<Circuit> = Vec::with_capacity(circuits.len());
     let mut sub_shots: Vec<u64> = Vec::new();
+    let mut any_delta = false;
+    let (mut c_hits, mut c_delta, mut c_miss, mut c_saved) = (0u64, 0u64, 0u64, 0u64);
     for (i, text) in circuits.iter().enumerate() {
         match qasm::from_qasm(text) {
             Ok(circuit) => match analyze::preflight_backend(&circuit, backend) {
-                Some(diagnostic) => rejections.push(Some(CoreError::BackendUnavailable {
+                Some(diagnostic) => slots.push(Slot::Rejected(CoreError::BackendUnavailable {
                     backend: backend.label(),
                     reason: format!("rejected by pre-flight analysis: {diagnostic}"),
                 })),
                 None => {
-                    payload.push(circuit);
-                    if let Some(shots) = shots {
-                        sub_shots.push(shots[i]);
+                    let requested = match shots {
+                        Some(s) => Some(s[i]),
+                        None => backend.shots_per_circuit(),
+                    };
+                    match cache.map(|c| c.lookup(&circuit, requested)) {
+                        Some(CacheLookup::Hit(distribution)) => {
+                            c_hits += 1;
+                            c_saved += requested.unwrap_or(0);
+                            slots.push(Slot::Cached(distribution));
+                        }
+                        Some(CacheLookup::Delta { base, base_shots, missing }) => {
+                            c_delta += 1;
+                            c_saved += base_shots;
+                            any_delta = true;
+                            payload.push(circuit);
+                            sub_shots.push(missing);
+                            slots.push(Slot::Execute { delta: Some((base, base_shots)) });
+                        }
+                        miss => {
+                            if miss.is_some() {
+                                c_miss += 1;
+                            }
+                            payload.push(circuit);
+                            // a delta hit elsewhere in the batch switches the
+                            // whole run to explicit counts, so misses carry
+                            // theirs too (requested is Some whenever a delta
+                            // can exist: deltas need a sampling backend)
+                            sub_shots.push(requested.unwrap_or(0));
+                            slots.push(Slot::Execute { delta: None });
+                        }
                     }
-                    rejections.push(None);
                 }
             },
-            Err(e) => rejections
-                .push(Some(CoreError::Transport { detail: format!("qasm parse error: {e}") })),
+            Err(e) => slots.push(Slot::Rejected(CoreError::Transport {
+                detail: format!("qasm parse error: {e}"),
+            })),
         }
     }
 
     // A panicking backend must not kill the connection thread silently: the
     // panic becomes per-circuit failures the client's dispatcher can rescue,
     // mirroring the in-process dispatch workers.
-    let run = std::panic::AssertUnwindSafe(|| match shots {
-        Some(_) => backend.run_batch_with_shots(&payload, &sub_shots),
-        None => backend.run_batch(&payload),
+    let explicit = shots.is_some() || any_delta;
+    let run = std::panic::AssertUnwindSafe(|| {
+        if explicit {
+            backend.run_batch_with_shots(&payload, &sub_shots)
+        } else {
+            backend.run_batch(&payload)
+        }
     });
     let results = std::panic::catch_unwind(run).unwrap_or_else(|_| {
         payload
@@ -658,16 +778,50 @@ fn serve_batch(
     // control frames on this connection see the ordinary [`WRITE_TIMEOUT`].
     let mut writer = DeadlineWriter { stream, deadline: std::time::Instant::now() + write_budget };
     let mut results = results.into_iter();
+    let mut executed = payload.into_iter().zip(sub_shots);
     let mut ok = 0u64;
     let mut failed = 0u64;
-    for (index, slot) in rejections.into_iter().enumerate() {
+    for (index, slot) in slots.into_iter().enumerate() {
         let outcome = match slot {
-            None => results.next().unwrap_or_else(|| {
-                Err(CoreError::Transport {
-                    detail: "backend returned fewer results than circuits".into(),
-                })
-            }),
-            Some(rejection) => Err(rejection),
+            Slot::Rejected(rejection) => Err(rejection),
+            Slot::Cached(distribution) => Ok(distribution),
+            Slot::Execute { delta } => {
+                let ran = executed.next();
+                let fresh = results.next().unwrap_or_else(|| {
+                    Err(CoreError::Transport {
+                        detail: "backend returned fewer results than circuits".into(),
+                    })
+                });
+                match (fresh, ran) {
+                    (Ok(distribution), Some((circuit, ran_shots))) => {
+                        // write the fresh (or merged) result back so the next
+                        // request for this circuit hits
+                        let sampled = backend.shots_per_circuit().is_some();
+                        match delta {
+                            Some((base, base_shots)) if sampled => {
+                                let merged = merge_distributions(
+                                    &base,
+                                    base_shots,
+                                    &distribution,
+                                    ran_shots,
+                                );
+                                if let Some(cache) = cache {
+                                    cache.store(&circuit, &merged, Some(base_shots + ran_shots));
+                                }
+                                Ok(merged)
+                            }
+                            _ => {
+                                if let Some(cache) = cache {
+                                    let stored = if sampled { Some(ran_shots) } else { None };
+                                    cache.store(&circuit, &distribution, stored);
+                                }
+                                Ok(distribution)
+                            }
+                        }
+                    }
+                    (fresh, _) => fresh,
+                }
+            }
         };
         let (frame, succeeded) = match outcome {
             Ok(distribution) => {
@@ -721,9 +875,17 @@ fn serve_batch(
     stats.batches.fetch_add(1, Ordering::Relaxed);
     stats.circuits_ok.fetch_add(ok, Ordering::Relaxed);
     stats.circuits_failed.fetch_add(failed, Ordering::Relaxed);
+    stats.cache_hits.fetch_add(c_hits, Ordering::Relaxed);
+    stats.cache_delta_hits.fetch_add(c_delta, Ordering::Relaxed);
+    stats.cache_misses.fetch_add(c_miss, Ordering::Relaxed);
+    stats.cache_shots_saved.fetch_add(c_saved, Ordering::Relaxed);
     conn.batches += 1;
     conn.circuits_ok += ok;
     conn.circuits_failed += failed;
+    conn.cache_hits += c_hits;
+    conn.cache_delta_hits += c_delta;
+    conn.cache_misses += c_miss;
+    conn.cache_shots_saved += c_saved;
     let done = proto::write_frame(&mut writer, &Frame::BatchDone { batch, executed: ok as u32 });
     let _ = writer.stream.set_write_timeout(Some(WRITE_TIMEOUT));
     done?;

@@ -3,6 +3,13 @@
 //! structural-hash cache reuse across deduplicated variants — and verify the
 //! compiled path reproduces the interpreted one.
 //!
+//! Two distinct caches share the structural-hash key but sit at different
+//! layers: the **kernel cache** shown here memoizes *compiled gate programs*
+//! (how to simulate a circuit — reuse saves compilation, the shots still
+//! run), while the **result cache** (`qrcc_core::cache`, see the
+//! `remote_fleet` example) memoizes *executed distributions* (what a circuit
+//! produced — reuse skips the device entirely).
+//!
 //! Run with: `cargo run --release --example compiled_kernels`
 
 use qrcc::prelude::*;

@@ -36,16 +36,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. The fleet: two remote workers on ephemeral loopback ports (port 0 —
-    //    the OS picks; nothing is hard-coded) plus one local device.
+    //    the OS picks; nothing is hard-coded) plus one local device. Each
+    //    worker keeps a result cache in front of its device, so repeated
+    //    fragments are answered without re-sampling.
     let server_3q = QrccServer::bind(
         "127.0.0.1:0",
         ShotsBackend::new(Device::new(DeviceConfig::ideal(3).with_seed(7)), 1),
     )?
+    .with_result_cache(&ResultCachePolicy::in_memory())
     .spawn();
     let server_2q = QrccServer::bind(
         "127.0.0.1:0",
         ShotsBackend::new(Device::new(DeviceConfig::ideal(2).with_seed(17)), 1),
     )?
+    .with_result_cache(&ResultCachePolicy::in_memory())
     .spawn();
 
     let remote_3q = RemoteBackend::connect(server_3q.addr())?;
@@ -99,16 +103,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         d.queue_wait, d.execute_wall, d.deliver_wall
     );
 
-    // 4. Server-side view of the same run.
+    // 4. Server-side view of the same run: the cold pass misses its way
+    //    through every worker's cache.
     for (name, server) in [("remote-3q", &server_3q), ("remote-2q", &server_2q)] {
         let stats = server.stats();
         println!(
-            "{name} server: {} connection(s), {} batches, {} circuits ok, {} failed",
-            stats.connections, stats.batches, stats.circuits_ok, stats.circuits_failed
+            "{name} server: {} connection(s), {} batches, {} circuits ok, {} failed, \
+             cache {} hit / {} delta / {} miss",
+            stats.connections,
+            stats.batches,
+            stats.circuits_ok,
+            stats.circuits_failed,
+            stats.cache_hits,
+            stats.cache_delta_hits,
+            stats.cache_misses
         );
     }
 
-    // 5. The budget was spent exactly once per circuit and the remote fleet
+    // 5. Re-run the identical workload: the deterministic schedule sends the
+    //    same fragments at the same shot counts to the same workers, so the
+    //    remote ones now answer from their caches — no device re-sampling,
+    //    while the client-side ledger still charges every requested shot.
+    let (_, _, repeat) = pipeline.execute_streaming(&scheduler)?;
+    assert_eq!(repeat.total_shots, 300_000, "cache-served replies still settle the budget");
+    let mut served = 0;
+    println!();
+    for (name, server) in [("remote-3q", &server_3q), ("remote-2q", &server_2q)] {
+        let stats = server.stats();
+        served += stats.cache_hits;
+        println!(
+            "{name} warm: {} cache hits, {} device shots saved",
+            stats.cache_hits, stats.cache_shots_saved
+        );
+    }
+    assert!(served > 0, "the warm pass must be served from the worker caches");
+
+    // 6. The budget was spent exactly once per circuit and the remote fleet
     //    reconstructs the right distribution.
     assert_eq!(schedule.total_shots, 300_000, "every allocated shot spent exactly once");
     let remote_circuits: u64 = schedule

@@ -65,6 +65,7 @@ pub mod prelude {
     #[cfg(feature = "testing")]
     pub use qrcc_core::dispatch::{FailureMode, FlakyBackend, QueueBackend};
     pub use qrcc_core::{
+        cache::{CacheLookup, CacheStats, ResultCache, ResultCachePolicy},
         cutqc::CutQcPlanner,
         dispatch::DispatchStats,
         execute::{
