@@ -12,6 +12,7 @@
 //! The full run records the numbers quoted in the README.
 
 use qrcc_circuit::Circuit;
+use qrcc_core::obs::{bench_json, Histogram, MetricsSnapshot};
 use qrcc_core::pipeline::QrccPipeline;
 use qrcc_core::schedule::{DeviceRegistry, Scheduler};
 use qrcc_core::{CacheStats, QrccConfig, SchedulePolicy};
@@ -33,23 +34,24 @@ struct Phase {
     shots_saved: u64,
     /// Largest |Δp| against the cold pass's reconstruction (0 for cold).
     max_dp: f64,
+    /// Per-point request latency (execute + reconstruct) in microseconds.
+    latency: Histogram,
 }
 
 impl Phase {
-    fn to_json(&self) -> String {
-        format!(
-            "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"device_shots\": {}, \
-             \"hits\": {}, \"delta_hits\": {}, \"misses\": {}, \"shots_saved\": {}, \
-             \"max_dp\": {:.3e}}}",
-            self.name,
-            self.wall_ms,
-            self.device_shots,
-            self.hits,
-            self.delta_hits,
-            self.misses,
-            self.shots_saved,
-            self.max_dp,
-        )
+    /// Folds this pass into the snapshot behind the shared bench schema:
+    /// counters for the cache ledger, a gauge for the output drift, and the
+    /// per-request latency histogram (which carries p50/p99 into the JSON).
+    fn fold_into(&self, snapshot: MetricsSnapshot) -> MetricsSnapshot {
+        snapshot
+            .with_counter(&format!("{}.device_shots", self.name), self.device_shots)
+            .with_counter(&format!("{}.hits", self.name), self.hits)
+            .with_counter(&format!("{}.delta_hits", self.name), self.delta_hits)
+            .with_counter(&format!("{}.misses", self.name), self.misses)
+            .with_counter(&format!("{}.shots_saved", self.name), self.shots_saved)
+            .with_gauge(&format!("{}.wall_ms", self.name), self.wall_ms)
+            .with_gauge(&format!("{}.max_dp", self.name), self.max_dp)
+            .with_histogram(&format!("{}.request_latency_us", self.name), self.latency.clone())
     }
 }
 
@@ -73,19 +75,26 @@ fn ansatz(qubits: usize, gamma: f64, beta: f64) -> Circuit {
 }
 
 /// Executes the whole sweep once against `scheduler` and reconstructs every
-/// point, returning (per-point probabilities, device shots spent).
-fn run_sweep(pipelines: &[QrccPipeline], scheduler: &Scheduler<'_>) -> (Vec<Vec<f64>>, u64) {
+/// point, returning (per-point probabilities, device shots spent, per-point
+/// request latency).
+fn run_sweep(
+    pipelines: &[QrccPipeline],
+    scheduler: &Scheduler<'_>,
+) -> (Vec<Vec<f64>>, u64, Histogram) {
     let mut outputs = Vec::with_capacity(pipelines.len());
     let mut shots = 0u64;
+    let mut latency = Histogram::new();
     for pipeline in pipelines {
+        let t = Instant::now();
         let (results, report) = pipeline.execute_scheduled(scheduler).expect("sweep executes");
         shots += report.total_shots;
         let (p, recon) =
             pipeline.reconstruct_probabilities_with_report_from(&results).expect("reconstructs");
+        latency.record_duration(t.elapsed());
         assert!(recon.result_cache.is_some(), "cache counters must reach the report");
         outputs.push(p);
     }
-    (outputs, shots)
+    (outputs, shots, latency)
 }
 
 /// Largest |Δp| between two sweeps' reconstructions.
@@ -96,6 +105,7 @@ fn max_dp(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn phase(
     name: &'static str,
     before: &CacheStats,
@@ -103,6 +113,7 @@ fn phase(
     wall_ms: f64,
     device_shots: u64,
     max_dp: f64,
+    latency: Histogram,
 ) -> Phase {
     Phase {
         name,
@@ -113,6 +124,7 @@ fn phase(
         misses: after.misses - before.misses,
         shots_saved: after.shots_saved - before.shots_saved,
         max_dp,
+        latency,
     }
 }
 
@@ -157,30 +169,55 @@ fn main() {
 
     let s0 = cache.stats();
     let t = Instant::now();
-    let (cold_p, cold_shots) = run_sweep(&pipelines, &scheduler);
+    let (cold_p, cold_shots, cold_latency) = run_sweep(&pipelines, &scheduler);
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
     let s1 = cache.stats();
-    phases.push(phase("cold", &s0, &s1, cold_ms, cold_shots, 0.0));
+    phases.push(phase("cold", &s0, &s1, cold_ms, cold_shots, 0.0, cold_latency));
 
     let t = Instant::now();
-    let (warm_p, warm_shots) = run_sweep(&pipelines, &scheduler);
+    let (warm_p, warm_shots, warm_latency) = run_sweep(&pipelines, &scheduler);
     let warm_ms = t.elapsed().as_secs_f64() * 1e3;
     let s2 = cache.stats();
-    phases.push(phase("warm", &s1, &s2, warm_ms, warm_shots, max_dp(&cold_p, &warm_p)));
+    phases.push(phase(
+        "warm",
+        &s1,
+        &s2,
+        warm_ms,
+        warm_shots,
+        max_dp(&cold_p, &warm_p),
+        warm_latency,
+    ));
 
     let t = Instant::now();
-    let (topup_p, topup_shots) = run_sweep(&pipelines, &upsized_scheduler);
+    let (topup_p, topup_shots, topup_latency) = run_sweep(&pipelines, &upsized_scheduler);
     let topup_ms = t.elapsed().as_secs_f64() * 1e3;
     let s3 = cache.stats();
-    phases.push(phase("topup_2x", &s2, &s3, topup_ms, topup_shots, max_dp(&cold_p, &topup_p)));
+    phases.push(phase(
+        "topup_2x",
+        &s2,
+        &s3,
+        topup_ms,
+        topup_shots,
+        max_dp(&cold_p, &topup_p),
+        topup_latency,
+    ));
 
     println!(
-        "{:<10} {:>10} {:>13} {:>6} {:>7} {:>7} {:>12} {:>10}",
-        "phase", "wall (ms)", "device shots", "hits", "deltas", "misses", "shots saved", "max |Δp|"
+        "{:<10} {:>10} {:>13} {:>6} {:>7} {:>7} {:>12} {:>10} {:>9} {:>9}",
+        "phase",
+        "wall (ms)",
+        "device shots",
+        "hits",
+        "deltas",
+        "misses",
+        "shots saved",
+        "max |Δp|",
+        "p50 (us)",
+        "p99 (us)"
     );
     for p in &phases {
         println!(
-            "{:<10} {:>10.1} {:>13} {:>6} {:>7} {:>7} {:>12} {:>10.2e}",
+            "{:<10} {:>10.1} {:>13} {:>6} {:>7} {:>7} {:>12} {:>10.2e} {:>9} {:>9}",
             p.name,
             p.wall_ms,
             p.device_shots,
@@ -188,7 +225,9 @@ fn main() {
             p.delta_hits,
             p.misses,
             p.shots_saved,
-            p.max_dp
+            p.max_dp,
+            p.latency.p50().unwrap_or(0),
+            p.latency.p99().unwrap_or(0),
         );
     }
     let speedup = if warm_ms > 0.0 { cold_ms / warm_ms } else { f64::INFINITY };
@@ -219,17 +258,26 @@ fn main() {
     if smoke {
         println!("smoke OK: warm {} shots vs cold {} shots", warm.device_shots, cold.device_shots);
     } else {
-        let mut json = String::from("{\n");
-        json.push_str(&format!(
-            "  \"config\": {{\"qubits\": {qubits}, \"points\": {points}, \
-             \"base_shots\": {BASE_SHOTS}, \"smoke\": {smoke}}},\n"
-        ));
-        json.push_str("  \"phases\": [\n");
-        json.push_str(&phases.iter().map(Phase::to_json).collect::<Vec<_>>().join(",\n"));
-        json.push_str(&format!(
-            "\n  ],\n  \"warm_speedup\": {speedup:.2},\n  \"warm_shot_fraction\": {:.4}\n}}\n",
-            warm.device_shots as f64 / cold.device_shots.max(1) as f64
-        ));
+        // the shared bench schema: {name, config, metrics{}} rendered by the
+        // obs exporter, so every BENCH_*.json parses the same way
+        let metrics = phases
+            .iter()
+            .fold(MetricsSnapshot::default(), |snapshot, p| p.fold_into(snapshot))
+            .with_gauge("warm_speedup", speedup)
+            .with_gauge(
+                "warm_shot_fraction",
+                warm.device_shots as f64 / cold.device_shots.max(1) as f64,
+            );
+        let json = bench_json(
+            "bench_cache",
+            &[
+                ("qubits", qubits.to_string()),
+                ("points", points.to_string()),
+                ("base_shots", BASE_SHOTS.to_string()),
+                ("smoke", smoke.to_string()),
+            ],
+            &metrics,
+        );
         std::fs::write("BENCH_cache.json", &json).expect("write BENCH_cache.json");
         println!("wrote BENCH_cache.json");
     }

@@ -12,6 +12,7 @@
 
 use qrcc_circuit::generators::{self, HamiltonianKind};
 use qrcc_circuit::Circuit;
+use qrcc_core::obs::{bench_json, MetricsSnapshot};
 use qrcc_sim::compile::FramedProgram;
 use qrcc_sim::StateVector;
 use std::time::Instant;
@@ -39,22 +40,21 @@ impl Row {
         }
     }
 
-    fn to_json(&self) -> String {
-        format!(
-            "    {{\"name\": \"{}\", \"qubits\": {}, \"gates\": {}, \"kernels\": {}, \
-             \"interpreted_ms\": {:.3}, \"compiled_ms\": {:.3}, \"compile_ms\": {:.3}, \
-             \"speedup\": {:.2}, \"fusion_ratio\": {:.2}, \"coverage\": {:.3}}}",
-            self.name,
-            self.qubits,
-            self.gates,
-            self.kernels,
-            self.interpreted_ms,
-            self.compiled_ms,
-            self.compile_ms,
-            self.speedup(),
-            self.fusion_ratio,
-            self.coverage,
-        )
+    /// Folds this row into the snapshot behind the shared bench schema,
+    /// namespaced `{group}.{family}.{field}` (counts as counters, timings
+    /// and ratios as gauges).
+    fn fold_into(&self, group: &str, snapshot: MetricsSnapshot) -> MetricsSnapshot {
+        let key = |field: &str| format!("{group}.{}.{field}", self.name);
+        snapshot
+            .with_counter(&key("qubits"), self.qubits as u64)
+            .with_counter(&key("gates"), self.gates as u64)
+            .with_counter(&key("kernels"), self.kernels as u64)
+            .with_gauge(&key("interpreted_ms"), self.interpreted_ms)
+            .with_gauge(&key("compiled_ms"), self.compiled_ms)
+            .with_gauge(&key("compile_ms"), self.compile_ms)
+            .with_gauge(&key("speedup"), self.speedup())
+            .with_gauge(&key("fusion_ratio"), self.fusion_ratio)
+            .with_gauge(&key("coverage"), self.coverage)
     }
 }
 
@@ -233,16 +233,6 @@ fn main() {
         100.0 * aggregate_coverage
     );
 
-    let mut json = String::from("{\n");
-    json.push_str(&format!(
-        "  \"config\": {{\"qubits\": {n}, \"depth\": {depth}, \"repeats\": {reps}, \"smoke\": {smoke}}},\n"
-    ));
-    json.push_str("  \"gate_families\": [\n");
-    json.push_str(&gate_families.iter().map(Row::to_json).collect::<Vec<_>>().join(",\n"));
-    json.push_str("\n  ],\n  \"circuit_families\": [\n");
-    json.push_str(&circuit_families.iter().map(Row::to_json).collect::<Vec<_>>().join(",\n"));
-    json.push_str(&format!("\n  ],\n  \"aggregate_coverage\": {aggregate_coverage:.3}\n}}\n"));
-
     if smoke {
         // CI guard: the compiled path must not lose to the interpreter on the
         // workload it was built for. A small tolerance absorbs timer jitter.
@@ -259,6 +249,26 @@ fn main() {
             row.compiled_ms, row.interpreted_ms
         );
     } else {
+        // the shared bench schema: {name, config, metrics{}} rendered by the
+        // obs exporter, so every BENCH_*.json parses the same way
+        let mut metrics = MetricsSnapshot::default();
+        for row in &gate_families {
+            metrics = row.fold_into("gate", metrics);
+        }
+        for row in &circuit_families {
+            metrics = row.fold_into("circuit", metrics);
+        }
+        metrics = metrics.with_gauge("aggregate_coverage", aggregate_coverage);
+        let json = bench_json(
+            "bench_kernels",
+            &[
+                ("qubits", n.to_string()),
+                ("depth", depth.to_string()),
+                ("repeats", reps.to_string()),
+                ("smoke", smoke.to_string()),
+            ],
+            &metrics,
+        );
         std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
         println!("wrote BENCH_kernels.json");
     }

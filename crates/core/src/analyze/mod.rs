@@ -45,11 +45,13 @@
 mod cache_lints;
 mod circuit_lints;
 mod fleet_lints;
+mod obs_lints;
 mod plan_lints;
 
 pub use cache_lints::CachePolicy;
 pub use circuit_lints::{ClassicalRegisterUsage, DeadQubits, MeasureBeforeUse, ReuseCapability};
 pub use fleet_lints::{EmptyFleet, PredictedPlacement, PredictedShotBudget};
+pub use obs_lints::ObsPolicyLint;
 pub use plan_lints::{
     DanglingWireCut, FragmentWidth, IncompleteGateCut, InfeasibleStrategy, PruneMass,
     SamplingOverhead,
@@ -408,7 +410,8 @@ impl Analyzer {
             .register(Box::new(EmptyFleet))
             .register(Box::new(PredictedPlacement))
             .register(Box::new(PredictedShotBudget))
-            .register(Box::new(CachePolicy));
+            .register(Box::new(CachePolicy))
+            .register(Box::new(ObsPolicyLint));
         analyzer
     }
 

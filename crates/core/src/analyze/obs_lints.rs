@@ -1,0 +1,153 @@
+//! Observability lints (`QL0306`): statically predicting a tracing
+//! configuration that can never deliver its trace — an
+//! [`ObsPolicy`](crate::obs::ObsPolicy) whose span buffer holds nothing, or
+//! whose trace-output path is guaranteed unwritable.
+
+use super::{AnalysisContext, AnalysisReport, Diagnostic, Lint, Location};
+use std::path::Path;
+
+/// `QL0306`: tracing is enabled but the configuration cannot record or
+/// write the trace. All findings are **warnings** — broken observability
+/// degrades to a missing trace, never to wrong results.
+///
+/// Fires on:
+/// * tracing enabled with a zero span-buffer capacity — every span is
+///   counted as dropped, so the trace is always empty;
+/// * a trace-output path that points at a directory — exporters write one
+///   file, so the write is guaranteed to fail;
+/// * a trace-output path whose parent is missing or not a directory —
+///   nothing creates intermediate directories, so the write fails.
+///
+/// Silent when `obs.enabled` is false (the default): a path or capacity on
+/// a disabled policy costs nothing.
+pub struct ObsPolicyLint;
+
+impl Lint for ObsPolicyLint {
+    fn code(&self) -> &'static str {
+        "QL0306"
+    }
+
+    fn description(&self) -> &'static str {
+        "tracing configurations that cannot record or write their trace"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, report: &mut AnalysisReport) {
+        let Some(config) = ctx.config else { return };
+        let policy = &config.obs;
+        if !policy.enabled {
+            return;
+        }
+        if policy.buffer_capacity == 0 {
+            report.push(
+                Diagnostic::warning(
+                    "QL0306",
+                    Location::Circuit,
+                    "tracing is enabled with a zero span-buffer capacity: every span is \
+                     dropped, so the trace is always empty",
+                )
+                .with_suggestion(
+                    "set a positive capacity (QrccConfig::with_trace_buffer) or disable tracing",
+                ),
+            );
+        }
+        let Some(path) = policy.trace_path.as_deref().map(Path::new) else { return };
+        if path.is_dir() {
+            report.push(
+                Diagnostic::warning(
+                    "QL0306",
+                    Location::Circuit,
+                    format!(
+                        "the trace-output path '{}' is a directory: the trace write will fail",
+                        path.display()
+                    ),
+                )
+                .with_suggestion("point the trace output at a file path"),
+            );
+            return;
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() && !parent.is_dir() {
+                report.push(
+                    Diagnostic::warning(
+                        "QL0306",
+                        Location::Circuit,
+                        format!(
+                            "the trace-output path '{}' has a missing or non-directory \
+                             parent: the trace can never be written there",
+                            path.display()
+                        ),
+                    )
+                    .with_suggestion(
+                        "create the directory first, or point the trace output below an \
+                         existing one",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalysisContext, Analyzer, Severity};
+    use crate::QrccConfig;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        static COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("qrcc-obs-lint-{}-{}-{}", std::process::id(), n, name))
+    }
+
+    fn diagnostics_for(config: &QrccConfig) -> Vec<String> {
+        let report = Analyzer::new().run(&AnalysisContext::new().with_config(config));
+        report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "QL0306")
+            .map(|d| d.message.clone())
+            .collect()
+    }
+
+    #[test]
+    fn disabled_tracing_is_silent_even_when_misconfigured() {
+        assert!(diagnostics_for(&QrccConfig::new(3)).is_empty());
+        let mut config = QrccConfig::new(3);
+        config.obs.buffer_capacity = 0;
+        config.obs.trace_path = Some("/definitely/not/a/real/parent/trace.json".into());
+        assert!(diagnostics_for(&config).is_empty());
+    }
+
+    #[test]
+    fn zero_buffer_capacity_with_tracing_enabled_warns() {
+        let config = QrccConfig::new(3).with_tracing(true).with_trace_buffer(0);
+        let report = Analyzer::new().run(&AnalysisContext::new().with_config(&config));
+        let d = report.diagnostics().iter().find(|d| d.code == "QL0306").expect("fires");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("zero span-buffer capacity"), "{d}");
+    }
+
+    #[test]
+    fn a_directory_trace_path_warns() {
+        let dir = scratch("as-dir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = QrccConfig::new(3).with_trace_output(dir.to_string_lossy().into_owned());
+        let messages = diagnostics_for(&config);
+        assert!(messages.iter().any(|m| m.contains("is a directory")), "{messages:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_missing_parent_warns_and_a_real_one_is_clean() {
+        let config = QrccConfig::new(3)
+            .with_trace_output("/definitely/not/a/real/parent/trace.json".to_string());
+        let messages = diagnostics_for(&config);
+        assert!(
+            messages.iter().any(|m| m.contains("missing or non-directory parent")),
+            "{messages:?}"
+        );
+
+        let path = scratch("trace.json");
+        let config = QrccConfig::new(3).with_trace_output(path.to_string_lossy().into_owned());
+        assert!(diagnostics_for(&config).is_empty());
+    }
+}

@@ -1,5 +1,6 @@
 use crate::analyze::LintLevel;
 use crate::cache::ResultCachePolicy;
+use crate::obs::ObsPolicy;
 use crate::reconstruct::ReconstructionStrategy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -191,6 +192,13 @@ pub struct QrccConfig {
     /// relative to a cache-free run.
     #[serde(default)]
     pub result_cache: ResultCachePolicy,
+    /// Observability policy: whether pipeline phases, dispatch jobs and
+    /// remote batches record tracing spans and latency histograms into the
+    /// process-global [`obs`](crate::obs) registries. Off by default and
+    /// zero-cost when off — every instrumentation site is one relaxed
+    /// atomic load.
+    #[serde(default)]
+    pub obs: ObsPolicy,
 }
 
 fn default_ilp_time_limit() -> Duration {
@@ -220,6 +228,7 @@ impl QrccConfig {
             lint_level: LintLevel::default(),
             sim_interpreted: false,
             result_cache: ResultCachePolicy::default(),
+            obs: ObsPolicy::default(),
         }
     }
 
@@ -372,6 +381,33 @@ impl QrccConfig {
         self
     }
 
+    /// Enables (or disables) observability for executions driven by this
+    /// config: pipeline phase spans, per-job dispatch spans, cache spans,
+    /// per-request latency histograms, and cross-wire trace propagation.
+    /// Off by default; when off, instrumentation is zero-cost (asserted by
+    /// the `bench_obs` smoke).
+    pub fn with_tracing(mut self, enabled: bool) -> Self {
+        self.obs.enabled = enabled;
+        self
+    }
+
+    /// Sets the span-buffer capacity (total spans across all shards).
+    /// Implies nothing about enablement; checked by lint QL0306.
+    pub fn with_trace_buffer(mut self, capacity: usize) -> Self {
+        self.obs.buffer_capacity = capacity;
+        self
+    }
+
+    /// Enables tracing with an output path for the exported trace
+    /// (consumers pick the format by extension, e.g. `.json` for a Chrome
+    /// trace). The path's parent must exist — lint QL0306 flags it
+    /// otherwise.
+    pub fn with_trace_output(mut self, path: impl Into<String>) -> Self {
+        self.obs.enabled = true;
+        self.obs.trace_path = Some(path.into());
+        self
+    }
+
     /// An [`ExactBackend`](crate::execute::ExactBackend) honouring this
     /// config's [`sim_interpreted`](QrccConfig::sim_interpreted) mode.
     pub fn exact_backend(&self) -> crate::execute::ExactBackend {
@@ -456,6 +492,19 @@ mod tests {
     #[should_panic(expected = "prune tolerance")]
     fn prune_tolerance_must_be_non_negative() {
         QrccConfig::new(3).with_prune_tolerance(-1.0);
+    }
+
+    #[test]
+    fn obs_knobs_chain_and_default_off() {
+        // off by default: constructing configs must never enable tracing
+        assert!(!QrccConfig::new(3).obs.enabled);
+        let c = QrccConfig::new(5).with_tracing(true).with_trace_buffer(1024);
+        assert!(c.obs.enabled);
+        assert_eq!(c.obs.buffer_capacity, 1024);
+        assert_eq!(c.obs.trace_path, None);
+        let c = QrccConfig::new(5).with_trace_output("/tmp/trace.json");
+        assert!(c.obs.enabled, "with_trace_output implies tracing on");
+        assert_eq!(c.obs.trace_path.as_deref(), Some("/tmp/trace.json"));
     }
 
     #[test]

@@ -132,6 +132,11 @@ impl<'r> Dispatcher<'r> {
         shots: Option<&[u64]>,
         mut sink: impl FnMut(ExecutionResults) -> Result<(), CoreError>,
     ) -> Result<DispatchStats, CoreError> {
+        let tracer = crate::obs::tracer();
+        // per-job spans parent under the caller's open span (the streaming
+        // pipeline's `phase.dispatch`) even though workers run on their own
+        // threads: the id crosses with the job
+        let dispatch_span = tracer.current();
         let total = batch.circuits.len();
         let mut stats = DispatchStats::default();
         if total == 0 {
@@ -197,7 +202,10 @@ impl<'r> Dispatcher<'r> {
                         let (start, end) = bounds[chunk_index];
                         let chunk_circuits = &batch.circuits[start..end];
                         let chunk_shots = shots.map(|s| &s[start..end]);
-                        let assignment = router::route(self.registry, chunk_circuits, chunk_shots)?;
+                        let assignment = {
+                            let _span = tracer.span_under("phase.route", dispatch_span);
+                            router::route(self.registry, chunk_circuits, chunk_shots)?
+                        };
                         let mut per_entry: Vec<Vec<usize>> = vec![Vec::new(); entries.len()];
                         for (local, &entry) in assignment.iter().enumerate() {
                             let global = start + local;
@@ -206,7 +214,11 @@ impl<'r> Dispatcher<'r> {
                                     Some(s) => Some(s[global]),
                                     None => entries[entry].backend().shots_per_circuit(),
                                 };
-                                match cache.lookup(&batch.circuits[global], requested) {
+                                let lookup = {
+                                    let _span = tracer.span_under("cache.lookup", dispatch_span);
+                                    cache.lookup(&batch.circuits[global], requested)
+                                };
+                                match lookup {
                                     CacheLookup::Hit(dist) => {
                                         // served without touching a backend:
                                         // no job, and the allocated shots are
@@ -230,6 +242,7 @@ impl<'r> Dispatcher<'r> {
                                             shots: Some(vec![missing]),
                                             retry: false,
                                             dispatched_at: Instant::now(),
+                                            span: dispatch_span,
                                         });
                                         continue;
                                     }
@@ -255,6 +268,7 @@ impl<'r> Dispatcher<'r> {
                                 shots: job_shots,
                                 retry: false,
                                 dispatched_at: Instant::now(),
+                                span: dispatch_span,
                             });
                         }
                         in_flight += 1;
@@ -308,7 +322,10 @@ impl<'r> Dispatcher<'r> {
                         // streaming consumers always see the newest snapshot
                         chunk.set_cache_stats(cache.map(|c| c.stats()));
                         let started = Instant::now();
-                        sink(chunk)?;
+                        {
+                            let _span = tracer.span_under("phase.deliver", dispatch_span);
+                            sink(chunk)?;
+                        }
                         stats.deliver_wall += started.elapsed();
                         in_flight -= 1;
                         next_deliver += 1;
@@ -320,6 +337,14 @@ impl<'r> Dispatcher<'r> {
                         event_rx.recv().expect("outstanding jobs keep workers alive");
                     stats.queue_wait += queue_wait;
                     stats.execute_wall += execute_wall;
+                    if tracer.enabled() {
+                        // per-job latency histograms; merged across workers
+                        // by the shared registry, and into fleet totals by
+                        // snapshot merges
+                        let metrics = crate::obs::metrics();
+                        metrics.record_duration("dispatch.queue_wait_us", queue_wait);
+                        metrics.record_duration("dispatch.execute_us", execute_wall);
+                    }
                     if results.len() != job.circuits.len() {
                         return Err(CoreError::InvalidCutSolution {
                             reason: format!(
@@ -351,6 +376,8 @@ impl<'r> Dispatcher<'r> {
                                         // an exact backend: the fresh result
                                         // beats any sampled merge
                                         if let Some(cache) = cache {
+                                            let _span =
+                                                tracer.span_under("cache.store", dispatch_span);
                                             cache.store(&batch.circuits[circuit], &dist, None);
                                         }
                                         dist
@@ -359,6 +386,8 @@ impl<'r> Dispatcher<'r> {
                                         let merged =
                                             merge_distributions(&base, base_shots, &dist, spent);
                                         if let Some(cache) = cache {
+                                            let _span =
+                                                tracer.span_under("cache.store", dispatch_span);
                                             cache.store(
                                                 &batch.circuits[circuit],
                                                 &merged,
@@ -369,6 +398,8 @@ impl<'r> Dispatcher<'r> {
                                     }
                                     None => {
                                         if let Some(cache) = cache {
+                                            let _span =
+                                                tracer.span_under("cache.store", dispatch_span);
                                             let stored = backend_shots.is_some().then_some(spent);
                                             cache.store(&batch.circuits[circuit], &dist, stored);
                                         }
@@ -425,6 +456,7 @@ impl<'r> Dispatcher<'r> {
                                     shots: effective[circuit].map(|e| vec![e]),
                                     retry: true,
                                     dispatched_at: Instant::now(),
+                                    span: dispatch_span,
                                 });
                             }
                         }

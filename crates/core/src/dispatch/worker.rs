@@ -27,6 +27,10 @@ pub(crate) struct Job {
     pub(crate) retry: bool,
     /// When the dispatcher enqueued the job (queue-wait telemetry).
     pub(crate) dispatched_at: Instant,
+    /// Tracing span of the dispatch phase that created the job (0 when
+    /// tracing is off) — the worker's `job.execute` span parents under it
+    /// so per-job spans stitch into the pipeline tree across threads.
+    pub(crate) span: u64,
 }
 
 /// A finished job with its per-circuit results and phase timings.
@@ -90,6 +94,10 @@ fn worker_loop(
         }
         let queue_wait = job.dispatched_at.elapsed();
         let started = Instant::now();
+        // opens under the dispatch-phase span carried by the job; nested
+        // spans (e.g. a RemoteBackend submit) parent under it through the
+        // worker's thread-local stack
+        let span = crate::obs::tracer().span_under("job.execute", job.span);
         // A panicking backend must not kill the worker: with other workers
         // still holding event-channel clones, a dead worker would leave its
         // job's outcome undelivered and hang the event loop forever. Catch
@@ -111,6 +119,7 @@ fn worker_loop(
                 })
                 .collect()
         });
+        drop(span);
         let execute_wall = started.elapsed();
         if events.send(JobOutcome { job, results, queue_wait, execute_wall }).is_err() {
             return;

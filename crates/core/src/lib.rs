@@ -81,6 +81,7 @@ pub mod fragment;
 pub mod gatecut;
 pub mod heuristic;
 pub mod model;
+pub mod obs;
 pub mod pipeline;
 pub mod planner;
 pub mod reconstruct;
@@ -94,6 +95,7 @@ pub use analyze::{
 pub use cache::{CacheLookup, CacheStats, ResultCache, ResultCachePolicy};
 pub use config::{QrccConfig, SchedulePolicy, ShotAllocation, ALPHA_WIRE_CUT, BETA_GATE_CUT};
 pub use error::CoreError;
+pub use obs::{Histogram, MetricsSnapshot, ObsPolicy, PhaseProfile, QrccReport};
 pub use reconstruct::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy};
 pub use schedule::{DeviceRegistry, ScheduleReport, Scheduler};
 pub use spec::{CutMetrics, CutSolution, Segment, SubcircuitId, WireCutPoint};

@@ -1,0 +1,277 @@
+//! Span exporters and structural trace validation.
+//!
+//! Two machine formats and one checker:
+//!
+//! * [`chrome_trace`] — Chrome `trace_events` JSON (load in
+//!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)): complete
+//!   (`"ph":"X"`) events with microsecond timestamps, remote spans on a
+//!   separate synthetic process id so the stitched server subtree is
+//!   visually distinct.
+//! * [`spans_jsonl`] — one flat JSON object per line per span, for `jq`
+//!   and log shippers.
+//! * [`validate_spans`] — the trace-gate check: ids unique, every parent
+//!   resolves, every span closed (durations recorded by construction).
+
+use super::metrics::MetricsSnapshot;
+use super::tracer::SpanRecord;
+
+/// Escapes a string for embedding in a JSON literal.
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders spans as a Chrome `trace_events` JSON document. Local spans get
+/// `pid` 1 with their recording thread as `tid`; remote (stitched) spans
+/// get `pid` 2 so the server subtree shows up as its own process track.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, span) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (pid, tid) = if span.remote { (2, 1) } else { (1, span.thread % 0xffff) };
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\
+             \"args\":{{\"id\":{},\"parent\":{}}}}}",
+            json_escape(&span.name),
+            span.start_us,
+            span.duration_us,
+            pid,
+            tid,
+            span.id,
+            span.parent,
+        ));
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Renders spans as JSON-lines: one object per span per line.
+pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&format!(
+            "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_us\":{},\"duration_us\":{},\
+             \"remote\":{}}}\n",
+            span.id,
+            span.parent,
+            json_escape(&span.name),
+            span.start_us,
+            span.duration_us,
+            span.remote,
+        ));
+    }
+    out
+}
+
+/// Renders one benchmark result in the shared bench schema every
+/// `BENCH_*.json` file uses:
+///
+/// ```json
+/// {"name": "...", "config": {...}, "metrics": {...}}
+/// ```
+///
+/// `config` entries are **pre-rendered JSON values** (callers format their
+/// numbers, booleans and quoted strings themselves). Metrics come from a
+/// [`MetricsSnapshot`]: counters render as integers, gauges as floats
+/// (non-finite values as `null`), histograms as
+/// `{"count","sum","min","max","mean","p50","p90","p99","p999"}` objects
+/// (empty histograms as `{"count":0,"sum":0}`).
+pub fn bench_json(name: &str, config: &[(&str, String)], metrics: &MetricsSnapshot) -> String {
+    fn float(value: f64) -> String {
+        if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut out = format!("{{\n  \"name\": \"{}\",\n  \"config\": {{", json_escape(name));
+    for (i, (key, value)) in config.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {value}", json_escape(key)));
+    }
+    out.push_str("},\n  \"metrics\": {");
+    let mut first = true;
+    let mut entry = |out: &mut String, key: &str, value: String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{}\": {value}", json_escape(key)));
+    };
+    for (key, value) in &metrics.counters {
+        entry(&mut out, key, format!("{value}"));
+    }
+    for (key, value) in &metrics.gauges {
+        entry(&mut out, key, float(*value));
+    }
+    for (key, histogram) in &metrics.histograms {
+        let value = match (histogram.min(), histogram.max(), histogram.mean()) {
+            (Some(min), Some(max), Some(mean)) => format!(
+                "{{\"count\": {}, \"sum\": {}, \"min\": {min}, \"max\": {max}, \
+                 \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}}}",
+                histogram.count(),
+                histogram.sum(),
+                float(mean),
+                histogram.p50().unwrap_or(0),
+                histogram.p90().unwrap_or(0),
+                histogram.p99().unwrap_or(0),
+                histogram.p999().unwrap_or(0),
+            ),
+            _ => "{\"count\": 0, \"sum\": 0}".to_string(),
+        };
+        entry(&mut out, key, value);
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Structurally validates a drained trace: span ids must be unique and
+/// non-zero, and every non-zero parent id must resolve to a span in the
+/// set. (Every drained span is closed by construction — open guards have
+/// not recorded yet — so "every span closed" is implied by presence.)
+pub fn validate_spans(spans: &[SpanRecord]) -> Result<(), String> {
+    let mut ids = std::collections::HashSet::with_capacity(spans.len());
+    for span in spans {
+        if span.id == 0 {
+            return Err(format!("span \"{}\" has id 0 (reserved for \"no span\")", span.name));
+        }
+        if !ids.insert(span.id) {
+            return Err(format!("duplicate span id {} (\"{}\")", span.id, span.name));
+        }
+    }
+    for span in spans {
+        if span.parent != 0 && !ids.contains(&span.parent) {
+            return Err(format!(
+                "span {} (\"{}\") has unresolved parent {}",
+                span.id, span.name, span.parent
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// True when `spans` contains at least one remote span whose parent chain
+/// reaches a local root — i.e. the remote subtree is stitched into the
+/// client-side tree rather than floating.
+pub fn remote_subtree_stitched(spans: &[SpanRecord]) -> bool {
+    let by_id: std::collections::HashMap<u64, &SpanRecord> =
+        spans.iter().map(|s| (s.id, s)).collect();
+    spans.iter().filter(|s| s.remote).any(|s| {
+        let mut cursor = s;
+        let mut hops = 0;
+        loop {
+            if cursor.parent == 0 {
+                return !cursor.remote; // reached a root: must be local
+            }
+            match by_id.get(&cursor.parent) {
+                Some(parent) if hops < spans.len() => {
+                    cursor = parent;
+                    hops += 1;
+                }
+                _ => return false,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::borrow::Cow;
+
+    fn span(id: u64, parent: u64, name: &'static str, remote: bool) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: Cow::Borrowed(name),
+            start_us: id * 10,
+            duration_us: 5,
+            thread: 1,
+            remote,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_separates_remote() {
+        let spans = vec![span(1, 0, "root", false), span(2, 1, "server.batch", true)];
+        let json = chrome_trace(&spans);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"root\""));
+        assert!(json.contains("\"pid\":2"), "remote spans should sit on pid 2");
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_span() {
+        let spans = vec![span(1, 0, "a", false), span(2, 1, "b", false)];
+        let text = spans_jsonl(&spans);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    }
+
+    #[test]
+    fn validation_catches_duplicates_and_orphans() {
+        assert!(validate_spans(&[span(1, 0, "a", false), span(2, 1, "b", false)]).is_ok());
+        assert!(validate_spans(&[span(1, 0, "a", false), span(1, 0, "b", false)])
+            .unwrap_err()
+            .contains("duplicate"));
+        assert!(validate_spans(&[span(2, 9, "b", false)]).unwrap_err().contains("unresolved"));
+    }
+
+    #[test]
+    fn stitching_requires_a_local_root_above_a_remote_span() {
+        // remote span under a local root: stitched
+        assert!(remote_subtree_stitched(&[span(1, 0, "root", false), span(2, 1, "srv", true)]));
+        // remote-only tree: not stitched
+        assert!(!remote_subtree_stitched(&[span(1, 0, "srv", true), span(2, 1, "exec", true)]));
+        // no remote spans at all: nothing stitched
+        assert!(!remote_subtree_stitched(&[span(1, 0, "root", false)]));
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn bench_json_renders_all_three_metric_kinds() {
+        use crate::obs::{Histogram, MetricsSnapshot};
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        let snapshot = MetricsSnapshot::default()
+            .with_counter("requests", 2)
+            .with_gauge("speedup", 1.5)
+            .with_histogram("latency_us", h);
+        let json = bench_json(
+            "bench_example",
+            &[("qubits", "6".to_string()), ("smoke", "false".to_string())],
+            &snapshot,
+        );
+        assert!(json.contains("\"name\": \"bench_example\""), "{json}");
+        assert!(json.contains("\"qubits\": 6"), "{json}");
+        assert!(json.contains("\"requests\": 2"), "{json}");
+        assert!(json.contains("\"speedup\": 1.5"), "{json}");
+        assert!(json.contains("\"p50\":"), "{json}");
+        assert!(json.contains("\"p99\":"), "{json}");
+        // empty histograms degrade to a count-0 stub instead of nulls
+        let empty = MetricsSnapshot::default().with_histogram("empty", Histogram::new());
+        assert!(bench_json("x", &[], &empty).contains("{\"count\": 0, \"sum\": 0}"));
+    }
+}

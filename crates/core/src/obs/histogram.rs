@@ -1,0 +1,361 @@
+//! Log-bucketed latency histograms with quantile readout and an
+//! **associative, commutative** merge, so per-worker and per-connection
+//! histograms fold into fleet totals in any order with identical results.
+//!
+//! The bucketing is HDR-style: values `0..16` are exact (one bucket each);
+//! beyond that every power-of-two octave is split into 16 linear
+//! sub-buckets, bounding the relative quantile error at `1/16` (6.25 %).
+//! Values at or above `2^40` (≈ 13 days in microseconds) **saturate** into
+//! the top bucket — counted, merged, and reported at the top bucket's
+//! boundary rather than dropped.
+
+/// Exact one-value buckets for `0..EXACT`.
+const EXACT: u64 = 16;
+/// `log2(EXACT)`: sub-bucket resolution bits per octave.
+const SUB_BITS: u32 = 4;
+/// Values at or above `2^TOP_POW` saturate into the last bucket.
+const TOP_POW: u32 = 40;
+/// Total bucket count: 16 exact + 16 per octave for octaves 4..TOP_POW.
+const BUCKETS: usize = EXACT as usize + (TOP_POW - SUB_BITS) as usize * 16;
+
+/// Bucket index of `value` (total order preserving; saturating at the top).
+fn index(value: u64) -> usize {
+    if value < EXACT {
+        return value as usize;
+    }
+    let h = 63 - value.leading_zeros();
+    if h >= TOP_POW {
+        return BUCKETS - 1;
+    }
+    let group = (h - SUB_BITS) as usize;
+    let sub = ((value >> (h - SUB_BITS)) & (EXACT - 1)) as usize;
+    EXACT as usize + group * 16 + sub
+}
+
+/// Inclusive `[lower, upper]` value range of bucket `idx`.
+fn bounds(idx: usize) -> (u64, u64) {
+    if idx < EXACT as usize {
+        return (idx as u64, idx as u64);
+    }
+    let group = (idx - EXACT as usize) / 16;
+    let sub = ((idx - EXACT as usize) % 16) as u64;
+    let h = group as u32 + SUB_BITS;
+    let width = 1u64 << (h - SUB_BITS);
+    let lower = (1u64 << h) + sub * width;
+    (lower, lower + width - 1)
+}
+
+/// A log-bucketed histogram of `u64` samples (latencies in microseconds,
+/// counts, sizes — the unit is the metric name's business).
+///
+/// * `record` is O(1) with no allocation after the first sample.
+/// * `quantile`/[`Histogram::p50`]…[`Histogram::p999`] read any quantile at
+///   ≤ 6.25 % relative error (exact below 16, clamped to the true observed
+///   maximum at the top).
+/// * [`Histogram::merge`] is associative and commutative and exactly
+///   equivalent to having recorded both sample streams into one histogram —
+///   the property that lets per-worker histograms fold into fleet totals in
+///   arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    /// Non-empty iff at least one sample was recorded (lazily allocated to
+    /// [`BUCKETS`] so an empty histogram costs nothing).
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.counts[index(value)] = self.counts[index(value)].saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Records a [`std::time::Duration`] in microseconds.
+    pub fn record_duration(&mut self, duration: std::time::Duration) {
+        self.record(duration.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The value at quantile `q` (`0.0 ..= 1.0`), or `None` when empty.
+    ///
+    /// Returns the upper bound of the bucket holding the `⌈q·n⌉`-th sample,
+    /// clamped to the observed maximum — so a single-sample histogram
+    /// answers every quantile with exactly that sample.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= target {
+                return Some(bounds(idx).1.min(self.max).max(self.min));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
+    /// Folds `other` into `self`. Exactly equivalent to having recorded
+    /// `other`'s samples here: associative, commutative, with saturating
+    /// counters (saturating `u64` addition is itself associative, so the
+    /// property survives overflow).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// [`Histogram::merge`] by value, for fold chains.
+    #[must_use]
+    pub fn merged(mut self, other: &Histogram) -> Self {
+        self.merge(other);
+        self
+    }
+
+    /// The non-zero buckets as `(bucket index, count)` pairs — the compact
+    /// form that travels on the wire and into bench JSON.
+    pub fn sparse_buckets(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect()
+    }
+
+    /// Rebuilds a histogram from its summary fields and sparse buckets (the
+    /// inverse of [`Histogram::sparse_buckets`]); out-of-range bucket
+    /// indices are clamped into the saturation bucket rather than trusted.
+    pub fn from_sparse(count: u64, sum: u64, min: u64, max: u64, buckets: &[(u32, u64)]) -> Self {
+        if count == 0 {
+            return Histogram::default();
+        }
+        let mut counts = vec![0u64; BUCKETS];
+        for &(idx, c) in buckets {
+            let idx = (idx as usize).min(BUCKETS - 1);
+            counts[idx] = counts[idx].saturating_add(c);
+        }
+        Histogram { counts, count, sum, min, max }
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        if self.count != other.count || self.sum != other.sum {
+            return false;
+        }
+        if self.count > 0 && (self.min != other.min || self.max != other.max) {
+            return false;
+        }
+        // pad the shorter (possibly never-allocated) bucket vector with
+        // zeros, so an empty histogram equals a merged-with-nothing one
+        let longest = self.counts.len().max(other.counts.len());
+        (0..longest).all(|i| {
+            self.counts.get(i).copied().unwrap_or(0) == other.counts.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for Histogram {}
+
+impl std::fmt::Display for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.count {
+            0 => write!(f, "n=0"),
+            _ => write!(
+                f,
+                "n={} mean={:.1} p50={} p90={} p99={} p999={} max={}",
+                self.count,
+                self.mean().unwrap_or(0.0),
+                self.p50().unwrap_or(0),
+                self.p90().unwrap_or(0),
+                self.p99().unwrap_or(0),
+                self.p999().unwrap_or(0),
+                self.max
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_order_preserving() {
+        // every value maps into a bucket whose bounds contain it, and the
+        // bucket index is monotone in the value
+        let mut last = 0usize;
+        for v in (0..4096u64).chain((1..40).map(|h| (1u64 << h) - 1)) {
+            let idx = index(v);
+            let (lo, hi) = bounds(idx);
+            assert!(lo <= v && v <= hi, "value {v} outside bucket {idx} [{lo}, {hi}]");
+            assert!(idx >= last || v < last as u64, "index not monotone at {v}");
+            last = idx;
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_nothing() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.to_string(), "n=0");
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_exactly() {
+        for v in [0u64, 7, 15, 16, 1000, 123_456_789] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                assert_eq!(h.quantile(q), Some(v), "quantile {q} of single sample {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900), (0.999, 9_990)] {
+            let got = h.quantile(q).unwrap() as f64;
+            assert!(
+                (got - exact as f64).abs() / exact as f64 <= 0.0625 + 1e-9,
+                "quantile {q}: got {got}, exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_values_saturate_into_the_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 40);
+        h.record(1u64 << 50);
+        assert_eq!(h.count(), 3);
+        // all three share the saturation bucket
+        assert_eq!(h.sparse_buckets().len(), 1);
+        assert_eq!(h.sparse_buckets()[0].0 as usize, BUCKETS - 1);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert!(h.p50().is_some());
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let (a_samples, b_samples) = ((0..500u64).map(|i| i * 7), (0..300u64).map(|i| i * 13 + 5));
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut sequential = Histogram::new();
+        for v in a_samples {
+            a.record(v);
+            sequential.record(v);
+        }
+        for v in b_samples {
+            b.record(v);
+            sequential.record(v);
+        }
+        let ab = a.clone().merged(&b);
+        let ba = b.clone().merged(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab, sequential, "merge must equal sequential recording");
+    }
+
+    #[test]
+    fn sparse_roundtrip_preserves_everything() {
+        let mut h = Histogram::new();
+        for v in [0u64, 3, 17, 999, 1 << 20, u64::MAX] {
+            h.record(v);
+        }
+        let back = Histogram::from_sparse(
+            h.count(),
+            h.sum(),
+            h.min().unwrap(),
+            h.max().unwrap(),
+            &h.sparse_buckets(),
+        );
+        assert_eq!(back, h);
+        assert_eq!(Histogram::from_sparse(0, 0, 0, 0, &[]), Histogram::new());
+    }
+}

@@ -1,0 +1,256 @@
+//! Named counters, gauges and histograms behind one registry, with
+//! Prometheus-style text exposition and snapshot merging.
+//!
+//! Conventions: metric names are dot-separated (`dispatch.queue_wait_us`);
+//! the unit rides in the name suffix (`_us` = microseconds). Hot-path
+//! callers gate recording on [`tracer().enabled()`](super::tracer) —
+//! the registry itself is always live so cold-path telemetry (ping RTTs,
+//! server batch latency) costs one short mutex hold per event.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+
+use super::Histogram;
+
+#[derive(Default)]
+struct MetricsInner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// A registry of named counters, gauges and histograms. Most code uses the
+/// process-global instance via [`metrics()`](super::metrics).
+#[derive(Default)]
+pub struct Metrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Metrics")
+            .field("counters", &inner.counters.len())
+            .field("gauges", &inner.gauges.len())
+            .field("histograms", &inner.histograms.len())
+            .finish()
+    }
+}
+
+impl Metrics {
+    /// An empty registry (tests; production uses the global one).
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at zero).
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock();
+        let slot = inner.counters.entry(name.to_owned()).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        self.inner.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn record(&self, name: &str, value: u64) {
+        self.inner.lock().histograms.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Records a duration (in microseconds) into the named histogram.
+    pub fn record_duration(&self, name: &str, duration: std::time::Duration) {
+        self.record(name, duration.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Folds an external histogram (e.g. a remote delta) into the named one.
+    pub fn merge_histogram(&self, name: &str, histogram: &Histogram) {
+        self.inner.lock().histograms.entry(name.to_owned()).or_default().merge(histogram);
+    }
+
+    /// A copy of the named histogram, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.inner.lock().histograms.get(name).cloned()
+    }
+
+    /// The named counter's value, if it exists.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.inner.lock().counters.get(name).copied()
+    }
+
+    /// A point-in-time copy of everything in the registry.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            histograms: inner.histograms.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+        }
+    }
+
+    /// Empties the registry (tests and process-global reuse between runs).
+    pub fn clear(&self) {
+        *self.inner.lock() = MetricsInner::default();
+    }
+}
+
+/// An immutable copy of a [`Metrics`] registry: what reports render and
+/// what bench JSON embeds. Entries are sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, histogram)` pairs, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// One `(name, value)` counter — convenience for adapter construction.
+    pub fn with_counter(mut self, name: &str, value: u64) -> Self {
+        self.counters.push((name.to_owned(), value));
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// One `(name, value)` gauge — convenience for adapter construction.
+    pub fn with_gauge(mut self, name: &str, value: f64) -> Self {
+        self.gauges.push((name.to_owned(), value));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// One `(name, histogram)` pair — convenience for adapter construction.
+    pub fn with_histogram(mut self, name: &str, histogram: Histogram) -> Self {
+        self.histograms.push((name.to_owned(), histogram));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// Folds another snapshot in: counters add, gauges take the other's
+    /// value (last-writer-wins), histograms merge.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (name, value) in &other.counters {
+            let slot = counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*value);
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, f64> = self.gauges.drain(..).collect();
+        for (name, value) in &other.gauges {
+            gauges.insert(name.clone(), *value);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, Histogram> = self.histograms.drain(..).collect();
+        for (name, histogram) in &other.histograms {
+            histograms.entry(name.clone()).or_default().merge(histogram);
+        }
+        self.histograms = histograms.into_iter().collect();
+    }
+
+    /// Prometheus-style text exposition: counters as `counter`, gauges as
+    /// `gauge`, histograms as `summary` quantile series plus `_sum` and
+    /// `_count`. Dots in names become underscores per Prometheus rules.
+    pub fn prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+        }
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+        }
+        for (name, histogram) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (q, v) in [
+                (0.5, histogram.p50()),
+                (0.9, histogram.p90()),
+                (0.99, histogram.p99()),
+                (0.999, histogram.p999()),
+            ] {
+                if let Some(v) = v {
+                    out.push_str(&format!("{n}{{quantile=\"{q}\"}} {v}\n"));
+                }
+            }
+            out.push_str(&format!(
+                "{n}_sum {}\n{n}_count {}\n",
+                histogram.sum(),
+                histogram.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_records_all_three_kinds() {
+        let m = Metrics::new();
+        m.counter_add("jobs", 2);
+        m.counter_add("jobs", 3);
+        m.gauge_set("depth", 4.5);
+        m.record("lat_us", 100);
+        m.record("lat_us", 200);
+        assert_eq!(m.counter("jobs"), Some(5));
+        let snap = m.snapshot();
+        assert_eq!(snap.counters, vec![("jobs".to_owned(), 5)]);
+        assert_eq!(snap.gauges, vec![("depth".to_owned(), 4.5)]);
+        assert_eq!(snap.histograms[0].1.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_merges_histograms() {
+        let a = Metrics::new();
+        a.counter_add("jobs", 1);
+        a.record("lat_us", 10);
+        let b = Metrics::new();
+        b.counter_add("jobs", 2);
+        b.record("lat_us", 20);
+        b.gauge_set("depth", 1.0);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        assert_eq!(snap.counters, vec![("jobs".to_owned(), 3)]);
+        assert_eq!(snap.histograms[0].1.count(), 2);
+        assert_eq!(snap.gauges, vec![("depth".to_owned(), 1.0)]);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_types_and_quantiles() {
+        let m = Metrics::new();
+        m.counter_add("net.ping", 7);
+        m.record("net.ping_rtt_us", 123);
+        let text = m.snapshot().prometheus();
+        assert!(text.contains("# TYPE net_ping counter"));
+        assert!(text.contains("net_ping 7"));
+        assert!(text.contains("# TYPE net_ping_rtt_us summary"));
+        assert!(text.contains("net_ping_rtt_us{quantile=\"0.5\"} 123"));
+        assert!(text.contains("net_ping_rtt_us_count 1"));
+    }
+
+    #[test]
+    fn clear_empties_the_registry() {
+        let m = Metrics::new();
+        m.counter_add("x", 1);
+        m.clear();
+        assert!(m.snapshot().is_empty());
+    }
+}

@@ -37,6 +37,7 @@ use crate::schedule::{ScheduleReport, Scheduler};
 use crate::{CoreError, QrccConfig};
 use qrcc_circuit::observable::PauliObservable;
 use qrcc_circuit::Circuit;
+use std::time::Duration;
 
 pub use crate::execute::{CachingBackend, ExactBackend, ExecutionBackend as Backend, ShotsBackend};
 
@@ -75,6 +76,10 @@ impl QrccPipeline {
     /// Propagates planner errors ([`CoreError::NoCutFound`],
     /// [`CoreError::InvalidDeviceSize`]) and fragment-construction errors.
     pub fn plan(circuit: &Circuit, config: QrccConfig) -> Result<Self, CoreError> {
+        // a config with tracing enabled turns the global tracer on; a
+        // default config leaves it untouched
+        crate::obs::tracer().configure(&config.obs);
+        let _span = crate::obs::tracer().span("phase.plan");
         let plan = CutPlanner::new(config).plan(circuit)?;
         Self::from_plan(plan)
     }
@@ -306,13 +311,28 @@ impl QrccPipeline {
         &self,
         scheduler: &Scheduler<'_>,
     ) -> Result<(Vec<f64>, ReconstructionReport, ScheduleReport), CoreError> {
-        let requests = self.probability_reconstructor().requests(&self.fragments)?;
+        let tracer = crate::obs::tracer();
+        let root = tracer.span("pipeline.execute");
+        let root_id = root.id();
+        let started = std::time::Instant::now();
+        let mut profile = crate::obs::PhaseProfile::new();
+
+        let phase = std::time::Instant::now();
+        let requests = {
+            let _span = tracer.span("phase.enumerate");
+            self.probability_reconstructor().requests(&self.fragments)?
+        };
         let mut accumulator =
             ProbabilityAccumulator::new(&self.fragments, self.reconstruction_options())?;
+        profile.add("enumerate", phase.elapsed());
+
+        let mut fold_wall = Duration::ZERO;
+        let phase = std::time::Instant::now();
         let schedule_report = std::thread::scope(|scope| -> Result<ScheduleReport, CoreError> {
             let (sender, receiver) = std::sync::mpsc::channel::<ExecutionResults>();
             let fragments = &self.fragments;
             let producer = scope.spawn(move || {
+                let _span = tracer.span_under("phase.dispatch", root_id);
                 scheduler.execute_chunked(fragments, &requests, |chunk| {
                     // an unbounded channel: send fails only when the
                     // consumer stopped folding (it hit an error)
@@ -323,11 +343,24 @@ impl QrccPipeline {
             });
             // fold chunks as they arrive, overlapping with execution
             for chunk in receiver {
+                let fold_started = std::time::Instant::now();
+                let _span = tracer.span("phase.fold");
                 accumulator.absorb(chunk)?;
+                fold_wall += fold_started.elapsed();
             }
             producer.join().expect("scheduler thread panicked")
         })?;
-        let (probabilities, reconstruction_report) = accumulator.finish()?;
+        profile.add("dispatch", phase.elapsed());
+        profile.add("fold", fold_wall);
+
+        let phase = std::time::Instant::now();
+        let (probabilities, mut reconstruction_report) = {
+            let _span = tracer.span("phase.contract");
+            accumulator.finish()?
+        };
+        profile.add("contract", phase.elapsed());
+        profile.total = started.elapsed();
+        reconstruction_report.profile = Some(profile);
         Ok((probabilities, reconstruction_report, schedule_report))
     }
 
@@ -348,16 +381,31 @@ impl QrccPipeline {
         scheduler: &Scheduler<'_>,
         observable: &PauliObservable,
     ) -> Result<(f64, ReconstructionReport, ScheduleReport), CoreError> {
-        let requests = self.expectation_reconstructor().requests(&self.fragments, observable)?;
+        let tracer = crate::obs::tracer();
+        let root = tracer.span("pipeline.execute");
+        let root_id = root.id();
+        let started = std::time::Instant::now();
+        let mut profile = crate::obs::PhaseProfile::new();
+
+        let phase = std::time::Instant::now();
+        let requests = {
+            let _span = tracer.span("phase.enumerate");
+            self.expectation_reconstructor().requests(&self.fragments, observable)?
+        };
         let mut accumulator = ExpectationAccumulator::new(
             &self.fragments,
             observable,
             self.reconstruction_options(),
         )?;
+        profile.add("enumerate", phase.elapsed());
+
+        let mut fold_wall = Duration::ZERO;
+        let phase = std::time::Instant::now();
         let schedule_report = std::thread::scope(|scope| -> Result<ScheduleReport, CoreError> {
             let (sender, receiver) = std::sync::mpsc::channel::<ExecutionResults>();
             let fragments = &self.fragments;
             let producer = scope.spawn(move || {
+                let _span = tracer.span_under("phase.dispatch", root_id);
                 scheduler.execute_chunked(fragments, &requests, |chunk| {
                     sender.send(chunk).map_err(|_| CoreError::InvalidCutSolution {
                         reason: "streaming consumer stopped folding".into(),
@@ -366,11 +414,24 @@ impl QrccPipeline {
             });
             // fold chunks as they arrive, overlapping with execution
             for chunk in receiver {
+                let fold_started = std::time::Instant::now();
+                let _span = tracer.span("phase.fold");
                 accumulator.absorb(chunk)?;
+                fold_wall += fold_started.elapsed();
             }
             producer.join().expect("scheduler thread panicked")
         })?;
-        let (expectation, reconstruction_report) = accumulator.finish()?;
+        profile.add("dispatch", phase.elapsed());
+        profile.add("fold", fold_wall);
+
+        let phase = std::time::Instant::now();
+        let (expectation, mut reconstruction_report) = {
+            let _span = tracer.span("phase.contract");
+            accumulator.finish()?
+        };
+        profile.add("contract", phase.elapsed());
+        profile.total = started.elapsed();
+        reconstruction_report.profile = Some(profile);
         Ok((expectation, reconstruction_report, schedule_report))
     }
 

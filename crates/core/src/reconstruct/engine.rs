@@ -129,6 +129,11 @@ pub struct ReconstructionReport {
     /// [`ExecutionResults`]: full and delta hits, misses, and the device
     /// shots the cache saved. `None` when no result cache was attached.
     pub result_cache: Option<crate::cache::CacheStats>,
+    /// Wall-clock attribution by pipeline phase ("where did the time go?"),
+    /// measured by the streaming execution paths
+    /// (`QrccPipeline::execute_streaming` and friends). `None` when the
+    /// consumer reconstructed from a pre-executed batch.
+    pub profile: Option<crate::obs::PhaseProfile>,
 }
 
 /// One cut axis of a [`CutTensor`], identified by its global cut id.

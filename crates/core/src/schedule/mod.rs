@@ -181,7 +181,10 @@ impl<'r> Scheduler<'r> {
         requests: &[VariantRequest],
         mut sink: impl FnMut(ExecutionResults) -> Result<(), CoreError>,
     ) -> Result<ScheduleReport, CoreError> {
-        let batch = prepare_batch(fragments, requests)?;
+        let batch = {
+            let _span = crate::obs::tracer().span("phase.dedup");
+            prepare_batch(fragments, requests)?
+        };
         let allocator = ShotAllocator::new(self.policy);
         let weights = allocator.circuit_weights(fragments, &batch);
         let shots = allocator.allocate(&weights)?;

@@ -156,6 +156,10 @@ impl RemoteBackend {
         match proto::read_frame(&mut FrameDeadline::new(&mut stream, self.io_timeout)) {
             Ok(Frame::Pong { nonce: echoed }) if echoed == nonce => {
                 let rtt = started.elapsed();
+                // always recorded (cold path): the fleet's health probes and
+                // the pool's checkout log line read `net.ping_rtt_us` even
+                // when span tracing is off
+                qrcc_core::obs::metrics().record_duration("net.ping_rtt_us", rtt);
                 self.checkin(stream);
                 Ok(rtt)
             }
@@ -226,6 +230,24 @@ impl RemoteBackend {
                 ),
             });
         }
+        // a fresh dial mid-run usually means the server reaped or dropped
+        // the pooled connection; when tracing is on, surface it with the
+        // link's observed ping RTT so slow checkouts are explainable
+        if qrcc_core::obs::tracer().enabled() {
+            let rtt = qrcc_core::obs::metrics()
+                .histogram("net.ping_rtt_us")
+                .and_then(|h| Some((h.p50()?, h.count())));
+            match rtt {
+                Some((p50, pings)) => eprintln!(
+                    "[qrcc-net] checkout dialled fresh connection to {} (ping RTT p50 {p50}us over {pings} ping(s))",
+                    self.peer
+                ),
+                None => eprintln!(
+                    "[qrcc-net] checkout dialled fresh connection to {} (no ping RTT recorded yet)",
+                    self.peer
+                ),
+            }
+        }
         Ok(stream)
     }
 
@@ -255,11 +277,22 @@ impl RemoteBackend {
             Ok(stream) => stream,
             Err(error) => return vec![error; circuits.len()].into_iter().map(Err).collect(),
         };
+        // opens under whatever span is live on this thread (a dispatch
+        // worker's `job.execute`), so remote submissions nest into the
+        // pipeline tree; the server's span subtree grafts under it when the
+        // reply's telemetry is imported. Self-gating: a no-op when tracing
+        // is off, and `span.id()` is then 0 so no context rides the wire.
+        let tracer = qrcc_core::obs::tracer();
+        let span = tracer.span("net.submit");
         let batch = self.next_batch.fetch_add(1, Ordering::Relaxed);
+        let trace = span
+            .is_recording()
+            .then(|| proto::TraceContext { trace_id: batch, parent_span: span.id() });
         let frame = Frame::SubmitBatch {
             batch,
             circuits: circuits.iter().map(qasm::to_qasm).collect(),
             shots: shots.map(<[u64]>::to_vec),
+            trace,
         };
         if let Err(e) = proto::write_frame(&mut stream, &frame) {
             // an oversized frame is refused before any bytes move: that is a
@@ -276,7 +309,7 @@ impl RemoteBackend {
         // returns, so the wait is bounded by the (long) reply timeout, not
         // the per-operation I/O timeout
         let _ = stream.set_read_timeout(Some(self.reply_timeout));
-        match self.read_batch_replies(&mut stream, batch, circuits) {
+        match self.read_batch_replies(&mut stream, batch, circuits, span.id()) {
             Ok(outcomes) => {
                 let ok = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
                 self.executions.fetch_add(ok, Ordering::Relaxed);
@@ -289,12 +322,16 @@ impl RemoteBackend {
     }
 
     /// Collects exactly one reply per submitted circuit plus the closing
-    /// `BatchDone`.
+    /// `BatchDone`. When the `BatchDone` carries telemetry (the submission
+    /// included a [`TraceContext`](proto::TraceContext)), the server's span
+    /// subtree is grafted under `submit_span` and its metric deltas merge
+    /// into the process-global registry.
     fn read_batch_replies(
         &self,
         stream: &mut TcpStream,
         batch: u64,
         circuits: &[Circuit],
+        submit_span: u64,
     ) -> Result<Vec<Result<Vec<f64>, CoreError>>, CoreError> {
         let label = self.label();
         let expected = circuits.len();
@@ -337,11 +374,24 @@ impl RemoteBackend {
                     };
                     self.fill_slot(&mut slots, b, batch, index, Err(error))?;
                 }
-                Frame::BatchDone { batch: b, executed } => {
+                Frame::BatchDone { batch: b, executed, telemetry } => {
                     if b != batch {
                         return Err(CoreError::Transport {
                             detail: format!("BatchDone for batch {b} while awaiting {batch}"),
                         });
+                    }
+                    if let Some(telemetry) = telemetry {
+                        let tracer = qrcc_core::obs::tracer();
+                        if tracer.enabled() {
+                            tracer.import(&telemetry.spans, submit_span);
+                            let metrics = qrcc_core::obs::metrics();
+                            for (name, delta) in &telemetry.counters {
+                                metrics.counter_add(name, *delta);
+                            }
+                            for (name, histogram) in &telemetry.histograms {
+                                metrics.merge_histogram(name, histogram);
+                            }
+                        }
                     }
                     let filled = slots.iter().filter(|s| s.is_some()).count();
                     if filled != expected {

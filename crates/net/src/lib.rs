@@ -62,5 +62,5 @@ pub mod testing;
 
 pub use analyze::lint_capabilities;
 pub use client::{RemoteBackend, DEFAULT_IO_TIMEOUT};
-pub use proto::{Capabilities, ProtoError, PROTOCOL_VERSION};
+pub use proto::{BatchTelemetry, Capabilities, ProtoError, TraceContext, PROTOCOL_VERSION};
 pub use server::{ConnectionStats, QrccServer, ServerHandle, ServerStats};

@@ -22,7 +22,11 @@ use std::io::{self, Read, Write};
 /// The protocol version spoken by this build. A [`Frame::ClientHello`] with
 /// any other version is rejected during the handshake with a typed
 /// [`WireErrorKind::VersionMismatch`] error frame.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history: 1 — initial protocol; 2 — [`Frame::SubmitBatch`] may
+/// carry a [`TraceContext`] and [`Frame::BatchDone`] may return the
+/// server's [`BatchTelemetry`] (span subtree + metric deltas).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Upper bound on one frame's `tag + payload` length. Frames announcing a
 /// larger length are rejected before any payload is read.
@@ -46,6 +50,35 @@ pub struct Capabilities {
     pub supports_mid_circuit: bool,
     /// The backend's human-readable label.
     pub label: String,
+}
+
+/// Client-side tracing context attached to a [`Frame::SubmitBatch`]: the
+/// submitting process's trace identity and the span the server's subtree
+/// should graft under. Ids are only meaningful to the client; the server
+/// never interprets them beyond echoing `parent_span` as its root's parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Opaque trace id of the submitting client (0 is valid but
+    /// conventionally "unset").
+    pub trace_id: u64,
+    /// The client-side span the server's span subtree grafts under.
+    pub parent_span: u64,
+}
+
+/// The server's observability payload returned on [`Frame::BatchDone`] when
+/// the submission carried a [`TraceContext`]: the span subtree of this
+/// batch's server-side execution (ids in the *server's* space — the client
+/// remaps them on [`import`](qrcc_core::obs::Tracer::import)) plus metric
+/// deltas attributable to the batch.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BatchTelemetry {
+    /// The server-side span subtree; subtree roots have `parent == 0`.
+    pub spans: Vec<qrcc_core::obs::RemoteSpan>,
+    /// Counter deltas for this batch, e.g. `("server.circuits_ok", 3)`.
+    pub counters: Vec<(String, u64)>,
+    /// Histogram deltas for this batch (merged into the client's registry
+    /// under the same names).
+    pub histograms: Vec<(String, qrcc_core::obs::Histogram)>,
 }
 
 /// The typed cause carried by an [`Frame::Error`] frame.
@@ -104,6 +137,10 @@ pub enum Frame {
         /// Per-circuit shot counts (same length as `circuits`), or `None`
         /// to run with the backend's defaults.
         shots: Option<Vec<u64>>,
+        /// Tracing context of the submitting client, or `None` when the
+        /// client runs with tracing off. A server that receives a context
+        /// returns its span subtree on [`Frame::BatchDone`].
+        trace: Option<TraceContext>,
     },
     /// Server → client: one circuit's distribution. Replies stream in index
     /// order once the worker's single batch call returns (the batch runs as
@@ -138,6 +175,9 @@ pub enum Frame {
         batch: u64,
         /// Number of circuits that executed successfully.
         executed: u32,
+        /// The server's span subtree and metric deltas for this batch;
+        /// present iff the submission carried a [`TraceContext`].
+        telemetry: Option<BatchTelemetry>,
     },
     /// Heartbeat request (either direction).
     Ping {
@@ -277,7 +317,7 @@ fn encode(frame: &Frame) -> Vec<u8> {
             out.push(capabilities.supports_mid_circuit as u8);
             put_string(&mut out, &capabilities.label);
         }
-        Frame::SubmitBatch { batch, circuits, shots } => {
+        Frame::SubmitBatch { batch, circuits, shots, trace } => {
             out.push(TAG_SUBMIT_BATCH);
             put_u64(&mut out, *batch);
             put_u32(&mut out, circuits.len() as u32);
@@ -291,6 +331,14 @@ fn encode(frame: &Frame) -> Vec<u8> {
                     for &s in shots {
                         put_u64(&mut out, s);
                     }
+                }
+                None => out.push(0),
+            }
+            match trace {
+                Some(trace) => {
+                    out.push(1);
+                    put_u64(&mut out, trace.trace_id);
+                    put_u64(&mut out, trace.parent_span);
                 }
                 None => out.push(0),
             }
@@ -311,10 +359,43 @@ fn encode(frame: &Frame) -> Vec<u8> {
             out.push(kind.code());
             put_string(&mut out, reason);
         }
-        Frame::BatchDone { batch, executed } => {
+        Frame::BatchDone { batch, executed, telemetry } => {
             out.push(TAG_BATCH_DONE);
             put_u64(&mut out, *batch);
             put_u32(&mut out, *executed);
+            match telemetry {
+                Some(telemetry) => {
+                    out.push(1);
+                    put_u32(&mut out, telemetry.spans.len() as u32);
+                    for span in &telemetry.spans {
+                        put_u64(&mut out, span.id);
+                        put_u64(&mut out, span.parent);
+                        put_string(&mut out, &span.name);
+                        put_u64(&mut out, span.start_unix_us);
+                        put_u64(&mut out, span.duration_us);
+                    }
+                    put_u32(&mut out, telemetry.counters.len() as u32);
+                    for (name, value) in &telemetry.counters {
+                        put_string(&mut out, name);
+                        put_u64(&mut out, *value);
+                    }
+                    put_u32(&mut out, telemetry.histograms.len() as u32);
+                    for (name, histogram) in &telemetry.histograms {
+                        put_string(&mut out, name);
+                        put_u64(&mut out, histogram.count());
+                        put_u64(&mut out, histogram.sum());
+                        put_u64(&mut out, histogram.min().unwrap_or(0));
+                        put_u64(&mut out, histogram.max().unwrap_or(0));
+                        let buckets = histogram.sparse_buckets();
+                        put_u32(&mut out, buckets.len() as u32);
+                        for (index, count) in buckets {
+                            put_u32(&mut out, index);
+                            put_u64(&mut out, count);
+                        }
+                    }
+                }
+                None => out.push(0),
+            }
         }
         Frame::Ping { nonce } => {
             out.push(TAG_PING);
@@ -461,7 +542,12 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, ProtoError> {
                 }
                 flag => return Err(ProtoError::malformed(format!("invalid shots flag {flag}"))),
             };
-            Frame::SubmitBatch { batch, circuits, shots }
+            let trace = match d.u8()? {
+                0 => None,
+                1 => Some(TraceContext { trace_id: d.u64()?, parent_span: d.u64()? }),
+                flag => return Err(ProtoError::malformed(format!("invalid trace flag {flag}"))),
+            };
+            Frame::SubmitBatch { batch, circuits, shots, trace }
         }
         TAG_CIRCUIT_RESULT => {
             let batch = d.u64()?;
@@ -481,7 +567,54 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, ProtoError> {
                 .ok_or_else(|| ProtoError::malformed(format!("unknown failure kind {code}")))?;
             Frame::CircuitFailed { batch, index, kind, reason: d.string()? }
         }
-        TAG_BATCH_DONE => Frame::BatchDone { batch: d.u64()?, executed: d.u32()? },
+        TAG_BATCH_DONE => {
+            let batch = d.u64()?;
+            let executed = d.u32()?;
+            let telemetry = match d.u8()? {
+                0 => None,
+                1 => {
+                    let span_count = d.u32()? as usize;
+                    let mut spans = Vec::with_capacity(span_count.min(1024));
+                    for _ in 0..span_count {
+                        spans.push(qrcc_core::obs::RemoteSpan {
+                            id: d.u64()?,
+                            parent: d.u64()?,
+                            name: d.string()?,
+                            start_unix_us: d.u64()?,
+                            duration_us: d.u64()?,
+                        });
+                    }
+                    let counter_count = d.u32()? as usize;
+                    let mut counters = Vec::with_capacity(counter_count.min(1024));
+                    for _ in 0..counter_count {
+                        counters.push((d.string()?, d.u64()?));
+                    }
+                    let histogram_count = d.u32()? as usize;
+                    let mut histograms = Vec::with_capacity(histogram_count.min(1024));
+                    for _ in 0..histogram_count {
+                        let name = d.string()?;
+                        let count = d.u64()?;
+                        let sum = d.u64()?;
+                        let min = d.u64()?;
+                        let max = d.u64()?;
+                        let bucket_count = d.u32()? as usize;
+                        let mut buckets = Vec::with_capacity(bucket_count.min(1024));
+                        for _ in 0..bucket_count {
+                            buckets.push((d.u32()?, d.u64()?));
+                        }
+                        histograms.push((
+                            name,
+                            qrcc_core::obs::Histogram::from_sparse(count, sum, min, max, &buckets),
+                        ));
+                    }
+                    Some(BatchTelemetry { spans, counters, histograms })
+                }
+                flag => {
+                    return Err(ProtoError::malformed(format!("invalid telemetry flag {flag}")))
+                }
+            };
+            Frame::BatchDone { batch, executed, telemetry }
+        }
         TAG_PING => Frame::Ping { nonce: d.u64()? },
         TAG_PONG => Frame::Pong { nonce: d.u64()? },
         TAG_ERROR => {
@@ -544,8 +677,15 @@ mod tests {
             batch: 7,
             circuits: vec!["OPENQASM 2.0;\nqreg q[1];\nh q[0];\n".into(), String::new()],
             shots: Some(vec![100, 0]),
+            trace: None,
         });
-        roundtrip(Frame::SubmitBatch { batch: 8, circuits: vec![], shots: None });
+        roundtrip(Frame::SubmitBatch { batch: 8, circuits: vec![], shots: None, trace: None });
+        roundtrip(Frame::SubmitBatch {
+            batch: 9,
+            circuits: vec!["OPENQASM 2.0;\nqreg q[1];\n".into()],
+            shots: None,
+            trace: Some(TraceContext { trace_id: u64::MAX, parent_span: 42 }),
+        });
         roundtrip(Frame::CircuitResult {
             batch: 7,
             index: 1,
@@ -563,7 +703,36 @@ mod tests {
             kind: WireErrorKind::Protocol,
             reason: "qasm parse error".into(),
         });
-        roundtrip(Frame::BatchDone { batch: 7, executed: 1 });
+        roundtrip(Frame::BatchDone { batch: 7, executed: 1, telemetry: None });
+        roundtrip(Frame::BatchDone {
+            batch: 7,
+            executed: 2,
+            telemetry: Some(BatchTelemetry {
+                spans: vec![
+                    qrcc_core::obs::RemoteSpan {
+                        id: 1,
+                        parent: 0,
+                        name: "server.batch".into(),
+                        start_unix_us: 1_700_000_000_000_000,
+                        duration_us: 1234,
+                    },
+                    qrcc_core::obs::RemoteSpan {
+                        id: 2,
+                        parent: 1,
+                        name: "server.execute".into(),
+                        start_unix_us: 1_700_000_000_000_100,
+                        duration_us: 1000,
+                    },
+                ],
+                counters: vec![("server.circuits_ok".into(), 2)],
+                histograms: vec![("server.batch_latency_us".into(), {
+                    let mut h = qrcc_core::obs::Histogram::new();
+                    h.record(1234);
+                    h.record(u64::MAX); // saturation bucket survives the wire
+                    h
+                })],
+            }),
+        });
         roundtrip(Frame::Ping { nonce: u64::MAX });
         roundtrip(Frame::Pong { nonce: 0 });
         roundtrip(Frame::Error {

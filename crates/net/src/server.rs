@@ -13,7 +13,10 @@
 //! while the rest of its batch still runs — mirroring how the in-process
 //! batch API reports per-circuit errors.
 
-use crate::proto::{self, Capabilities, Frame, ProtoError, WireErrorKind, PROTOCOL_VERSION};
+use crate::proto::{
+    self, BatchTelemetry, Capabilities, Frame, ProtoError, TraceContext, WireErrorKind,
+    PROTOCOL_VERSION,
+};
 use parking_lot::Mutex;
 use qrcc_circuit::{qasm, Circuit};
 use qrcc_core::analyze;
@@ -87,6 +90,31 @@ pub struct ServerStats {
     pub cache_misses: u64,
     /// Device shots the result cache absorbed across all connections.
     pub cache_shots_saved: u64,
+    /// End-to-end batch service latency (microseconds, parse through the
+    /// last reply frame) as a mergeable log-bucketed histogram — ask it for
+    /// `p50()`/`p99()`/`p999()` instead of a single mean field. Always
+    /// recorded; tracing only affects the per-batch span subtrees.
+    pub batch_latency_us: qrcc_core::Histogram,
+}
+
+impl ServerStats {
+    /// Folds these counters into a [`MetricsSnapshot`] under the `server.`
+    /// namespace — the obs adapter that lets a server show up as a section
+    /// of a [`QrccReport`](qrcc_core::obs::QrccReport) next to dispatch,
+    /// cache and reconstruction telemetry.
+    pub fn metrics(&self) -> qrcc_core::obs::MetricsSnapshot {
+        qrcc_core::obs::MetricsSnapshot::default()
+            .with_counter("server.connections", self.connections)
+            .with_counter("server.batches", self.batches)
+            .with_counter("server.circuits_ok", self.circuits_ok)
+            .with_counter("server.circuits_failed", self.circuits_failed)
+            .with_counter("server.protocol_errors", self.protocol_errors)
+            .with_counter("server.cache_hits", self.cache_hits)
+            .with_counter("server.cache_delta_hits", self.cache_delta_hits)
+            .with_counter("server.cache_misses", self.cache_misses)
+            .with_counter("server.cache_shots_saved", self.cache_shots_saved)
+            .with_histogram("server.batch_latency_us", self.batch_latency_us.clone())
+    }
 }
 
 #[derive(Debug, Default)]
@@ -100,6 +128,7 @@ struct StatsInner {
     cache_delta_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_shots_saved: AtomicU64,
+    batch_latency: Mutex<qrcc_core::Histogram>,
 }
 
 impl StatsInner {
@@ -114,6 +143,7 @@ impl StatsInner {
             cache_delta_hits: self.cache_delta_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_shots_saved: self.cache_shots_saved.load(Ordering::Relaxed),
+            batch_latency_us: self.batch_latency.lock().clone(),
         }
     }
 }
@@ -551,7 +581,7 @@ fn serve_connection(
 
     loop {
         match read_frame_polling(&mut stream, &shutdown, IDLE_DEADLINE) {
-            ConnRead::Frame(Frame::SubmitBatch { batch, circuits, shots }) => {
+            ConnRead::Frame(Frame::SubmitBatch { batch, circuits, shots, trace }) => {
                 if let Some(shots) = &shots {
                     if shots.len() != circuits.len() {
                         stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -577,6 +607,7 @@ fn serve_connection(
                     batch,
                     &circuits,
                     shots.as_deref(),
+                    trace,
                     &stats,
                     &mut conn,
                 );
@@ -677,9 +708,20 @@ fn serve_batch(
     batch: u64,
     circuits: &[String],
     shots: Option<&[u64]>,
+    trace: Option<TraceContext>,
     stats: &StatsInner,
     conn: &mut ConnectionStats,
 ) -> io::Result<()> {
+    // Phase clock for the span subtree returned to a tracing client. The
+    // server does not run the client's tracer; it hand-builds
+    // [`RemoteSpan`](qrcc_core::obs::RemoteSpan)s from one `Instant` plus a
+    // Unix-epoch anchor so the client can rebase them into its own timeline.
+    let batch_started = std::time::Instant::now();
+    let batch_unix_us = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0);
+
     /// How one submitted circuit is answered.
     enum Slot {
         /// Parse error or static pre-flight rejection.
@@ -750,6 +792,8 @@ fn serve_batch(
         }
     }
 
+    let parse_us = batch_started.elapsed().as_micros() as u64;
+
     // A panicking backend must not kill the connection thread silently: the
     // panic becomes per-circuit failures the client's dispatcher can rescue,
     // mirroring the in-process dispatch workers.
@@ -772,6 +816,7 @@ fn serve_batch(
             })
             .collect()
     });
+    let execute_us = batch_started.elapsed().as_micros() as u64;
 
     // Every reply write of this batch shares one cumulative deadline; the
     // per-syscall timeout is restored before returning so later batches and
@@ -886,7 +931,46 @@ fn serve_batch(
     conn.cache_delta_hits += c_delta;
     conn.cache_misses += c_miss;
     conn.cache_shots_saved += c_saved;
-    let done = proto::write_frame(&mut writer, &Frame::BatchDone { batch, executed: ok as u32 });
+    // batch service latency is always recorded (it feeds
+    // [`ServerStats::batch_latency_us`]); the span subtree and metric deltas
+    // ride back only when the submission carried a trace context
+    let batch_us = batch_started.elapsed().as_micros() as u64;
+    stats.batch_latency.lock().record(batch_us);
+    let telemetry = trace.map(|_| {
+        let span = |id: u64, parent: u64, name: &str, start_us: u64, end_us: u64| {
+            qrcc_core::obs::RemoteSpan {
+                id,
+                parent,
+                name: name.to_string(),
+                start_unix_us: batch_unix_us.saturating_add(start_us),
+                duration_us: end_us.saturating_sub(start_us),
+            }
+        };
+        let mut delta = qrcc_core::Histogram::new();
+        delta.record(batch_us);
+        BatchTelemetry {
+            // ids live in the server's space (1..); the root parents at 0 so
+            // the client's import grafts it under its own submit span
+            spans: vec![
+                span(1, 0, "server.batch", 0, batch_us),
+                span(2, 1, "server.parse", 0, parse_us),
+                span(3, 1, "server.execute", parse_us, execute_us),
+                span(4, 1, "server.reply", execute_us, batch_us),
+            ],
+            counters: vec![
+                ("server.circuits_ok".into(), ok),
+                ("server.circuits_failed".into(), failed),
+                ("server.cache_hits".into(), c_hits),
+                ("server.cache_delta_hits".into(), c_delta),
+                ("server.cache_shots_saved".into(), c_saved),
+            ],
+            histograms: vec![("server.batch_latency_us".into(), delta)],
+        }
+    });
+    let done = proto::write_frame(
+        &mut writer,
+        &Frame::BatchDone { batch, executed: ok as u32, telemetry },
+    );
     let _ = writer.stream.set_write_timeout(Some(WRITE_TIMEOUT));
     done?;
     Ok(())

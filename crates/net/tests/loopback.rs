@@ -262,7 +262,11 @@ fn wrong_length_distributions_are_rejected_as_transport_errors() {
                     &Frame::CircuitResult { batch, index: 0, distribution: vec![0.5, 0.5] },
                 )
                 .unwrap();
-                proto::write_frame(&mut s, &Frame::BatchDone { batch, executed: 1 }).unwrap();
+                proto::write_frame(
+                    &mut s,
+                    &Frame::BatchDone { batch, executed: 1, telemetry: None },
+                )
+                .unwrap();
             }
             other => panic!("expected SubmitBatch, got {other:?}"),
         }
@@ -292,6 +296,7 @@ fn unparseable_circuits_fail_deterministically_with_the_protocol_kind() {
                 qrcc_circuit::qasm::to_qasm(&bell()),
             ],
             shots: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -356,6 +361,7 @@ fn statically_invalid_circuits_are_rejected_before_the_backend_runs() {
                 qrcc_circuit::qasm::to_qasm(&bell()),
             ],
             shots: None,
+            trace: None,
         },
     )
     .unwrap();
@@ -407,6 +413,7 @@ fn trickle_reading_client_is_bounded_by_the_cumulative_write_budget() {
             batch: 1,
             circuits: vec![qrcc_circuit::qasm::to_qasm(&big); 8],
             shots: None,
+            trace: None,
         },
     )
     .unwrap();

@@ -10,11 +10,23 @@
 //! behind the `ExecutionBackend` seam.
 //!
 //! Run with: `cargo run --example remote_fleet`
+//!
+//! Pass `--trace` to record the whole run as one span tree — client-side
+//! phase spans, per-job dispatch spans, and each server's execute subtree
+//! stitched under the `net.submit` span that carried it — then validate the
+//! tree structurally, print the unified report, and write a Chrome
+//! `trace_events` file. This is the CI trace gate.
 
+use qrcc::core::obs::{
+    chrome_trace, metrics, remote_subtree_stitched, tracer, validate_spans, QrccReport,
+};
 use qrcc::prelude::*;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = std::env::args().any(|a| a == "--trace");
+    let trace_path = "remote_fleet_trace.json";
+
     // 1. The workload: the 6-qubit entangled chain used by the figure6
     //    dispatch demo, too wide for any single device in the fleet.
     let mut circuit = Circuit::new(6);
@@ -23,10 +35,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         circuit.cx(q, q + 1);
         circuit.ry(0.21 * (q as f64 + 1.0), q + 1);
     }
-    let config = QrccConfig::new(3)
+    let mut config = QrccConfig::new(3)
         .with_subcircuit_range(2, 3)
         .with_qubit_reuse(false)
         .with_ilp_time_limit(Duration::ZERO);
+    if trace {
+        // implies tracing on; the span tree is validated in step 7
+        config = config.with_trace_output(trace_path);
+        println!("tracing enabled — spans validate and export to {trace_path}\n");
+    }
     let pipeline = QrccPipeline::plan(&circuit, config)?;
     println!(
         "plan: {} subcircuits, widths {:?}, {} wire cuts",
@@ -156,6 +173,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reconstruction.strategy
     );
     assert!(max_error < 0.05);
+
+    // 7. With `--trace`, both passes above were recorded into one trace
+    //    tree. Validate it structurally (the CI trace gate), show the
+    //    unified report over every telemetry island, and export the tree.
+    if trace {
+        let spans = tracer().drain();
+        validate_spans(&spans).map_err(|e| format!("trace validation failed: {e}"))?;
+        assert!(
+            spans.iter().any(|s| !s.remote && s.name.starts_with("phase.")),
+            "the trace must contain client-side pipeline phase spans"
+        );
+        assert!(
+            spans.iter().any(|s| s.remote && s.name == "server.execute"),
+            "the trace must contain the servers' execute spans"
+        );
+        assert!(
+            remote_subtree_stitched(&spans),
+            "the server subtrees must stitch under local roots (parents resolve across the wire)"
+        );
+        let profile =
+            reconstruction.profile.as_ref().expect("a traced run attaches a phase profile");
+        assert!(
+            profile.coverage() >= 0.95,
+            "the phase breakdown must attribute >=95% of wall-clock, got {:.1}%",
+            100.0 * profile.coverage()
+        );
+
+        // p50/p99/p999 from the histograms the servers shipped back in
+        // their BatchDone telemetry, merged client-side across the fleet.
+        let latency = metrics()
+            .histogram("server.batch_latency_us")
+            .expect("server latency telemetry must merge into the client registry");
+        println!(
+            "\nremote batch latency, merged across the fleet ({} batches): \
+             p50 {} us, p99 {} us, p999 {} us",
+            latency.count(),
+            latency.p50().unwrap_or(0),
+            latency.p99().unwrap_or(0),
+            latency.p999().unwrap_or(0),
+        );
+
+        let report = QrccReport::new()
+            .with_schedule(schedule)
+            .with_reconstruction(reconstruction)
+            .with_metrics(metrics().snapshot())
+            .with_section("remote-3q", server_3q.stats().metrics())
+            .with_section("remote-2q", server_2q.stats().metrics());
+        println!("\n{}", report.render());
+
+        std::fs::write(trace_path, chrome_trace(&spans))?;
+        println!(
+            "wrote {} spans ({} remote) to {trace_path} — load in chrome://tracing or Perfetto",
+            spans.len(),
+            spans.iter().filter(|s| s.remote).count(),
+        );
+    }
 
     for (name, server) in [("remote-3q", server_3q), ("remote-2q", server_2q)] {
         let ledgers = server.shutdown();
