@@ -45,12 +45,14 @@
 mod cache_lints;
 mod circuit_lints;
 mod fleet_lints;
+mod monitor_lints;
 mod obs_lints;
 mod plan_lints;
 
 pub use cache_lints::CachePolicy;
 pub use circuit_lints::{ClassicalRegisterUsage, DeadQubits, MeasureBeforeUse, ReuseCapability};
 pub use fleet_lints::{EmptyFleet, PredictedPlacement, PredictedShotBudget};
+pub use monitor_lints::MonitorPolicyLint;
 pub use obs_lints::ObsPolicyLint;
 pub use plan_lints::{
     DanglingWireCut, FragmentWidth, IncompleteGateCut, InfeasibleStrategy, PruneMass,
@@ -411,7 +413,8 @@ impl Analyzer {
             .register(Box::new(PredictedPlacement))
             .register(Box::new(PredictedShotBudget))
             .register(Box::new(CachePolicy))
-            .register(Box::new(ObsPolicyLint));
+            .register(Box::new(ObsPolicyLint))
+            .register(Box::new(MonitorPolicyLint));
         analyzer
     }
 

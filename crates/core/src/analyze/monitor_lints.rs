@@ -1,0 +1,183 @@
+//! Fleet-monitor lints (`QL0307`): statically predicting a
+//! [`MonitorPolicy`](crate::obs::MonitorPolicy) that can never observe what
+//! it claims to — a degenerate window, an invalid SLO, a poll cadence that
+//! re-reads the same partial bucket, or a scrape aimed at a server too old
+//! to answer it.
+
+use super::{AnalysisContext, AnalysisReport, Diagnostic, Lint, Location};
+
+/// The first protocol version whose servers answer `GetMetrics` /
+/// `GetHealth` (the live scrape frames the monitor polls).
+const SCRAPE_PROTOCOL: u16 = 3;
+
+/// `QL0307`: SLO / fleet-monitor misconfiguration. All findings are
+/// **warnings** — a broken monitor degrades to blind spots, never to wrong
+/// results.
+///
+/// Fires on:
+/// * a zero-length window or zero rotation buckets — nothing can ever be
+///   recorded, so every quantile readout is empty;
+/// * an SLO that fails [`SloSpec::validation_errors`](crate::obs::SloSpec::validation_errors)
+///   (quantile outside `(0, 1)`, zero latency cap, rates outside their
+///   ranges) — the spec can never be evaluated meaningfully;
+/// * a poll interval shorter than one window rotation
+///   (`window_us / buckets`) — consecutive polls re-read the same partial
+///   bucket and burn round-trips for no new signal;
+/// * a target protocol older than v3 — `GetMetrics` / `GetHealth` do not
+///   exist there, so every poll dies with a protocol error.
+///
+/// Silent when the config carries no monitor policy.
+pub struct MonitorPolicyLint;
+
+impl Lint for MonitorPolicyLint {
+    fn code(&self) -> &'static str {
+        "QL0307"
+    }
+
+    fn description(&self) -> &'static str {
+        "fleet-monitor configurations that cannot observe what they claim to"
+    }
+
+    fn check(&self, ctx: &AnalysisContext<'_>, report: &mut AnalysisReport) {
+        let Some(config) = ctx.config else { return };
+        let Some(policy) = config.monitor.as_ref() else { return };
+
+        if policy.window_us == 0 {
+            report.push(
+                Diagnostic::warning(
+                    "QL0307",
+                    Location::Circuit,
+                    "the monitor window is zero-length: no sample survives rotation, so \
+                     every windowed quantile and rate reads empty",
+                )
+                .with_suggestion("set a positive window (e.g. 10_000_000 us = last 10 s)"),
+            );
+        }
+        if policy.buckets == 0 {
+            report.push(
+                Diagnostic::warning(
+                    "QL0307",
+                    Location::Circuit,
+                    "the monitor window has zero rotation buckets: the window cannot \
+                     rotate and holds nothing",
+                )
+                .with_suggestion("use at least one bucket (10 gives 10% rotation granularity)"),
+            );
+        }
+        if let Some(slo) = &policy.slo {
+            for error in slo.validation_errors() {
+                report.push(
+                    Diagnostic::warning(
+                        "QL0307",
+                        Location::Circuit,
+                        format!("SLO '{}' can never be evaluated: {error}", slo.name),
+                    )
+                    .with_suggestion(
+                        "quantiles live in (0, 1), latency caps are positive, rates in \
+                         their unit ranges",
+                    ),
+                );
+            }
+        }
+        let rotation = policy.rotation_us();
+        if rotation > 0 && policy.poll_interval_us < rotation {
+            report.push(
+                Diagnostic::warning(
+                    "QL0307",
+                    Location::Circuit,
+                    format!(
+                        "the poll interval ({} us) is shorter than one window rotation \
+                         ({rotation} us): consecutive polls re-read the same partial \
+                         bucket and gain no new signal",
+                        policy.poll_interval_us
+                    ),
+                )
+                .with_suggestion(
+                    "poll at most once per rotation (window_us / buckets), or use more \
+                     buckets for a finer grid",
+                ),
+            );
+        }
+        if policy.target_protocol < SCRAPE_PROTOCOL {
+            report.push(
+                Diagnostic::warning(
+                    "QL0307",
+                    Location::Circuit,
+                    format!(
+                        "the monitor targets protocol v{} but GetMetrics / GetHealth \
+                         exist only from v{SCRAPE_PROTOCOL} on: every scrape would die \
+                         with a protocol error",
+                        policy.target_protocol
+                    ),
+                )
+                .with_suggestion("upgrade the fleet's workers, or drop the monitor policy"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{AnalysisContext, Analyzer, Severity};
+    use crate::obs::{MonitorPolicy, SloSpec};
+    use crate::QrccConfig;
+
+    fn diagnostics_for(config: &QrccConfig) -> Vec<String> {
+        let report = Analyzer::new().run(&AnalysisContext::new().with_config(config));
+        report
+            .diagnostics()
+            .iter()
+            .filter(|d| d.code == "QL0307")
+            .map(|d| d.message.clone())
+            .collect()
+    }
+
+    #[test]
+    fn no_monitor_policy_is_silent() {
+        assert!(diagnostics_for(&QrccConfig::new(3)).is_empty());
+    }
+
+    #[test]
+    fn a_sane_policy_is_clean() {
+        let policy = MonitorPolicy::default()
+            .with_slo(SloSpec::new("fleet").with_latency(0.99, 250_000).with_max_error_rate(0.01));
+        let config = QrccConfig::new(3).with_monitor(policy);
+        assert!(diagnostics_for(&config).is_empty(), "{:?}", diagnostics_for(&config));
+    }
+
+    #[test]
+    fn zero_window_and_zero_buckets_warn() {
+        let policy = MonitorPolicy { window_us: 0, buckets: 0, ..MonitorPolicy::default() };
+        let config = QrccConfig::new(3).with_monitor(policy);
+        let messages = diagnostics_for(&config);
+        assert!(messages.iter().any(|m| m.contains("zero-length")), "{messages:?}");
+        assert!(messages.iter().any(|m| m.contains("zero rotation buckets")), "{messages:?}");
+    }
+
+    #[test]
+    fn invalid_slo_quantile_warns_as_a_warning() {
+        let policy = MonitorPolicy::default().with_slo(SloSpec::new("bad").with_latency(1.5, 100));
+        let config = QrccConfig::new(3).with_monitor(policy);
+        let report = Analyzer::new().run(&AnalysisContext::new().with_config(&config));
+        let d = report.diagnostics().iter().find(|d| d.code == "QL0307").expect("fires");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("never be evaluated"), "{d}");
+    }
+
+    #[test]
+    fn polling_faster_than_rotation_warns() {
+        // 10 s window / 10 buckets = 1 s rotation; polling every 100 ms
+        let policy = MonitorPolicy { poll_interval_us: 100_000, ..MonitorPolicy::default() };
+        let config = QrccConfig::new(3).with_monitor(policy);
+        let messages = diagnostics_for(&config);
+        assert!(messages.iter().any(|m| m.contains("window rotation")), "{messages:?}");
+    }
+
+    #[test]
+    fn pre_v3_target_protocol_warns() {
+        let policy = MonitorPolicy { target_protocol: 2, ..MonitorPolicy::default() };
+        let config = QrccConfig::new(3).with_monitor(policy);
+        let messages = diagnostics_for(&config);
+        assert!(messages.iter().any(|m| m.contains("protocol v2")), "{messages:?}");
+    }
+}

@@ -1,6 +1,6 @@
 use crate::analyze::LintLevel;
 use crate::cache::ResultCachePolicy;
-use crate::obs::ObsPolicy;
+use crate::obs::{MonitorPolicy, ObsPolicy};
 use crate::reconstruct::ReconstructionStrategy;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -199,6 +199,12 @@ pub struct QrccConfig {
     /// atomic load.
     #[serde(default)]
     pub obs: ObsPolicy,
+    /// Fleet-monitoring policy: live-window width and rotation, worker poll
+    /// cadence, target protocol version and the SLO the merged fleet view
+    /// is scored against. `None` (the default) means no live monitoring;
+    /// when set, lint QL0307 checks it for misconfiguration.
+    #[serde(default)]
+    pub monitor: Option<MonitorPolicy>,
 }
 
 fn default_ilp_time_limit() -> Duration {
@@ -229,6 +235,7 @@ impl QrccConfig {
             sim_interpreted: false,
             result_cache: ResultCachePolicy::default(),
             obs: ObsPolicy::default(),
+            monitor: None,
         }
     }
 
@@ -405,6 +412,13 @@ impl QrccConfig {
     pub fn with_trace_output(mut self, path: impl Into<String>) -> Self {
         self.obs.enabled = true;
         self.obs.trace_path = Some(path.into());
+        self
+    }
+
+    /// Sets the fleet-monitoring policy (live windows, poll cadence, SLO).
+    /// Checked by lint QL0307.
+    pub fn with_monitor(mut self, policy: MonitorPolicy) -> Self {
+        self.monitor = Some(policy);
         self
     }
 

@@ -95,7 +95,10 @@ pub use analyze::{
 pub use cache::{CacheLookup, CacheStats, ResultCache, ResultCachePolicy};
 pub use config::{QrccConfig, SchedulePolicy, ShotAllocation, ALPHA_WIRE_CUT, BETA_GATE_CUT};
 pub use error::CoreError;
-pub use obs::{Histogram, MetricsSnapshot, ObsPolicy, PhaseProfile, QrccReport};
+pub use obs::{
+    Histogram, MetricsSnapshot, MonitorPolicy, ObsPolicy, PhaseProfile, QrccReport, RateCounter,
+    SloEvaluation, SloSpec, SloStatus, WindowedHistogram,
+};
 pub use reconstruct::{ReconstructionOptions, ReconstructionReport, ReconstructionStrategy};
 pub use schedule::{DeviceRegistry, ScheduleReport, Scheduler};
 pub use spec::{CutMetrics, CutSolution, Segment, SubcircuitId, WireCutPoint};

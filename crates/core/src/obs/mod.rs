@@ -22,6 +22,10 @@
 //! * [`QrccReport`] — one renderable report over schedule, reconstruction,
 //!   live metrics and per-server sections, via the [`report::adapt`]
 //!   adapters.
+//! * [`WindowedHistogram`] / [`RateCounter`] — last-N-seconds views (ring
+//!   of rotated histogram buckets) for live p50/p99/p999 and req/s.
+//! * [`SloSpec`] / [`SloEvaluation`] — declarative latency / error-rate /
+//!   availability objectives scored over windows with burn-rate status.
 //! * [`RemoteSpan`] — the wire form of a span subtree: `qrcc-net` carries
 //!   trace context in `SubmitBatch` and returns the server's subtree in
 //!   `BatchDone`, and [`Tracer::import`] grafts it under the local submit
@@ -33,13 +37,17 @@ mod export;
 mod histogram;
 mod metrics;
 mod report;
+mod slo;
 mod tracer;
+mod window;
 
 pub use export::{bench_json, chrome_trace, remote_subtree_stitched, spans_jsonl, validate_spans};
 pub use histogram::Histogram;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use report::{adapt, PhaseProfile, QrccReport};
+pub use slo::{LatencyTarget, SloEvaluation, SloObjective, SloSpec, SloStatus};
 pub use tracer::{tracer, RemoteSpan, SpanGuard, SpanRecord, Tracer, DEFAULT_BUFFER_CAPACITY};
+pub use window::{RateCounter, WindowedHistogram};
 
 /// Observability policy carried by [`QrccConfig`](crate::QrccConfig):
 /// whether tracing is on (off by default — and when off, every span site
@@ -72,6 +80,78 @@ impl ObsPolicy {
     /// Policy with tracing enabled and default capacity.
     pub fn enabled() -> Self {
         ObsPolicy { enabled: true, ..ObsPolicy::default() }
+    }
+}
+
+/// Fleet-monitoring policy carried by [`QrccConfig`](crate::QrccConfig):
+/// how wide the live window is, how finely it rotates, how often a
+/// `FleetMonitor` (in `qrcc-net`) should poll workers, and the SLO the
+/// windows are
+/// scored against. Checked by lint QL0307 — a zero-length window, a poll
+/// interval shorter than one rotation bucket, or a pre-v3 target protocol
+/// make the monitor silently useless.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorPolicy {
+    /// Width of the live window, in microseconds (e.g. `10_000_000` =
+    /// "p99 over the last 10 s"). Must be non-zero.
+    pub window_us: u64,
+    /// Rotation buckets per window; the window advances in steps of
+    /// `window_us / buckets`.
+    #[serde(default = "default_monitor_buckets")]
+    pub buckets: usize,
+    /// How often the monitor polls each worker, in microseconds. Should be
+    /// at least one rotation bucket (`window_us / buckets`) — polling
+    /// faster re-reads the same partial bucket.
+    pub poll_interval_us: u64,
+    /// Protocol version the monitored servers speak. `GetMetrics` /
+    /// `GetHealth` exist from v3 on; QL0307 flags older targets.
+    #[serde(default = "default_monitor_protocol")]
+    pub target_protocol: u16,
+    /// The SLO the merged fleet window is scored against, if any.
+    #[serde(default)]
+    pub slo: Option<SloSpec>,
+}
+
+fn default_monitor_buckets() -> usize {
+    10
+}
+
+fn default_monitor_protocol() -> u16 {
+    3
+}
+
+impl Default for MonitorPolicy {
+    fn default() -> Self {
+        MonitorPolicy {
+            window_us: 10_000_000,
+            buckets: default_monitor_buckets(),
+            poll_interval_us: 1_000_000,
+            target_protocol: default_monitor_protocol(),
+            slo: None,
+        }
+    }
+}
+
+impl MonitorPolicy {
+    /// The live window as a [`Duration`](std::time::Duration).
+    pub fn window(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.window_us)
+    }
+
+    /// The poll interval as a [`Duration`](std::time::Duration).
+    pub fn poll_interval(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.poll_interval_us)
+    }
+
+    /// Width of one rotation bucket, in microseconds.
+    pub fn rotation_us(&self) -> u64 {
+        self.window_us / self.buckets.max(1) as u64
+    }
+
+    /// Sets the SLO the merged fleet view is scored against.
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = Some(slo);
+        self
     }
 }
 

@@ -1,0 +1,350 @@
+//! Time-windowed metrics: last-N-seconds views over the log-bucketed
+//! [`Histogram`] and plain event counters.
+//!
+//! The boot-to-now histograms in the registry answer "what was p99 since
+//! this process started?" — useless for watching a live fleet, where the
+//! question is "what is p99 *right now*?". [`WindowedHistogram`] and
+//! [`RateCounter`] answer it with a **ring of buckets rotated on a fixed
+//! time grid**: recording lands in the grid bucket covering `now`, and a
+//! windowed readout is the [exactly associative merge](Histogram::merge) of
+//! the buckets still inside the window. Rotation is O(1) per record (at
+//! most one stale slot is recycled), readout is O(buckets), and no
+//! background thread exists — time advances only when callers record or
+//! read.
+//!
+//! Every operation takes time as an explicit microsecond timestamp
+//! (`*_at`), with `Instant`-based convenience wrappers on top — so tests
+//! and proptests drive the grid deterministically without sleeping.
+
+use std::time::{Duration, Instant};
+
+use super::Histogram;
+
+/// Marks a ring slot that has never been written (or was recycled).
+const EMPTY: u64 = u64::MAX;
+
+/// Grid arithmetic shared by [`WindowedHistogram`] and [`RateCounter`]:
+/// a window of `buckets` slots, each `bucket_width_us` wide, addressed by
+/// the grid-aligned start timestamp of the bucket covering a given time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Grid {
+    bucket_width_us: u64,
+    buckets: usize,
+}
+
+impl Grid {
+    fn new(window: Duration, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        let window_us = (window.as_micros().min(u64::MAX as u128) as u64).max(buckets as u64);
+        Grid { bucket_width_us: (window_us / buckets as u64).max(1), buckets }
+    }
+
+    fn window_us(&self) -> u64 {
+        self.bucket_width_us * self.buckets as u64
+    }
+
+    /// The grid-aligned start of the bucket covering `now_us`.
+    fn align(&self, now_us: u64) -> u64 {
+        now_us - now_us % self.bucket_width_us
+    }
+
+    /// The ring slot index of the bucket starting at `start_us`.
+    fn slot(&self, start_us: u64) -> usize {
+        ((start_us / self.bucket_width_us) % self.buckets as u64) as usize
+    }
+
+    /// Whether a bucket starting at `start_us` is still inside the window
+    /// ending at `now_us`. The window covers the current (possibly partial)
+    /// bucket plus the `buckets - 1` buckets before it — exactly the ring.
+    fn live(&self, start_us: u64, now_us: u64) -> bool {
+        start_us != EMPTY && start_us <= now_us && now_us < start_us + self.window_us()
+    }
+}
+
+/// A last-N-seconds view over [`Histogram`] samples: a ring of
+/// grid-rotated buckets whose live subset merges — exactly, by the
+/// histogram merge's associativity — into the windowed readout.
+///
+/// The windowed `p50`/`p99`/`p999` therefore carry the same ≤ 6.25 %
+/// relative error bound as the underlying histogram, over only the samples
+/// recorded in the last [`WindowedHistogram::window`]. Samples older than
+/// the window never leak into a readout: a stale ring slot is recycled
+/// before reuse and skipped by [`WindowedHistogram::snapshot_at`].
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    grid: Grid,
+    /// Grid-aligned start timestamp per ring slot ([`EMPTY`] = never used).
+    starts: Vec<u64>,
+    slots: Vec<Histogram>,
+    epoch: Instant,
+}
+
+impl WindowedHistogram {
+    /// A window of `window` split into `buckets` rotation buckets (clamped
+    /// to at least one; the effective window is `buckets` × the rounded
+    /// bucket width, so prefer windows divisible by the bucket count).
+    pub fn new(window: Duration, buckets: usize) -> Self {
+        let grid = Grid::new(window, buckets);
+        WindowedHistogram {
+            grid,
+            starts: vec![EMPTY; grid.buckets],
+            slots: vec![Histogram::new(); grid.buckets],
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The effective window length (bucket width × bucket count).
+    pub fn window(&self) -> Duration {
+        Duration::from_micros(self.grid.window_us())
+    }
+
+    /// Width of one rotation bucket.
+    pub fn bucket_width(&self) -> Duration {
+        Duration::from_micros(self.grid.bucket_width_us)
+    }
+
+    /// Microseconds since this window was created — the `now_us` the
+    /// convenience methods feed to the `*_at` core.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Records one sample at the current time.
+    pub fn record(&mut self, value: u64) {
+        self.record_at(self.now_us(), value);
+    }
+
+    /// Records a [`Duration`] (as microseconds) at the current time.
+    pub fn record_duration(&mut self, duration: Duration) {
+        self.record(duration.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Records one sample at an explicit timestamp. Timestamps may arrive
+    /// slightly out of order; a sample older than the whole window is
+    /// dropped rather than resurrecting an expired bucket.
+    pub fn record_at(&mut self, now_us: u64, value: u64) {
+        let start = self.grid.align(now_us);
+        let slot = self.grid.slot(start);
+        if self.starts[slot] != start {
+            // the slot belongs to an expired grid position: recycle it —
+            // expired samples must never merge into a future readout
+            if self.starts[slot] != EMPTY && self.starts[slot] > start {
+                return; // stale sample from before the slot was recycled
+            }
+            self.starts[slot] = start;
+            self.slots[slot] = Histogram::new();
+        }
+        self.slots[slot].record(value);
+    }
+
+    /// The merged histogram of the last [`WindowedHistogram::window`],
+    /// as of the current time.
+    pub fn snapshot(&self) -> Histogram {
+        self.snapshot_at(self.now_us())
+    }
+
+    /// The merged histogram of the window ending at `now_us` — exactly the
+    /// merge of the live buckets (the associativity property the proptests
+    /// pin down), with expired buckets skipped.
+    pub fn snapshot_at(&self, now_us: u64) -> Histogram {
+        let mut merged = Histogram::new();
+        for (start, slot) in self.starts.iter().zip(&self.slots) {
+            if self.grid.live(*start, now_us) {
+                merged.merge(slot);
+            }
+        }
+        merged
+    }
+
+    /// The live buckets of the window ending at `now_us`, oldest first, as
+    /// `(bucket start, histogram)` pairs — what the rotation proptests
+    /// merge by hand to compare against [`WindowedHistogram::snapshot_at`].
+    pub fn live_buckets_at(&self, now_us: u64) -> Vec<(u64, &Histogram)> {
+        let mut live: Vec<(u64, &Histogram)> = self
+            .starts
+            .iter()
+            .zip(&self.slots)
+            .filter(|(start, _)| self.grid.live(**start, now_us))
+            .map(|(start, slot)| (*start, slot))
+            .collect();
+        live.sort_by_key(|(start, _)| *start);
+        live
+    }
+}
+
+/// A windowed event counter: counts per rotation bucket, summed over the
+/// live window for "events in the last N seconds" and divided by the
+/// window for events/s. Same grid semantics as [`WindowedHistogram`].
+#[derive(Debug, Clone)]
+pub struct RateCounter {
+    grid: Grid,
+    starts: Vec<u64>,
+    counts: Vec<u64>,
+    epoch: Instant,
+}
+
+impl RateCounter {
+    /// A window of `window` split into `buckets` rotation buckets.
+    pub fn new(window: Duration, buckets: usize) -> Self {
+        let grid = Grid::new(window, buckets);
+        RateCounter {
+            grid,
+            starts: vec![EMPTY; grid.buckets],
+            counts: vec![0; grid.buckets],
+            epoch: Instant::now(),
+        }
+    }
+
+    /// The effective window length.
+    pub fn window(&self) -> Duration {
+        Duration::from_micros(self.grid.window_us())
+    }
+
+    /// Microseconds since this counter was created.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Counts `delta` events at the current time.
+    pub fn add(&mut self, delta: u64) {
+        self.add_at(self.now_us(), delta);
+    }
+
+    /// Counts `delta` events at an explicit timestamp (out-of-window
+    /// stragglers are dropped, mirroring [`WindowedHistogram::record_at`]).
+    pub fn add_at(&mut self, now_us: u64, delta: u64) {
+        let start = self.grid.align(now_us);
+        let slot = self.grid.slot(start);
+        if self.starts[slot] != start {
+            if self.starts[slot] != EMPTY && self.starts[slot] > start {
+                return;
+            }
+            self.starts[slot] = start;
+            self.counts[slot] = 0;
+        }
+        self.counts[slot] = self.counts[slot].saturating_add(delta);
+    }
+
+    /// Events counted in the window ending now.
+    pub fn count(&self) -> u64 {
+        self.count_at(self.now_us())
+    }
+
+    /// Events counted in the window ending at `now_us`.
+    pub fn count_at(&self, now_us: u64) -> u64 {
+        self.starts
+            .iter()
+            .zip(&self.counts)
+            .filter(|(start, _)| self.grid.live(**start, now_us))
+            .map(|(_, count)| *count)
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Events per second over the window ending now.
+    pub fn rate(&self) -> f64 {
+        self.rate_at(self.now_us())
+    }
+
+    /// Events per second over the window ending at `now_us`.
+    pub fn rate_at(&self, now_us: u64) -> f64 {
+        self.count_at(now_us) as f64 / (self.grid.window_us() as f64 / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(ms: u64, buckets: usize) -> WindowedHistogram {
+        WindowedHistogram::new(Duration::from_millis(ms), buckets)
+    }
+
+    #[test]
+    fn snapshot_covers_only_the_window() {
+        let mut w = window(10, 5); // 2 ms buckets
+        w.record_at(0, 100);
+        w.record_at(3_000, 200);
+        w.record_at(9_000, 300);
+        // at t=9 ms every sample is live
+        assert_eq!(w.snapshot_at(9_000).count(), 3);
+        // at t=11 ms the t=0 bucket (0..2 ms) has expired
+        let snap = w.snapshot_at(11_000);
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min(), Some(200));
+        // far in the future everything expired
+        assert_eq!(w.snapshot_at(60_000).count(), 0);
+    }
+
+    #[test]
+    fn recycled_slots_never_leak_expired_samples() {
+        let mut w = window(10, 5);
+        w.record_at(1_000, 7); // bucket [0, 2ms) in slot 0
+                               // one full window later the same slot hosts bucket [10ms, 12ms)
+        w.record_at(11_000, 9);
+        let snap = w.snapshot_at(11_000);
+        assert_eq!(snap.count(), 1, "the recycled slot must forget the old bucket");
+        assert_eq!(snap.min(), Some(9));
+    }
+
+    #[test]
+    fn stale_out_of_order_samples_are_dropped() {
+        let mut w = window(10, 5);
+        w.record_at(11_000, 9); // slot 0 now holds bucket [10ms, 12ms)
+        w.record_at(1_000, 7); // straggler for the expired [0, 2ms) bucket
+        assert_eq!(w.snapshot_at(11_000).count(), 1);
+    }
+
+    #[test]
+    fn snapshot_equals_manual_merge_of_live_buckets() {
+        let mut w = window(20, 4);
+        for i in 0..40u64 {
+            w.record_at(i * 700, i);
+        }
+        let now = 27_300;
+        let mut manual = Histogram::new();
+        for (_, bucket) in w.live_buckets_at(now) {
+            manual.merge(bucket);
+        }
+        assert_eq!(w.snapshot_at(now), manual);
+    }
+
+    #[test]
+    fn instant_based_recording_reads_back() {
+        let mut w = window(1_000, 10);
+        w.record(42);
+        w.record_duration(Duration::from_micros(58));
+        let snap = w.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min(), Some(42));
+    }
+
+    #[test]
+    fn degenerate_configurations_are_clamped() {
+        let w = WindowedHistogram::new(Duration::ZERO, 0);
+        assert!(w.window() >= Duration::from_micros(1));
+        let mut w = WindowedHistogram::new(Duration::from_micros(3), 10);
+        w.record_at(0, 5);
+        assert_eq!(w.snapshot_at(0).count(), 1);
+    }
+
+    #[test]
+    fn rate_counter_windows_and_rates() {
+        let mut r = RateCounter::new(Duration::from_secs(1), 10); // 100 ms buckets
+        r.add_at(0, 5);
+        r.add_at(450_000, 5);
+        r.add_at(950_000, 10);
+        assert_eq!(r.count_at(950_000), 20);
+        assert!((r.rate_at(950_000) - 20.0).abs() < 1e-9);
+        // the t=0 bucket expires a window later
+        assert_eq!(r.count_at(1_050_000), 15);
+        assert_eq!(r.count_at(10_000_000), 0);
+    }
+
+    #[test]
+    fn rate_counter_drops_stale_stragglers() {
+        let mut r = RateCounter::new(Duration::from_secs(1), 10);
+        r.add_at(1_100_000, 3); // slot 1 hosts [1.1s, 1.2s)
+        r.add_at(100_000, 9); // straggler for expired [0.1s, 0.2s)
+        assert_eq!(r.count_at(1_100_000), 3);
+    }
+}

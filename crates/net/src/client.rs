@@ -18,7 +18,10 @@
 //! itself: retry policy (and its exactly-once shot accounting) belongs to
 //! the dispatcher.
 
-use crate::proto::{self, Capabilities, Frame, ProtoError, WireErrorKind, PROTOCOL_VERSION};
+use crate::proto::{
+    self, Capabilities, Frame, HealthReport, MetricsReport, ProtoError, WireErrorKind,
+    PROTOCOL_VERSION,
+};
 use parking_lot::Mutex;
 use qrcc_circuit::{qasm, Circuit};
 use qrcc_core::execute::ExecutionBackend;
@@ -149,22 +152,75 @@ impl RemoteBackend {
     /// stalled, [`CoreError::Transport`] when it answers wrongly.
     pub fn ping(&self) -> Result<Duration, CoreError> {
         let mut stream = self.checkout()?;
+        let rtt = self.roundtrip_ping(&mut stream)?;
+        self.checkin(stream);
+        Ok(rtt)
+    }
+
+    /// One `Ping`/`Pong` round trip on an already-checked-out connection.
+    /// Every successful round trip records `net.ping_rtt_us` (cold path,
+    /// always on): the fleet's health probes and the pool's checkout log
+    /// line read it even when span tracing is off.
+    fn roundtrip_ping(&self, stream: &mut TcpStream) -> Result<Duration, CoreError> {
         let nonce = 0x9e37_79b9 ^ self.next_batch.fetch_add(1, Ordering::Relaxed);
         let started = Instant::now();
-        proto::write_frame(&mut stream, &Frame::Ping { nonce })
+        proto::write_frame(stream, &Frame::Ping { nonce })
             .map_err(|e| ProtoError::Io(e).into_core(&self.label()))?;
-        match proto::read_frame(&mut FrameDeadline::new(&mut stream, self.io_timeout)) {
+        match proto::read_frame(&mut FrameDeadline::new(stream, self.io_timeout)) {
             Ok(Frame::Pong { nonce: echoed }) if echoed == nonce => {
                 let rtt = started.elapsed();
-                // always recorded (cold path): the fleet's health probes and
-                // the pool's checkout log line read `net.ping_rtt_us` even
-                // when span tracing is off
                 qrcc_core::obs::metrics().record_duration("net.ping_rtt_us", rtt);
-                self.checkin(stream);
                 Ok(rtt)
             }
             Ok(other) => Err(CoreError::Transport {
                 detail: format!("expected Pong, server sent {}", frame_name(&other)),
+            }),
+            Err(e) => Err(e.into_core(&self.label())),
+        }
+    }
+
+    /// Scrapes the server's live metrics ([`Frame::GetMetrics`], v3+):
+    /// Prometheus text plus the windowed snapshot, without a batch
+    /// round-trip.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BackendUnavailable`] when the server is unreachable,
+    /// [`CoreError::Transport`] when it answers wrongly.
+    pub fn get_metrics(&self) -> Result<MetricsReport, CoreError> {
+        let mut stream = self.checkout()?;
+        proto::write_frame(&mut stream, &Frame::GetMetrics)
+            .map_err(|e| ProtoError::Io(e).into_core(&self.label()))?;
+        match proto::read_frame(&mut FrameDeadline::new(&mut stream, self.io_timeout)) {
+            Ok(Frame::MetricsReply { report }) => {
+                self.checkin(stream);
+                Ok(report)
+            }
+            Ok(other) => Err(CoreError::Transport {
+                detail: format!("expected MetricsReply, server sent {}", frame_name(&other)),
+            }),
+            Err(e) => Err(e.into_core(&self.label())),
+        }
+    }
+
+    /// Asks for the server's readiness verdict ([`Frame::GetHealth`], v3+):
+    /// accepting / draining / overloaded plus live queue occupancy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::BackendUnavailable`] when the server is unreachable,
+    /// [`CoreError::Transport`] when it answers wrongly.
+    pub fn get_health(&self) -> Result<HealthReport, CoreError> {
+        let mut stream = self.checkout()?;
+        proto::write_frame(&mut stream, &Frame::GetHealth)
+            .map_err(|e| ProtoError::Io(e).into_core(&self.label()))?;
+        match proto::read_frame(&mut FrameDeadline::new(&mut stream, self.io_timeout)) {
+            Ok(Frame::HealthReply { state, queue_depth, queue_high_water, connections }) => {
+                self.checkin(stream);
+                Ok(HealthReport { state, queue_depth, queue_high_water, connections })
+            }
+            Ok(other) => Err(CoreError::Transport {
+                detail: format!("expected HealthReply, server sent {}", frame_name(&other)),
             }),
             Err(e) => Err(e.into_core(&self.label())),
         }
@@ -213,8 +269,18 @@ impl RemoteBackend {
     /// that idle past its deadline, and a reaped one must not cost the next
     /// batch a spurious failure.
     fn checkout(&self) -> Result<TcpStream, CoreError> {
-        while let Some(stream) = self.pool.lock().pop() {
-            if connection_is_live(&stream) {
+        while let Some(mut stream) = self.pool.lock().pop() {
+            if !connection_is_live(&stream) {
+                continue;
+            }
+            // Reuse checkout: one Ping round trip. This upgrades the cheap
+            // peek probe to an end-to-end liveness check *and* keeps
+            // steady-state traffic feeding `net.ping_rtt_us` — without it
+            // only explicit ping() calls record RTT, so the quantiles would
+            // reflect idle health probes instead of the connections batches
+            // actually ride. A connection that fails the ping is dropped
+            // and the next pooled one (or a fresh dial) is tried.
+            if self.roundtrip_ping(&mut stream).is_ok() {
                 return Ok(stream);
             }
         }
@@ -525,6 +591,10 @@ fn frame_name(frame: &Frame) -> &'static str {
         Frame::CircuitResult { .. } => "CircuitResult",
         Frame::CircuitFailed { .. } => "CircuitFailed",
         Frame::BatchDone { .. } => "BatchDone",
+        Frame::GetMetrics => "GetMetrics",
+        Frame::MetricsReply { .. } => "MetricsReply",
+        Frame::GetHealth => "GetHealth",
+        Frame::HealthReply { .. } => "HealthReply",
         Frame::Ping { .. } => "Ping",
         Frame::Pong { .. } => "Pong",
         Frame::Error { .. } => "Error",

@@ -24,6 +24,11 @@
 //!   [`CoreError::BackendUnavailable`](qrcc_core::CoreError::BackendUnavailable)
 //!   (transient — retry elsewhere), protocol violations as
 //!   [`CoreError::Transport`](qrcc_core::CoreError::Transport).
+//! * [`monitor`] — [`FleetMonitor`], a client-side health poller: fetch
+//!   every worker's live scrape (`GetMetrics` / `GetHealth`, protocol v3+)
+//!   on a [`MonitorPolicy`](qrcc_core::obs::MonitorPolicy) cadence, merge
+//!   the windowed views into one fleet snapshot, and score the configured
+//!   SLO per worker and fleet-wide.
 //!
 //! The `testing` feature adds `testing::FaultyProxy`, a TCP forwarder
 //! that drops, stalls or garbles the byte stream mid-batch — the wire-level
@@ -55,6 +60,7 @@
 
 pub mod analyze;
 pub mod client;
+pub mod monitor;
 pub mod proto;
 pub mod server;
 #[cfg(any(test, feature = "testing"))]
@@ -62,5 +68,9 @@ pub mod testing;
 
 pub use analyze::lint_capabilities;
 pub use client::{RemoteBackend, DEFAULT_IO_TIMEOUT};
-pub use proto::{BatchTelemetry, Capabilities, ProtoError, TraceContext, PROTOCOL_VERSION};
+pub use monitor::{FleetMonitor, FleetView, WorkerView};
+pub use proto::{
+    BatchTelemetry, Capabilities, HealthReport, HealthState, MetricsReport, ProtoError,
+    TraceContext, PROTOCOL_VERSION,
+};
 pub use server::{ConnectionStats, QrccServer, ServerHandle, ServerStats};

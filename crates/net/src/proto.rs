@@ -25,8 +25,11 @@ use std::io::{self, Read, Write};
 ///
 /// Version history: 1 — initial protocol; 2 — [`Frame::SubmitBatch`] may
 /// carry a [`TraceContext`] and [`Frame::BatchDone`] may return the
-/// server's [`BatchTelemetry`] (span subtree + metric deltas).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// server's [`BatchTelemetry`] (span subtree + metric deltas); 3 — the
+/// live-scrape pair [`Frame::GetMetrics`]/[`Frame::MetricsReply`] and the
+/// readiness pair [`Frame::GetHealth`]/[`Frame::HealthReply`], so a fleet
+/// monitor can watch a worker without a batch round-trip.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Upper bound on one frame's `tag + payload` length. Frames announcing a
 /// larger length are rejected before any payload is read.
@@ -79,6 +82,81 @@ pub struct BatchTelemetry {
     /// Histogram deltas for this batch (merged into the client's registry
     /// under the same names).
     pub histograms: Vec<(String, qrcc_core::obs::Histogram)>,
+}
+
+/// A server's readiness verdict, carried by [`Frame::HealthReply`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Accepting new connections and batches.
+    Accepting,
+    /// Shutting down: existing batches finish, new work should go elsewhere.
+    Draining,
+    /// Queue depth at or above the server's overload threshold; healthy but
+    /// saturated — back off before routing more work here.
+    Overloaded,
+}
+
+impl HealthState {
+    /// The state's stable wire code (0 accepting, 1 draining, 2
+    /// overloaded) — also handy as a numeric gauge in merged fleet views.
+    pub fn code(self) -> u8 {
+        match self {
+            HealthState::Accepting => 0,
+            HealthState::Draining => 1,
+            HealthState::Overloaded => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(HealthState::Accepting),
+            1 => Some(HealthState::Draining),
+            2 => Some(HealthState::Overloaded),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HealthState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthState::Accepting => write!(f, "accepting"),
+            HealthState::Draining => write!(f, "draining"),
+            HealthState::Overloaded => write!(f, "overloaded"),
+        }
+    }
+}
+
+/// A server's readiness verdict plus live queue occupancy — the decoded
+/// form of [`Frame::HealthReply`], returned by client-side health probes
+/// and by `ServerHandle::health`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Accepting, draining or overloaded.
+    pub state: HealthState,
+    /// Batches currently executing or queued across all connections.
+    pub queue_depth: u64,
+    /// The deepest the aggregate queue has ever been on this server.
+    pub queue_high_water: u64,
+    /// Connections currently open.
+    pub connections: u64,
+}
+
+/// The server's live telemetry returned on [`Frame::MetricsReply`]: the
+/// Prometheus text of its full registry plus the structured windowed view
+/// (last-N-seconds histograms, counters and gauges) a fleet monitor merges
+/// across workers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsReport {
+    /// Prometheus text exposition of the server's metrics registry.
+    pub prometheus: String,
+    /// Windowed histograms, e.g. `("server.window_batch_latency_us", h)` —
+    /// samples from the last window only, mergeable across workers.
+    pub windowed: Vec<(String, qrcc_core::obs::Histogram)>,
+    /// Boot-to-now counters, e.g. `("server.batches", 12)`.
+    pub counters: Vec<(String, u64)>,
+    /// Instantaneous gauges, e.g. `("server.queue_depth", 2.0)`.
+    pub gauges: Vec<(String, f64)>,
 }
 
 /// The typed cause carried by an [`Frame::Error`] frame.
@@ -179,6 +257,27 @@ pub enum Frame {
         /// present iff the submission carried a [`TraceContext`].
         telemetry: Option<BatchTelemetry>,
     },
+    /// Client → server (v3+): scrape the server's live metrics without a
+    /// batch round-trip.
+    GetMetrics,
+    /// Server → client (v3+): the scrape reply.
+    MetricsReply {
+        /// Prometheus text plus the structured windowed snapshot.
+        report: MetricsReport,
+    },
+    /// Client → server (v3+): ask for the server's readiness verdict.
+    GetHealth,
+    /// Server → client (v3+): readiness plus live queue occupancy.
+    HealthReply {
+        /// Accepting, draining or overloaded.
+        state: HealthState,
+        /// Batches currently executing or queued across all connections.
+        queue_depth: u64,
+        /// The deepest the aggregate queue has ever been on this server.
+        queue_high_water: u64,
+        /// Connections currently open.
+        connections: u64,
+    },
     /// Heartbeat request (either direction).
     Ping {
         /// Echoed by the matching [`Frame::Pong`].
@@ -207,6 +306,10 @@ const TAG_BATCH_DONE: u8 = 6;
 const TAG_PING: u8 = 7;
 const TAG_PONG: u8 = 8;
 const TAG_ERROR: u8 = 9;
+const TAG_GET_METRICS: u8 = 10;
+const TAG_METRICS_REPLY: u8 = 11;
+const TAG_GET_HEALTH: u8 = 12;
+const TAG_HEALTH_REPLY: u8 = 13;
 
 /// Why a frame could not be read.
 #[derive(Debug)]
@@ -301,6 +404,21 @@ fn put_string(out: &mut Vec<u8>, value: &str) {
     out.extend_from_slice(value.as_bytes());
 }
 
+/// The shared histogram codec: summary stats plus the sparse non-zero
+/// buckets (used by [`BatchTelemetry`] and [`MetricsReport`]).
+fn put_histogram(out: &mut Vec<u8>, histogram: &qrcc_core::obs::Histogram) {
+    put_u64(out, histogram.count());
+    put_u64(out, histogram.sum());
+    put_u64(out, histogram.min().unwrap_or(0));
+    put_u64(out, histogram.max().unwrap_or(0));
+    let buckets = histogram.sparse_buckets();
+    put_u32(out, buckets.len() as u32);
+    for (index, count) in buckets {
+        put_u32(out, index);
+        put_u64(out, count);
+    }
+}
+
 /// Serialises `frame` as `tag + payload` (without the length prefix).
 fn encode(frame: &Frame) -> Vec<u8> {
     let mut out = Vec::new();
@@ -382,20 +500,43 @@ fn encode(frame: &Frame) -> Vec<u8> {
                     put_u32(&mut out, telemetry.histograms.len() as u32);
                     for (name, histogram) in &telemetry.histograms {
                         put_string(&mut out, name);
-                        put_u64(&mut out, histogram.count());
-                        put_u64(&mut out, histogram.sum());
-                        put_u64(&mut out, histogram.min().unwrap_or(0));
-                        put_u64(&mut out, histogram.max().unwrap_or(0));
-                        let buckets = histogram.sparse_buckets();
-                        put_u32(&mut out, buckets.len() as u32);
-                        for (index, count) in buckets {
-                            put_u32(&mut out, index);
-                            put_u64(&mut out, count);
-                        }
+                        put_histogram(&mut out, histogram);
                     }
                 }
                 None => out.push(0),
             }
+        }
+        Frame::GetMetrics => {
+            out.push(TAG_GET_METRICS);
+        }
+        Frame::MetricsReply { report } => {
+            out.push(TAG_METRICS_REPLY);
+            put_string(&mut out, &report.prometheus);
+            put_u32(&mut out, report.windowed.len() as u32);
+            for (name, histogram) in &report.windowed {
+                put_string(&mut out, name);
+                put_histogram(&mut out, histogram);
+            }
+            put_u32(&mut out, report.counters.len() as u32);
+            for (name, value) in &report.counters {
+                put_string(&mut out, name);
+                put_u64(&mut out, *value);
+            }
+            put_u32(&mut out, report.gauges.len() as u32);
+            for (name, value) in &report.gauges {
+                put_string(&mut out, name);
+                put_u64(&mut out, value.to_bits());
+            }
+        }
+        Frame::GetHealth => {
+            out.push(TAG_GET_HEALTH);
+        }
+        Frame::HealthReply { state, queue_depth, queue_high_water, connections } => {
+            out.push(TAG_HEALTH_REPLY);
+            out.push(state.code());
+            put_u64(&mut out, *queue_depth);
+            put_u64(&mut out, *queue_high_water);
+            put_u64(&mut out, *connections);
         }
         Frame::Ping { nonce } => {
             out.push(TAG_PING);
@@ -484,6 +625,19 @@ impl<'a> Decoder<'a> {
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|_| ProtoError::malformed("string is not valid utf-8"))
+    }
+
+    fn histogram(&mut self) -> Result<qrcc_core::obs::Histogram, ProtoError> {
+        let count = self.u64()?;
+        let sum = self.u64()?;
+        let min = self.u64()?;
+        let max = self.u64()?;
+        let bucket_count = self.u32()? as usize;
+        let mut buckets = Vec::with_capacity(bucket_count.min(1024));
+        for _ in 0..bucket_count {
+            buckets.push((self.u32()?, self.u64()?));
+        }
+        Ok(qrcc_core::obs::Histogram::from_sparse(count, sum, min, max, &buckets))
     }
 }
 
@@ -592,20 +746,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, ProtoError> {
                     let histogram_count = d.u32()? as usize;
                     let mut histograms = Vec::with_capacity(histogram_count.min(1024));
                     for _ in 0..histogram_count {
-                        let name = d.string()?;
-                        let count = d.u64()?;
-                        let sum = d.u64()?;
-                        let min = d.u64()?;
-                        let max = d.u64()?;
-                        let bucket_count = d.u32()? as usize;
-                        let mut buckets = Vec::with_capacity(bucket_count.min(1024));
-                        for _ in 0..bucket_count {
-                            buckets.push((d.u32()?, d.u64()?));
-                        }
-                        histograms.push((
-                            name,
-                            qrcc_core::obs::Histogram::from_sparse(count, sum, min, max, &buckets),
-                        ));
+                        histograms.push((d.string()?, d.histogram()?));
                     }
                     Some(BatchTelemetry { spans, counters, histograms })
                 }
@@ -614,6 +755,38 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, ProtoError> {
                 }
             };
             Frame::BatchDone { batch, executed, telemetry }
+        }
+        TAG_GET_METRICS => Frame::GetMetrics,
+        TAG_METRICS_REPLY => {
+            let prometheus = d.string()?;
+            let windowed_count = d.u32()? as usize;
+            let mut windowed = Vec::with_capacity(windowed_count.min(1024));
+            for _ in 0..windowed_count {
+                windowed.push((d.string()?, d.histogram()?));
+            }
+            let counter_count = d.u32()? as usize;
+            let mut counters = Vec::with_capacity(counter_count.min(1024));
+            for _ in 0..counter_count {
+                counters.push((d.string()?, d.u64()?));
+            }
+            let gauge_count = d.u32()? as usize;
+            let mut gauges = Vec::with_capacity(gauge_count.min(1024));
+            for _ in 0..gauge_count {
+                gauges.push((d.string()?, f64::from_bits(d.u64()?)));
+            }
+            Frame::MetricsReply { report: MetricsReport { prometheus, windowed, counters, gauges } }
+        }
+        TAG_GET_HEALTH => Frame::GetHealth,
+        TAG_HEALTH_REPLY => {
+            let code = d.u8()?;
+            let state = HealthState::from_code(code)
+                .ok_or_else(|| ProtoError::malformed(format!("unknown health state {code}")))?;
+            Frame::HealthReply {
+                state,
+                queue_depth: d.u64()?,
+                queue_high_water: d.u64()?,
+                connections: d.u64()?,
+            }
         }
         TAG_PING => Frame::Ping { nonce: d.u64()? },
         TAG_PONG => Frame::Pong { nonce: d.u64()? },
@@ -733,6 +906,33 @@ mod tests {
                 })],
             }),
         });
+        roundtrip(Frame::GetMetrics);
+        roundtrip(Frame::MetricsReply { report: MetricsReport::default() });
+        roundtrip(Frame::MetricsReply {
+            report: MetricsReport {
+                prometheus: "# TYPE server_batches counter\nserver_batches 3\n".into(),
+                windowed: vec![("server.window_batch_latency_us".into(), {
+                    let mut h = qrcc_core::obs::Histogram::new();
+                    h.record(250);
+                    h.record(99_000);
+                    h
+                })],
+                counters: vec![("server.batches".into(), 3)],
+                gauges: vec![
+                    ("server.queue_depth".into(), 2.0),
+                    ("server.window_req_rate".into(), 0.125),
+                ],
+            },
+        });
+        roundtrip(Frame::GetHealth);
+        for state in [HealthState::Accepting, HealthState::Draining, HealthState::Overloaded] {
+            roundtrip(Frame::HealthReply {
+                state,
+                queue_depth: 4,
+                queue_high_water: 9,
+                connections: 2,
+            });
+        }
         roundtrip(Frame::Ping { nonce: u64::MAX });
         roundtrip(Frame::Pong { nonce: 0 });
         roundtrip(Frame::Error {

@@ -14,8 +14,8 @@
 //! batch API reports per-circuit errors.
 
 use crate::proto::{
-    self, BatchTelemetry, Capabilities, Frame, ProtoError, TraceContext, WireErrorKind,
-    PROTOCOL_VERSION,
+    self, BatchTelemetry, Capabilities, Frame, HealthState, MetricsReport, ProtoError,
+    TraceContext, WireErrorKind, PROTOCOL_VERSION,
 };
 use parking_lot::Mutex;
 use qrcc_circuit::{qasm, Circuit};
@@ -66,6 +66,19 @@ const IDLE_DEADLINE: Duration = Duration::from_secs(900);
 /// without delivering another byte of it.
 const FRAME_STALL: Duration = Duration::from_secs(30);
 
+/// Default aggregate queue depth (batches in flight) at which
+/// [`Frame::GetHealth`] reports [`HealthState::Overloaded`]. Each in-flight
+/// batch pins one connection thread, so this bounds "healthy but saturated"
+/// well before thread exhaustion. Tunable via
+/// [`QrccServer::with_overload_threshold`].
+const DEFAULT_OVERLOAD_THRESHOLD: u64 = 64;
+
+/// Default live-metrics window served on [`Frame::GetMetrics`]: quantiles
+/// and rates cover the last 10 s, rotating in 1 s buckets. Tunable via
+/// [`QrccServer::with_metrics_window`].
+const DEFAULT_WINDOW: Duration = Duration::from_secs(10);
+const DEFAULT_WINDOW_BUCKETS: usize = 10;
+
 /// Aggregate counters of one server, also folded per connection (every
 /// connection thread owns a [`ConnectionStats`] and merges it live).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -95,6 +108,14 @@ pub struct ServerStats {
     /// `p50()`/`p99()`/`p999()` instead of a single mean field. Always
     /// recorded; tracing only affects the per-batch span subtrees.
     pub batch_latency_us: qrcc_core::Histogram,
+    /// Batches currently executing or queued across all connections (each
+    /// in-flight batch occupies one connection thread).
+    pub queue_depth: u64,
+    /// The deepest the aggregate queue has ever been.
+    pub queue_high_water: u64,
+    /// Connections currently open (as opposed to `connections`, which
+    /// counts accepts since boot).
+    pub open_connections: u64,
 }
 
 impl ServerStats {
@@ -113,13 +134,37 @@ impl ServerStats {
             .with_counter("server.cache_delta_hits", self.cache_delta_hits)
             .with_counter("server.cache_misses", self.cache_misses)
             .with_counter("server.cache_shots_saved", self.cache_shots_saved)
+            .with_gauge("server.queue_depth", self.queue_depth as f64)
+            .with_gauge("server.queue_high_water", self.queue_high_water as f64)
+            .with_gauge("server.open_connections", self.open_connections as f64)
             .with_histogram("server.batch_latency_us", self.batch_latency_us.clone())
     }
 }
 
-#[derive(Debug, Default)]
+/// The live last-N-seconds view behind [`Frame::GetMetrics`]: windowed
+/// batch latency plus request/failure rate counters, all rotated on the
+/// same grid.
+#[derive(Debug)]
+struct WindowState {
+    latency: qrcc_core::obs::WindowedHistogram,
+    requests: qrcc_core::obs::RateCounter,
+    failures: qrcc_core::obs::RateCounter,
+}
+
+impl WindowState {
+    fn new(window: Duration, buckets: usize) -> Self {
+        WindowState {
+            latency: qrcc_core::obs::WindowedHistogram::new(window, buckets),
+            requests: qrcc_core::obs::RateCounter::new(window, buckets),
+            failures: qrcc_core::obs::RateCounter::new(window, buckets),
+        }
+    }
+}
+
+#[derive(Debug)]
 struct StatsInner {
     connections: AtomicU64,
+    open_connections: AtomicU64,
     batches: AtomicU64,
     circuits_ok: AtomicU64,
     circuits_failed: AtomicU64,
@@ -128,10 +173,39 @@ struct StatsInner {
     cache_delta_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_shots_saved: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
+    /// Set by [`ServerHandle::begin_drain`] (and by shutdown, which drains
+    /// first): [`Frame::GetHealth`] reports [`HealthState::Draining`] while
+    /// existing batches finish.
+    draining: AtomicBool,
+    overload_threshold: u64,
     batch_latency: Mutex<qrcc_core::Histogram>,
+    window: Mutex<WindowState>,
 }
 
 impl StatsInner {
+    fn new(window: Duration, buckets: usize, overload_threshold: u64) -> Self {
+        StatsInner {
+            connections: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            circuits_ok: AtomicU64::new(0),
+            circuits_failed: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_delta_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            cache_shots_saved: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            overload_threshold,
+            batch_latency: Mutex::new(qrcc_core::Histogram::new()),
+            window: Mutex::new(WindowState::new(window, buckets)),
+        }
+    }
+
     fn snapshot(&self) -> ServerStats {
         ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
@@ -144,6 +218,53 @@ impl StatsInner {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_shots_saved: self.cache_shots_saved.load(Ordering::Relaxed),
             batch_latency_us: self.batch_latency.lock().clone(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            open_connections: self.open_connections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Readiness verdict from the live flags: draining wins over overload,
+    /// overload wins over accepting.
+    fn health(&self) -> (HealthState, u64, u64, u64) {
+        let depth = self.queue_depth.load(Ordering::Relaxed);
+        let state = if self.draining.load(Ordering::Relaxed) {
+            HealthState::Draining
+        } else if depth >= self.overload_threshold {
+            HealthState::Overloaded
+        } else {
+            HealthState::Accepting
+        };
+        (
+            state,
+            depth,
+            self.queue_high_water.load(Ordering::Relaxed),
+            self.open_connections.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The scrape payload for [`Frame::GetMetrics`]: full-registry
+    /// Prometheus text plus the structured windowed snapshot.
+    fn metrics_report(&self) -> MetricsReport {
+        let snapshot = self.snapshot();
+        let (latency, req_rate, fail_rate) = {
+            let window = self.window.lock();
+            (window.latency.snapshot(), window.requests.rate(), window.failures.rate())
+        };
+        let metrics = snapshot.metrics();
+        MetricsReport {
+            prometheus: metrics.prometheus(),
+            windowed: vec![("server.window_batch_latency_us".into(), latency)],
+            counters: metrics.counters.clone(),
+            gauges: metrics
+                .gauges
+                .iter()
+                .cloned()
+                .chain([
+                    ("server.window_req_rate".to_owned(), req_rate),
+                    ("server.window_error_rate".to_owned(), fail_rate),
+                ])
+                .collect(),
         }
     }
 }
@@ -166,6 +287,12 @@ pub struct ConnectionStats {
     pub cache_misses: u64,
     /// Device shots the cache absorbed for this connection.
     pub cache_shots_saved: u64,
+    /// Most batches this connection ever had in flight at once. The
+    /// request/response protocol serialises batches per connection, so this
+    /// is at most 1 — it records whether the connection ever did real work,
+    /// and keeps the per-connection ledger summing to the aggregate
+    /// high-water's lower bound.
+    pub queue_high_water: u64,
 }
 
 /// A bound-but-not-yet-serving QRCC worker.
@@ -189,6 +316,9 @@ pub struct QrccServer {
     backend: Arc<dyn ExecutionBackend + Send + Sync>,
     write_budget: Duration,
     cache: Option<Arc<ResultCache>>,
+    overload_threshold: u64,
+    window: Duration,
+    window_buckets: usize,
 }
 
 impl QrccServer {
@@ -207,7 +337,28 @@ impl QrccServer {
             backend: Arc::new(backend),
             write_budget: BATCH_WRITE_BUDGET,
             cache: None,
+            overload_threshold: DEFAULT_OVERLOAD_THRESHOLD,
+            window: DEFAULT_WINDOW,
+            window_buckets: DEFAULT_WINDOW_BUCKETS,
         })
+    }
+
+    /// Sets the aggregate queue depth (batches in flight) at which
+    /// [`Frame::GetHealth`] reports [`HealthState::Overloaded`]
+    /// (default 64).
+    #[must_use]
+    pub fn with_overload_threshold(mut self, threshold: u64) -> Self {
+        self.overload_threshold = threshold.max(1);
+        self
+    }
+
+    /// Sets the live-metrics window served on [`Frame::GetMetrics`]
+    /// (default: last 10 s in 1 s rotation buckets).
+    #[must_use]
+    pub fn with_metrics_window(mut self, window: Duration, buckets: usize) -> Self {
+        self.window = window;
+        self.window_buckets = buckets;
+        self
     }
 
     /// Attaches a result cache built from `policy` (a disabled policy
@@ -254,7 +405,8 @@ impl QrccServer {
     pub fn spawn(self) -> ServerHandle {
         let addr = self.listener.local_addr().expect("bound listener has an address");
         let shutdown = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(StatsInner::default());
+        let stats =
+            Arc::new(StatsInner::new(self.window, self.window_buckets, self.overload_threshold));
         let connections: Arc<Mutex<Vec<JoinHandle<ConnectionStats>>>> =
             Arc::new(Mutex::new(Vec::new()));
         let completed: Arc<Mutex<Vec<ConnectionStats>>> = Arc::new(Mutex::new(Vec::new()));
@@ -309,6 +461,22 @@ impl ServerHandle {
         self.stats.snapshot()
     }
 
+    /// Marks the server as draining: [`Frame::GetHealth`] replies
+    /// [`HealthState::Draining`] from now on, telling monitors and routers
+    /// to send new work elsewhere while existing batches finish.
+    /// [`ServerHandle::shutdown`] calls this first, so a health-polling
+    /// client observes the drain before the sockets go away.
+    pub fn begin_drain(&self) {
+        self.stats.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// The server's current readiness verdict, exactly as
+    /// [`Frame::GetHealth`] would report it over the wire.
+    pub fn health(&self) -> crate::proto::HealthReport {
+        let (state, queue_depth, queue_high_water, connections) = self.stats.health();
+        crate::proto::HealthReport { state, queue_depth, queue_high_water, connections }
+    }
+
     /// The server's result cache, if one was attached.
     pub fn result_cache(&self) -> Option<&Arc<ResultCache>> {
         self.cache.as_ref()
@@ -329,6 +497,7 @@ impl ServerHandle {
     }
 
     fn shutdown_impl(&mut self) -> Vec<ConnectionStats> {
+        self.begin_drain();
         self.shutdown.store(true, Ordering::Relaxed);
         // wake the blocking accept with a throwaway connection; an
         // unspecified bind address (0.0.0.0 / ::) is not connectable
@@ -399,7 +568,17 @@ fn accept_loop(
         let stats = Arc::clone(&stats);
         let cache = cache.clone();
         let handle = std::thread::spawn(move || {
-            serve_connection(stream, backend, write_budget, cache, shutdown, stats)
+            stats.open_connections.fetch_add(1, Ordering::Relaxed);
+            let ledger = serve_connection(
+                stream,
+                backend,
+                write_budget,
+                cache,
+                shutdown,
+                Arc::clone(&stats),
+            );
+            stats.open_connections.fetch_sub(1, Ordering::Relaxed);
+            ledger
         });
         // reap finished connection threads — joining them, so their ledgers
         // survive into `shutdown()`'s return value — and keep the handle
@@ -620,6 +799,20 @@ fn serve_connection(
                     return conn;
                 }
             }
+            ConnRead::Frame(Frame::GetMetrics) => {
+                let reply = Frame::MetricsReply { report: stats.metrics_report() };
+                if proto::write_frame(&mut stream, &reply).is_err() {
+                    return conn;
+                }
+            }
+            ConnRead::Frame(Frame::GetHealth) => {
+                let (state, queue_depth, queue_high_water, connections) = stats.health();
+                let reply =
+                    Frame::HealthReply { state, queue_depth, queue_high_water, connections };
+                if proto::write_frame(&mut stream, &reply).is_err() {
+                    return conn;
+                }
+            }
             ConnRead::Frame(Frame::Error { .. }) => return conn, // client aborted
             ConnRead::Frame(_) => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -627,7 +820,9 @@ fn serve_connection(
                     &mut stream,
                     &Frame::Error {
                         kind: WireErrorKind::Protocol,
-                        message: "unexpected frame (wanted SubmitBatch or Ping)".into(),
+                        message: "unexpected frame (wanted SubmitBatch, Ping, GetMetrics \
+                                  or GetHealth)"
+                            .into(),
                     },
                 );
                 return conn;
@@ -712,6 +907,20 @@ fn serve_batch(
     stats: &StatsInner,
     conn: &mut ConnectionStats,
 ) -> io::Result<()> {
+    // The batch occupies one slot of the live queue from arrival to the
+    // last reply write — the gauge `GetHealth` reads for its overload
+    // verdict. The guard keeps the gauge honest on every early return.
+    struct QueueGuard<'a>(&'a StatsInner);
+    impl Drop for QueueGuard<'_> {
+        fn drop(&mut self) {
+            self.0.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    let depth = stats.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+    stats.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+    conn.queue_high_water = conn.queue_high_water.max(1);
+    let _queue = QueueGuard(stats);
+
     // Phase clock for the span subtree returned to a tracing client. The
     // server does not run the client's tracer; it hand-builds
     // [`RemoteSpan`](qrcc_core::obs::RemoteSpan)s from one `Instant` plus a
@@ -936,6 +1145,16 @@ fn serve_batch(
     // ride back only when the submission carried a trace context
     let batch_us = batch_started.elapsed().as_micros() as u64;
     stats.batch_latency.lock().record(batch_us);
+    {
+        // the same sample also lands in the live window behind GetMetrics,
+        // together with this batch's request/failure counts
+        let mut window = stats.window.lock();
+        window.latency.record(batch_us);
+        window.requests.add(1);
+        if failed > 0 {
+            window.failures.add(1);
+        }
+    }
     let telemetry = trace.map(|_| {
         let span = |id: u64, parent: u64, name: &str, start_us: u64, end_us: u64| {
             qrcc_core::obs::RemoteSpan {

@@ -217,8 +217,9 @@ fn garbled_stream_surfaces_as_a_transport_error() {
 #[test]
 fn stalled_stream_times_out_as_backend_unavailable() {
     let server = QrccServer::bind("127.0.0.1:0", ExactBackend::new()).unwrap().spawn();
-    // threshold past the ~18-byte ServerHello but inside the first reply
-    let proxy = FaultyProxy::spawn(server.addr(), vec![ProxyFault::StallAfter(24)]).unwrap();
+    // threshold past the ~18-byte ServerHello and the 13-byte Pong of the
+    // checkout liveness ping, but inside the first (53-byte) reply frame
+    let proxy = FaultyProxy::spawn(server.addr(), vec![ProxyFault::StallAfter(48)]).unwrap();
     let remote =
         RemoteBackend::connect_with_timeout(proxy.addr(), Duration::from_millis(400)).unwrap();
     let results = remote.run_batch(&[bell()]);
@@ -253,22 +254,29 @@ fn wrong_length_distributions_are_rejected_as_transport_errors() {
             },
         )
         .unwrap();
-        match proto::read_frame(&mut s).unwrap() {
-            Frame::SubmitBatch { batch, circuits, .. } => {
-                assert_eq!(circuits.len(), 1);
-                // bell() measures 2 clbits, so 4 entries are owed — send 2
-                proto::write_frame(
-                    &mut s,
-                    &Frame::CircuitResult { batch, index: 0, distribution: vec![0.5, 0.5] },
-                )
-                .unwrap();
-                proto::write_frame(
-                    &mut s,
-                    &Frame::BatchDone { batch, executed: 1, telemetry: None },
-                )
-                .unwrap();
+        loop {
+            match proto::read_frame(&mut s).unwrap() {
+                // answer the pool's checkout liveness pings
+                Frame::Ping { nonce } => {
+                    proto::write_frame(&mut s, &Frame::Pong { nonce }).unwrap();
+                }
+                Frame::SubmitBatch { batch, circuits, .. } => {
+                    assert_eq!(circuits.len(), 1);
+                    // bell() measures 2 clbits, so 4 entries are owed — send 2
+                    proto::write_frame(
+                        &mut s,
+                        &Frame::CircuitResult { batch, index: 0, distribution: vec![0.5, 0.5] },
+                    )
+                    .unwrap();
+                    proto::write_frame(
+                        &mut s,
+                        &Frame::BatchDone { batch, executed: 1, telemetry: None },
+                    )
+                    .unwrap();
+                    break;
+                }
+                other => panic!("expected SubmitBatch, got {other:?}"),
             }
-            other => panic!("expected SubmitBatch, got {other:?}"),
         }
     });
     let remote = RemoteBackend::connect(addr).unwrap();

@@ -155,6 +155,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert!(served > 0, "the warm pass must be served from the worker caches");
 
+    // 5b. Fleet health, live off the wire: a FleetMonitor polls both
+    //     workers' scrape endpoints (GetMetrics / GetHealth — two frames on
+    //     a pooled connection, no batch round-trip), merges the windowed
+    //     views, and scores an SLO against each worker and the fleet.
+    let mon_3q = RemoteBackend::connect(server_3q.addr())?;
+    let mon_2q = RemoteBackend::connect(server_2q.addr())?;
+    let monitor = FleetMonitor::new(
+        MonitorPolicy::default()
+            .with_slo(SloSpec::new("fleet").with_latency(0.99, 250_000).with_max_error_rate(0.01)),
+    )
+    .with_worker(&mon_3q)
+    .with_worker(&mon_2q);
+    let view = monitor.poll_once();
+    assert_eq!(view.unreachable, 0, "both workers must answer the poll");
+    assert_eq!(view.count_state(HealthState::Accepting), 2, "both workers accepting");
+    println!(
+        "\nfleet health: status {}, {} workers accepting, total queue depth {}",
+        view.status(),
+        view.count_state(HealthState::Accepting),
+        view.total_queue_depth(),
+    );
+    for worker in &view.workers {
+        let health = worker.health.as_ref().expect("reachable");
+        println!(
+            "  {}: {} (queue {} now / {} high-water, {} conns)",
+            worker.label,
+            health.state,
+            health.queue_depth,
+            health.queue_high_water,
+            health.connections,
+        );
+    }
+
     // 6. The budget was spent exactly once per circuit and the remote fleet
     //    reconstructs the right distribution.
     assert_eq!(schedule.total_shots, 300_000, "every allocated shot spent exactly once");
@@ -229,6 +262,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             spans.iter().filter(|s| s.remote).count(),
         );
     }
+
+    // Drain before shutdown: GetHealth flips to draining while the sockets
+    // still answer, so a router can move work away before anything closes.
+    server_3q.begin_drain();
+    server_2q.begin_drain();
+    for mon in [&mon_3q, &mon_2q] {
+        assert_eq!(mon.get_health()?.state, HealthState::Draining, "drain visible on the wire");
+    }
+    println!("\nboth workers report draining ahead of shutdown");
 
     for (name, server) in [("remote-3q", server_3q), ("remote-2q", server_2q)] {
         let ledgers = server.shutdown();

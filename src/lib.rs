@@ -82,10 +82,13 @@ pub mod prelude {
         },
         reuse::ReusePass,
         schedule::{DeviceRegistry, ScheduleReport, Scheduler, ShotAllocator},
-        AnalysisContext, AnalysisReport, Analyzer, Diagnostic, LintLevel, Location, QrccConfig,
-        SchedulePolicy, Severity, ShotAllocation,
+        AnalysisContext, AnalysisReport, Analyzer, Diagnostic, LintLevel, Location, MonitorPolicy,
+        QrccConfig, SchedulePolicy, Severity, ShotAllocation, SloEvaluation, SloSpec, SloStatus,
     };
-    pub use qrcc_net::{lint_capabilities, QrccServer, RemoteBackend, ServerHandle, ServerStats};
+    pub use qrcc_net::{
+        lint_capabilities, FleetMonitor, FleetView, HealthReport, HealthState, QrccServer,
+        RemoteBackend, ServerHandle, ServerStats,
+    };
     pub use qrcc_sim::{
         compile::{CompileStats, FramedProgram, KernelCache},
         device::{Device, DeviceConfig},
